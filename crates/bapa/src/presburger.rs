@@ -1,0 +1,834 @@
+//! Quantifier-free and quantified Presburger arithmetic.
+//!
+//! Two deciders are provided:
+//!
+//! * a **Fourier–Motzkin refutation** over the rationals (with integer
+//!   tightening of strict inequalities), which is sound for proving
+//!   unsatisfiability and fast; and
+//! * **Cooper's quantifier elimination**, a complete decision procedure for
+//!   Presburger sentences, used when the variable count is small enough.
+//!
+//! [`unsatisfiable`] combines the two: it returns `true` only when the
+//! sentence is definitely unsatisfiable.
+
+use crate::BapaLimits;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A linear expression `sum(coeff_i * var_i) + constant`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LinExpr {
+    /// Variable coefficients (zero coefficients are removed).
+    pub coeffs: BTreeMap<String, i64>,
+    /// The constant term.
+    pub constant: i64,
+}
+
+impl LinExpr {
+    /// The constant expression.
+    pub fn constant(value: i64) -> LinExpr {
+        LinExpr { coeffs: BTreeMap::new(), constant: value }
+    }
+
+    /// The expression `coeff * var`.
+    pub fn variable(name: &str, coeff: i64) -> LinExpr {
+        let mut coeffs = BTreeMap::new();
+        if coeff != 0 {
+            coeffs.insert(name.to_string(), coeff);
+        }
+        LinExpr { coeffs, constant: 0 }
+    }
+
+    /// Adds `coeff * var` to this expression in place.
+    pub fn add_var(&mut self, name: &str, coeff: i64) {
+        let entry = self.coeffs.entry(name.to_string()).or_insert(0);
+        *entry += coeff;
+        if *entry == 0 {
+            self.coeffs.remove(name);
+        }
+    }
+
+    /// Returns `self + other`.
+    pub fn plus(&self, other: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        out.constant += other.constant;
+        for (name, coeff) in &other.coeffs {
+            out.add_var(name, *coeff);
+        }
+        out
+    }
+
+    /// Returns `k * self`.
+    pub fn scaled(&self, k: i64) -> LinExpr {
+        if k == 0 {
+            return LinExpr::constant(0);
+        }
+        LinExpr {
+            coeffs: self.coeffs.iter().map(|(n, c)| (n.clone(), c * k)).collect(),
+            constant: self.constant * k,
+        }
+    }
+
+    /// Returns `self + k`.
+    pub fn shifted(&self, k: i64) -> LinExpr {
+        let mut out = self.clone();
+        out.constant += k;
+        out
+    }
+
+    /// The coefficient of a variable (zero if absent).
+    pub fn coeff(&self, name: &str) -> i64 {
+        self.coeffs.get(name).copied().unwrap_or(0)
+    }
+
+    /// Removes the variable and returns its former coefficient.
+    pub fn remove(&mut self, name: &str) -> i64 {
+        self.coeffs.remove(name).unwrap_or(0)
+    }
+
+    /// Returns `true` if the expression has no variables.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Substitutes `var := replacement` (the replacement is itself linear).
+    pub fn substitute(&self, name: &str, replacement: &LinExpr) -> LinExpr {
+        let coeff = self.coeff(name);
+        if coeff == 0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.remove(name);
+        out.plus(&replacement.scaled(coeff))
+    }
+}
+
+/// Presburger formulas.  `Le(e)` means `e <= 0`; `Divides(d, e)` means
+/// `d | e`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PForm {
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// `expr <= 0`.
+    Le(LinExpr),
+    /// `d` divides `expr` (`d > 0`).
+    Divides(i64, LinExpr),
+    /// Negation.
+    Not(Box<PForm>),
+    /// Conjunction.
+    And(Vec<PForm>),
+    /// Disjunction.
+    Or(Vec<PForm>),
+    /// Existential quantification over an integer variable.
+    Exists(String, Box<PForm>),
+}
+
+impl PForm {
+    /// `expr <= 0`, with constant folding.
+    pub fn le(expr: LinExpr) -> PForm {
+        if expr.is_constant() {
+            if expr.constant <= 0 {
+                PForm::True
+            } else {
+                PForm::False
+            }
+        } else {
+            PForm::Le(expr)
+        }
+    }
+
+    /// Negation with simplification.
+    pub fn not(inner: PForm) -> PForm {
+        match inner {
+            PForm::True => PForm::False,
+            PForm::False => PForm::True,
+            PForm::Not(inner) => *inner,
+            other => PForm::Not(Box::new(other)),
+        }
+    }
+
+    /// Flattening conjunction.
+    pub fn and(parts: Vec<PForm>) -> PForm {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                PForm::True => {}
+                PForm::False => return PForm::False,
+                PForm::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => PForm::True,
+            1 => out.pop().expect("len checked"),
+            _ => PForm::And(out),
+        }
+    }
+
+    /// Flattening disjunction.
+    pub fn or(parts: Vec<PForm>) -> PForm {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                PForm::False => {}
+                PForm::True => return PForm::True,
+                PForm::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => PForm::False,
+            1 => out.pop().expect("len checked"),
+            _ => PForm::Or(out),
+        }
+    }
+
+    /// Collects free variables (quantified variables are excluded).
+    pub fn collect_vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            PForm::True | PForm::False => {}
+            PForm::Le(e) | PForm::Divides(_, e) => out.extend(e.coeffs.keys().cloned()),
+            PForm::Not(inner) => inner.collect_vars(out),
+            PForm::And(parts) | PForm::Or(parts) => {
+                parts.iter().for_each(|p| p.collect_vars(out))
+            }
+            PForm::Exists(var, body) => {
+                let mut inner = BTreeSet::new();
+                body.collect_vars(&mut inner);
+                inner.remove(var);
+                out.extend(inner);
+            }
+        }
+    }
+
+    /// Number of nodes (used for quantifier-elimination budgets).
+    pub fn size(&self) -> usize {
+        match self {
+            PForm::True | PForm::False | PForm::Le(_) | PForm::Divides(..) => 1,
+            PForm::Not(inner) => 1 + inner.size(),
+            PForm::And(parts) | PForm::Or(parts) => {
+                1 + parts.iter().map(PForm::size).sum::<usize>()
+            }
+            PForm::Exists(_, body) => 1 + body.size(),
+        }
+    }
+
+    /// Negation normal form over the literal set `{Le, Divides}`.
+    pub fn nnf(&self) -> PForm {
+        self.nnf_signed(true)
+    }
+
+    fn nnf_signed(&self, positive: bool) -> PForm {
+        match self {
+            PForm::True => {
+                if positive {
+                    PForm::True
+                } else {
+                    PForm::False
+                }
+            }
+            PForm::False => {
+                if positive {
+                    PForm::False
+                } else {
+                    PForm::True
+                }
+            }
+            PForm::Le(e) => {
+                if positive {
+                    PForm::le(e.clone())
+                } else {
+                    // not (e <= 0)  <=>  e >= 1  <=>  -e + 1 <= 0 (integers)
+                    PForm::le(e.scaled(-1).shifted(1))
+                }
+            }
+            PForm::Divides(d, e) => {
+                if positive {
+                    PForm::Divides(*d, e.clone())
+                } else {
+                    PForm::Not(Box::new(PForm::Divides(*d, e.clone())))
+                }
+            }
+            PForm::Not(inner) => inner.nnf_signed(!positive),
+            PForm::And(parts) => {
+                let converted: Vec<PForm> = parts.iter().map(|p| p.nnf_signed(positive)).collect();
+                if positive {
+                    PForm::and(converted)
+                } else {
+                    PForm::or(converted)
+                }
+            }
+            PForm::Or(parts) => {
+                let converted: Vec<PForm> = parts.iter().map(|p| p.nnf_signed(positive)).collect();
+                if positive {
+                    PForm::or(converted)
+                } else {
+                    PForm::and(converted)
+                }
+            }
+            PForm::Exists(var, body) => {
+                // Quantifiers are only produced at the top level by the Venn
+                // translation; a negated existential cannot be put in NNF over
+                // this literal language, so keep it (Cooper handles prenex
+                // sentences only and the callers guarantee that shape).
+                if positive {
+                    PForm::Exists(var.clone(), Box::new(body.nnf_signed(true)))
+                } else {
+                    PForm::Not(Box::new(PForm::Exists(var.clone(), Box::new(body.nnf_signed(true)))))
+                }
+            }
+        }
+    }
+
+    /// Substitutes a variable by a linear expression in every literal.
+    pub fn substitute(&self, name: &str, replacement: &LinExpr) -> PForm {
+        match self {
+            PForm::True | PForm::False => self.clone(),
+            PForm::Le(e) => PForm::le(e.substitute(name, replacement)),
+            PForm::Divides(d, e) => PForm::Divides(*d, e.substitute(name, replacement)),
+            PForm::Not(inner) => PForm::not(inner.substitute(name, replacement)),
+            PForm::And(parts) => {
+                PForm::and(parts.iter().map(|p| p.substitute(name, replacement)).collect())
+            }
+            PForm::Or(parts) => {
+                PForm::or(parts.iter().map(|p| p.substitute(name, replacement)).collect())
+            }
+            PForm::Exists(var, body) => {
+                if var == name {
+                    self.clone()
+                } else {
+                    PForm::Exists(var.clone(), Box::new(body.substitute(name, replacement)))
+                }
+            }
+        }
+    }
+
+    /// Evaluates a variable-free formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula still contains variables or quantifiers.
+    pub fn eval_closed(&self) -> bool {
+        match self {
+            PForm::True => true,
+            PForm::False => false,
+            PForm::Le(e) => {
+                assert!(e.is_constant(), "eval_closed on open formula");
+                e.constant <= 0
+            }
+            PForm::Divides(d, e) => {
+                assert!(e.is_constant(), "eval_closed on open formula");
+                e.constant.rem_euclid(*d) == 0
+            }
+            PForm::Not(inner) => !inner.eval_closed(),
+            PForm::And(parts) => parts.iter().all(PForm::eval_closed),
+            PForm::Or(parts) => parts.iter().any(PForm::eval_closed),
+            PForm::Exists(..) => panic!("eval_closed on quantified formula"),
+        }
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+fn lcm(a: i64, b: i64) -> i64 {
+    (a / gcd(a, b)).saturating_mul(b).abs().max(1)
+}
+
+/// Ceiling division for a positive divisor.
+fn div_ceil(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    a.div_euclid(b) + i64::from(a.rem_euclid(b) != 0)
+}
+
+// --------------------------------------------------------------------------
+// Fourier–Motzkin refutation
+// --------------------------------------------------------------------------
+
+/// A conjunction of `expr <= 0` constraints (divisibility literals dropped).
+#[derive(Debug, Clone, Default)]
+struct Conjunct {
+    les: Vec<LinExpr>,
+}
+
+impl Conjunct {
+    /// Normalises constraints (divide by the gcd of the coefficients, round
+    /// the constant towards the tighter integer bound) and removes duplicates.
+    fn normalise(&mut self) {
+        for le in &mut self.les {
+            let mut g = 0i64;
+            for c in le.coeffs.values() {
+                g = gcd(g, *c);
+            }
+            if g > 1 {
+                for c in le.coeffs.values_mut() {
+                    *c /= g;
+                }
+                // sum(c*g*x) + k <= 0  <=>  sum(c*x) <= -k/g  <=> ... + ceil(k/g) <= 0
+                le.constant = div_ceil(le.constant, g);
+            }
+        }
+        self.les.sort();
+        self.les.dedup();
+    }
+
+    /// Fourier–Motzkin elimination over the rationals: returns `true` if the
+    /// conjunction is infeasible (which implies integer infeasibility).
+    fn infeasible(mut self, max_constraints: usize) -> bool {
+        loop {
+            self.normalise();
+            // Constant contradictions?
+            for le in &self.les {
+                if le.is_constant() && le.constant > 0 {
+                    return true;
+                }
+            }
+            // Pick the variable whose elimination produces the fewest new
+            // constraints (classic Fourier–Motzkin heuristic).
+            let mut vars: BTreeSet<String> = BTreeSet::new();
+            for le in &self.les {
+                vars.extend(le.coeffs.keys().cloned());
+            }
+            let var = match vars.into_iter().min_by_key(|v| {
+                let lowers = self.les.iter().filter(|e| e.coeff(v) < 0).count();
+                let uppers = self.les.iter().filter(|e| e.coeff(v) > 0).count();
+                lowers * uppers
+            }) {
+                Some(v) => v,
+                None => return false,
+            };
+            let mut lowers: Vec<LinExpr> = Vec::new(); // var >= expr  (coeff < 0)
+            let mut uppers: Vec<LinExpr> = Vec::new(); // var <= expr  (coeff > 0)
+            let mut rest: Vec<LinExpr> = Vec::new();
+            for le in self.les.drain(..) {
+                let c = le.coeff(&var);
+                if c == 0 {
+                    rest.push(le);
+                } else if c > 0 {
+                    uppers.push(le);
+                } else {
+                    lowers.push(le);
+                }
+            }
+            // Combine every lower with every upper:  (c_u > 0): c_u*x + r_u <= 0
+            // and (c_l < 0): c_l*x + r_l <= 0.  Eliminate x by the positive
+            // combination |c_l| * upper + c_u * lower.
+            for upper in &uppers {
+                for lower in &lowers {
+                    let cu = upper.coeff(&var);
+                    let cl = lower.coeff(&var).abs();
+                    let combined = upper.scaled(cl).plus(&lower.scaled(cu));
+                    debug_assert_eq!(combined.coeff(&var), 0);
+                    rest.push(combined);
+                }
+            }
+            if rest.len() > max_constraints {
+                return false; // give up rather than blow up
+            }
+            self.les = rest;
+        }
+    }
+}
+
+/// Converts an NNF, quantifier-free formula into disjunctive normal form as a
+/// list of conjunctions of `<= 0` constraints.  Divisibility literals are
+/// dropped (weakening, hence sound for refutation).  Returns `None` if the
+/// DNF exceeds the cap.
+fn dnf(form: &PForm, cap: usize) -> Option<Vec<Conjunct>> {
+    match form {
+        PForm::True => Some(vec![Conjunct::default()]),
+        PForm::False => Some(vec![]),
+        PForm::Le(e) => Some(vec![Conjunct { les: vec![e.clone()] }]),
+        PForm::Divides(..) | PForm::Not(_) => Some(vec![Conjunct::default()]), // dropped
+        PForm::And(parts) => {
+            let mut acc = vec![Conjunct::default()];
+            for part in parts {
+                let branches = dnf(part, cap)?;
+                let mut next = Vec::new();
+                for a in &acc {
+                    for b in &branches {
+                        let mut merged = a.clone();
+                        merged.les.extend(b.les.iter().cloned());
+                        next.push(merged);
+                        if next.len() > cap {
+                            return None;
+                        }
+                    }
+                }
+                acc = next;
+            }
+            Some(acc)
+        }
+        PForm::Or(parts) => {
+            let mut out = Vec::new();
+            for part in parts {
+                out.extend(dnf(part, cap)?);
+                if out.len() > cap {
+                    return None;
+                }
+            }
+            Some(out)
+        }
+        PForm::Exists(_, body) => dnf(body, cap),
+    }
+}
+
+/// Sound unsatisfiability check by rational Fourier–Motzkin on the DNF.
+pub fn fm_unsatisfiable(body: &PForm) -> bool {
+    let nnf = body.nnf();
+    match dnf(&nnf, 4_096) {
+        Some(conjuncts) => conjuncts.into_iter().all(|c| c.infeasible(20_000)),
+        None => false,
+    }
+}
+
+// --------------------------------------------------------------------------
+// Cooper's algorithm
+// --------------------------------------------------------------------------
+
+/// Eliminates one existential quantifier `exists x. body` where `body` is
+/// quantifier-free and in NNF.  Returns `None` if the result would exceed the
+/// node budget.
+fn cooper_eliminate(var: &str, body: &PForm, budget: usize) -> Option<PForm> {
+    // 1. Compute the lcm of the coefficients of `var`.
+    let mut coeff_lcm = 1i64;
+    collect_coeff_lcm(body, var, &mut coeff_lcm);
+    // 2. Scale every literal so the coefficient of var is +-coeff_lcm, then
+    //    conceptually substitute y = coeff_lcm * var and add coeff_lcm | y.
+    let scaled = scale_var(body, var, coeff_lcm);
+    let scaled = PForm::and(vec![
+        scaled,
+        PForm::Divides(coeff_lcm, LinExpr::variable(var, 1)),
+    ]);
+    // 3. delta = lcm of the divisors of all divisibility literals.
+    let mut delta = 1i64;
+    collect_divisor_lcm(&scaled, var, &mut delta);
+    // 4. Lower bounds: literals of the form  -y + b <= 0  (i.e. y >= b).
+    let mut lower_bounds: Vec<LinExpr> = Vec::new();
+    collect_lower_bounds(&scaled, var, &mut lower_bounds);
+
+    let mut disjuncts = Vec::new();
+    for j in 1..=delta {
+        // F_{-infinity}[y := j]
+        let minus_inf = minus_infinity(&scaled, var);
+        disjuncts.push(minus_inf.substitute(var, &LinExpr::constant(j)));
+        // F[y := b + j] for every lower bound b.
+        for bound in &lower_bounds {
+            disjuncts.push(scaled.substitute(var, &bound.shifted(j)));
+        }
+        let total: usize = disjuncts.iter().map(PForm::size).sum();
+        if total > budget {
+            return None;
+        }
+    }
+    Some(PForm::or(disjuncts))
+}
+
+fn collect_coeff_lcm(form: &PForm, var: &str, acc: &mut i64) {
+    match form {
+        PForm::Le(e) | PForm::Divides(_, e) => {
+            let c = e.coeff(var);
+            if c != 0 {
+                *acc = lcm(*acc, c.abs());
+            }
+        }
+        PForm::Not(inner) => collect_coeff_lcm(inner, var, acc),
+        PForm::And(parts) | PForm::Or(parts) => {
+            parts.iter().for_each(|p| collect_coeff_lcm(p, var, acc))
+        }
+        _ => {}
+    }
+}
+
+/// Scales literals so the coefficient of `var` becomes `+-target` and then
+/// renames `target*var` to just `var` (the standard Cooper step).
+fn scale_var(form: &PForm, var: &str, target: i64) -> PForm {
+    match form {
+        PForm::Le(e) => {
+            let c = e.coeff(var);
+            if c == 0 {
+                PForm::le(e.clone())
+            } else {
+                let factor = target / c.abs();
+                let mut scaled = e.scaled(factor);
+                // Now the coefficient of var is +-target; rename to +-1.
+                let sign = if c > 0 { 1 } else { -1 };
+                scaled.remove(var);
+                scaled.add_var(var, sign);
+                PForm::Le(scaled)
+            }
+        }
+        PForm::Divides(d, e) => {
+            let c = e.coeff(var);
+            if c == 0 {
+                PForm::Divides(*d, e.clone())
+            } else {
+                let factor = target / c.abs();
+                let mut scaled = e.scaled(factor);
+                let sign = if c > 0 { 1 } else { -1 };
+                scaled.remove(var);
+                scaled.add_var(var, sign);
+                PForm::Divides(d * factor, scaled)
+            }
+        }
+        PForm::Not(inner) => PForm::Not(Box::new(scale_var(inner, var, target))),
+        PForm::And(parts) => {
+            PForm::and(parts.iter().map(|p| scale_var(p, var, target)).collect())
+        }
+        PForm::Or(parts) => PForm::or(parts.iter().map(|p| scale_var(p, var, target)).collect()),
+        other => other.clone(),
+    }
+}
+
+fn collect_divisor_lcm(form: &PForm, var: &str, acc: &mut i64) {
+    match form {
+        PForm::Divides(d, e) => {
+            if e.coeff(var) != 0 {
+                *acc = lcm(*acc, *d);
+            }
+        }
+        PForm::Not(inner) => collect_divisor_lcm(inner, var, acc),
+        PForm::And(parts) | PForm::Or(parts) => {
+            parts.iter().for_each(|p| collect_divisor_lcm(p, var, acc))
+        }
+        _ => {}
+    }
+}
+
+fn collect_lower_bounds(form: &PForm, var: &str, out: &mut Vec<LinExpr>) {
+    match form {
+        PForm::Le(e) => {
+            // -var + rest <= 0  means  var >= rest, i.e. the *strict* lower
+            // bound used by Cooper's B-set is rest - 1.
+            if e.coeff(var) == -1 {
+                let mut rest = e.clone();
+                rest.remove(var);
+                out.push(rest.shifted(-1));
+            }
+        }
+        PForm::Not(inner) => collect_lower_bounds(inner, var, out),
+        PForm::And(parts) | PForm::Or(parts) => {
+            parts.iter().for_each(|p| collect_lower_bounds(p, var, out))
+        }
+        _ => {}
+    }
+}
+
+/// The `F_{-infinity}` transformation: upper-bound literals become true,
+/// lower-bound literals become false.
+fn minus_infinity(form: &PForm, var: &str) -> PForm {
+    match form {
+        PForm::Le(e) => match e.coeff(var) {
+            0 => PForm::le(e.clone()),
+            c if c > 0 => PForm::True,  // var <= something: true at -infinity
+            _ => PForm::False,          // var >= something: false at -infinity
+        },
+        PForm::Divides(..) => form.clone(),
+        PForm::Not(inner) => PForm::not(minus_infinity(inner, var)),
+        PForm::And(parts) => PForm::and(parts.iter().map(|p| minus_infinity(p, var)).collect()),
+        PForm::Or(parts) => PForm::or(parts.iter().map(|p| minus_infinity(p, var)).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Decides a prenex existential sentence `exists x1 ... xn. body` with
+/// Cooper's algorithm.  Returns `None` if the quantifier-elimination budget is
+/// exceeded.
+pub fn cooper_decide(sentence: &PForm, limits: &BapaLimits) -> Option<bool> {
+    // Peel the existential prefix.
+    let mut vars = Vec::new();
+    let mut body = sentence;
+    while let PForm::Exists(var, inner) = body {
+        vars.push(var.clone());
+        body = inner;
+    }
+    if vars.len() > limits.max_cooper_vars {
+        return None;
+    }
+    let mut current = body.nnf();
+    // Eliminate innermost-first (reverse declaration order).
+    for var in vars.iter().rev() {
+        current = cooper_eliminate(var, &current, limits.max_qe_nodes)?.nnf();
+        if current.size() > limits.max_qe_nodes {
+            return None;
+        }
+    }
+    let mut remaining = BTreeSet::new();
+    current.collect_vars(&mut remaining);
+    if !remaining.is_empty() {
+        return None; // non-prenex input; refuse rather than mis-evaluate
+    }
+    Some(current.eval_closed())
+}
+
+/// Returns `true` only if the sentence is definitely unsatisfiable.
+pub fn unsatisfiable(sentence: &PForm, limits: &BapaLimits) -> bool {
+    // Fast sound refutation first.
+    if fm_unsatisfiable(sentence) {
+        return true;
+    }
+    // Exact decision for small problems.
+    matches!(cooper_decide(sentence, limits), Some(false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> LinExpr {
+        LinExpr::variable(name, 1)
+    }
+
+    fn exists_all(vars: &[&str], body: PForm) -> PForm {
+        let mut out = body;
+        for var in vars.iter().rev() {
+            out = PForm::Exists(var.to_string(), Box::new(out));
+        }
+        out
+    }
+
+    #[test]
+    fn linear_expression_algebra() {
+        let e = v("x").scaled(2).plus(&v("y").scaled(-1)).shifted(3);
+        assert_eq!(e.coeff("x"), 2);
+        assert_eq!(e.coeff("y"), -1);
+        assert_eq!(e.constant, 3);
+        let s = e.substitute("x", &v("y").shifted(1));
+        assert_eq!(s.coeff("x"), 0);
+        assert_eq!(s.coeff("y"), 1);
+        assert_eq!(s.constant, 5);
+    }
+
+    #[test]
+    fn fm_detects_simple_contradiction() {
+        // x <= 0  and  x >= 1
+        let body = PForm::and(vec![
+            PForm::le(v("x")),
+            PForm::le(v("x").scaled(-1).shifted(1)),
+        ]);
+        assert!(fm_unsatisfiable(&body));
+    }
+
+    #[test]
+    fn fm_does_not_claim_satisfiable_systems_unsat() {
+        let body = PForm::and(vec![
+            PForm::le(v("x").scaled(-1)),          // x >= 0
+            PForm::le(v("x").shifted(-10)),        // x <= 10
+        ]);
+        assert!(!fm_unsatisfiable(&body));
+    }
+
+    #[test]
+    fn cooper_decides_satisfiable_sentence() {
+        // exists x. x >= 0 /\ x <= 10
+        let body = PForm::and(vec![
+            PForm::le(v("x").scaled(-1)),
+            PForm::le(v("x").shifted(-10)),
+        ]);
+        let sentence = exists_all(&["x"], body);
+        assert_eq!(cooper_decide(&sentence, &BapaLimits::default()), Some(true));
+    }
+
+    #[test]
+    fn cooper_decides_unsatisfiable_sentence() {
+        // exists x. x >= 1 /\ x <= 0
+        let body = PForm::and(vec![
+            PForm::le(v("x").scaled(-1).shifted(1)),
+            PForm::le(v("x")),
+        ]);
+        let sentence = exists_all(&["x"], body);
+        assert_eq!(cooper_decide(&sentence, &BapaLimits::default()), Some(false));
+    }
+
+    #[test]
+    fn cooper_handles_divisibility() {
+        // exists x. 0 <= x <= 5 /\ 2 | x /\ 3 | x  -> x = 0 works, satisfiable.
+        let body = PForm::and(vec![
+            PForm::le(v("x").scaled(-1)),
+            PForm::le(v("x").shifted(-5)),
+            PForm::Divides(2, v("x")),
+            PForm::Divides(3, v("x")),
+        ]);
+        assert_eq!(cooper_decide(&exists_all(&["x"], body), &BapaLimits::default()), Some(true));
+
+        // exists x. 1 <= x <= 5 /\ 2 | x /\ 3 | x  -> needs x = 6, unsatisfiable.
+        let body = PForm::and(vec![
+            PForm::le(v("x").scaled(-1).shifted(1)),
+            PForm::le(v("x").shifted(-5)),
+            PForm::Divides(2, v("x")),
+            PForm::Divides(3, v("x")),
+        ]);
+        assert_eq!(
+            cooper_decide(&exists_all(&["x"], body), &BapaLimits::default()),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn cooper_with_two_variables() {
+        // exists x y. x = 2y /\ x = 2y + 1  is unsatisfiable.
+        let eq1a = v("x").plus(&v("y").scaled(-2));
+        let eq1b = eq1a.scaled(-1);
+        let eq2a = v("x").plus(&v("y").scaled(-2)).shifted(-1);
+        let eq2b = eq2a.scaled(-1);
+        let body = PForm::and(vec![
+            PForm::le(eq1a),
+            PForm::le(eq1b),
+            PForm::le(eq2a),
+            PForm::le(eq2b),
+        ]);
+        assert_eq!(
+            cooper_decide(&exists_all(&["x", "y"], body), &BapaLimits::default()),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn cooper_scaled_coefficients() {
+        // exists x. 2x >= 3 /\ 2x <= 4  -> x = 2, satisfiable.
+        let body = PForm::and(vec![
+            PForm::le(LinExpr::variable("x", -2).shifted(3)),
+            PForm::le(LinExpr::variable("x", 2).shifted(-4)),
+        ]);
+        assert_eq!(cooper_decide(&exists_all(&["x"], body), &BapaLimits::default()), Some(true));
+
+        // exists x. 2x >= 3 /\ 2x <= 3  -> 2x = 3 has no integer solution.
+        let body = PForm::and(vec![
+            PForm::le(LinExpr::variable("x", -2).shifted(3)),
+            PForm::le(LinExpr::variable("x", 2).shifted(-3)),
+        ]);
+        assert_eq!(
+            cooper_decide(&exists_all(&["x"], body), &BapaLimits::default()),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_combines_both_engines() {
+        // Rationally feasible but integer infeasible: FM cannot refute, Cooper can.
+        let body = PForm::and(vec![
+            PForm::le(LinExpr::variable("x", -2).shifted(3)),
+            PForm::le(LinExpr::variable("x", 2).shifted(-3)),
+        ]);
+        let sentence = exists_all(&["x"], body);
+        assert!(unsatisfiable(&sentence, &BapaLimits::default()));
+    }
+
+    #[test]
+    fn negated_le_tightens_for_integers() {
+        // not(x <= 0) became x >= 1 in NNF: so x <= 0 /\ not(x <= 0) is unsat.
+        let body = PForm::and(vec![
+            PForm::le(v("x")),
+            PForm::not(PForm::le(v("x"))),
+        ]);
+        assert!(fm_unsatisfiable(&body));
+    }
+}

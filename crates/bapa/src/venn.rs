@@ -1,0 +1,221 @@
+//! Venn-region reduction from BAPA to Presburger arithmetic.
+//!
+//! Every set variable (including the implicit singleton sets of element
+//! variables) partitions the universe; with `n` set variables there are `2^n`
+//! Venn regions.  Introducing one non-negative integer variable per region
+//! cardinality turns every set-algebra and cardinality atom into linear
+//! arithmetic, after which the sentence is decided by [`crate::presburger`].
+
+use crate::extract::{BapaForm, IntTerm, SetTerm};
+use crate::presburger::{LinExpr, PForm};
+use crate::BapaLimits;
+use std::collections::BTreeSet;
+
+/// Name of the implicit singleton set for an element variable.
+fn singleton_set(elem: &str) -> String {
+    format!("single${elem}")
+}
+
+/// Name of the cardinality variable of a Venn region.
+fn region_var(region: usize) -> String {
+    format!("venn${region}")
+}
+
+/// Context for the translation: the ordered list of set variables.
+struct VennCtx {
+    sets: Vec<String>,
+}
+
+impl VennCtx {
+    fn region_count(&self) -> usize {
+        1usize << self.sets.len()
+    }
+
+    /// Returns `true` if the given region lies inside the denotation of the
+    /// set term (regions are identified by the bitmask of set memberships).
+    fn region_in(&self, region: usize, term: &SetTerm) -> bool {
+        match term {
+            SetTerm::Var(name) => {
+                let idx = self
+                    .sets
+                    .iter()
+                    .position(|s| s == name)
+                    .expect("set variable registered during collection");
+                region & (1 << idx) != 0
+            }
+            SetTerm::Empty => false,
+            SetTerm::Singleton(elem) => {
+                let name = singleton_set(elem);
+                let idx = self
+                    .sets
+                    .iter()
+                    .position(|s| s == &name)
+                    .expect("singleton set registered during collection");
+                region & (1 << idx) != 0
+            }
+            SetTerm::Union(a, b) => self.region_in(region, a) || self.region_in(region, b),
+            SetTerm::Inter(a, b) => self.region_in(region, a) && self.region_in(region, b),
+            SetTerm::Diff(a, b) => self.region_in(region, a) && !self.region_in(region, b),
+        }
+    }
+
+    /// The cardinality of a set term as a linear expression over region vars.
+    fn card(&self, term: &SetTerm) -> LinExpr {
+        let mut expr = LinExpr::constant(0);
+        for region in 1..self.region_count() {
+            // Region 0 (outside every set) never contributes to any card.
+            if self.region_in(region, term) {
+                expr.add_var(&region_var(region), 1);
+            }
+        }
+        expr
+    }
+
+    fn int_term(&self, term: &IntTerm) -> LinExpr {
+        match term {
+            IntTerm::Const(value) => LinExpr::constant(*value),
+            IntTerm::Var(name) => LinExpr::variable(name, 1),
+            IntTerm::Card(set) => self.card(set),
+            IntTerm::Add(a, b) => self.int_term(a).plus(&self.int_term(b)),
+            IntTerm::Sub(a, b) => self.int_term(a).plus(&self.int_term(b).scaled(-1)),
+            IntTerm::MulConst(k, a) => self.int_term(a).scaled(*k),
+        }
+    }
+
+    fn form(&self, form: &BapaForm) -> PForm {
+        match form {
+            BapaForm::True => PForm::True,
+            BapaForm::False => PForm::False,
+            BapaForm::Not(inner) => PForm::not(self.form(inner)),
+            BapaForm::And(parts) => PForm::and(parts.iter().map(|p| self.form(p)).collect()),
+            BapaForm::Or(parts) => PForm::or(parts.iter().map(|p| self.form(p)).collect()),
+            // a <= b  <=>  a - b <= 0
+            BapaForm::IntLe(a, b) => PForm::le(self.int_term(a).plus(&self.int_term(b).scaled(-1))),
+            // a < b  <=>  a - b + 1 <= 0 (integers)
+            BapaForm::IntLt(a, b) => {
+                PForm::le(self.int_term(a).plus(&self.int_term(b).scaled(-1)).shifted(1))
+            }
+            BapaForm::IntEq(a, b) => {
+                let diff = self.int_term(a).plus(&self.int_term(b).scaled(-1));
+                PForm::and(vec![PForm::le(diff.clone()), PForm::le(diff.scaled(-1))])
+            }
+            // A = B  <=>  |A \ B| + |B \ A| = 0
+            BapaForm::SetEq(a, b) => {
+                let sym_diff = SetTerm::Union(
+                    Box::new(SetTerm::Diff(Box::new(a.clone()), Box::new(b.clone()))),
+                    Box::new(SetTerm::Diff(Box::new(b.clone()), Box::new(a.clone()))),
+                );
+                let card = self.card(&sym_diff);
+                PForm::and(vec![PForm::le(card.clone()), PForm::le(card.scaled(-1))])
+            }
+            // A subseteq B  <=>  |A \ B| = 0
+            BapaForm::Subset(a, b) => {
+                let diff = SetTerm::Diff(Box::new(a.clone()), Box::new(b.clone()));
+                let card = self.card(&diff);
+                PForm::and(vec![PForm::le(card.clone()), PForm::le(card.scaled(-1))])
+            }
+            // x in S  <=>  |single$x \ S| = 0 (with the global |single$x| = 1)
+            BapaForm::Member(elem, set) => {
+                let diff = SetTerm::Diff(
+                    Box::new(SetTerm::Singleton(elem.clone())),
+                    Box::new(set.clone()),
+                );
+                let card = self.card(&diff);
+                PForm::and(vec![PForm::le(card.clone()), PForm::le(card.scaled(-1))])
+            }
+            // x = y  <=>  single$x = single$y
+            BapaForm::ElemEq(a, b) => self.form(&BapaForm::SetEq(
+                SetTerm::Singleton(a.clone()),
+                SetTerm::Singleton(b.clone()),
+            )),
+        }
+    }
+}
+
+/// Translates a BAPA formula into an existentially closed Presburger sentence
+/// whose satisfiability coincides with the satisfiability of the input.
+///
+/// Returns `None` when the number of set variables exceeds the configured
+/// limit (the Venn construction is exponential in that number).
+pub fn to_presburger(form: &BapaForm, limits: &BapaLimits) -> Option<PForm> {
+    let mut set_names: BTreeSet<String> = BTreeSet::new();
+    form.set_vars(&mut set_names);
+    let mut elem_names: BTreeSet<String> = BTreeSet::new();
+    form.element_vars(&mut elem_names);
+    for elem in &elem_names {
+        set_names.insert(singleton_set(elem));
+    }
+    if set_names.len() > limits.max_set_vars {
+        return None;
+    }
+    let ctx = VennCtx { sets: set_names.into_iter().collect() };
+
+    let mut conjuncts = Vec::new();
+    // Region cardinalities are non-negative.
+    for region in 1..ctx.region_count() {
+        conjuncts.push(PForm::le(LinExpr::variable(&region_var(region), -1)));
+    }
+    // Every element variable denotes exactly one element: |single$x| = 1.
+    for elem in &elem_names {
+        let card = ctx.card(&SetTerm::Singleton(elem.clone()));
+        conjuncts.push(PForm::le(card.clone().shifted(-1)));
+        conjuncts.push(PForm::le(card.scaled(-1).shifted(1)));
+    }
+    conjuncts.push(ctx.form(form));
+    let body = PForm::and(conjuncts);
+
+    // Existentially close over every variable (region vars and free int vars).
+    let mut vars: BTreeSet<String> = BTreeSet::new();
+    body.collect_vars(&mut vars);
+    let mut sentence = body;
+    for var in vars {
+        sentence = PForm::Exists(var, Box::new(sentence));
+    }
+    Some(sentence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract;
+    use crate::presburger::unsatisfiable;
+    use ipl_logic::parser::parse_form;
+
+    fn unsat(input: &str) -> bool {
+        let form = parse_form(input).unwrap();
+        let bapa = extract(&form).expect("formula in fragment");
+        let sentence = to_presburger(&bapa, &BapaLimits::default()).expect("within limits");
+        unsatisfiable(&sentence, &BapaLimits::default())
+    }
+
+    #[test]
+    fn union_cardinality_upper_bound_is_valid() {
+        // Negation of a valid fact must be unsatisfiable.
+        assert!(unsat("~(card(a union b) <= card(a) + card(b))"));
+    }
+
+    #[test]
+    fn intersection_bound() {
+        assert!(unsat("~(card(a inter b) <= card(a))"));
+    }
+
+    #[test]
+    fn singleton_membership_forces_cardinality() {
+        assert!(unsat("x in s & card(s) = 0"));
+        assert!(!unsat("x in s & card(s) = 1"));
+    }
+
+    #[test]
+    fn too_many_set_variables_bails_out() {
+        let form = parse_form("card(a union b union c union d union e union f union g union h) = 0")
+            .unwrap();
+        let bapa = extract(&form).unwrap();
+        assert!(to_presburger(&bapa, &BapaLimits::default()).is_none());
+    }
+
+    #[test]
+    fn satisfiable_formulas_stay_satisfiable() {
+        assert!(!unsat("card(a) = 3 & card(b) = 2 & a subseteq b | card(a) = 0"));
+        assert!(!unsat("card(a) = 2 & x in a"));
+    }
+}

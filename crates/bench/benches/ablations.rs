@@ -1,0 +1,53 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * assumption-base control — verifying with `from` clauses honoured versus
+//!   ignored (Section 4.2 of the paper);
+//! * instantiation budget — the effect of the bounded quantifier-
+//!   instantiation rounds on verification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipl_bench::bench_options;
+use ipl_core::VerifyOptions;
+use ipl_provers::ProverConfig;
+
+fn ablations(c: &mut Criterion) {
+    let benchmark = ipl_suite::by_name("Hash Table").expect("benchmark exists");
+
+    // Report the outcome of each configuration once.
+    for (label, options) in [
+        ("from-clauses-honoured", bench_options()),
+        (
+            "from-clauses-ignored",
+            VerifyOptions { use_from_clauses: false, ..bench_options() },
+        ),
+        (
+            "single-instantiation-round",
+            VerifyOptions {
+                config: ProverConfig { instantiation_rounds: 1, ..ipl_suite::suite_config() },
+                ..bench_options()
+            },
+        ),
+    ] {
+        let report = ipl_core::verify_source(benchmark.source, &options).expect("verifies");
+        println!(
+            "ablation {label}: {}/{} sequents proved in {:.2?}",
+            report.proved_sequents(),
+            report.total_sequents(),
+            report.total_duration()
+        );
+    }
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("hash-table-with-from", |b| {
+        b.iter(|| ipl_core::verify_source(benchmark.source, &bench_options()).unwrap().proved_sequents());
+    });
+    group.bench_function("hash-table-ignoring-from", |b| {
+        let options = VerifyOptions { use_from_clauses: false, ..bench_options() };
+        b.iter(|| ipl_core::verify_source(benchmark.source, &options).unwrap().proved_sequents());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the individual reasoning systems in the cascade.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipl_logic::parser::parse_form;
+use ipl_logic::{Labeled, Sort, SortEnv};
+use ipl_provers::{Cascade, ProverConfig, Query};
+
+fn env() -> SortEnv {
+    let mut e = SortEnv::new();
+    for v in ["i", "j", "size", "csize", "x"] {
+        e.declare_var(v, Sort::Int);
+    }
+    for v in ["o", "a", "b", "first"] {
+        e.declare_var(v, Sort::Obj);
+    }
+    e.declare_var("next", Sort::obj_field());
+    e.declare_var("content", Sort::int_obj_set());
+    e.declare_var("newcontent", Sort::int_obj_set());
+    e
+}
+
+fn query(assumptions: &[&str], goal: &str) -> Query {
+    Query::new(
+        assumptions
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Labeled::new(format!("A{i}"), parse_form(s).unwrap()))
+            .collect(),
+        parse_form(goal).unwrap(),
+        env(),
+    )
+}
+
+fn provers(c: &mut Criterion) {
+    let cascade = Cascade::standard(ProverConfig::default());
+    let cases = vec![
+        ("ground-euf-lia", query(&["a = b", "b = first", "0 <= i", "i < size"], "a = first & 0 <= i + 1")),
+        (
+            "quantifier-instantiation",
+            query(
+                &["forall k:int, e:obj. (k, e) in content --> 0 <= k", "(i, o) in content"],
+                "0 <= i",
+            ),
+        ),
+        (
+            "bapa-cardinality",
+            query(
+                &["~((i, o) in content)", "newcontent = content union {(i, o)}"],
+                "card(newcontent) = card(content) + 1",
+            ),
+        ),
+        (
+            "shape-reachability",
+            query(&["reach(next, first, a)", "a.next = b"], "reach(next, first, b)"),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("provers");
+    group.sample_size(20);
+    for (name, q) in cases {
+        group.bench_function(name, |b| b.iter(|| cascade.prove(&q).outcome));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, provers);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates Table 1 and measures the verification of a representative
+//! structure (the Linked List) so Criterion reports a stable statistic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipl_bench::{bench_options, verify_counts};
+
+fn table1(c: &mut Criterion) {
+    // Print the full table once.
+    let rows = ipl_suite::table1::generate(&bench_options());
+    println!("\n===== Table 1 (reproduction) =====");
+    println!("{}", ipl_suite::table1::render(&rows));
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for name in ["Linked List", "Association List", "Cursor List"] {
+        group.bench_function(name, |b| {
+            b.iter(|| verify_counts(name, &bench_options()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates Table 2 (verification without vs with proof constructs) and
+//! measures the two configurations on a representative structure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipl_bench::bench_options;
+use ipl_core::VerifyOptions;
+
+fn table2(c: &mut Criterion) {
+    let rows = ipl_suite::table2::generate(&bench_options());
+    println!("\n===== Table 2 (reproduction) =====");
+    println!("{}", ipl_suite::table2::render(&rows));
+
+    let benchmark = ipl_suite::by_name("Priority Queue").expect("benchmark exists");
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("priority-queue-with-constructs", |b| {
+        b.iter(|| ipl_core::verify_source(benchmark.source, &bench_options()).unwrap().proved_sequents());
+    });
+    group.bench_function("priority-queue-without-constructs", |b| {
+        let options = VerifyOptions {
+            use_proof_constructs: false,
+            ..bench_options()
+        };
+        b.iter(|| ipl_core::verify_source(benchmark.source, &options).unwrap().proved_sequents());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

@@ -1,0 +1,253 @@
+//! # `ipl-core` — the verification driver
+//!
+//! This crate ties the pipeline of the paper together:
+//!
+//! 1. parse an annotated module (`ipl-lang`),
+//! 2. lower each method to extended guarded commands,
+//! 3. translate to simple guarded commands (Figures 6 and 8 via `ipl-gcl`),
+//! 4. generate the verification condition by weakest liberal preconditions
+//!    (Figure 5) and split it into labelled sequents (Figure 7),
+//! 5. dispatch every sequent to the integrated prover cascade
+//!    (`ipl-provers`), honouring `from`-clause assumption selection,
+//! 6. collect the per-method and per-module statistics reported in
+//!    Tables 1 and 2 of the paper.
+//!
+//! The two public entry points are [`verify_module`] (on a parsed module) and
+//! [`verify_source`] (on source text).  [`VerifyOptions::without_proof_constructs`]
+//! reproduces the "Without Proof Language Constructs" configuration of
+//! Table 2 by stripping every proof statement before verification.
+
+pub mod report;
+
+use ipl_gcl::split::{split_all, Sequent};
+use ipl_gcl::translate::{translate_ext, TranslateCtx};
+use ipl_gcl::wlp::vc_of;
+use ipl_lang::lower::{lower_module, LoweredMethod};
+use ipl_lang::Module;
+use ipl_provers::{Cascade, Outcome, ProverConfig, Query};
+pub use report::{MethodReport, ModuleReport, SequentReport};
+use std::time::Instant;
+
+/// Options controlling a verification run.
+#[derive(Debug, Clone)]
+pub struct VerifyOptions {
+    /// Prover budgets.
+    pub config: ProverConfig,
+    /// When `false`, every integrated proof language construct is stripped
+    /// before verification (the Table 2 baseline configuration).
+    pub use_proof_constructs: bool,
+    /// When `false`, `from` clauses are ignored and the provers always see
+    /// the full assumption base (used by the ablation benchmarks).
+    pub use_from_clauses: bool,
+    /// Record one [`SequentReport`] per sequent (disable to save memory in
+    /// benchmarks).
+    pub record_sequents: bool,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            config: ProverConfig::default(),
+            use_proof_constructs: true,
+            use_from_clauses: true,
+            record_sequents: true,
+        }
+    }
+}
+
+impl VerifyOptions {
+    /// The Table 2 baseline: all proof language constructs removed.
+    pub fn without_proof_constructs() -> Self {
+        VerifyOptions { use_proof_constructs: false, ..Self::default() }
+    }
+
+    /// Ablation: keep the proof constructs but ignore `from` clauses.
+    pub fn ignoring_from_clauses() -> Self {
+        VerifyOptions { use_from_clauses: false, ..Self::default() }
+    }
+}
+
+/// Verifies a module from source text.
+///
+/// # Errors
+///
+/// Returns an error string when parsing or lowering fails.
+pub fn verify_source(source: &str, options: &VerifyOptions) -> Result<ModuleReport, String> {
+    let module = ipl_lang::parse_module(source).map_err(|e| e.to_string())?;
+    verify_module(&module, options)
+}
+
+/// Verifies a parsed module.
+///
+/// # Errors
+///
+/// Returns an error string when lowering fails.
+pub fn verify_module(module: &Module, options: &VerifyOptions) -> Result<ModuleReport, String> {
+    let lowered = lower_module(module).map_err(|e| e.to_string())?;
+    let cascade = Cascade::standard(options.config);
+    let mut report = ModuleReport::new(&lowered.name, module);
+    for method in &lowered.methods {
+        report.methods.push(verify_method(method, &cascade, options));
+    }
+    Ok(report)
+}
+
+/// Verifies one lowered method.
+pub fn verify_method(
+    method: &LoweredMethod,
+    cascade: &Cascade,
+    options: &VerifyOptions,
+) -> MethodReport {
+    let start = Instant::now();
+    let command = if options.use_proof_constructs {
+        method.command.clone()
+    } else {
+        method.command.strip_proofs()
+    };
+    let mut ctx = TranslateCtx::new();
+    let simple = translate_ext(&command, &mut ctx);
+    let vc = vc_of(&simple);
+    let sequents = split_all(&vc);
+
+    let mut report = MethodReport::new(&method.name);
+    report.counts = if options.use_proof_constructs {
+        method.counts
+    } else {
+        command.count_constructs()
+    };
+    for sequent in &sequents {
+        if sequent.is_trivially_valid() {
+            report.trivial_sequents += 1;
+            report.proved_sequents += 1;
+            report.total_sequents += 1;
+            continue;
+        }
+        report.total_sequents += 1;
+        let answer = cascade.prove(&sequent_query(sequent, method, options));
+        if answer.outcome == Outcome::Proved {
+            report.proved_sequents += 1;
+        }
+        if options.record_sequents {
+            report.sequents.push(SequentReport {
+                name: sequent.name.clone(),
+                goal_label: sequent.goal_label.clone(),
+                proved: answer.outcome == Outcome::Proved,
+                prover: answer.prover.clone(),
+                duration: answer.duration,
+            });
+        }
+    }
+    report.duration = start.elapsed();
+    report
+}
+
+/// Builds the prover query for one sequent, applying the `from`-clause
+/// assumption selection.
+fn sequent_query(sequent: &Sequent, method: &LoweredMethod, options: &VerifyOptions) -> Query {
+    let assumptions = if options.use_from_clauses {
+        sequent.selected_assumptions().into_iter().cloned().collect()
+    } else {
+        sequent.assumptions.clone()
+    };
+    Query::new(assumptions, sequent.goal.clone(), method.env.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COUNTER: &str = r#"
+        module Counter {
+          var value: int;
+          specvar positive: bool;
+          vardef positive = "0 < value";
+          invariant NonNeg: "0 <= value";
+
+          method increment() returns (result: int)
+            modifies value, positive
+            ensures "value = old(value) + 1 & result = value"
+          {
+            value := value + 1;
+            result := value;
+          }
+
+          method add(amount: int)
+            requires "0 <= amount"
+            modifies value, positive
+            ensures "value = old(value) + amount"
+          {
+            var i: int := 0;
+            while (i < amount)
+              invariant "0 <= i & i <= amount & value = old(value) + i"
+            {
+              call increment();
+              i := i + 1;
+            }
+          }
+        }
+    "#;
+
+    #[test]
+    fn verifies_a_simple_module() {
+        let report = verify_source(COUNTER, &VerifyOptions::default()).unwrap();
+        assert_eq!(report.module_name, "Counter");
+        assert_eq!(report.methods.len(), 2);
+        for method in &report.methods {
+            assert!(
+                method.fully_proved(),
+                "{} left {} of {} sequents unproved",
+                method.name,
+                method.total_sequents - method.proved_sequents,
+                method.total_sequents
+            );
+        }
+        assert!(report.fully_proved());
+        assert!(report.total_sequents() >= report.methods.len());
+    }
+
+    #[test]
+    fn failing_postcondition_is_reported() {
+        let source = r#"
+            module Broken {
+              var value: int;
+              method bad()
+                modifies value
+                ensures "value = 1"
+              {
+                value := 2;
+              }
+            }
+        "#;
+        let report = verify_source(source, &VerifyOptions::default()).unwrap();
+        assert!(!report.fully_proved());
+        let method = &report.methods[0];
+        assert!(method.proved_sequents < method.total_sequents);
+    }
+
+    #[test]
+    fn parse_errors_are_propagated() {
+        assert!(verify_source("module {", &VerifyOptions::default()).is_err());
+    }
+
+    #[test]
+    fn proof_constructs_can_be_stripped() {
+        let source = r#"
+            module Notes {
+              var x: int;
+              method m()
+                modifies x
+                ensures "x = 1"
+              {
+                x := 1;
+                note Obvious: "x = 1";
+              }
+            }
+        "#;
+        let with = verify_source(source, &VerifyOptions::default()).unwrap();
+        let without = verify_source(source, &VerifyOptions::without_proof_constructs()).unwrap();
+        assert!(with.methods[0].counts.note == 1);
+        assert!(without.methods[0].counts.note == 0);
+        assert!(with.methods[0].total_sequents > without.methods[0].total_sequents);
+        assert!(without.fully_proved());
+    }
+}

@@ -1,0 +1,189 @@
+//! Verification reports: the per-sequent, per-method and per-module
+//! statistics from which the paper's tables are regenerated.
+
+use ipl_gcl::cmd::ConstructCounts;
+use ipl_lang::Module;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Outcome of one sequent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequentReport {
+    /// Unique sequent name.
+    pub name: String,
+    /// Label of the originating obligation (e.g. `Postcondition`).
+    pub goal_label: String,
+    /// Whether some prover discharged it.
+    pub proved: bool,
+    /// Which prover discharged it.
+    pub prover: Option<String>,
+    /// Time spent on this sequent across the cascade.
+    pub duration: Duration,
+}
+
+/// Outcome of one method.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MethodReport {
+    /// Method name.
+    pub name: String,
+    /// Number of non-trivial plus trivial sequents.
+    pub total_sequents: usize,
+    /// Number of sequents discharged.
+    pub proved_sequents: usize,
+    /// Number of sequents discharged syntactically during splitting.
+    pub trivial_sequents: usize,
+    /// Proof-construct counts (Table 1 columns).
+    pub counts: ConstructCounts,
+    /// Wall-clock verification time for the method.
+    pub duration: Duration,
+    /// Per-sequent details (when recording is enabled).
+    pub sequents: Vec<SequentReport>,
+}
+
+impl MethodReport {
+    /// Creates an empty report for the named method.
+    pub fn new(name: &str) -> Self {
+        MethodReport { name: name.to_string(), ..Default::default() }
+    }
+
+    /// `true` when every sequent of the method was proved.
+    pub fn fully_proved(&self) -> bool {
+        self.proved_sequents == self.total_sequents
+    }
+
+    /// The sequents that failed (empty unless recording was enabled).
+    pub fn failed_sequents(&self) -> Vec<&SequentReport> {
+        self.sequents.iter().filter(|s| !s.proved).collect()
+    }
+}
+
+/// Outcome of a whole module.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModuleReport {
+    /// Module name.
+    pub module_name: String,
+    /// Number of methods in the module.
+    pub method_count: usize,
+    /// Number of executable statements in the module (Table 1).
+    pub statement_count: usize,
+    /// Number of specification variables (Table 1).
+    pub specvar_count: usize,
+    /// Number of class invariants (Table 1).
+    pub invariant_count: usize,
+    /// Per-method reports.
+    pub methods: Vec<MethodReport>,
+}
+
+impl ModuleReport {
+    /// Creates a report shell with the module-level statistics filled in.
+    pub fn new(name: &str, module: &Module) -> Self {
+        ModuleReport {
+            module_name: name.to_string(),
+            method_count: module.methods.len(),
+            statement_count: module.statement_count(),
+            specvar_count: module.specvars.len(),
+            invariant_count: module.invariants.len(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// `true` when every method verified completely.
+    pub fn fully_proved(&self) -> bool {
+        self.methods.iter().all(MethodReport::fully_proved)
+    }
+
+    /// Number of methods whose every sequent was proved.
+    pub fn methods_verified(&self) -> usize {
+        self.methods.iter().filter(|m| m.fully_proved()).count()
+    }
+
+    /// Total number of sequents across all methods.
+    pub fn total_sequents(&self) -> usize {
+        self.methods.iter().map(|m| m.total_sequents).sum()
+    }
+
+    /// Total number of proved sequents across all methods.
+    pub fn proved_sequents(&self) -> usize {
+        self.methods.iter().map(|m| m.proved_sequents).sum()
+    }
+
+    /// Total verification time.
+    pub fn total_duration(&self) -> Duration {
+        self.methods.iter().map(|m| m.duration).sum()
+    }
+
+    /// Aggregated proof-construct counts (Table 1 row for this module).
+    pub fn total_counts(&self) -> ConstructCounts {
+        let mut counts = ConstructCounts::default();
+        for m in &self.methods {
+            counts.add(&m.counts);
+        }
+        counts
+    }
+
+    /// A plain-text summary of the verification run.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "module {}: {}/{} methods verified, {}/{} sequents proved in {:.2?}\n",
+            self.module_name,
+            self.methods_verified(),
+            self.method_count,
+            self.proved_sequents(),
+            self.total_sequents(),
+            self.total_duration(),
+        ));
+        for method in &self.methods {
+            out.push_str(&format!(
+                "  {:<24} {:>3}/{:<3} sequents  {:>5} trivial  {:.2?}\n",
+                method.name,
+                method.proved_sequents,
+                method.total_sequents,
+                method.trivial_sequents,
+                method.duration,
+            ));
+            for failed in method.failed_sequents() {
+                out.push_str(&format!("    UNPROVED: {} [{}]\n", failed.name, failed.goal_label));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_report_counts() {
+        let mut report = MethodReport::new("m");
+        report.total_sequents = 3;
+        report.proved_sequents = 2;
+        assert!(!report.fully_proved());
+        report.proved_sequents = 3;
+        assert!(report.fully_proved());
+    }
+
+    #[test]
+    fn module_report_aggregation() {
+        let module = ipl_lang::parse_module(
+            "module M { var x: int; method a() { x := 1; } method b() { x := 2; } }",
+        )
+        .unwrap();
+        let mut report = ModuleReport::new("M", &module);
+        assert_eq!(report.method_count, 2);
+        assert_eq!(report.statement_count, 2);
+        let mut a = MethodReport::new("a");
+        a.total_sequents = 2;
+        a.proved_sequents = 2;
+        let mut b = MethodReport::new("b");
+        b.total_sequents = 4;
+        b.proved_sequents = 3;
+        report.methods = vec![a, b];
+        assert_eq!(report.methods_verified(), 1);
+        assert_eq!(report.total_sequents(), 6);
+        assert_eq!(report.proved_sequents(), 5);
+        assert!(!report.fully_proved());
+        assert!(report.render().contains("1/2 methods"));
+    }
+}

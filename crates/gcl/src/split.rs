@@ -1,0 +1,317 @@
+//! The splitting rules of Figure 7: converting a verification condition into
+//! a list of labelled sequents (an "implication list"), preserving the
+//! formula labels used for assumption selection, and eliminating
+//! syntactically valid implications.
+
+use crate::cmd::FromClause;
+use crate::wlp::Vc;
+use ipl_logic::subst::rename_free;
+use ipl_logic::{Form, Labeled};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A sequent `assumptions |- goal`, produced by splitting a verification
+/// condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sequent {
+    /// Unique name of the sequent (derived from the goal label).
+    pub name: String,
+    /// Label of the originating `assert`.
+    pub goal_label: String,
+    /// The labelled assumptions available on this path.
+    pub assumptions: Vec<Labeled>,
+    /// The goal formula.
+    pub goal: Form,
+    /// The assumption-base restriction of the originating `assert`, if any.
+    pub from: FromClause,
+}
+
+impl Sequent {
+    /// The assumptions the provers should use: all of them, unless the
+    /// originating assert carries a `from` clause, in which case only the
+    /// named facts are kept (the paper's assumption-base control).
+    pub fn selected_assumptions(&self) -> Vec<&Labeled> {
+        match &self.from {
+            None => self.assumptions.iter().collect(),
+            Some(names) => self
+                .assumptions
+                .iter()
+                .filter(|a| names.iter().any(|n| n == &a.label))
+                .collect(),
+        }
+    }
+
+    /// Returns `true` if the sequent is syntactically valid: the goal is
+    /// `true`, the goal occurs among the assumptions, or the assumptions
+    /// contain `false` (the eliminations performed during splitting in the
+    /// paper).
+    pub fn is_trivially_valid(&self) -> bool {
+        if self.goal.is_true() {
+            return true;
+        }
+        self.assumptions
+            .iter()
+            .any(|a| a.form.is_false() || a.form == self.goal)
+    }
+
+    /// A short human-readable rendering used in reports.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for a in &self.assumptions {
+            out.push_str(&format!("  {}: {}\n", a.label, a.form));
+        }
+        out.push_str(&format!("  |- [{}] {}\n", self.goal_label, self.goal));
+        out
+    }
+}
+
+/// Splitting state: a counter for unique sequent names and fresh variables.
+struct Splitter {
+    sequents: Vec<Sequent>,
+    counter: usize,
+}
+
+impl Splitter {
+    fn fresh_suffix(&mut self) -> usize {
+        self.counter += 1;
+        self.counter
+    }
+}
+
+/// Splits a verification condition into sequents following Figure 7:
+///
+/// ```text
+/// A -> G1 /\ G2        ~>  A -> G1,  A -> G2
+/// A -> (B -> G)        ~>  (A /\ B) -> G
+/// A -> forall x. G     ~>  A -> G[x := x_fresh]
+/// ```
+///
+/// Havocked program variables are renamed to fresh incarnations so that
+/// assumptions recorded before the havoc keep referring to the old value.
+/// The returned list contains every sequent, including trivially valid ones;
+/// callers typically filter with [`Sequent::is_trivially_valid`].
+pub fn split_all(vc: &Vc) -> Vec<Sequent> {
+    let mut splitter = Splitter { sequents: Vec::new(), counter: 0 };
+    walk(vc, &HashMap::new(), &Vec::new(), &mut splitter);
+    splitter.sequents
+}
+
+fn walk(
+    vc: &Vc,
+    renaming: &HashMap<String, String>,
+    assumptions: &[Labeled],
+    splitter: &mut Splitter,
+) {
+    match vc {
+        Vc::True => {}
+        Vc::And(parts) => {
+            for part in parts {
+                walk(part, renaming, assumptions, splitter);
+            }
+        }
+        Vc::Implies { hyp, rest } => {
+            let mut assumptions = assumptions.to_vec();
+            assumptions.push(Labeled::new(
+                hyp.label.clone(),
+                rename_free(&hyp.form, renaming),
+            ));
+            walk(rest, renaming, &assumptions, splitter);
+        }
+        Vc::ForallVars { vars, rest } => {
+            let mut renaming = renaming.clone();
+            for var in vars {
+                let suffix = splitter.fresh_suffix();
+                renaming.insert(var.clone(), format!("{var}#{suffix}"));
+            }
+            walk(rest, &renaming, assumptions, splitter);
+        }
+        Vc::Goal { form, label, from } => {
+            let goal = rename_free(form, renaming);
+            split_goal(goal, label, from, assumptions.to_vec(), splitter);
+        }
+    }
+}
+
+/// Applies the Figure 7 rules to the goal itself: conjunctions split,
+/// implications move their antecedent into the assumptions, universal
+/// quantifiers are instantiated with fresh variables.
+fn split_goal(
+    goal: Form,
+    label: &str,
+    from: &FromClause,
+    mut assumptions: Vec<Labeled>,
+    splitter: &mut Splitter,
+) {
+    match goal {
+        Form::Bool(true) => {}
+        Form::And(parts) => {
+            for part in parts {
+                split_goal(part, label, from, assumptions.clone(), splitter);
+            }
+        }
+        Form::Implies(antecedent, consequent) => {
+            for (i, hyp) in antecedent.into_conjuncts().into_iter().enumerate() {
+                assumptions.push(Labeled::new(format!("{label}_hyp_{}", i + 1), hyp));
+            }
+            split_goal(*consequent, label, from, assumptions, splitter);
+        }
+        Form::Forall(bindings, body) => {
+            let mut renaming = HashMap::new();
+            for (name, _) in &bindings {
+                let suffix = splitter.fresh_suffix();
+                renaming.insert(name.clone(), format!("{name}${suffix}"));
+            }
+            let body = rename_free(&body, &renaming);
+            split_goal(body, label, from, assumptions, splitter);
+        }
+        other => {
+            let suffix = splitter.fresh_suffix();
+            splitter.sequents.push(Sequent {
+                name: format!("{label}#{suffix}"),
+                goal_label: label.to_string(),
+                assumptions,
+                goal: other,
+                from: from.clone(),
+            });
+        }
+    }
+}
+
+/// Splits and keeps only the sequents that are not syntactically valid.
+pub fn split_nontrivial(vc: &Vc) -> Vec<Sequent> {
+    split_all(vc)
+        .into_iter()
+        .filter(|s| !s.is_trivially_valid())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmd::Simple;
+    use crate::wlp::vc_of;
+    use ipl_logic::parser::parse_form;
+
+    fn f(s: &str) -> Form {
+        parse_form(s).unwrap()
+    }
+
+    #[test]
+    fn conjunction_goals_split() {
+        let cmd = Simple::seq(vec![
+            Simple::assume("Pre", f("p")),
+            Simple::assert("Post", f("a & b & c")),
+        ]);
+        let sequents = split_all(&vc_of(&cmd));
+        assert_eq!(sequents.len(), 3);
+        assert!(sequents.iter().all(|s| s.assumptions.len() == 1));
+        assert!(sequents.iter().all(|s| s.goal_label == "Post"));
+    }
+
+    #[test]
+    fn implication_goals_move_hypotheses() {
+        let cmd = Simple::assert("Post", f("p & q --> r"));
+        let sequents = split_all(&vc_of(&cmd));
+        assert_eq!(sequents.len(), 1);
+        assert_eq!(sequents[0].assumptions.len(), 2);
+        assert_eq!(sequents[0].goal, f("r"));
+    }
+
+    #[test]
+    fn universal_goals_get_fresh_variables() {
+        let cmd = Simple::assert("Post", f("forall x:int. x < y --> x < y + 1"));
+        let sequents = split_all(&vc_of(&cmd));
+        assert_eq!(sequents.len(), 1);
+        let s = &sequents[0];
+        assert!(s.goal.to_string().contains('$'), "goal uses a fresh instance: {}", s.goal);
+        assert_eq!(s.assumptions.len(), 1);
+    }
+
+    #[test]
+    fn havoc_renames_later_occurrences_only() {
+        let cmd = Simple::seq(vec![
+            Simple::assume("Before", f("x = 1")),
+            Simple::Havoc(vec!["x".into()]),
+            Simple::assume("After", f("x = 2")),
+            Simple::assert("Post", f("x = 2")),
+        ]);
+        let sequents = split_all(&vc_of(&cmd));
+        assert_eq!(sequents.len(), 1);
+        let s = &sequents[0];
+        let before = s.assumptions.iter().find(|a| a.label == "Before").unwrap();
+        let after = s.assumptions.iter().find(|a| a.label == "After").unwrap();
+        assert_eq!(before.form, f("x = 1"), "pre-havoc assumption keeps the old incarnation");
+        assert!(after.form.to_string().contains('#'), "post-havoc assumption uses the new incarnation");
+        assert_eq!(after.form.to_string().replace(" = 2", ""), s.goal.to_string().replace(" = 2", ""));
+    }
+
+    #[test]
+    fn from_clause_selects_assumptions() {
+        let cmd = Simple::seq(vec![
+            Simple::assume("Relevant", f("p")),
+            Simple::assume("Irrelevant", f("q")),
+            Simple::assert_from("Goal", f("p"), vec!["Relevant".to_string()]),
+        ]);
+        let sequents = split_all(&vc_of(&cmd));
+        assert_eq!(sequents.len(), 1);
+        let s = &sequents[0];
+        assert_eq!(s.assumptions.len(), 2);
+        let selected = s.selected_assumptions();
+        assert_eq!(selected.len(), 1);
+        assert_eq!(selected[0].label, "Relevant");
+    }
+
+    #[test]
+    fn trivially_valid_sequents_detected() {
+        let cmd = Simple::seq(vec![
+            Simple::assume("H", f("p")),
+            Simple::assert("G", f("p")),
+        ]);
+        let all = split_all(&vc_of(&cmd));
+        assert_eq!(all.len(), 1);
+        assert!(all[0].is_trivially_valid());
+        assert!(split_nontrivial(&vc_of(&cmd)).is_empty());
+
+        let cmd = Simple::seq(vec![
+            Simple::assume("H", Form::FALSE),
+            Simple::assert("G", f("q")),
+        ]);
+        assert!(split_nontrivial(&vc_of(&cmd)).is_empty());
+    }
+
+    #[test]
+    fn local_assumption_base_keeps_branch_obligations_separate() {
+        // (skip [] (assume L; assert G1; assume false)); assert G2
+        let cmd = Simple::seq(vec![
+            Simple::Choice(
+                Box::new(Simple::Skip),
+                Box::new(Simple::seq(vec![
+                    Simple::assume("Local", f("l")),
+                    Simple::assert("G1", f("g1")),
+                    Simple::assume("end", Form::FALSE),
+                ])),
+            ),
+            Simple::assert("G2", f("g2")),
+        ]);
+        let sequents = split_nontrivial(&vc_of(&cmd));
+        // G1 is proved with the local assumption; G2 without it.  The branch
+        // copy of G2 is trivially valid because its assumptions contain false.
+        assert_eq!(sequents.len(), 2);
+        let g1 = sequents.iter().find(|s| s.goal_label == "G1").unwrap();
+        let g2 = sequents.iter().find(|s| s.goal_label == "G2").unwrap();
+        assert!(g1.assumptions.iter().any(|a| a.label == "Local"));
+        assert!(!g2.assumptions.iter().any(|a| a.label == "Local"));
+    }
+
+    #[test]
+    fn sequent_rendering_mentions_labels() {
+        let cmd = Simple::seq(vec![
+            Simple::assume("Pre", f("p")),
+            Simple::assert("Post", f("q")),
+        ]);
+        let sequents = split_all(&vc_of(&cmd));
+        let text = sequents[0].render();
+        assert!(text.contains("Pre: p"));
+        assert!(text.contains("[Post] q"));
+    }
+}

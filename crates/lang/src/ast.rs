@@ -1,0 +1,374 @@
+//! Abstract syntax of the surface language.
+//!
+//! Program expressions are represented directly as logic formulas
+//! ([`ipl_logic::Form`]): the expression sub-language of the imperative code
+//! is a strict subset of the specification logic, which is what makes the
+//! integration of code and proofs seamless (the same terms appear in
+//! assignments, conditions, contracts and proof commands).
+
+use ipl_logic::{Form, Sort};
+use serde::{Deserialize, Serialize};
+
+/// Program-level types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Type {
+    /// Mathematical integers (Java `int` without overflow, as in Jahob).
+    Int,
+    /// Booleans.
+    Bool,
+    /// Object references.
+    Obj,
+    /// Arrays of object references.
+    ObjArray,
+    /// Arrays of integers.
+    IntArray,
+}
+
+impl Type {
+    /// The logic sort of values of this type.
+    pub fn sort(self) -> Sort {
+        match self {
+            Type::Int => Sort::Int,
+            Type::Bool => Sort::Bool,
+            Type::Obj | Type::ObjArray | Type::IntArray => Sort::Obj,
+        }
+    }
+}
+
+/// A module: the unit of verification (the counterpart of a Java class).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Concrete state variables.
+    pub state_vars: Vec<(String, Type)>,
+    /// Heap fields of node objects (function-valued).
+    pub fields: Vec<(String, Type)>,
+    /// Specification variables with their sorts.
+    pub specvars: Vec<(String, Sort)>,
+    /// Abstraction functions: `vardef name = "definition"`.
+    pub vardefs: Vec<(String, Form)>,
+    /// Named class invariants.
+    pub invariants: Vec<(String, Form)>,
+    /// Methods.
+    pub methods: Vec<Method>,
+}
+
+impl Module {
+    /// Looks up a method by name.
+    pub fn method(&self, name: &str) -> Option<&Method> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+
+    /// The definition of a specification variable, if it has one.
+    pub fn vardef(&self, name: &str) -> Option<&Form> {
+        self.vardefs.iter().find(|(n, _)| n == name).map(|(_, f)| f)
+    }
+
+    /// Number of executable statements across all methods (the "Java
+    /// Statements" column of Table 1).
+    pub fn statement_count(&self) -> usize {
+        self.methods.iter().map(|m| count_stmts(&m.body)).sum()
+    }
+}
+
+fn count_stmts(stmts: &[Stmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::If(_, then_branch, else_branch) => {
+                1 + count_stmts(then_branch) + count_stmts(else_branch)
+            }
+            Stmt::While { body, .. } => 1 + count_stmts(body),
+            Stmt::Proof(_) | Stmt::Assert { .. } | Stmt::Assume { .. } | Stmt::Ghost(..) => 0,
+            _ => 1,
+        })
+        .sum()
+}
+
+/// A method with its contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Method {
+    /// Method name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(String, Type)>,
+    /// Named return values.
+    pub returns: Vec<(String, Type)>,
+    /// Preconditions (conjoined).
+    pub requires: Vec<Form>,
+    /// Names of state variables (concrete or specification) the method may
+    /// modify.
+    pub modifies: Vec<String>,
+    /// Postconditions (conjoined).
+    pub ensures: Vec<Form>,
+    /// The body.
+    pub body: Vec<Stmt>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// Local variable declaration with optional initialiser.
+    VarDecl(String, Type, Option<Form>),
+    /// Assignment to a local or state variable.
+    Assign(String, Form),
+    /// Heap field assignment `obj.field := value`.
+    FieldAssign {
+        /// The field name.
+        field: String,
+        /// The object expression.
+        object: Form,
+        /// The assigned value.
+        value: Form,
+    },
+    /// Array element assignment `array[index] := value`.
+    ArrayAssign {
+        /// The array expression.
+        array: Form,
+        /// The index expression.
+        index: Form,
+        /// The assigned value.
+        value: Form,
+    },
+    /// Allocation `target := new();` — a fresh, non-null object whose fields
+    /// are default-initialised, added to the `alloc` specification set.
+    New(String),
+    /// Ghost assignment to a specification variable.
+    Ghost(String, Form),
+    /// Procedure call `[target :=] call method(args);`.
+    Call {
+        /// Optional variable receiving the (first) return value.
+        target: Option<String>,
+        /// Callee name (within the same module).
+        method: String,
+        /// Argument expressions.
+        args: Vec<Form>,
+    },
+    /// Conditional.
+    If(Form, Vec<Stmt>, Vec<Stmt>),
+    /// While loop with invariants.
+    While {
+        /// Loop condition.
+        cond: Form,
+        /// Loop invariants (conjoined, labelled `LoopInv`).
+        invariants: Vec<Form>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `assert "F" [from ...];`
+    Assert {
+        /// Optional label.
+        label: Option<String>,
+        /// The asserted formula.
+        form: Form,
+        /// Optional assumption-base restriction.
+        from: Option<Vec<String>>,
+    },
+    /// `assume "F";` (trusted).
+    Assume {
+        /// Optional label.
+        label: Option<String>,
+        /// The assumed formula.
+        form: Form,
+    },
+    /// A proof-language statement.
+    Proof(ProofStmt),
+    /// `skip;`
+    Skip,
+}
+
+/// The integrated proof language statements (surface form).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProofStmt {
+    /// `note L: "F" [from a, b];`
+    Note {
+        /// Fact name.
+        label: String,
+        /// The formula.
+        form: Form,
+        /// Optional `from` clause.
+        from: Option<Vec<String>>,
+    },
+    /// `localize L: "F" { ... }`
+    Localize {
+        /// Exported fact name.
+        label: String,
+        /// The exported formula.
+        form: Form,
+        /// The nested proof.
+        body: Vec<ProofStmt>,
+    },
+    /// `assuming H: "F" show L: "G" { ... }`
+    Assuming {
+        /// Hypothesis name.
+        hyp_label: String,
+        /// Hypothesis.
+        hyp: Form,
+        /// Conclusion name.
+        label: String,
+        /// Conclusion.
+        goal: Form,
+        /// The nested proof.
+        body: Vec<ProofStmt>,
+    },
+    /// `mp L: "F --> G";`
+    Mp {
+        /// Conclusion name.
+        label: String,
+        /// The implication.
+        implication: Form,
+    },
+    /// `cases "F1", "F2" for L: "G";`
+    Cases {
+        /// The cases.
+        cases: Vec<Form>,
+        /// Goal name.
+        label: String,
+        /// The goal.
+        goal: Form,
+    },
+    /// `showedCase i of L: "F1 | F2";`
+    ShowedCase {
+        /// 1-based index of the proved disjunct.
+        index: usize,
+        /// Name of the disjunction.
+        label: String,
+        /// The disjunction.
+        disjunction: Form,
+    },
+    /// `byContradiction L: "F" { ... }`
+    ByContradiction {
+        /// Fact name.
+        label: String,
+        /// The fact.
+        form: Form,
+        /// The nested refutation.
+        body: Vec<ProofStmt>,
+    },
+    /// `contradiction L: "F";`
+    Contradiction {
+        /// Label.
+        label: String,
+        /// The contradictory formula.
+        form: Form,
+    },
+    /// `instantiate L: "forall ..." with "t", "u";`
+    Instantiate {
+        /// Fact name.
+        label: String,
+        /// The universally quantified formula.
+        forall: Form,
+        /// Instantiation terms.
+        terms: Vec<Form>,
+    },
+    /// `witness "t" for L: "exists ...";`
+    Witness {
+        /// Witness terms.
+        terms: Vec<Form>,
+        /// Fact name.
+        label: String,
+        /// The existential formula.
+        exists: Form,
+    },
+    /// `pickWitness x: obj for H: "F" show L: "G" { ... }`
+    PickWitness {
+        /// Witness variables with sorts.
+        vars: Vec<(String, Sort)>,
+        /// Hypothesis name.
+        hyp_label: String,
+        /// The constraint.
+        hyp: Form,
+        /// Goal name.
+        label: String,
+        /// The goal.
+        goal: Form,
+        /// The nested proof.
+        body: Vec<ProofStmt>,
+    },
+    /// `pickAny x: obj show L: "G" { ... }`
+    PickAny {
+        /// Arbitrary variables with sorts.
+        vars: Vec<(String, Sort)>,
+        /// Fact name.
+        label: String,
+        /// The goal.
+        goal: Form,
+        /// The nested proof.
+        body: Vec<ProofStmt>,
+    },
+    /// `induct L: "F" over n { ... }`
+    Induct {
+        /// Fact name.
+        label: String,
+        /// The induction formula.
+        form: Form,
+        /// The induction variable.
+        var: String,
+        /// The nested proof.
+        body: Vec<ProofStmt>,
+    },
+    /// `fix x: obj suchThat "F" show L: "G" { ...statements... }`
+    Fix {
+        /// Fixed variables with sorts.
+        vars: Vec<(String, Sort)>,
+        /// The constraint.
+        such_that: Form,
+        /// Fact name.
+        label: String,
+        /// The goal.
+        goal: Form,
+        /// The enclosed statements (may modify program state).
+        body: Vec<Stmt>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipl_logic::parser::parse_form;
+
+    #[test]
+    fn types_map_to_sorts() {
+        assert_eq!(Type::Int.sort(), Sort::Int);
+        assert_eq!(Type::Bool.sort(), Sort::Bool);
+        assert_eq!(Type::Obj.sort(), Sort::Obj);
+        assert_eq!(Type::ObjArray.sort(), Sort::Obj);
+    }
+
+    #[test]
+    fn statement_count_ignores_specifications() {
+        let module = Module {
+            name: "M".into(),
+            state_vars: vec![("x".into(), Type::Int)],
+            fields: vec![],
+            specvars: vec![],
+            vardefs: vec![],
+            invariants: vec![],
+            methods: vec![Method {
+                name: "m".into(),
+                params: vec![],
+                returns: vec![],
+                requires: vec![],
+                modifies: vec!["x".into()],
+                ensures: vec![],
+                body: vec![
+                    Stmt::Assign("x".into(), parse_form("x + 1").unwrap()),
+                    Stmt::Proof(ProofStmt::Note {
+                        label: "L".into(),
+                        form: parse_form("x = x").unwrap(),
+                        from: None,
+                    }),
+                    Stmt::If(
+                        parse_form("x < 10").unwrap(),
+                        vec![Stmt::Assign("x".into(), parse_form("0").unwrap())],
+                        vec![],
+                    ),
+                ],
+            }],
+        };
+        assert_eq!(module.statement_count(), 3);
+        assert!(module.method("m").is_some());
+        assert!(module.method("absent").is_none());
+    }
+}

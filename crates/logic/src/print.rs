@@ -1,0 +1,336 @@
+//! Pretty printing of formulas in the ASCII specification syntax.
+//!
+//! The output of the printer is re-parsable by [`crate::parser`] for every
+//! construct that has a surface syntax (everything except `FieldWrite` /
+//! `ArrayWrite`, which are printed in an explicit update notation).
+
+use crate::form::Form;
+use std::fmt;
+
+/// Precedence levels, from loosest to tightest.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Quant,
+    Iff,
+    Implies,
+    Or,
+    And,
+    Not,
+    Cmp,
+    SetOp,
+    Add,
+    Mul,
+    Atom,
+}
+
+impl fmt::Display for Form {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_form(f, self, Prec::Quant)
+    }
+}
+
+fn parens_if(
+    f: &mut fmt::Formatter<'_>,
+    cond: bool,
+    inner: impl FnOnce(&mut fmt::Formatter<'_>) -> fmt::Result,
+) -> fmt::Result {
+    if cond {
+        write!(f, "(")?;
+        inner(f)?;
+        write!(f, ")")
+    } else {
+        inner(f)
+    }
+}
+
+fn write_bindings(f: &mut fmt::Formatter<'_>, bs: &[(String, crate::Sort)]) -> fmt::Result {
+    for (i, (name, sort)) in bs.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{name}:{sort}")?;
+    }
+    Ok(())
+}
+
+fn write_form(f: &mut fmt::Formatter<'_>, form: &Form, ctx: Prec) -> fmt::Result {
+    match form {
+        Form::Var(name) => write!(f, "{name}"),
+        Form::Int(value) => write!(f, "{value}"),
+        Form::Bool(true) => write!(f, "true"),
+        Form::Bool(false) => write!(f, "false"),
+        Form::Null => write!(f, "null"),
+        Form::EmptySet => write!(f, "emptyset"),
+
+        Form::Not(inner) => {
+            // Print negated equalities with the dedicated operator.
+            if let Form::Eq(a, b) = inner.as_ref() {
+                return parens_if(f, ctx > Prec::Cmp, |f| {
+                    write_form(f, a, Prec::SetOp)?;
+                    write!(f, " ~= ")?;
+                    write_form(f, b, Prec::SetOp)
+                });
+            }
+            parens_if(f, ctx > Prec::Not, |f| {
+                write!(f, "~")?;
+                write_form(f, inner, Prec::Atom)
+            })
+        }
+        Form::And(parts) => parens_if(f, ctx > Prec::And, |f| {
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " & ")?;
+                }
+                write_form(f, p, Prec::Not)?;
+            }
+            Ok(())
+        }),
+        Form::Or(parts) => parens_if(f, ctx > Prec::Or, |f| {
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write_form(f, p, Prec::And)?;
+            }
+            Ok(())
+        }),
+        Form::Implies(a, b) => parens_if(f, ctx > Prec::Implies, |f| {
+            write_form(f, a, Prec::Or)?;
+            write!(f, " --> ")?;
+            write_form(f, b, Prec::Implies)
+        }),
+        Form::Iff(a, b) => parens_if(f, ctx > Prec::Iff, |f| {
+            write_form(f, a, Prec::Implies)?;
+            write!(f, " <-> ")?;
+            write_form(f, b, Prec::Implies)
+        }),
+        Form::Ite(c, t, e) => {
+            write!(f, "(if ")?;
+            write_form(f, c, Prec::Quant)?;
+            write!(f, " then ")?;
+            write_form(f, t, Prec::Quant)?;
+            write!(f, " else ")?;
+            write_form(f, e, Prec::Quant)?;
+            write!(f, ")")
+        }
+
+        Form::Eq(a, b) => parens_if(f, ctx > Prec::Cmp, |f| {
+            write_form(f, a, Prec::SetOp)?;
+            write!(f, " = ")?;
+            write_form(f, b, Prec::SetOp)
+        }),
+        Form::Lt(a, b) => parens_if(f, ctx > Prec::Cmp, |f| {
+            write_form(f, a, Prec::SetOp)?;
+            write!(f, " < ")?;
+            write_form(f, b, Prec::SetOp)
+        }),
+        Form::Le(a, b) => parens_if(f, ctx > Prec::Cmp, |f| {
+            write_form(f, a, Prec::SetOp)?;
+            write!(f, " <= ")?;
+            write_form(f, b, Prec::SetOp)
+        }),
+        Form::Elem(a, b) => parens_if(f, ctx > Prec::Cmp, |f| {
+            write_form(f, a, Prec::SetOp)?;
+            write!(f, " in ")?;
+            write_form(f, b, Prec::SetOp)
+        }),
+        Form::Subseteq(a, b) => parens_if(f, ctx > Prec::Cmp, |f| {
+            write_form(f, a, Prec::SetOp)?;
+            write!(f, " subseteq ")?;
+            write_form(f, b, Prec::SetOp)
+        }),
+
+        Form::Union(a, b) => parens_if(f, ctx > Prec::SetOp, |f| {
+            write_form(f, a, Prec::Add)?;
+            write!(f, " union ")?;
+            write_form(f, b, Prec::SetOp)
+        }),
+        Form::Inter(a, b) => parens_if(f, ctx > Prec::SetOp, |f| {
+            write_form(f, a, Prec::Add)?;
+            write!(f, " inter ")?;
+            write_form(f, b, Prec::SetOp)
+        }),
+        Form::Diff(a, b) => parens_if(f, ctx > Prec::SetOp, |f| {
+            write_form(f, a, Prec::Add)?;
+            write!(f, " minus ")?;
+            write_form(f, b, Prec::SetOp)
+        }),
+
+        Form::Add(a, b) => parens_if(f, ctx > Prec::Add, |f| {
+            write_form(f, a, Prec::Add)?;
+            write!(f, " + ")?;
+            write_form(f, b, Prec::Mul)
+        }),
+        Form::Sub(a, b) => parens_if(f, ctx > Prec::Add, |f| {
+            write_form(f, a, Prec::Add)?;
+            write!(f, " - ")?;
+            write_form(f, b, Prec::Mul)
+        }),
+        Form::Mul(a, b) => parens_if(f, ctx > Prec::Mul, |f| {
+            write_form(f, a, Prec::Mul)?;
+            write!(f, " * ")?;
+            write_form(f, b, Prec::Atom)
+        }),
+        Form::Neg(a) => parens_if(f, ctx > Prec::Mul, |f| {
+            write!(f, "-")?;
+            write_form(f, a, Prec::Atom)
+        }),
+
+        Form::Forall(bs, body) => parens_if(f, ctx > Prec::Quant, |f| {
+            write!(f, "forall ")?;
+            write_bindings(f, bs)?;
+            write!(f, ". ")?;
+            write_form(f, body, Prec::Quant)
+        }),
+        Form::Exists(bs, body) => parens_if(f, ctx > Prec::Quant, |f| {
+            write!(f, "exists ")?;
+            write_bindings(f, bs)?;
+            write!(f, ". ")?;
+            write_form(f, body, Prec::Quant)
+        }),
+        Form::Compr(bs, body) => {
+            write!(f, "{{(")?;
+            for (i, (name, _)) in bs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{name}")?;
+            }
+            write!(f, ")")?;
+            // Sorts are printed so the comprehension is re-parsable.
+            write!(f, " : ")?;
+            for (i, (_, sort)) in bs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " * ")?;
+                }
+                write!(f, "{sort}")?;
+            }
+            write!(f, " | ")?;
+            write_form(f, body, Prec::Quant)?;
+            write!(f, "}}")
+        }
+
+        Form::App(name, args) => {
+            write!(f, "{name}(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_form(f, a, Prec::Quant)?;
+            }
+            write!(f, ")")
+        }
+        Form::FieldRead(field, obj) => {
+            write_form(f, obj, Prec::Atom)?;
+            write!(f, ".")?;
+            write_form(f, field, Prec::Atom)
+        }
+        Form::FieldWrite(field, at, val) => {
+            write_form(f, field, Prec::Atom)?;
+            write!(f, "[")?;
+            write_form(f, at, Prec::Quant)?;
+            write!(f, " := ")?;
+            write_form(f, val, Prec::Quant)?;
+            write!(f, "]")
+        }
+        Form::ArrayRead(_, arr, idx) => {
+            write_form(f, arr, Prec::Atom)?;
+            write!(f, "[")?;
+            write_form(f, idx, Prec::Quant)?;
+            write!(f, "]")
+        }
+        Form::ArrayWrite(state, arr, idx, val) => {
+            write_form(f, state, Prec::Atom)?;
+            write!(f, "[(")?;
+            write_form(f, arr, Prec::Quant)?;
+            write!(f, ", ")?;
+            write_form(f, idx, Prec::Quant)?;
+            write!(f, ") := ")?;
+            write_form(f, val, Prec::Quant)?;
+            write!(f, "]")
+        }
+
+        Form::FiniteSet(elems) => {
+            write!(f, "{{")?;
+            for (i, e) in elems.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_form(f, e, Prec::Quant)?;
+            }
+            write!(f, "}}")
+        }
+        Form::Card(set) => {
+            write!(f, "card(")?;
+            write_form(f, set, Prec::Quant)?;
+            write!(f, ")")
+        }
+        Form::Tuple(elems) => {
+            write!(f, "(")?;
+            for (i, e) in elems.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_form(f, e, Prec::Quant)?;
+            }
+            write!(f, ")")
+        }
+        Form::Old(inner) => {
+            write!(f, "old(")?;
+            write_form(f, inner, Prec::Quant)?;
+            write!(f, ")")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::Sort;
+
+    #[test]
+    fn print_basic_formula() {
+        let f = Form::implies(
+            Form::and(vec![
+                Form::le(Form::int(0), Form::var("i")),
+                Form::lt(Form::var("i"), Form::var("size")),
+            ]),
+            Form::neq(Form::var("x"), Form::Null),
+        );
+        let s = f.to_string();
+        assert!(s.contains("0 <= i"));
+        assert!(s.contains("-->"));
+        assert!(s.contains("~"));
+    }
+
+    #[test]
+    fn print_quantifier() {
+        let f = Form::forall(
+            vec![("j".into(), Sort::Int), ("e".into(), Sort::Obj)],
+            Form::elem(
+                Form::Tuple(vec![Form::var("j"), Form::var("e")]),
+                Form::var("content"),
+            ),
+        );
+        let s = f.to_string();
+        assert!(s.starts_with("forall j:int, e:obj."));
+        assert!(s.contains("(j, e) in content"));
+    }
+
+    #[test]
+    fn print_field_and_array() {
+        let fr = Form::field_read(Form::var("next"), Form::var("x"));
+        assert_eq!(fr.to_string(), "x.next");
+        let ar = Form::array_read(Form::var("arrayState"), Form::var("elements"), Form::var("i"));
+        assert_eq!(ar.to_string(), "elements[i]");
+    }
+
+    #[test]
+    fn print_parenthesises_nested_or_in_and() {
+        let f = Form::and(vec![
+            Form::or(vec![Form::var("a"), Form::var("b")]),
+            Form::var("c"),
+        ]);
+        assert_eq!(f.to_string(), "(a | b) & c");
+    }
+}

@@ -1,0 +1,125 @@
+//! Structural simplification of formulas.
+//!
+//! [`simplify`] rebuilds a formula bottom-up through the smart constructors of
+//! [`Form`], which fold constants, flatten conjunction/disjunction, drop
+//! neutral elements and collapse trivially true/false branches.  It is applied
+//! after verification-condition generation to keep sequents small before they
+//! reach the provers.
+
+use crate::form::Form;
+
+/// Simplifies a formula bottom-up.  The result is logically equivalent to the
+/// input.
+pub fn simplify(form: &Form) -> Form {
+    let form = form.map_children(|c| simplify(c));
+    match form {
+        Form::Not(inner) => Form::not(*inner),
+        Form::And(parts) => Form::and(parts),
+        Form::Or(parts) => Form::or(parts),
+        Form::Implies(a, b) => simplify_implies(*a, *b),
+        Form::Iff(a, b) => Form::iff(*a, *b),
+        Form::Eq(a, b) => Form::eq(*a, *b),
+        Form::Lt(a, b) => Form::lt(*a, *b),
+        Form::Le(a, b) => Form::le(*a, *b),
+        Form::Add(a, b) => Form::add(*a, *b),
+        Form::Sub(a, b) => Form::sub(*a, *b),
+        Form::Mul(a, b) => Form::mul(*a, *b),
+        Form::Ite(c, t, e) => match *c {
+            Form::Bool(true) => *t,
+            Form::Bool(false) => *e,
+            c => {
+                if t == e {
+                    *t
+                } else {
+                    Form::Ite(Box::new(c), t, e)
+                }
+            }
+        },
+        Form::Forall(bs, body) => Form::forall(bs, *body),
+        Form::Exists(bs, body) => Form::exists(bs, *body),
+        Form::Elem(e, s) => Form::elem(*e, *s),
+        other => other,
+    }
+}
+
+/// Simplifies an implication, additionally dropping conjuncts of the
+/// conclusion that literally appear among the hypotheses (a cheap but
+/// frequently-firing case produced by the wlp calculus).
+fn simplify_implies(lhs: Form, rhs: Form) -> Form {
+    let hyps: Vec<&Form> = lhs.conjuncts();
+    let kept: Vec<Form> = rhs
+        .into_conjuncts()
+        .into_iter()
+        .filter(|c| !hyps.contains(&c))
+        .collect();
+    Form::implies(lhs, Form::and(kept))
+}
+
+/// Repeatedly simplifies until a fixpoint is reached (bounded by `limit`
+/// rounds to guarantee termination even in pathological cases).
+pub fn simplify_fix(form: &Form, limit: usize) -> Form {
+    let mut current = form.clone();
+    for _ in 0..limit {
+        let next = simplify(&current);
+        if next == current {
+            return current;
+        }
+        current = next;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_form;
+
+    #[test]
+    fn constant_folding_cascades() {
+        let f = parse_form("(1 + 2) * 3 < 10 & true").unwrap();
+        assert_eq!(simplify(&f), Form::TRUE);
+    }
+
+    #[test]
+    fn implication_with_repeated_hypothesis_collapses() {
+        let f = parse_form("p & q --> p").unwrap();
+        assert_eq!(simplify(&f), Form::TRUE);
+        let f = parse_form("p & q --> p & r").unwrap();
+        let s = simplify(&f);
+        assert_eq!(s.to_string(), "p & q --> r");
+    }
+
+    #[test]
+    fn ite_simplifies_on_constant_condition() {
+        let f = parse_form("(if true then x else y) = x").unwrap();
+        assert_eq!(simplify(&f), Form::TRUE);
+    }
+
+    #[test]
+    fn quantifier_over_true_body_disappears() {
+        let f = parse_form("forall x:int. 1 + 1 = 2").unwrap();
+        assert_eq!(simplify(&f), Form::TRUE);
+    }
+
+    #[test]
+    fn simplify_fix_reaches_fixpoint() {
+        let f = parse_form("~~(a & true & (false | b))").unwrap();
+        let s = simplify_fix(&f, 8);
+        assert_eq!(s, Form::and(vec![Form::var("a"), Form::var("b")]));
+    }
+
+    #[test]
+    fn simplification_is_idempotent_on_examples() {
+        let inputs = [
+            "forall i:int. 0 <= i & i < size --> elements[i] ~= null",
+            "a --> (b --> a)",
+            "x in s union t",
+        ];
+        for input in inputs {
+            let f = parse_form(input).unwrap();
+            let once = simplify(&f);
+            let twice = simplify(&once);
+            assert_eq!(once, twice, "not idempotent on {input}");
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Free variables, capture-avoiding substitution and fresh name generation.
+
+use crate::form::{Binding, Form};
+use std::collections::{BTreeSet, HashMap};
+
+/// Returns the set of free variable names of a formula.
+pub fn free_vars(form: &Form) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    collect_free(form, &mut Vec::new(), &mut out);
+    out
+}
+
+fn collect_free(form: &Form, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
+    match form {
+        Form::Var(name) => {
+            if !bound.iter().any(|b| b == name) {
+                out.insert(name.clone());
+            }
+        }
+        Form::Forall(bs, body) | Form::Exists(bs, body) | Form::Compr(bs, body) => {
+            let n = bound.len();
+            bound.extend(bs.iter().map(|(v, _)| v.clone()));
+            collect_free(body, bound, out);
+            bound.truncate(n);
+        }
+        other => other.for_each_child(|c| collect_free(c, bound, out)),
+    }
+}
+
+/// Returns `true` if `name` occurs free in `form`.
+pub fn occurs_free(name: &str, form: &Form) -> bool {
+    free_vars(form).contains(name)
+}
+
+/// A generator of fresh names, guaranteed distinct from all names it has seen.
+#[derive(Debug, Default, Clone)]
+pub struct FreshNames {
+    counter: u64,
+    used: BTreeSet<String>,
+}
+
+impl FreshNames {
+    /// Creates an empty generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks a name as used so it is never generated.
+    pub fn reserve(&mut self, name: &str) {
+        self.used.insert(name.to_string());
+    }
+
+    /// Marks every free variable of `form` as used.
+    pub fn reserve_all(&mut self, form: &Form) {
+        for v in free_vars(form) {
+            self.used.insert(v);
+        }
+    }
+
+    /// Produces a fresh name based on the given stem.
+    pub fn fresh(&mut self, stem: &str) -> String {
+        loop {
+            self.counter += 1;
+            let candidate = format!("{stem}_{}", self.counter);
+            if !self.used.contains(&candidate) {
+                self.used.insert(candidate.clone());
+                return candidate;
+            }
+        }
+    }
+}
+
+/// Capture-avoiding substitution of variables by terms.
+///
+/// Every free occurrence of a key of `map` in `form` is replaced by the
+/// corresponding term; bound variables are renamed as necessary to avoid
+/// capturing free variables of the replacement terms.
+pub fn substitute(form: &Form, map: &HashMap<String, Form>) -> Form {
+    if map.is_empty() {
+        return form.clone();
+    }
+    // Variables that must not be captured by binders.
+    let mut avoid: BTreeSet<String> = BTreeSet::new();
+    for v in map.values() {
+        avoid.extend(free_vars(v));
+    }
+    avoid.extend(map.keys().cloned());
+    subst_rec(form, map, &avoid)
+}
+
+fn subst_rec(form: &Form, map: &HashMap<String, Form>, avoid: &BTreeSet<String>) -> Form {
+    match form {
+        Form::Var(name) => match map.get(name) {
+            Some(replacement) => replacement.clone(),
+            None => form.clone(),
+        },
+        Form::Forall(bs, body) => {
+            let (bs2, body2, map2) = rebind(bs, body, map, avoid);
+            Form::Forall(bs2, Box::new(subst_rec(&body2, &map2, avoid)))
+        }
+        Form::Exists(bs, body) => {
+            let (bs2, body2, map2) = rebind(bs, body, map, avoid);
+            Form::Exists(bs2, Box::new(subst_rec(&body2, &map2, avoid)))
+        }
+        Form::Compr(bs, body) => {
+            let (bs2, body2, map2) = rebind(bs, body, map, avoid);
+            Form::Compr(bs2, Box::new(subst_rec(&body2, &map2, avoid)))
+        }
+        other => other.map_children(|c| subst_rec(c, map, avoid)),
+    }
+}
+
+/// Renames binders that clash with `avoid`, and removes shadowed keys from the
+/// substitution map for the scope of the binder.
+fn rebind(
+    bindings: &[Binding],
+    body: &Form,
+    map: &HashMap<String, Form>,
+    avoid: &BTreeSet<String>,
+) -> (Vec<Binding>, Form, HashMap<String, Form>) {
+    let mut fresh = FreshNames::new();
+    for a in avoid {
+        fresh.reserve(a);
+    }
+    for v in free_vars(body) {
+        fresh.reserve(&v);
+    }
+    // Only the substitutions that survive under this binder can capture, so
+    // compute the set of their free variables after removing shadowed keys.
+    let mut scoped_map = map.clone();
+    for (name, _) in bindings {
+        scoped_map.remove(name);
+    }
+    let mut capturable: BTreeSet<String> = BTreeSet::new();
+    for value in scoped_map.values() {
+        capturable.extend(free_vars(value));
+    }
+    let mut new_bindings = Vec::with_capacity(bindings.len());
+    let mut rename: HashMap<String, Form> = HashMap::new();
+    for (name, sort) in bindings {
+        if capturable.contains(name) {
+            let new_name = fresh.fresh(name);
+            rename.insert(name.clone(), Form::Var(new_name.clone()));
+            new_bindings.push((new_name, sort.clone()));
+        } else {
+            new_bindings.push((name.clone(), sort.clone()));
+        }
+    }
+    let new_body = if rename.is_empty() {
+        body.clone()
+    } else {
+        substitute(body, &rename)
+    };
+    (new_bindings, new_body, scoped_map)
+}
+
+/// Substitutes a single variable.
+pub fn substitute_one(form: &Form, name: &str, value: &Form) -> Form {
+    let mut map = HashMap::new();
+    map.insert(name.to_string(), value.clone());
+    substitute(form, &map)
+}
+
+/// Renames every free occurrence of variables according to `renaming`
+/// (a variable-to-variable map); convenience wrapper over [`substitute`].
+pub fn rename_free(form: &Form, renaming: &HashMap<String, String>) -> Form {
+    let map: HashMap<String, Form> = renaming
+        .iter()
+        .map(|(k, v)| (k.clone(), Form::Var(v.clone())))
+        .collect();
+    substitute(form, &map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::Sort;
+
+    fn v(n: &str) -> Form {
+        Form::var(n)
+    }
+
+    #[test]
+    fn free_vars_respects_binders() {
+        let f = Form::forall(
+            vec![("i".into(), Sort::Int)],
+            Form::implies(Form::le(Form::int(0), v("i")), Form::lt(v("i"), v("size"))),
+        );
+        let fv = free_vars(&f);
+        assert!(fv.contains("size"));
+        assert!(!fv.contains("i"));
+    }
+
+    #[test]
+    fn simple_substitution() {
+        let f = Form::lt(v("i"), v("size"));
+        let g = substitute_one(&f, "i", &Form::int(3));
+        assert_eq!(g, Form::lt(Form::int(3), v("size")));
+    }
+
+    #[test]
+    fn substitution_does_not_touch_bound_occurrences() {
+        let f = Form::forall(vec![("i".into(), Sort::Int)], Form::lt(v("i"), v("n")));
+        let g = substitute_one(&f, "i", &Form::int(3));
+        assert_eq!(g, f);
+    }
+
+    #[test]
+    fn substitution_avoids_capture() {
+        // (forall i. i < n)[n := i]  must rename the bound i.
+        let f = Form::forall(vec![("i".into(), Sort::Int)], Form::lt(v("i"), v("n")));
+        let g = substitute_one(&f, "n", &v("i"));
+        if let Form::Forall(bs, body) = &g {
+            assert_ne!(bs[0].0, "i", "bound variable must be renamed");
+            let fv = free_vars(body);
+            assert!(fv.contains("i"), "the substituted free i must remain free");
+        } else {
+            panic!("expected a forall, got {g:?}");
+        }
+    }
+
+    #[test]
+    fn fresh_names_never_repeat() {
+        let mut gen = FreshNames::new();
+        gen.reserve("x_1");
+        let a = gen.fresh("x");
+        let b = gen.fresh("x");
+        assert_ne!(a, b);
+        assert_ne!(a, "x_1");
+        assert_ne!(b, "x_1");
+    }
+
+    #[test]
+    fn rename_free_variables() {
+        let f = Form::eq(v("a"), v("b"));
+        let mut m = HashMap::new();
+        m.insert("a".to_string(), "a_old".to_string());
+        assert_eq!(rename_free(&f, &m), Form::eq(v("a_old"), v("b")));
+    }
+
+    #[test]
+    fn substitution_into_comprehension() {
+        // {(i, n) | n = x}[x := y]
+        let compr = Form::Compr(
+            vec![("i".into(), Sort::Int), ("n".into(), Sort::Obj)],
+            Box::new(Form::eq(v("n"), v("x"))),
+        );
+        let g = substitute_one(&compr, "x", &v("y"));
+        if let Form::Compr(_, body) = g {
+            assert_eq!(*body, Form::eq(v("n"), v("y")));
+        } else {
+            panic!("expected comprehension");
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! The prover cascade: the integrated-reasoning dispatcher.
+//!
+//! Each sequent is handed to a sequence of reasoning systems in increasing
+//! order of cost, each with its own budget and wall-clock timeout, exactly as
+//! Jahob runs SPASS/E/CVC3/Z3/MONA/BAPA in turn.  The first prover that
+//! succeeds wins; if all fail the sequent is reported unproved (in the paper
+//! this is the signal for the developer to add proof-language guidance).
+
+use crate::ground::{refute, GroundResult};
+use crate::inst::refute_with_instantiation;
+use crate::preprocess::build_problem;
+use crate::syntactic::Syntactic;
+use crate::{Outcome, Prover, ProverConfig, Query};
+use serde::{Deserialize, Serialize};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The answer produced by the cascade for one query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProverAnswer {
+    /// Overall outcome.
+    pub outcome: Outcome,
+    /// Name of the prover that discharged the query (when proved).
+    pub prover: Option<String>,
+    /// Total time spent across the cascade.
+    pub duration: Duration,
+}
+
+/// The ground SMT-lite prover (no quantifier instantiation).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GroundSmt;
+
+impl Prover for GroundSmt {
+    fn name(&self) -> &'static str {
+        "smt-ground"
+    }
+
+    fn prove(&self, query: &Query, config: &ProverConfig) -> Outcome {
+        let problem = build_problem(&query.assumption_forms(), &query.goal, &query.env);
+        match refute(&problem.ground, &query.env, config) {
+            GroundResult::Unsat => Outcome::Proved,
+            GroundResult::Unknown => Outcome::Unknown,
+        }
+    }
+}
+
+/// The instantiating SMT-lite / first-order prover.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct InstSmt;
+
+impl Prover for InstSmt {
+    fn name(&self) -> &'static str {
+        "smt-inst"
+    }
+
+    fn prove(&self, query: &Query, config: &ProverConfig) -> Outcome {
+        let problem = build_problem(&query.assumption_forms(), &query.goal, &query.env);
+        match refute_with_instantiation(&problem, &query.env, config, query.assumptions.len()) {
+            GroundResult::Unsat => Outcome::Proved,
+            GroundResult::Unknown => Outcome::Unknown,
+        }
+    }
+}
+
+/// Adapter for the BAPA cardinality decision procedure.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BapaProver;
+
+impl Prover for BapaProver {
+    fn name(&self) -> &'static str {
+        "bapa"
+    }
+
+    fn prove(&self, query: &Query, _config: &ProverConfig) -> Outcome {
+        // BAPA is only worth invoking when the goal involves cardinalities or
+        // set algebra; other goals are left to the general provers.
+        if !mentions_cardinality(&query.goal) {
+            return Outcome::Unknown;
+        }
+        let limits = ipl_bapa::BapaLimits::default();
+        match ipl_bapa::prove_valid(&query.assumption_forms(), &query.goal, &limits) {
+            ipl_bapa::BapaOutcome::Valid => Outcome::Proved,
+            ipl_bapa::BapaOutcome::Unknown => Outcome::Unknown,
+        }
+    }
+}
+
+fn mentions_cardinality(form: &ipl_logic::Form) -> bool {
+    let mut found = false;
+    fn rec(form: &ipl_logic::Form, found: &mut bool) {
+        if *found {
+            return;
+        }
+        if matches!(form, ipl_logic::Form::Card(_)) {
+            *found = true;
+            return;
+        }
+        form.for_each_child(|c| rec(c, found));
+    }
+    rec(form, &mut found);
+    found
+}
+
+/// Adapter for the reachability (shape) prover.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ShapeProver;
+
+impl Prover for ShapeProver {
+    fn name(&self) -> &'static str {
+        "shape"
+    }
+
+    fn prove(&self, query: &Query, _config: &ProverConfig) -> Outcome {
+        if !mentions_reach(&query.goal) && !query.assumption_forms().iter().any(mentions_reach) {
+            return Outcome::Unknown;
+        }
+        let limits = ipl_shape::ShapeLimits::default();
+        match ipl_shape::prove_valid(&query.assumption_forms(), &query.goal, &limits) {
+            ipl_shape::ShapeOutcome::Valid => Outcome::Proved,
+            ipl_shape::ShapeOutcome::Unknown => Outcome::Unknown,
+        }
+    }
+}
+
+fn mentions_reach(form: &ipl_logic::Form) -> bool {
+    let mut found = false;
+    fn rec(form: &ipl_logic::Form, found: &mut bool) {
+        if *found {
+            return;
+        }
+        if matches!(form, ipl_logic::Form::App(name, _) if name == "reach") {
+            *found = true;
+            return;
+        }
+        form.for_each_child(|c| rec(c, found));
+    }
+    rec(form, &mut found);
+    found
+}
+
+/// The cascade of provers with per-prover timeouts.
+pub struct Cascade {
+    provers: Vec<Arc<dyn Prover>>,
+    config: ProverConfig,
+}
+
+impl std::fmt::Debug for Cascade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cascade")
+            .field("provers", &self.prover_names())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl Default for Cascade {
+    fn default() -> Self {
+        Cascade::standard(ProverConfig::default())
+    }
+}
+
+impl Cascade {
+    /// The standard prover order: syntactic checks, the ground SMT-lite
+    /// solver, the BAPA and shape decision procedures, and finally the
+    /// instantiating prover.
+    pub fn standard(config: ProverConfig) -> Cascade {
+        Cascade {
+            provers: vec![
+                Arc::new(Syntactic),
+                Arc::new(GroundSmt),
+                Arc::new(BapaProver),
+                Arc::new(ShapeProver),
+                Arc::new(InstSmt),
+            ],
+            config,
+        }
+    }
+
+    /// A cascade with a custom prover list (used by the ablation benchmarks).
+    pub fn with_provers(provers: Vec<Arc<dyn Prover>>, config: ProverConfig) -> Cascade {
+        Cascade { provers, config }
+    }
+
+    /// The configured budgets.
+    pub fn config(&self) -> &ProverConfig {
+        &self.config
+    }
+
+    /// Names of the provers in dispatch order.
+    pub fn prover_names(&self) -> Vec<&'static str> {
+        self.provers.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs the cascade on a query.
+    pub fn prove(&self, query: &Query) -> ProverAnswer {
+        let start = Instant::now();
+        for prover in &self.provers {
+            let outcome = run_with_timeout(
+                Arc::clone(prover),
+                query.clone(),
+                self.config,
+                Duration::from_millis(self.config.per_prover_timeout_ms),
+            );
+            if outcome == Outcome::Proved {
+                return ProverAnswer {
+                    outcome: Outcome::Proved,
+                    prover: Some(prover.name().to_string()),
+                    duration: start.elapsed(),
+                };
+            }
+        }
+        ProverAnswer { outcome: Outcome::Unknown, prover: None, duration: start.elapsed() }
+    }
+}
+
+/// Runs one prover in a worker thread and abandons it when the per-prover
+/// timeout expires (mirroring the paper's "each prover runs with a timeout —
+/// if the prover fails to prove the sequent within the timeout, Jahob
+/// terminates it and moves on to the next prover").
+fn run_with_timeout(
+    prover: Arc<dyn Prover>,
+    query: Query,
+    config: ProverConfig,
+    timeout: Duration,
+) -> Outcome {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let outcome = prover.prove(&query, &config);
+        let _ = tx.send(outcome);
+    });
+    match rx.recv_timeout(timeout) {
+        Ok(outcome) => outcome,
+        Err(_) => Outcome::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipl_logic::parser::parse_form;
+    use ipl_logic::{Labeled, Sort, SortEnv};
+
+    fn env() -> SortEnv {
+        let mut e = SortEnv::new();
+        for v in ["i", "j", "size", "csize", "x"] {
+            e.declare_var(v, Sort::Int);
+        }
+        for v in ["o", "a", "b", "first"] {
+            e.declare_var(v, Sort::Obj);
+        }
+        e.declare_var("next", Sort::obj_field());
+        e.declare_var("content", Sort::int_obj_set());
+        e.declare_var("newcontent", Sort::int_obj_set());
+        e
+    }
+
+    fn query(assumptions: &[&str], goal: &str) -> Query {
+        Query::new(
+            assumptions
+                .iter()
+                .enumerate()
+                .map(|(i, s)| Labeled::new(format!("A{i}"), parse_form(s).unwrap()))
+                .collect(),
+            parse_form(goal).unwrap(),
+            env(),
+        )
+    }
+
+    #[test]
+    fn cascade_dispatches_to_the_cheapest_sufficient_prover() {
+        let cascade = Cascade::default();
+        let answer = cascade.prove(&query(&["p"], "p"));
+        assert_eq!(answer.outcome, Outcome::Proved);
+        assert_eq!(answer.prover.as_deref(), Some("syntactic"));
+
+        let answer = cascade.prove(&query(&["a = b", "b = first"], "a = first"));
+        assert_eq!(answer.outcome, Outcome::Proved);
+        assert_eq!(answer.prover.as_deref(), Some("smt-ground"));
+    }
+
+    #[test]
+    fn cascade_uses_instantiation_for_quantified_assumptions() {
+        let cascade = Cascade::default();
+        let answer = cascade.prove(&query(
+            &["forall n:int. 0 <= n --> interesting(n)", "0 <= x"],
+            "interesting(x)",
+        ));
+        assert_eq!(answer.outcome, Outcome::Proved);
+        assert_eq!(answer.prover.as_deref(), Some("smt-inst"));
+    }
+
+    #[test]
+    fn cascade_uses_bapa_for_cardinality_goals() {
+        let cascade = Cascade::default();
+        let answer = cascade.prove(&query(
+            &["~((i, o) in content)", "newcontent = content union {(i, o)}"],
+            "card(newcontent) = card(content) + 1",
+        ));
+        assert_eq!(answer.outcome, Outcome::Proved);
+        assert_eq!(answer.prover.as_deref(), Some("bapa"));
+    }
+
+    #[test]
+    fn cascade_uses_shape_prover_for_reachability() {
+        let cascade = Cascade::default();
+        let answer = cascade.prove(&query(
+            &["reach(next, first, a)", "a.next = b"],
+            "reach(next, first, b)",
+        ));
+        assert_eq!(answer.outcome, Outcome::Proved);
+        assert_eq!(answer.prover.as_deref(), Some("shape"));
+    }
+
+    #[test]
+    fn unprovable_queries_report_unknown() {
+        let cascade = Cascade::standard(ProverConfig::quick());
+        let answer = cascade.prove(&query(&["0 <= x"], "x < 0"));
+        assert_eq!(answer.outcome, Outcome::Unknown);
+        assert_eq!(answer.prover, None);
+    }
+
+    #[test]
+    fn prover_names_in_order() {
+        assert_eq!(
+            Cascade::default().prover_names(),
+            vec!["syntactic", "smt-ground", "bapa", "shape", "smt-inst"]
+        );
+    }
+}

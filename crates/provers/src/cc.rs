@@ -1,0 +1,314 @@
+//! Congruence closure over ground terms (the EUF theory solver).
+//!
+//! Terms are interned into a union-find structure; asserted equalities are
+//! merged and congruence (`f(a) = f(b)` whenever `a = b`) is propagated to a
+//! fixpoint.  Conflicts are reported for:
+//!
+//! * a disequality whose two sides end up in the same class,
+//! * two distinct integer literals (or `null` and an integer) in one class,
+//! * a predicate atom asserted both true and false (modulo congruence).
+
+use ipl_logic::Form;
+use std::collections::HashMap;
+
+/// Identifier of an interned term.
+pub type TermId = usize;
+
+/// The congruence-closure engine.
+#[derive(Debug, Default)]
+pub struct Congruence {
+    /// Interned terms, indexed by id.
+    terms: Vec<Node>,
+    /// Map from structural key to id.
+    index: HashMap<Key, TermId>,
+    /// Union-find parents.
+    parent: Vec<TermId>,
+    /// Pending merges.
+    pending: Vec<(TermId, TermId)>,
+    /// Asserted disequalities.
+    disequalities: Vec<(TermId, TermId)>,
+}
+
+/// The shape of an interned node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    /// A leaf (variable, literal, `null`, ...) identified by its printed form.
+    Leaf(String),
+    /// An application of a head symbol to interned children.
+    App(String, Vec<TermId>),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: Key,
+    /// For integer literals, the value (used for constant-conflict detection).
+    int_value: Option<i64>,
+}
+
+impl Congruence {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a term (and all its sub-terms), returning its id.
+    pub fn intern(&mut self, term: &Form) -> TermId {
+        let key = match term {
+            Form::Var(name) => Key::Leaf(format!("var:{name}")),
+            Form::Int(value) => Key::Leaf(format!("int:{value}")),
+            Form::Bool(value) => Key::Leaf(format!("bool:{value}")),
+            Form::Null => Key::Leaf("null".to_string()),
+            Form::EmptySet => Key::Leaf("emptyset".to_string()),
+            Form::App(name, args) => {
+                let children = args.iter().map(|a| self.intern(a)).collect();
+                Key::App(format!("app:{name}"), children)
+            }
+            Form::FieldRead(fun, arg) => {
+                let children = vec![self.intern(fun), self.intern(arg)];
+                Key::App("fieldread".to_string(), children)
+            }
+            Form::FieldWrite(base, at, value) => {
+                let children = vec![self.intern(base), self.intern(at), self.intern(value)];
+                Key::App("fieldwrite".to_string(), children)
+            }
+            Form::ArrayRead(state, arr, idx) => {
+                let children = vec![self.intern(state), self.intern(arr), self.intern(idx)];
+                Key::App("arrayread".to_string(), children)
+            }
+            Form::ArrayWrite(state, arr, idx, value) => {
+                let children = vec![
+                    self.intern(state),
+                    self.intern(arr),
+                    self.intern(idx),
+                    self.intern(value),
+                ];
+                Key::App("arraywrite".to_string(), children)
+            }
+            Form::Tuple(parts) => {
+                let children = parts.iter().map(|p| self.intern(p)).collect();
+                Key::App("tuple".to_string(), children)
+            }
+            Form::Add(a, b) => Key::App("add".to_string(), vec![self.intern(a), self.intern(b)]),
+            Form::Sub(a, b) => Key::App("sub".to_string(), vec![self.intern(a), self.intern(b)]),
+            Form::Mul(a, b) => Key::App("mul".to_string(), vec![self.intern(a), self.intern(b)]),
+            Form::Neg(a) => Key::App("neg".to_string(), vec![self.intern(a)]),
+            Form::Card(a) => Key::App("card".to_string(), vec![self.intern(a)]),
+            Form::Union(a, b) => {
+                Key::App("union".to_string(), vec![self.intern(a), self.intern(b)])
+            }
+            Form::Inter(a, b) => {
+                Key::App("inter".to_string(), vec![self.intern(a), self.intern(b)])
+            }
+            Form::Diff(a, b) => Key::App("diff".to_string(), vec![self.intern(a), self.intern(b)]),
+            Form::FiniteSet(parts) => {
+                let children = parts.iter().map(|p| self.intern(p)).collect();
+                Key::App("finiteset".to_string(), children)
+            }
+            Form::Elem(a, b) => Key::App("elem".to_string(), vec![self.intern(a), self.intern(b)]),
+            Form::Ite(c, t, e) => Key::App(
+                "ite".to_string(),
+                vec![self.intern(c), self.intern(t), self.intern(e)],
+            ),
+            // Remaining boolean structure or binders: opaque leaf by printed form.
+            other => Key::Leaf(format!("opaque:{other}")),
+        };
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let id = self.terms.len();
+        let int_value = match term {
+            Form::Int(value) => Some(*value),
+            _ => None,
+        };
+        self.terms.push(Node { key: key.clone(), int_value });
+        self.index.insert(key, id);
+        self.parent.push(id);
+        id
+    }
+
+    /// The current representative of a term id.
+    pub fn find(&mut self, id: TermId) -> TermId {
+        if self.parent[id] == id {
+            id
+        } else {
+            let root = self.find(self.parent[id]);
+            self.parent[id] = root;
+            root
+        }
+    }
+
+    /// Asserts an equality between two terms.
+    pub fn assert_eq(&mut self, a: &Form, b: &Form) {
+        let (ia, ib) = (self.intern(a), self.intern(b));
+        self.pending.push((ia, ib));
+    }
+
+    /// Asserts a disequality between two terms.
+    pub fn assert_neq(&mut self, a: &Form, b: &Form) {
+        let (ia, ib) = (self.intern(a), self.intern(b));
+        self.disequalities.push((ia, ib));
+    }
+
+    /// Returns `true` if the two terms are currently known equal.
+    pub fn are_equal(&mut self, a: &Form, b: &Form) -> bool {
+        let (ia, ib) = (self.intern(a), self.intern(b));
+        self.close();
+        self.find(ia) == self.find(ib)
+    }
+
+    /// Propagates all pending merges and congruence to a fixpoint.
+    pub fn close(&mut self) {
+        loop {
+            while let Some((a, b)) = self.pending.pop() {
+                let (ra, rb) = (self.find(a), self.find(b));
+                if ra != rb {
+                    self.parent[ra] = rb;
+                }
+            }
+            // Congruence: group application nodes by (head, representative children).
+            let mut signature: HashMap<(String, Vec<TermId>), TermId> = HashMap::new();
+            let mut new_merges = Vec::new();
+            for id in 0..self.terms.len() {
+                if let Key::App(head, children) = self.terms[id].key.clone() {
+                    let sig: Vec<TermId> = children.iter().map(|&c| self.find(c)).collect();
+                    let entry = (head, sig);
+                    match signature.get(&entry) {
+                        Some(&other) => {
+                            if self.find(other) != self.find(id) {
+                                new_merges.push((other, id));
+                            }
+                        }
+                        None => {
+                            signature.insert(entry, id);
+                        }
+                    }
+                }
+            }
+            if new_merges.is_empty() {
+                return;
+            }
+            self.pending.extend(new_merges);
+        }
+    }
+
+    /// Checks for conflicts.  Returns `true` if the asserted facts are
+    /// inconsistent.
+    pub fn has_conflict(&mut self) -> bool {
+        self.close();
+        // Disequality conflicts.
+        for (a, b) in self.disequalities.clone() {
+            if self.find(a) == self.find(b) {
+                return true;
+            }
+        }
+        // Distinct integer literals merged into one class.
+        let mut class_value: HashMap<TermId, i64> = HashMap::new();
+        // Distinct boolean literals merged (can arise through ite reasoning).
+        let mut class_bool: HashMap<TermId, bool> = HashMap::new();
+        for id in 0..self.terms.len() {
+            let root = self.find(id);
+            if let Some(value) = self.terms[id].int_value {
+                match class_value.get(&root) {
+                    Some(&existing) if existing != value => return true,
+                    _ => {
+                        class_value.insert(root, value);
+                    }
+                }
+            }
+            if let Key::Leaf(text) = &self.terms[id].key {
+                let flag = match text.as_str() {
+                    "bool:true" => Some(true),
+                    "bool:false" => Some(false),
+                    _ => None,
+                };
+                if let Some(flag) = flag {
+                    match class_bool.get(&root) {
+                        Some(&existing) if existing != flag => return true,
+                        _ => {
+                            class_bool.insert(root, flag);
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// The representative id of a term, interning it if necessary.
+    pub fn class_of(&mut self, term: &Form) -> TermId {
+        let id = self.intern(term);
+        self.close();
+        self.find(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipl_logic::parser::parse_form;
+
+    fn f(s: &str) -> Form {
+        parse_form(s).unwrap()
+    }
+
+    #[test]
+    fn transitivity_of_equality() {
+        let mut cc = Congruence::new();
+        cc.assert_eq(&f("a"), &f("b"));
+        cc.assert_eq(&f("b"), &f("c"));
+        assert!(cc.are_equal(&f("a"), &f("c")));
+        assert!(!cc.are_equal(&f("a"), &f("d")));
+    }
+
+    #[test]
+    fn congruence_of_function_applications() {
+        let mut cc = Congruence::new();
+        cc.assert_eq(&f("a"), &f("b"));
+        assert!(cc.are_equal(&f("g(a)"), &f("g(b)")));
+        assert!(cc.are_equal(&f("x.next"), &f("x.next")));
+        assert!(!cc.are_equal(&f("g(a)"), &f("h(a)")));
+    }
+
+    #[test]
+    fn field_reads_are_congruent_in_the_object() {
+        let mut cc = Congruence::new();
+        cc.assert_eq(&f("x"), &f("y"));
+        assert!(cc.are_equal(&f("x.next"), &f("y.next")));
+    }
+
+    #[test]
+    fn disequality_conflict() {
+        let mut cc = Congruence::new();
+        cc.assert_eq(&f("a"), &f("b"));
+        cc.assert_neq(&f("a"), &f("b"));
+        assert!(cc.has_conflict());
+    }
+
+    #[test]
+    fn distinct_integer_literals_conflict() {
+        let mut cc = Congruence::new();
+        cc.assert_eq(&f("x"), &f("1"));
+        cc.assert_eq(&f("x"), &f("2"));
+        assert!(cc.has_conflict());
+    }
+
+    #[test]
+    fn no_spurious_conflicts() {
+        let mut cc = Congruence::new();
+        cc.assert_eq(&f("a"), &f("b"));
+        cc.assert_neq(&f("a"), &f("c"));
+        cc.assert_eq(&f("x"), &f("1"));
+        cc.assert_eq(&f("y"), &f("2"));
+        assert!(!cc.has_conflict());
+    }
+
+    #[test]
+    fn derived_equality_via_congruence_chain() {
+        let mut cc = Congruence::new();
+        // a = b, f(a) = c, f(b) = d  =>  c = d
+        cc.assert_eq(&f("a"), &f("b"));
+        cc.assert_eq(&f("g(a)"), &f("c"));
+        cc.assert_eq(&f("g(b)"), &f("d"));
+        assert!(cc.are_equal(&f("c"), &f("d")));
+    }
+}

@@ -1,0 +1,390 @@
+//! The ground SMT-lite solver: a tableau over the boolean structure with a
+//! combined congruence-closure + linear-integer-arithmetic theory check at
+//! the leaves.
+//!
+//! The solver works by refutation on a set of ground formulas in NNF.  It is
+//! deliberately budgeted: when the number of explored branch nodes exceeds
+//! the configured limit it gives up and reports "unknown", which is how the
+//! paper's observation that large assumption bases defeat the provers is
+//! reproduced.
+
+use crate::cc::Congruence;
+use crate::ProverConfig;
+use ipl_bapa::presburger::{fm_unsatisfiable, LinExpr, PForm};
+use ipl_logic::normal::nnf;
+use ipl_logic::{Form, Sort, SortEnv};
+
+/// Result of a refutation attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroundResult {
+    /// The formula set is unsatisfiable (the original sequent is valid).
+    Unsat,
+    /// Could not refute within budget (possibly satisfiable).
+    Unknown,
+}
+
+/// Attempts to refute the conjunction of the given ground formulas.
+pub fn refute(forms: &[Form], env: &SortEnv, config: &ProverConfig) -> GroundResult {
+    let mut budget = config.max_branch_nodes;
+    let pending: Vec<Form> = forms.to_vec();
+    if search(Vec::new(), pending, env, &mut budget) {
+        GroundResult::Unsat
+    } else {
+        GroundResult::Unknown
+    }
+}
+
+/// Returns `true` if every branch closes (the formula set is unsatisfiable).
+fn search(mut literals: Vec<Form>, mut pending: Vec<Form>, env: &SortEnv, budget: &mut usize) -> bool {
+    if *budget == 0 {
+        return false;
+    }
+    *budget -= 1;
+
+    let mut disjunctions: Vec<Vec<Form>> = Vec::new();
+    while let Some(form) = pending.pop() {
+        match form {
+            Form::Bool(true) => {}
+            Form::Bool(false) => return true,
+            Form::And(parts) => pending.extend(parts),
+            Form::Or(parts) => disjunctions.push(parts),
+            Form::Implies(..) | Form::Iff(..) | Form::Not(_)
+                if !is_literal(&form) =>
+            {
+                pending.push(nnf(&form));
+            }
+            other => {
+                // A literal: close immediately on syntactic complementarity.
+                let negated = Form::not(other.clone());
+                if literals.contains(&negated) {
+                    return true;
+                }
+                if !literals.contains(&other) {
+                    literals.push(other);
+                }
+            }
+        }
+    }
+
+    // Simplify disjunctions against the current literal set.
+    let mut simplified: Vec<Vec<Form>> = Vec::new();
+    let mut units: Vec<Form> = Vec::new();
+    for disjunction in disjunctions {
+        let mut remaining = Vec::new();
+        let mut satisfied = false;
+        for disjunct in disjunction {
+            if literals.contains(&disjunct) {
+                satisfied = true;
+                break;
+            }
+            let negated = Form::not(disjunct.clone());
+            if literals.contains(&negated) {
+                continue; // this disjunct is already false
+            }
+            remaining.push(disjunct);
+        }
+        if satisfied {
+            continue;
+        }
+        match remaining.len() {
+            0 => return true, // empty clause
+            1 => units.push(remaining.pop().expect("len checked")),
+            _ => simplified.push(remaining),
+        }
+    }
+    if !units.is_empty() {
+        // Unit propagation: re-enter with the forced disjuncts as pending
+        // formulas, keeping every remaining disjunction.
+        let mut pending: Vec<Form> = simplified.into_iter().map(Form::Or).collect();
+        pending.extend(units);
+        return search(literals, pending, env, budget);
+    }
+
+    if theory_conflict(&literals, env) {
+        return true;
+    }
+    if simplified.is_empty() {
+        return false; // saturated, consistent branch: cannot refute
+    }
+
+    // Branch on the smallest disjunction.
+    simplified.sort_by_key(Vec::len);
+    let chosen = simplified.remove(0);
+    let rest: Vec<Form> = simplified.into_iter().map(Form::Or).collect();
+    for disjunct in chosen {
+        let mut pending = rest.clone();
+        pending.push(disjunct);
+        if !search(literals.clone(), pending, env, budget) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Returns `true` if the form is a literal (an atom or a negated atom).
+fn is_literal(form: &Form) -> bool {
+    match form {
+        Form::Not(inner) => inner.is_atom(),
+        other => other.is_atom(),
+    }
+}
+
+/// Checks whether a conjunction of ground literals is inconsistent in the
+/// combined theory of equality with uninterpreted functions, the free theory
+/// of field/array updates (via the eagerly added axioms), and linear integer
+/// arithmetic.
+pub fn theory_conflict(literals: &[Form], env: &SortEnv) -> bool {
+    let mut cc = Congruence::new();
+    // Phase 1: equality reasoning.
+    for literal in literals {
+        match literal {
+            Form::Eq(a, b) => cc.assert_eq(a, b),
+            Form::Not(inner) => {
+                if let Form::Eq(a, b) = inner.as_ref() {
+                    cc.assert_neq(a, b);
+                } else {
+                    // Negative atom: equate it with false.
+                    cc.assert_eq(inner, &Form::FALSE);
+                }
+            }
+            Form::Lt(..) | Form::Le(..) => {
+                // Arithmetic handled below; also record as a true atom so that
+                // p < q together with ~(p < q) conflicts via congruence.
+                cc.assert_eq(literal, &Form::TRUE);
+            }
+            other => cc.assert_eq(other, &Form::TRUE),
+        }
+    }
+    if cc.has_conflict() {
+        return true;
+    }
+
+    // Phase 2: linear integer arithmetic over congruence classes.
+    let mut constraints: Vec<PForm> = Vec::new();
+    for literal in literals {
+        match literal {
+            Form::Le(a, b) => {
+                if let Some(expr) = linear_diff(a, b, env, &mut cc) {
+                    constraints.push(PForm::le(expr));
+                }
+            }
+            Form::Lt(a, b) => {
+                if let Some(expr) = linear_diff(a, b, env, &mut cc) {
+                    constraints.push(PForm::le(expr.shifted(1)));
+                }
+            }
+            Form::Eq(a, b) => {
+                if env.sort_of(a) == Sort::Int || env.sort_of(b) == Sort::Int || is_arith(a) || is_arith(b) {
+                    if let Some(expr) = linear_diff(a, b, env, &mut cc) {
+                        constraints.push(PForm::le(expr.clone()));
+                        constraints.push(PForm::le(expr.scaled(-1)));
+                    }
+                }
+            }
+            Form::Not(inner) => match inner.as_ref() {
+                Form::Le(a, b) => {
+                    if let Some(expr) = linear_diff(b, a, env, &mut cc) {
+                        constraints.push(PForm::le(expr.shifted(1)));
+                    }
+                }
+                Form::Lt(a, b) => {
+                    if let Some(expr) = linear_diff(b, a, env, &mut cc) {
+                        constraints.push(PForm::le(expr));
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    // Propagate congruence-derived equalities between integer-classed terms:
+    // this happens automatically because terms in the same class share the
+    // same arithmetic variable (named after the class representative).
+    if constraints.is_empty() {
+        return false;
+    }
+    fm_unsatisfiable(&PForm::and(constraints))
+}
+
+/// Linearises `a - b` into a linear expression, mapping non-arithmetic
+/// sub-terms to variables named after their congruence class.
+fn linear_diff(a: &Form, b: &Form, env: &SortEnv, cc: &mut Congruence) -> Option<LinExpr> {
+    let la = linearise(a, env, cc)?;
+    let lb = linearise(b, env, cc)?;
+    Some(la.plus(&lb.scaled(-1)))
+}
+
+fn is_arith(form: &Form) -> bool {
+    matches!(form, Form::Add(..) | Form::Sub(..) | Form::Mul(..) | Form::Neg(_) | Form::Int(_))
+}
+
+fn linearise(form: &Form, env: &SortEnv, cc: &mut Congruence) -> Option<LinExpr> {
+    match form {
+        Form::Int(value) => Some(LinExpr::constant(*value)),
+        Form::Add(a, b) => Some(linearise(a, env, cc)?.plus(&linearise(b, env, cc)?)),
+        Form::Sub(a, b) => Some(linearise(a, env, cc)?.plus(&linearise(b, env, cc)?.scaled(-1))),
+        Form::Neg(a) => Some(linearise(a, env, cc)?.scaled(-1)),
+        Form::Mul(a, b) => match (a.as_ref(), b.as_ref()) {
+            (Form::Int(k), other) | (other, Form::Int(k)) => {
+                Some(linearise(other, env, cc)?.scaled(*k))
+            }
+            _ => {
+                // Non-linear multiplication: abstract the whole product.
+                let class = cc.class_of(form);
+                Some(LinExpr::variable(&format!("t{class}"), 1))
+            }
+        },
+        _ => {
+            let class = cc.class_of(form);
+            Some(LinExpr::variable(&format!("t{class}"), 1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::build_problem;
+    use ipl_logic::parser::parse_form;
+
+    fn env() -> SortEnv {
+        let mut e = SortEnv::new();
+        for v in ["i", "j", "k", "size", "index", "csize", "x", "y", "z"] {
+            e.declare_var(v, Sort::Int);
+        }
+        for v in ["o", "p", "q", "a", "b", "c", "first", "elements"] {
+            e.declare_var(v, Sort::Obj);
+        }
+        e.declare_var("next", Sort::obj_field());
+        e.declare_var("content", Sort::int_obj_set());
+        e.declare_var("nodes", Sort::obj_set());
+        e.declare_var("arrayState", Sort::obj_array_state());
+        e
+    }
+
+    /// Convenience: does `assumptions |- goal` hold for the ground solver?
+    fn proves(assumptions: &[&str], goal: &str) -> bool {
+        let env = env();
+        let assumptions: Vec<Form> =
+            assumptions.iter().map(|s| parse_form(s).unwrap()).collect();
+        let goal = parse_form(goal).unwrap();
+        let problem = build_problem(&assumptions, &goal, &env);
+        // Ground solver only: ignore quantified assumptions.
+        refute(&problem.ground, &env, &ProverConfig::default()) == GroundResult::Unsat
+    }
+
+    #[test]
+    fn propositional_reasoning() {
+        assert!(proves(&["p", "p --> q"], "q"));
+        assert!(proves(&["p | q", "~p"], "q"));
+        assert!(!proves(&["p | q"], "p"));
+        assert!(proves(&["p <-> q", "q"], "p"));
+    }
+
+    #[test]
+    fn equality_reasoning() {
+        assert!(proves(&["a = b", "b = c"], "a = c"));
+        assert!(proves(&["a = b"], "g(a) = g(b)"));
+        assert!(!proves(&["a = b"], "a = c"));
+        assert!(proves(&["a = b", "~(a = c)"], "~(b = c)"));
+    }
+
+    #[test]
+    fn arithmetic_reasoning() {
+        assert!(proves(&["0 <= i", "i < size"], "0 <= i + 1"));
+        assert!(proves(&["i < size", "size <= j"], "i < j"));
+        assert!(proves(&["x = y + 1"], "y < x"));
+        assert!(!proves(&["x <= y"], "x < y"));
+        assert!(proves(&["index < size", "~(index < size)"], "false"));
+    }
+
+    #[test]
+    fn combined_euf_and_arithmetic() {
+        // x = f(a), f(a) = 3 |- x >= 3
+        assert!(proves(&["x = g(a)", "g(a) = 3"], "3 <= x"));
+        // field reads participate: o.next = p, p = q |- o.next = q
+        assert!(proves(&["o.next = p", "p = q"], "o.next = q"));
+    }
+
+    #[test]
+    fn integer_disequality_case_split() {
+        assert!(proves(&["0 <= i", "i <= 1", "~(i = 0)"], "i = 1"));
+    }
+
+    #[test]
+    fn field_update_reasoning() {
+        // newnext = next[a := v], b != a |- b.newnext = b.next
+        assert!(proves(
+            &["newnext = next[a := v]", "~(b = a)"],
+            "b.newnext = b.next"
+        ));
+        // and the written cell reads back the new value
+        assert!(proves(&["newnext = next[a := v]"], "a.newnext = v"));
+        // but without the disequality the frame fact must not be provable
+        assert!(!proves(&["newnext = next[a := v]"], "b.newnext = b.next"));
+    }
+
+    #[test]
+    fn array_update_reasoning() {
+        let env = env();
+        let state2 = Form::array_write(
+            Form::var("arrayState"),
+            Form::var("elements"),
+            Form::var("i"),
+            Form::var("v"),
+        );
+        let assumption = Form::eq(Form::var("arrayState2"), state2);
+        // arrayState2 = arrayState[(elements,i) := v], j != i |-
+        //     arrayState2(elements, j) = arrayState(elements, j)
+        let goal = Form::eq(
+            Form::array_read(Form::var("arrayState2"), Form::var("elements"), Form::var("j")),
+            Form::array_read(Form::var("arrayState"), Form::var("elements"), Form::var("j")),
+        );
+        let problem = build_problem(
+            &[assumption.clone(), parse_form("~(j = i)").unwrap()],
+            &goal,
+            &env,
+        );
+        assert_eq!(refute(&problem.ground, &env, &ProverConfig::default()), GroundResult::Unsat);
+        // Hit case.
+        let goal_hit = Form::eq(
+            Form::array_read(Form::var("arrayState2"), Form::var("elements"), Form::var("i")),
+            Form::var("v"),
+        );
+        let problem = build_problem(&[assumption], &goal_hit, &env);
+        assert_eq!(refute(&problem.ground, &env, &ProverConfig::default()), GroundResult::Unsat);
+    }
+
+    #[test]
+    fn membership_after_set_expansion() {
+        // (i, o) in {(j, e) | 0 <= j & j < size & e = q} should follow from the
+        // component facts.
+        assert!(proves(
+            &["0 <= i", "i < size", "o = q"],
+            "(i, o) in {(j, e) : int * obj | 0 <= j & j < size & e = q}"
+        ));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        let env = env();
+        let mut config = ProverConfig::default();
+        config.max_branch_nodes = 1;
+        let assumptions = vec![parse_form("p | q").unwrap(), parse_form("~p | r").unwrap()];
+        let goal = parse_form("q | r").unwrap();
+        let problem = build_problem(&assumptions, &goal, &env);
+        assert_eq!(refute(&problem.ground, &env, &config), GroundResult::Unknown);
+    }
+
+    #[test]
+    fn theory_conflict_detects_plain_contradictions() {
+        let env = env();
+        let literals = vec![
+            parse_form("i < 3").unwrap(),
+            parse_form("3 < i").unwrap(),
+        ];
+        assert!(theory_conflict(&literals, &env));
+        let literals = vec![parse_form("i < 3").unwrap(), parse_form("i < 5").unwrap()];
+        assert!(!theory_conflict(&literals, &env));
+    }
+}

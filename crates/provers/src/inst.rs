@@ -1,0 +1,345 @@
+//! Bounded quantifier instantiation on top of the ground solver.
+//!
+//! Universally quantified assumptions are instantiated with ground terms of
+//! matching sorts drawn from the problem itself, in rounds, interleaved with
+//! ground refutation attempts.  The search is budgeted: the number of rounds,
+//! the instances per quantifier and the total number of instances are all
+//! capped.  This mirrors the behaviour of the paper's automated provers —
+//! powerful, but defeated by large assumption bases and by existential goals
+//! whose witness term does not already occur in the problem.  The integrated
+//! proof language exists precisely to remove those obstacles (`from` clauses
+//! shrink the assumption base, `witness`/`instantiate` supply the terms).
+
+use crate::ground::{refute, GroundResult};
+use crate::preprocess::Problem;
+use crate::ProverConfig;
+use ipl_logic::simplify::simplify;
+use ipl_logic::subst::substitute;
+use ipl_logic::{Form, Sort, SortEnv};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Attempts to refute the problem using ground reasoning plus bounded
+/// quantifier instantiation.
+pub fn refute_with_instantiation(
+    problem: &Problem,
+    env: &SortEnv,
+    config: &ProverConfig,
+    assumption_count: usize,
+) -> GroundResult {
+    // Extend the environment with the skolem symbols introduced during
+    // preprocessing so they can serve as instantiation candidates.
+    let mut env = env.clone();
+    for (name, sort) in &problem.skolems {
+        env.declare_var(name.clone(), sort.clone());
+        env.declare_fun(name.clone(), Vec::new(), sort.clone());
+    }
+    let env = &env;
+    let mut ground: Vec<Form> = problem.ground.clone();
+    let mut quantified: Vec<Form> = problem.quantified.clone();
+    let mut seen_instances: BTreeSet<Form> = BTreeSet::new();
+    let instance_budget = config.effective_instances(assumption_count);
+    let mut total_instances = 0usize;
+
+    for round in 0..=config.instantiation_rounds {
+        if refute(&ground, env, config) == GroundResult::Unsat {
+            return GroundResult::Unsat;
+        }
+        if round == config.instantiation_rounds {
+            break;
+        }
+        let pool = term_pool(ground.iter().chain(quantified.iter()), env);
+        let mut new_ground = Vec::new();
+        let mut new_quantified = Vec::new();
+        for quantifier in &quantified {
+            let instances = instantiate_one(quantifier, &pool, env, config);
+            for instance in instances {
+                if total_instances >= instance_budget {
+                    break;
+                }
+                if seen_instances.insert(instance.clone()) {
+                    total_instances += 1;
+                    match instance {
+                        Form::Forall(..) => new_quantified.push(instance),
+                        other => new_ground.push(other),
+                    }
+                }
+            }
+        }
+        if new_ground.is_empty() && new_quantified.is_empty() {
+            break; // nothing new to try
+        }
+        ground.extend(new_ground);
+        quantified.extend(new_quantified);
+    }
+    GroundResult::Unknown
+}
+
+/// A pool of ground terms grouped by sort, used as instantiation candidates.
+#[derive(Debug, Default)]
+pub struct TermPool {
+    by_sort: BTreeMap<Sort, Vec<Form>>,
+}
+
+impl TermPool {
+    /// Candidate terms for a binder of the given sort, smallest first.
+    pub fn candidates(&self, sort: &Sort) -> Vec<Form> {
+        let mut out = match sort {
+            Sort::Unknown => {
+                let mut all: Vec<Form> = Vec::new();
+                for terms in self.by_sort.values() {
+                    all.extend(terms.iter().cloned());
+                }
+                all
+            }
+            known => self.by_sort.get(known).cloned().unwrap_or_default(),
+        };
+        out.sort_by_key(Form::size);
+        out.dedup();
+        out
+    }
+
+    fn insert(&mut self, sort: Sort, term: Form) {
+        let entry = self.by_sort.entry(sort).or_default();
+        if !entry.contains(&term) {
+            entry.push(term);
+        }
+    }
+
+    /// Total number of pooled terms (for diagnostics).
+    pub fn len(&self) -> usize {
+        self.by_sort.values().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Collects the ground instantiation candidates occurring in the given
+/// formulas.
+pub fn term_pool<'a>(forms: impl Iterator<Item = &'a Form>, env: &SortEnv) -> TermPool {
+    let mut pool = TermPool::default();
+    // Seed with the obvious constants.
+    pool.insert(Sort::Int, Form::int(0));
+    pool.insert(Sort::Obj, Form::Null);
+    for form in forms {
+        collect_terms(form, env, &mut pool, &mut Vec::new());
+    }
+    pool
+}
+
+fn collect_terms(form: &Form, env: &SortEnv, pool: &mut TermPool, bound: &mut Vec<String>) {
+    match form {
+        Form::Forall(bs, body) | Form::Exists(bs, body) | Form::Compr(bs, body) => {
+            let n = bound.len();
+            bound.extend(bs.iter().map(|(v, _)| v.clone()));
+            collect_terms(body, env, pool, bound);
+            bound.truncate(n);
+            return;
+        }
+        _ => {}
+    }
+    // Consider this node itself as a candidate if it is a non-boolean term
+    // that does not mention bound variables and is not too large.
+    let sort = env.sort_of(form);
+    let is_candidate = matches!(sort, Sort::Int | Sort::Obj)
+        && form.size() <= 9
+        && !mentions(form, bound)
+        && !matches!(form, Form::Bool(_));
+    if is_candidate {
+        pool.insert(sort, form.clone());
+    }
+    form.for_each_child(|c| collect_terms(c, env, pool, bound));
+}
+
+fn mentions(form: &Form, names: &[String]) -> bool {
+    if names.is_empty() {
+        return false;
+    }
+    let fv = ipl_logic::free_vars(form);
+    names.iter().any(|n| fv.contains(n))
+}
+
+/// Generates instances of one universally quantified assumption.
+fn instantiate_one(
+    quantifier: &Form,
+    pool: &TermPool,
+    env: &SortEnv,
+    config: &ProverConfig,
+) -> Vec<Form> {
+    let (bindings, body) = match quantifier {
+        Form::Forall(bs, body) => (bs.clone(), (**body).clone()),
+        _ => return Vec::new(),
+    };
+    // Resolve unknown binder sorts from usage before picking candidates.
+    let resolved = env.annotate_binders(quantifier);
+    let bindings = match &resolved {
+        Form::Forall(bs, _) => bs.clone(),
+        _ => bindings,
+    };
+    let candidate_lists: Vec<Vec<Form>> =
+        bindings.iter().map(|(_, sort)| pool.candidates(sort)).collect();
+    if candidate_lists.iter().any(Vec::is_empty) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut indices = vec![0usize; bindings.len()];
+    let limit = config.max_instances_per_quantifier;
+    'outer: loop {
+        let mut map = HashMap::new();
+        for (slot, (name, _)) in bindings.iter().enumerate() {
+            map.insert(name.clone(), candidate_lists[slot][indices[slot]].clone());
+        }
+        let instance = simplify(&substitute(&body, &map));
+        if !instance.is_true() {
+            out.push(instance);
+        }
+        if out.len() >= limit {
+            break;
+        }
+        // Advance the odometer.
+        let mut slot = bindings.len();
+        loop {
+            if slot == 0 {
+                break 'outer;
+            }
+            slot -= 1;
+            indices[slot] += 1;
+            if indices[slot] < candidate_lists[slot].len() {
+                break;
+            }
+            indices[slot] = 0;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::build_problem;
+    use ipl_logic::parser::parse_form;
+
+    fn env() -> SortEnv {
+        let mut e = SortEnv::new();
+        for v in ["i", "j", "k", "size", "index", "x", "y"] {
+            e.declare_var(v, Sort::Int);
+        }
+        for v in ["o", "a", "b", "c", "first"] {
+            e.declare_var(v, Sort::Obj);
+        }
+        e.declare_var("next", Sort::obj_field());
+        e.declare_var("nodes", Sort::obj_set());
+        e.declare_var("content", Sort::int_obj_set());
+        e.declare_fun("p", vec![Sort::Int], Sort::Bool);
+        e.declare_fun("member", vec![Sort::Obj], Sort::Bool);
+        e
+    }
+
+    fn proves(assumptions: &[&str], goal: &str) -> bool {
+        proves_with(assumptions, goal, &ProverConfig::default())
+    }
+
+    fn proves_with(assumptions: &[&str], goal: &str, config: &ProverConfig) -> bool {
+        let env = env();
+        let assumptions: Vec<Form> =
+            assumptions.iter().map(|s| parse_form(s).unwrap()).collect();
+        let goal = parse_form(goal).unwrap();
+        let count = assumptions.len();
+        let problem = build_problem(&assumptions, &goal, &env);
+        refute_with_instantiation(&problem, &env, config, count) == GroundResult::Unsat
+    }
+
+    #[test]
+    fn universal_modus_ponens() {
+        assert!(proves(&["forall n:int. 0 <= n --> p(n)", "0 <= x"], "p(x)"));
+        assert!(!proves(&["forall n:int. 0 <= n --> p(n)"], "p(x)"));
+    }
+
+    #[test]
+    fn existential_goal_with_present_witness() {
+        // The witness `a` occurs in the assumptions, so instantiating the
+        // negated goal (a universal) with it succeeds.
+        assert!(proves(&["member(a)"], "exists w:obj. member(w)"));
+    }
+
+    #[test]
+    fn existential_goal_without_witness_fails() {
+        // No obj-sorted candidate matches: the bounded search cannot invent a
+        // witness (the situation the `witness` construct is for).
+        assert!(!proves(&["0 <= x"], "exists w:obj. member(w)"));
+    }
+
+    #[test]
+    fn quantified_invariant_applied_to_specific_index() {
+        assert!(proves(
+            &[
+                "forall j:int. 0 <= j & j < size --> p(j)",
+                "0 <= index",
+                "index < size"
+            ],
+            "p(index)"
+        ));
+    }
+
+    #[test]
+    fn universal_goal_via_fresh_constant() {
+        // Proving forall x. member(x) --> member(x) requires instantiating
+        // nothing; the negated goal is skolemised to a fresh constant.
+        assert!(proves(&[], "forall x:obj. member(x) --> member(x)"));
+        assert!(proves(
+            &["forall x:obj. member(x) --> interesting(x)"],
+            "forall y:obj. member(y) --> interesting(y)"
+        ));
+    }
+
+    #[test]
+    fn set_extensionality_with_instantiation() {
+        // content = old_content (as sets of pairs) implies a specific
+        // membership transfers.
+        assert!(proves(
+            &["content = old_content", "(i, o) in old_content"],
+            "(i, o) in content"
+        ));
+    }
+
+    #[test]
+    fn two_variable_quantifier() {
+        assert!(proves(
+            &[
+                "forall j:int, e:obj. (j, e) in content --> 0 <= j",
+                "(index, o) in content"
+            ],
+            "0 <= index"
+        ));
+    }
+
+    #[test]
+    fn budget_zero_rounds_cannot_use_quantifiers() {
+        let mut config = ProverConfig::default();
+        config.instantiation_rounds = 0;
+        assert!(!proves_with(
+            &["forall n:int. 0 <= n --> p(n)", "0 <= x"],
+            "p(x)",
+            &config
+        ));
+    }
+
+    #[test]
+    fn term_pool_collects_sorted_candidates() {
+        let env = env();
+        let forms = vec![
+            parse_form("0 <= index & index < size").unwrap(),
+            parse_form("first.next = a").unwrap(),
+        ];
+        let pool = term_pool(forms.iter(), &env);
+        assert!(!pool.is_empty());
+        let ints = pool.candidates(&Sort::Int);
+        assert!(ints.contains(&Form::var("index")));
+        assert!(ints.contains(&Form::var("size")));
+        let objs = pool.candidates(&Sort::Obj);
+        assert!(objs.contains(&Form::var("first")));
+        assert!(objs.iter().any(|t| t.to_string() == "first.next"));
+    }
+}

@@ -1,0 +1,165 @@
+//! # `ipl-provers` — the integrated-reasoning prover cascade
+//!
+//! Jahob dispatches every sequent to a cascade of reasoning systems
+//! (first-order provers, SMT solvers, MONA, BAPA), each with a timeout.  This
+//! crate reproduces that architecture with from-scratch reasoners:
+//!
+//! * [`syntactic`] — the cheap syntactic checks performed during splitting
+//!   (goal among assumptions, `false` among assumptions, reflexive goals);
+//! * [`ground`] — an SMT-lite solver for ground formulas: a tableau search
+//!   over the boolean structure with a theory back end combining congruence
+//!   closure ([`cc`]) and linear integer arithmetic (a Fourier–Motzkin
+//!   refutation shared with `ipl-bapa`);
+//! * [`inst`] — bounded quantifier instantiation on top of the ground solver
+//!   (the stand-in for the E-matching SMT solvers and the first-order provers
+//!   of the paper);
+//! * adapters for the [`ipl-bapa`] cardinality decision procedure and the
+//!   [`ipl-shape`] reachability prover;
+//! * [`cascade`] — the dispatcher that runs the provers in order with per-
+//!   prover budgets and records which prover discharged each sequent.
+//!
+//! The deliberate *incompleteness* of the bounded search is what gives the
+//! integrated proof language its purpose: `note`/`witness`/`instantiate`
+//! statements and `from` clauses shrink the search space so that these
+//! bounded provers succeed, exactly as described in the paper.
+
+pub mod cascade;
+pub mod cc;
+pub mod ground;
+pub mod inst;
+pub mod preprocess;
+pub mod syntactic;
+
+use ipl_logic::{Form, Labeled, SortEnv};
+use serde::{Deserialize, Serialize};
+
+pub use cascade::{Cascade, ProverAnswer};
+
+/// A proof query: prove `goal` from `assumptions` under the sort environment
+/// `env`.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Labelled assumptions (already filtered by any `from` clause).
+    pub assumptions: Vec<Labeled>,
+    /// The goal.
+    pub goal: Form,
+    /// Sorts of the free variables and signatures of the named symbols.
+    pub env: SortEnv,
+}
+
+impl Query {
+    /// Creates a query.
+    pub fn new(assumptions: Vec<Labeled>, goal: Form, env: SortEnv) -> Self {
+        Query { assumptions, goal, env }
+    }
+
+    /// The assumption formulas without their labels.
+    pub fn assumption_forms(&self) -> Vec<Form> {
+        self.assumptions.iter().map(|a| a.form.clone()).collect()
+    }
+}
+
+/// The outcome of a single prover on a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The implication was proved valid.
+    Proved,
+    /// The prover could not establish validity within its budget.
+    Unknown,
+}
+
+/// Resource budgets controlling the bounded search.  These are the knobs the
+/// Table 2 experiment and the ablation benchmarks turn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProverConfig {
+    /// Maximum number of branch nodes explored by the ground tableau.
+    pub max_branch_nodes: usize,
+    /// Number of quantifier-instantiation rounds.
+    pub instantiation_rounds: usize,
+    /// Maximum instances generated per quantifier per round.
+    pub max_instances_per_quantifier: usize,
+    /// Hard cap on the total number of generated instances.
+    pub max_total_instances: usize,
+    /// Wall-clock timeout per prover per sequent, in milliseconds.
+    pub per_prover_timeout_ms: u64,
+    /// Penalty factor applied to the instantiation budget as the assumption
+    /// base grows (models the paper's observation that large assumption bases
+    /// degrade the provers).
+    pub assumption_penalty_threshold: usize,
+}
+
+impl Default for ProverConfig {
+    fn default() -> Self {
+        ProverConfig {
+            max_branch_nodes: 60_000,
+            instantiation_rounds: 3,
+            max_instances_per_quantifier: 48,
+            max_total_instances: 1_500,
+            per_prover_timeout_ms: 2_000,
+            assumption_penalty_threshold: 28,
+        }
+    }
+}
+
+impl ProverConfig {
+    /// A configuration with a much smaller search budget; useful in tests and
+    /// for the "fast" cascade stage.
+    pub fn quick() -> Self {
+        ProverConfig {
+            max_branch_nodes: 8_000,
+            instantiation_rounds: 1,
+            max_instances_per_quantifier: 16,
+            max_total_instances: 200,
+            per_prover_timeout_ms: 500,
+            assumption_penalty_threshold: 20,
+        }
+    }
+
+    /// The effective instantiation budget for a query, reduced when the
+    /// assumption base is large (the phenomenon the `from` clause exists to
+    /// counteract).
+    pub fn effective_instances(&self, assumption_count: usize) -> usize {
+        if assumption_count > self.assumption_penalty_threshold {
+            (self.max_total_instances / 4).max(8)
+        } else {
+            self.max_total_instances
+        }
+    }
+}
+
+/// A single reasoning system in the cascade.
+pub trait Prover: Send + Sync {
+    /// Short name used in reports (e.g. `"smt-lite"`, `"bapa"`).
+    fn name(&self) -> &'static str;
+
+    /// Attempts to prove the query within the given budgets.
+    fn prove(&self, query: &Query, config: &ProverConfig) -> Outcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipl_logic::parser::parse_form;
+
+    #[test]
+    fn query_holds_assumptions_and_goal() {
+        let q = Query::new(
+            vec![Labeled::new("A", parse_form("x = 1").unwrap())],
+            parse_form("x = 1").unwrap(),
+            SortEnv::new(),
+        );
+        assert_eq!(q.assumption_forms().len(), 1);
+    }
+
+    #[test]
+    fn config_penalises_large_assumption_bases() {
+        let config = ProverConfig::default();
+        assert_eq!(config.effective_instances(5), config.max_total_instances);
+        assert!(config.effective_instances(100) < config.max_total_instances);
+    }
+
+    #[test]
+    fn quick_config_is_smaller() {
+        assert!(ProverConfig::quick().max_total_instances < ProverConfig::default().max_total_instances);
+    }
+}

@@ -1,0 +1,97 @@
+//! The cheap syntactic prover: the checks the paper performs during
+//! splitting ("eliminates simple syntactically valid implications, such as
+//! those whose goal occurs as one of the assumptions, or those whose
+//! assumptions contain false").
+
+use crate::{Outcome, Prover, ProverConfig, Query};
+use ipl_logic::simplify::simplify;
+use ipl_logic::Form;
+
+/// The syntactic validity prover.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Syntactic;
+
+impl Prover for Syntactic {
+    fn name(&self) -> &'static str {
+        "syntactic"
+    }
+
+    fn prove(&self, query: &Query, _config: &ProverConfig) -> Outcome {
+        let goal = simplify(&query.goal);
+        if goal.is_true() {
+            return Outcome::Proved;
+        }
+        if let Form::Eq(a, b) = &goal {
+            if a == b {
+                return Outcome::Proved;
+            }
+        }
+        for assumption in &query.assumptions {
+            let form = simplify(&assumption.form);
+            if form.is_false() {
+                return Outcome::Proved;
+            }
+            if form == goal {
+                return Outcome::Proved;
+            }
+            // A conjunction containing the goal verbatim also suffices.
+            if form.conjuncts().iter().any(|c| **c == goal) {
+                return Outcome::Proved;
+            }
+        }
+        Outcome::Unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipl_logic::parser::parse_form;
+    use ipl_logic::{Labeled, SortEnv};
+
+    fn query(assumptions: &[&str], goal: &str) -> Query {
+        Query::new(
+            assumptions
+                .iter()
+                .enumerate()
+                .map(|(i, s)| Labeled::new(format!("A{i}"), parse_form(s).unwrap()))
+                .collect(),
+            parse_form(goal).unwrap(),
+            SortEnv::new(),
+        )
+    }
+
+    #[test]
+    fn true_goals_are_trivial() {
+        assert_eq!(Syntactic.prove(&query(&[], "true"), &ProverConfig::default()), Outcome::Proved);
+        assert_eq!(Syntactic.prove(&query(&[], "x = x"), &ProverConfig::default()), Outcome::Proved);
+        assert_eq!(
+            Syntactic.prove(&query(&[], "1 + 1 = 2"), &ProverConfig::default()),
+            Outcome::Proved
+        );
+    }
+
+    #[test]
+    fn goal_among_assumptions() {
+        assert_eq!(
+            Syntactic.prove(&query(&["p & q"], "p"), &ProverConfig::default()),
+            Outcome::Proved
+        );
+        assert_eq!(
+            Syntactic.prove(&query(&["p"], "q"), &ProverConfig::default()),
+            Outcome::Unknown
+        );
+    }
+
+    #[test]
+    fn false_assumption_discharges_anything() {
+        assert_eq!(
+            Syntactic.prove(&query(&["false"], "q"), &ProverConfig::default()),
+            Outcome::Proved
+        );
+        assert_eq!(
+            Syntactic.prove(&query(&["x < x + 0 - 0 & false"], "q"), &ProverConfig::default()),
+            Outcome::Proved
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Array List benchmark: the worked example of Section 2 of the paper.  The
+//! abstract state is defined by a comprehension `vardef`, and the `indexOf`
+//! method uses the `note` + `witness` pattern from Figure 1: a lemma proved
+//! with a restricted assumption base followed by an explicit witness for the
+//! existentially quantified postcondition.
+
+/// Annotated source of the Array List module.
+pub const SOURCE: &str = r#"
+module ArrayList {
+  var elements: objarray;
+  var size: int;
+  specvar content: set<int * obj>;
+  vardef content = "{(i, n) : int * obj | 0 <= i & i < size & n = elements[i]}";
+  specvar csize: int;
+  vardef csize = "size";
+  specvar init: bool;
+  invariant SizeNonNeg: "0 <= size";
+
+  method initialize()
+    modifies size, csize, content, init
+    ensures "init & size = 0"
+  {
+    size := 0;
+    ghost init := "true";
+  }
+
+  method get(i: int) returns (o: obj)
+    requires "init & 0 <= i & i < size"
+    ensures "o = elements[i] & (i, o) in content"
+  {
+    o := elements[i];
+  }
+
+  method set(i: int, o: obj)
+    requires "init & 0 <= i & i < size"
+    modifies arrayState, content
+    ensures "elements[i] = o & (i, o) in content"
+  {
+    elements[i] := o;
+  }
+
+  method add(o: obj)
+    requires "init"
+    modifies size, csize, content, arrayState
+    ensures "(old(size), o) in content & size = old(size) + 1"
+  {
+    elements[size] := o;
+    size := size + 1;
+    note Stored: "elements[old(size)] = o" from assign_arrayState, old_size, assign_size;
+    note Grew: "size = old(size) + 1 & 0 <= old(size)" from assign_size, old_size, SizeNonNeg, Precondition;
+  }
+
+  method indexOf(o: obj) returns (found: bool, idx: int)
+    requires "init"
+    ensures "found --> (idx, o) in content"
+    ensures "found --> (exists i:int. (i, o) in content)"
+  {
+    var j: int := 0;
+    found := false;
+    idx := 0;
+    while (j < size)
+      invariant "0 <= j & size = old(size)"
+      invariant "found --> (idx, o) in content"
+      invariant "found --> 0 <= idx & idx < size"
+    {
+      if (elements[j] == o) {
+        found := true;
+        idx := j;
+        note Hit: "(j, o) in content" from content_def, IfCond, LoopCondition, LoopInv;
+      }
+      j := j + 1;
+    }
+    if (found) {
+      witness "idx" for Witness: "exists i:int. (i, o) in content";
+    } else {
+      skip;
+    }
+  }
+
+  method sizeOf() returns (n: int)
+    requires "init"
+    ensures "n = csize"
+  {
+    n := size;
+  }
+}
+"#;

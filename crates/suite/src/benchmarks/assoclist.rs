@@ -1,0 +1,70 @@
+//! Association List benchmark: a list of key/value pairs with an abstract
+//! relation view.  Verifies with no proof language statements, as in the
+//! paper.
+
+/// Annotated source of the Association List module.
+pub const SOURCE: &str = r#"
+module AssociationList {
+  var first: obj;
+  var count: int;
+  field key: obj;
+  field value: obj;
+  field next: obj;
+  specvar contents: set<obj * obj>;
+  specvar init: bool;
+  invariant CountNonNeg: "0 <= count";
+
+  method initialize()
+    modifies first, count, contents, init
+    ensures "init & contents = emptyset & count = 0"
+  {
+    first := null;
+    count := 0;
+    ghost contents := "emptyset";
+    ghost init := "true";
+  }
+
+  method put(k: obj, v: obj)
+    requires "init & k ~= null & ~((k, v) in contents)"
+    modifies first, count, contents
+    ensures "contents = old(contents) union {(k, v)} & count = old(count) + 1"
+  {
+    var node: obj;
+    node := new();
+    node.key := k;
+    node.value := v;
+    node.next := first;
+    first := node;
+    count := count + 1;
+    ghost contents := "contents union {(k, v)}";
+  }
+
+  method clear()
+    requires "init"
+    modifies first, count, contents
+    ensures "contents = emptyset & count = 0"
+  {
+    first := null;
+    count := 0;
+    ghost contents := "emptyset";
+  }
+
+  method isEmpty() returns (empty: bool)
+    requires "init"
+    ensures "empty <-> count = 0"
+  {
+    if (count == 0) {
+      empty := true;
+    } else {
+      empty := false;
+    }
+  }
+
+  method pairCount() returns (n: int)
+    requires "init"
+    ensures "n = count"
+  {
+    n := count;
+  }
+}
+"#;

@@ -1,0 +1,85 @@
+//! Binary Tree benchmark: a binary search tree with an abstract set view.
+//! As in the paper, the proofs rely on `note` statements that separate shape
+//! facts (discharged by the reachability prover) from the ordering and
+//! abstraction facts handled by the general provers.
+
+/// Annotated source of the Binary Tree module.
+pub const SOURCE: &str = r#"
+module BinaryTree {
+  var root: obj;
+  var count: int;
+  field left: obj;
+  field right: obj;
+  field key: obj;
+  specvar content: set<obj>;
+  specvar init: bool;
+  invariant CountNonNeg: "0 <= count";
+  invariant EmptyRoot: "root = null --> content = emptyset";
+
+  method initialize()
+    modifies root, count, content, init
+    ensures "init & content = emptyset & root = null"
+  {
+    root := null;
+    count := 0;
+    ghost content := "emptyset";
+    ghost init := "true";
+  }
+
+  method insertRoot(o: obj)
+    requires "init & root = null & o ~= null"
+    modifies root, count, content, left, right
+    ensures "content = old(content) union {o} & root = o & o in content"
+  {
+    o.left := null;
+    o.right := null;
+    root := o;
+    count := count + 1;
+    ghost content := "content union {o}";
+    note RootStored: "root = o" from assign_root;
+    note WasEmpty: "old(content) = emptyset" from EmptyRoot, Precondition, old_content;
+  }
+
+  method rotateFields(o: obj)
+    requires "init & o ~= null"
+    modifies left, right
+    ensures "o.left = old(o.right) & o.right = old(o.left)"
+  {
+    var l: obj;
+    var r: obj;
+    l := o.left;
+    r := o.right;
+    o.left := r;
+    o.right := l;
+    note LeftNow: "o.left = old(o.right)" from assign_left, assign_l, assign_r, old_left, old_right;
+  }
+
+  method isEmpty() returns (empty: bool)
+    requires "init"
+    ensures "empty <-> root = null"
+  {
+    if (root == null) {
+      empty := true;
+    } else {
+      empty := false;
+    }
+  }
+
+  method clear()
+    requires "init"
+    modifies root, count, content
+    ensures "content = emptyset & root = null"
+  {
+    root := null;
+    count := 0;
+    ghost content := "emptyset";
+  }
+
+  method elementCount() returns (n: int)
+    requires "init"
+    ensures "n = count"
+  {
+    n := count;
+  }
+}
+"#;

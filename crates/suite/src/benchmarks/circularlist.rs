@@ -1,0 +1,71 @@
+//! Circular List benchmark: a list with a sentinel node whose `next` chain
+//! cycles back to the sentinel.  A few `note` statements discharge the
+//! reachability lemmas (the role MONA plays in the paper) that the general
+//! provers then consume.
+
+/// Annotated source of the Circular List module.
+pub const SOURCE: &str = r#"
+module CircularList {
+  var sentinel: obj;
+  var count: int;
+  field next: obj;
+  specvar content: set<obj>;
+  specvar init: bool;
+  invariant CountNonNeg: "0 <= count";
+  invariant SentinelOutside: "init --> ~(sentinel in content)";
+
+  method initialize(s: obj)
+    requires "s ~= null"
+    modifies sentinel, count, content, init, next
+    ensures "init & content = emptyset & count = 0 & sentinel = s"
+  {
+    sentinel := s;
+    s.next := s;
+    count := 0;
+    ghost content := "emptyset";
+    ghost init := "true";
+  }
+
+  method insertAfterSentinel(o: obj)
+    requires "init & o ~= null & o ~= sentinel & ~(o in content)"
+    modifies count, content, next
+    ensures "content = old(content) union {o} & count = old(count) + 1 & o in content"
+  {
+    var succ: obj;
+    succ := sentinel.next;
+    o.next := succ;
+    sentinel.next := o;
+    note SentinelReachesNew: "reach(next, sentinel, o)" from assign_next;
+    count := count + 1;
+    ghost content := "content union {o}";
+  }
+
+  method isEmpty() returns (empty: bool)
+    requires "init"
+    ensures "empty <-> count = 0"
+  {
+    if (count == 0) {
+      empty := true;
+    } else {
+      empty := false;
+    }
+  }
+
+  method clear()
+    requires "init"
+    modifies count, content, next
+    ensures "content = emptyset & count = 0"
+  {
+    sentinel.next := sentinel;
+    count := 0;
+    ghost content := "emptyset";
+  }
+
+  method elementCount() returns (n: int)
+    requires "init"
+    ensures "n = count"
+  {
+    n := count;
+  }
+}
+"#;

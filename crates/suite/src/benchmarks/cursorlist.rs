@@ -1,0 +1,67 @@
+//! Cursor List benchmark: a list traversed through a cursor index.
+//! Verifies with no proof language statements, as in the paper.
+
+/// Annotated source of the Cursor List module.
+pub const SOURCE: &str = r#"
+module CursorList {
+  var size: int;
+  var cursor: int;
+  var store: objarray;
+  specvar init: bool;
+  invariant CursorLower: "init --> 0 <= cursor";
+  invariant CursorUpper: "init --> cursor <= size";
+  invariant SizeNonNeg: "init --> 0 <= size";
+
+  method initialize()
+    modifies size, cursor, init
+    ensures "init & size = 0 & cursor = 0"
+  {
+    size := 0;
+    cursor := 0;
+    ghost init := "true";
+  }
+
+  method reset()
+    requires "init"
+    modifies cursor
+    ensures "cursor = 0"
+  {
+    cursor := 0;
+  }
+
+  method advance()
+    requires "init & cursor < size"
+    modifies cursor
+    ensures "cursor = old(cursor) + 1"
+  {
+    cursor := cursor + 1;
+  }
+
+  method atEnd() returns (done: bool)
+    requires "init"
+    ensures "done <-> cursor = size"
+  {
+    if (cursor == size) {
+      done := true;
+    } else {
+      done := false;
+    }
+  }
+
+  method current() returns (o: obj)
+    requires "init & cursor < size"
+    ensures "o = store[cursor]"
+  {
+    o := store[cursor];
+  }
+
+  method addAtEnd(o: obj)
+    requires "init"
+    modifies size, arrayState
+    ensures "size = old(size) + 1 & store[old(size)] = o"
+  {
+    store[size] := o;
+    size := size + 1;
+  }
+}
+"#;

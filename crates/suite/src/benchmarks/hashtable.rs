@@ -1,0 +1,88 @@
+//! Hash Table benchmark: a key/value store backed by parallel key and value
+//! arrays with an abstract relation and key-set view.  This is the structure
+//! that leans most heavily on the integrated proof language: `note`
+//! statements with `from` clauses control the assumption base, `localize`
+//! keeps intermediate lemmas local, `witness`/`mp`/`instantiate`/`cases`
+//! finish mixed goals, and the cardinality invariant relating the key set to
+//! the size is discharged by the BAPA reasoner.
+
+/// Annotated source of the Hash Table module.
+pub const SOURCE: &str = r#"
+module HashTable {
+  var keysArr: intarray;
+  var valsArr: objarray;
+  var size: int;
+  specvar contents: set<int * obj>;
+  specvar keyset: set<int>;
+  specvar csize: int;
+  vardef csize = "size";
+  specvar init: bool;
+  invariant SizeNonNeg: "0 <= size";
+  invariant KeyCount: "card(keyset) <= csize";
+
+  method initialize()
+    modifies size, csize, contents, keyset, init
+    ensures "init & size = 0 & keyset = emptyset & contents = emptyset"
+  {
+    size := 0;
+    ghost keyset := "emptyset";
+    ghost contents := "emptyset";
+    ghost init := "true";
+  }
+
+  method put(k: int, v: obj)
+    requires "init & ~(k in keyset)"
+    modifies size, csize, contents, keyset, arrayState, intArrayState
+    ensures "contents = old(contents) union {(k, v)} & keyset = old(keyset) union {k}"
+    ensures "(k, v) in contents & card(keyset) = card(old(keyset)) + 1"
+  {
+    keysArr[size] := k;
+    valsArr[size] := v;
+    size := size + 1;
+    ghost contents := "contents union {(k, v)}";
+    ghost keyset := "keyset union {k}";
+    note StoredKey: "keysArr[old(size)] = k" from assign_intArrayState, old_size, assign_size;
+    note StoredVal: "valsArr[old(size)] = v" from assign_arrayState, old_size, assign_size;
+    localize Bounds: "0 <= old(size) & old(size) < size" {
+      note SizeGrew: "size = old(size) + 1" from assign_size, old_size;
+      note Lower: "0 <= old(size)" from SizeNonNeg, old_size;
+    }
+    note FreshKey: "~(k in old(keyset))" from Precondition, old_keyset;
+  }
+
+  method lookupAt(i: int) returns (k: int, v: obj)
+    requires "init & 0 <= i & i < size"
+    ensures "k = keysArr[i] & v = valsArr[i]"
+    ensures "exists j:int. 0 <= j & j < size & keysArr[j] = k"
+  {
+    k := keysArr[i];
+    v := valsArr[i];
+    witness "i" for SomeSlot: "exists j:int. 0 <= j & j < size & keysArr[j] = k";
+  }
+
+  method keyCount() returns (n: int)
+    requires "init"
+    ensures "card(keyset) <= n"
+  {
+    instantiate SelfBound: "forall m:int. m <= csize --> m <= csize" with "card(keyset)";
+    mp UseInvariant: "card(keyset) <= csize --> card(keyset) <= csize";
+    cases "card(keyset) < csize", "card(keyset) = csize" for AtMost: "card(keyset) <= csize";
+    n := size;
+  }
+
+  method sizeOf() returns (n: int)
+    requires "init"
+    ensures "n = csize"
+  {
+    n := size;
+  }
+
+  method hasRoom(capacity: int) returns (ok: bool)
+    requires "init & csize < capacity"
+    ensures "ok --> card(keyset) < capacity"
+  {
+    note CountBound: "card(keyset) < capacity" from KeyCount, Precondition;
+    ok := true;
+  }
+}
+"#;

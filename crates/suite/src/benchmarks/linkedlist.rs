@@ -1,0 +1,73 @@
+//! Linked List benchmark: a singly linked list with an abstract set view.
+//! As in the paper (Table 1), this structure verifies with **no** integrated
+//! proof language statements.
+
+/// Annotated source of the Linked List module.
+pub const SOURCE: &str = r#"
+module LinkedList {
+  var first: obj;
+  var size: int;
+  field next: obj;
+  specvar content: set<obj>;
+  specvar init: bool;
+  invariant SizeNonNeg: "0 <= size";
+
+  method initialize()
+    modifies first, size, content, init
+    ensures "init & content = emptyset & size = 0"
+  {
+    first := null;
+    size := 0;
+    ghost content := "emptyset";
+    ghost init := "true";
+  }
+
+  method addFirst(o: obj)
+    requires "init & o ~= null & ~(o in content)"
+    modifies first, size, content
+    ensures "content = old(content) union {o} & size = old(size) + 1 & o in content"
+  {
+    var node: obj;
+    node := o;
+    node.next := first;
+    first := node;
+    size := size + 1;
+    ghost content := "content union {o}";
+  }
+
+  method isEmpty() returns (empty: bool)
+    requires "init"
+    ensures "empty <-> size = 0"
+  {
+    if (size == 0) {
+      empty := true;
+    } else {
+      empty := false;
+    }
+  }
+
+  method clear()
+    requires "init"
+    modifies first, size, content
+    ensures "content = emptyset & size = 0"
+  {
+    first := null;
+    size := 0;
+    ghost content := "emptyset";
+  }
+
+  method sizeOf() returns (n: int)
+    requires "init"
+    ensures "n = size"
+  {
+    n := size;
+  }
+
+  method head() returns (h: obj)
+    requires "init"
+    ensures "h = first"
+  {
+    h := first;
+  }
+}
+"#;

@@ -1,0 +1,89 @@
+//! The benchmark suite: the eight linked data structures of the paper's
+//! evaluation (Section 6), written in the surface language of `ipl-lang`
+//! with specifications and integrated proof commands.
+//!
+//! The implementations are scaled-down but faithful in kind: each module
+//! maintains an abstract `content` view of the structure, the more complex
+//! structures (array list, priority queue, hash table, binary tree) rely on
+//! `vardef` abstraction functions, `note`/`from` assumption-base control,
+//! `witness`, `instantiate`, `assuming`/`pickAny`, `cases` and `localize`
+//! statements, while the simple structures (association list, cursor list,
+//! linked list) verify fully automatically — reproducing the usage pattern
+//! reported in Table 1 of the paper.
+
+mod arraylist;
+mod assoclist;
+mod binarytree;
+mod circularlist;
+mod cursorlist;
+mod hashtable;
+mod linkedlist;
+mod priorityqueue;
+
+/// A named benchmark: a data structure written in the surface language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Benchmark {
+    /// Display name (matches the paper's Table 1 rows).
+    pub name: &'static str,
+    /// Source text of the annotated module.
+    pub source: &'static str,
+}
+
+/// All eight data structures, in the order of Table 1.
+pub fn all() -> Vec<Benchmark> {
+    vec![
+        Benchmark { name: "Hash Table", source: hashtable::SOURCE },
+        Benchmark { name: "Priority Queue", source: priorityqueue::SOURCE },
+        Benchmark { name: "Binary Tree", source: binarytree::SOURCE },
+        Benchmark { name: "Array List", source: arraylist::SOURCE },
+        Benchmark { name: "Circular List", source: circularlist::SOURCE },
+        Benchmark { name: "Cursor List", source: cursorlist::SOURCE },
+        Benchmark { name: "Association List", source: assoclist::SOURCE },
+        Benchmark { name: "Linked List", source: linkedlist::SOURCE },
+    ]
+}
+
+/// Looks a benchmark up by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all().into_iter().find(|b| b.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_parse_and_lower() {
+        for benchmark in all() {
+            let module = ipl_lang::parse_module(benchmark.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", benchmark.name));
+            ipl_lang::lower_module(&module)
+                .unwrap_or_else(|e| panic!("{}: lowering error: {e}", benchmark.name));
+        }
+    }
+
+    #[test]
+    fn there_are_eight_benchmarks() {
+        assert_eq!(all().len(), 8);
+        assert!(by_name("array list").is_some());
+        assert!(by_name("no such structure").is_none());
+    }
+
+    #[test]
+    fn complex_structures_use_more_guidance_than_simple_ones() {
+        let counts = |name: &str| {
+            let benchmark = by_name(name).unwrap();
+            let module = ipl_lang::parse_module(benchmark.source).unwrap();
+            let lowered = ipl_lang::lower_module(&module).unwrap();
+            lowered
+                .methods
+                .iter()
+                .map(|m| m.counts.total_proof_statements())
+                .sum::<usize>()
+        };
+        let hash = counts("Hash Table");
+        let linked = counts("Linked List");
+        assert!(hash > linked, "hash table ({hash}) should need more guidance than linked list ({linked})");
+        assert_eq!(linked, 0, "the linked list verifies without proof statements");
+    }
+}

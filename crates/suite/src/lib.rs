@@ -1,0 +1,93 @@
+//! # `ipl-suite` — the benchmark suite and the paper's tables
+//!
+//! This crate contains the eight linked data structures of the paper's
+//! evaluation ([`benchmarks`]) written in the annotated surface language, and
+//! the harnesses that regenerate the two tables of Section 6:
+//!
+//! * [`table1`] — Table 1: per-structure method/statement/specification and
+//!   proof-construct counts together with verification time;
+//! * [`table2`] — Table 2: methods and sequents verified *without* the
+//!   integrated proof language constructs versus *with* them.
+
+pub mod benchmarks;
+pub mod table1;
+pub mod table2;
+
+pub use benchmarks::{all, by_name, Benchmark};
+use ipl_provers::ProverConfig;
+
+/// The prover configuration used by the table harnesses: identical to the
+/// default cascade but with a tighter per-prover timeout so that the full
+/// suite completes quickly even when sequents fail (which is the expected
+/// outcome for the "without proof constructs" configuration).
+pub fn suite_config() -> ProverConfig {
+    ProverConfig { per_prover_timeout_ms: 800, ..ProverConfig::default() }
+}
+
+/// Verifies one benchmark and returns its report.
+pub fn verify_benchmark(
+    benchmark: &Benchmark,
+    options: &ipl_core::VerifyOptions,
+) -> Result<ipl_core::ModuleReport, String> {
+    ipl_core::verify_source(benchmark.source, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linked_list_verifies_almost_completely() {
+        let benchmark = by_name("Linked List").unwrap();
+        let options = ipl_core::VerifyOptions {
+            config: suite_config(),
+            ..ipl_core::VerifyOptions::default()
+        };
+        let report = verify_benchmark(&benchmark, &options).unwrap();
+        // The bounded provers discharge the vast majority of the obligations;
+        // the residual unproved sequents are listed in EXPERIMENTS.md.
+        assert!(
+            report.proved_sequents() * 100 >= report.total_sequents() * 85,
+            "linked list should verify at least 85% of its sequents:\n{}",
+            report.render()
+        );
+        let add_first = report.methods.iter().find(|m| m.name == "addFirst").unwrap();
+        assert!(add_first.fully_proved(), "addFirst verifies completely:\n{}", report.render());
+        let is_empty = report.methods.iter().find(|m| m.name == "isEmpty").unwrap();
+        assert!(is_empty.fully_proved(), "isEmpty verifies completely:\n{}", report.render());
+    }
+
+    #[test]
+    fn priority_queue_induction_needs_the_induct_construct() {
+        let benchmark = by_name("Priority Queue").unwrap();
+        let options = ipl_core::VerifyOptions {
+            config: suite_config(),
+            ..ipl_core::VerifyOptions::default()
+        };
+        let module = ipl_lang::parse_module(benchmark.source).unwrap();
+        let lowered = ipl_lang::lower_module(&module).unwrap();
+        let check_level = lowered.methods.iter().find(|m| m.name == "checkLevel").unwrap();
+        let cascade = ipl_provers::Cascade::standard(options.config);
+        let proved_post = |report: &ipl_core::MethodReport| {
+            report
+                .sequents
+                .iter()
+                .filter(|s| s.goal_label == "Postcondition")
+                .all(|s| s.proved)
+        };
+        let with = ipl_core::verify_method(check_level, &cascade, &options);
+        assert!(
+            proved_post(&with),
+            "with induct the levelOk(k) postcondition is proved: {with:?}"
+        );
+        let without =
+            ipl_core::verify_method(check_level, &cascade, &ipl_core::VerifyOptions {
+                config: suite_config(),
+                ..ipl_core::VerifyOptions::without_proof_constructs()
+            });
+        assert!(
+            !proved_post(&without),
+            "without induct the postcondition requires mathematical induction and must fail"
+        );
+    }
+}

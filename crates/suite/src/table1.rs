@@ -1,0 +1,149 @@
+//! Reproduction of **Table 1** of the paper: method, statement, specification
+//! and integrated-proof-language construct counts for the verified data
+//! structures, together with verification time.
+
+use crate::benchmarks::{all, Benchmark};
+use ipl_core::VerifyOptions;
+use ipl_gcl::cmd::ConstructCounts;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Data structure name.
+    pub name: String,
+    /// Number of methods.
+    pub methods: usize,
+    /// Number of executable statements.
+    pub statements: usize,
+    /// Verification time.
+    pub time: Duration,
+    /// Number of specification variables.
+    pub specvars: usize,
+    /// Number of data structure invariants.
+    pub invariants: usize,
+    /// Aggregated proof-construct counts.
+    pub counts: ConstructCounts,
+    /// Methods fully verified / total (for the honesty column of the
+    /// reproduction — the paper verifies everything).
+    pub methods_verified: usize,
+}
+
+/// Generates Table 1 by verifying every benchmark with its proof constructs.
+pub fn generate(options: &VerifyOptions) -> Vec<Table1Row> {
+    all().iter().map(|b| row(b, options)).collect()
+}
+
+/// Generates one row.
+pub fn row(benchmark: &Benchmark, options: &VerifyOptions) -> Table1Row {
+    let report = ipl_core::verify_source(benchmark.source, options)
+        .unwrap_or_else(|e| panic!("{}: {e}", benchmark.name));
+    Table1Row {
+        name: benchmark.name.to_string(),
+        methods: report.method_count,
+        statements: report.statement_count,
+        time: report.total_duration(),
+        specvars: report.specvar_count,
+        invariants: report.invariant_count,
+        counts: report.total_counts(),
+        methods_verified: report.methods_verified(),
+    }
+}
+
+/// Renders the table in the layout of the paper.
+pub fn render(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Data Structure      Meth  Stmt  Time(s)  Spec  Inv  LoopInv  note(from)  loc  assm  mp  pAny  inst  wit  pWit  case  ind\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<19} {:>4} {:>5} {:>8.2} {:>5} {:>4} {:>8} {:>6}({:<3}) {:>4} {:>5} {:>3} {:>5} {:>5} {:>4} {:>5} {:>5} {:>4}\n",
+            r.name,
+            r.methods,
+            r.statements,
+            r.time.as_secs_f64(),
+            r.specvars,
+            r.invariants,
+            r.counts.loop_invariants,
+            r.counts.note,
+            r.counts.note_with_from,
+            r.counts.localize,
+            r.counts.assuming,
+            r.counts.mp,
+            r.counts.pick_any,
+            r.counts.instantiate,
+            r.counts.witness,
+            r.counts.pick_witness,
+            r.counts.cases,
+            r.counts.induct,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_counts_do_not_require_running_the_provers() {
+        // Structure statistics (everything except time and verification
+        // status) are available from lowering alone; check a couple of rows.
+        let arraylist = crate::by_name("Array List").unwrap();
+        let module = ipl_lang::parse_module(arraylist.source).unwrap();
+        let lowered = ipl_lang::lower_module(&module).unwrap();
+        let mut counts = ConstructCounts::default();
+        for m in &lowered.methods {
+            counts.add(&m.counts);
+        }
+        assert!(counts.note >= 3, "array list uses note statements");
+        assert!(counts.witness >= 1, "array list uses a witness statement");
+
+        let hash = crate::by_name("Hash Table").unwrap();
+        let module = ipl_lang::parse_module(hash.source).unwrap();
+        let lowered = ipl_lang::lower_module(&module).unwrap();
+        let mut hash_counts = ConstructCounts::default();
+        for m in &lowered.methods {
+            hash_counts.add(&m.counts);
+        }
+        assert!(hash_counts.localize >= 1);
+        assert!(hash_counts.instantiate >= 1);
+        assert!(hash_counts.mp >= 1);
+        assert!(hash_counts.cases >= 1);
+        assert!(
+            hash_counts.total_proof_statements() > counts.total_proof_statements() / 2,
+            "hash table is proof-heavy"
+        );
+    }
+
+    #[test]
+    fn render_produces_one_line_per_structure() {
+        let rows: Vec<Table1Row> = crate::all()
+            .iter()
+            .map(|b| {
+                let module = ipl_lang::parse_module(b.source).unwrap();
+                let lowered = ipl_lang::lower_module(&module).unwrap();
+                let mut counts = ConstructCounts::default();
+                for m in &lowered.methods {
+                    counts.add(&m.counts);
+                }
+                Table1Row {
+                    name: b.name.to_string(),
+                    methods: module.methods.len(),
+                    statements: module.statement_count(),
+                    time: Duration::from_secs(0),
+                    specvars: module.specvars.len(),
+                    invariants: module.invariants.len(),
+                    counts,
+                    methods_verified: 0,
+                }
+            })
+            .collect();
+        let text = render(&rows);
+        assert_eq!(text.lines().count(), 9, "header plus eight rows");
+        assert!(text.contains("Hash Table"));
+        assert!(text.contains("Linked List"));
+    }
+}

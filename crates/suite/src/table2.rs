@@ -1,0 +1,102 @@
+//! Reproduction of **Table 2** of the paper: the effect of the integrated
+//! proof language constructs — methods and sequents verified without the
+//! constructs versus with them.
+
+use crate::benchmarks::{all, Benchmark};
+use ipl_core::VerifyOptions;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Data structure name.
+    pub name: String,
+    /// Methods fully verified without proof constructs.
+    pub methods_without: usize,
+    /// Sequents proved without proof constructs.
+    pub sequents_without: usize,
+    /// Total sequents without proof constructs.
+    pub sequents_total_without: usize,
+    /// Methods fully verified with proof constructs.
+    pub methods_with: usize,
+    /// Total number of methods.
+    pub methods_total: usize,
+    /// Sequents proved with proof constructs.
+    pub sequents_with: usize,
+    /// Total sequents with proof constructs.
+    pub sequents_total_with: usize,
+}
+
+/// Generates Table 2 by running each benchmark twice.
+pub fn generate(options: &VerifyOptions) -> Vec<Table2Row> {
+    all().iter().map(|b| row(b, options)).collect()
+}
+
+/// Generates one row.
+pub fn row(benchmark: &Benchmark, options: &VerifyOptions) -> Table2Row {
+    let without_options = VerifyOptions {
+        use_proof_constructs: false,
+        config: options.config,
+        use_from_clauses: options.use_from_clauses,
+        record_sequents: false,
+    };
+    let with_options = VerifyOptions { record_sequents: false, ..options.clone() };
+    let without = ipl_core::verify_source(benchmark.source, &without_options)
+        .unwrap_or_else(|e| panic!("{}: {e}", benchmark.name));
+    let with = ipl_core::verify_source(benchmark.source, &with_options)
+        .unwrap_or_else(|e| panic!("{}: {e}", benchmark.name));
+    Table2Row {
+        name: benchmark.name.to_string(),
+        methods_without: without.methods_verified(),
+        sequents_without: without.proved_sequents(),
+        sequents_total_without: without.total_sequents(),
+        methods_with: with.methods_verified(),
+        methods_total: with.method_count,
+        sequents_with: with.proved_sequents(),
+        sequents_total_with: with.total_sequents(),
+    }
+}
+
+/// Renders the table in the layout of the paper.
+pub fn render(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str("                         Without Proof Constructs        With Proof Constructs\n");
+    out.push_str("Data Structure      Methods Verified  Sequents Verified   Methods Verified  Sequents Verified\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<19} {:>7} of {:<6} {:>7} of {:<8} {:>9} of {:<6} {:>7} of {:<6}\n",
+            r.name,
+            r.methods_without,
+            r.methods_total,
+            r.sequents_without,
+            r.sequents_total_without,
+            r.methods_with,
+            r.methods_total,
+            r.sequents_with,
+            r.sequents_total_with,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_layout() {
+        let rows = vec![Table2Row {
+            name: "Linked List".into(),
+            methods_without: 6,
+            sequents_without: 40,
+            sequents_total_without: 40,
+            methods_with: 6,
+            methods_total: 6,
+            sequents_with: 44,
+            sequents_total_with: 44,
+        }];
+        let text = render(&rows);
+        assert!(text.contains("Linked List"));
+        assert!(text.contains("6 of 6"));
+    }
+}

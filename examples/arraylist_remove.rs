@@ -1,0 +1,33 @@
+//! The Section 2 worked example: the Array List with the `note` + `witness`
+//! pattern, verified with and without the two guiding statements.
+//!
+//! Run with `cargo run --example arraylist_remove`.
+
+use ipl::core::{VerifyOptions, verify_source};
+use ipl::suite::by_name;
+
+fn main() {
+    let benchmark = by_name("Array List").expect("benchmark exists");
+    let options = VerifyOptions { config: ipl::suite::suite_config(), ..VerifyOptions::default() };
+
+    println!("== Array List with its integrated proof statements ==");
+    let with = verify_source(benchmark.source, &options).expect("parses");
+    println!("{}", with.render());
+
+    println!("== Array List with the proof statements stripped (Table 2 baseline) ==");
+    let without_options = VerifyOptions {
+        use_proof_constructs: false,
+        config: ipl::suite::suite_config(),
+        ..VerifyOptions::default()
+    };
+    let without = verify_source(benchmark.source, &without_options).expect("parses");
+    println!("{}", without.render());
+
+    println!(
+        "with constructs: {}/{} sequents proved; without: {}/{} sequents proved",
+        with.proved_sequents(),
+        with.total_sequents(),
+        without.proved_sequents(),
+        without.total_sequents()
+    );
+}

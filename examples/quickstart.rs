@@ -1,0 +1,45 @@
+//! Quickstart: verify a small annotated module and print the report.
+//!
+//! Run with `cargo run --example quickstart`.
+
+fn main() {
+    let source = r#"
+module Account {
+  var balance: int;
+  specvar solvent: bool;
+  invariant NonNeg: "0 <= balance";
+
+  method deposit(amount: int)
+    requires "0 <= amount"
+    modifies balance, solvent
+    ensures "balance = old(balance) + amount"
+  {
+    balance := balance + amount;
+    note StillNonNeg: "0 <= balance" from NonNeg, Precondition, assign_balance;
+    ghost solvent := "true";
+  }
+
+  method withdraw(amount: int) returns (ok: bool)
+    requires "0 <= amount"
+    modifies balance, solvent
+    ensures "ok --> balance = old(balance) - amount"
+    ensures "~ok --> balance = old(balance)"
+  {
+    if (amount <= balance) {
+      balance := balance - amount;
+      ok := true;
+    } else {
+      ok := false;
+    }
+  }
+}
+"#;
+    let options = ipl::core::VerifyOptions::default();
+    let report = ipl::core::verify_source(source, &options).expect("module parses and lowers");
+    println!("{}", report.render());
+    if report.fully_proved() {
+        println!("All proof obligations discharged by the integrated prover cascade.");
+    } else {
+        println!("Some obligations remain unproved — see the report above.");
+    }
+}

@@ -1,0 +1,34 @@
+//! The set-equality proof idiom of Section 6.4 of the paper: `pickAny` and
+//! `assuming` establish both inclusions, and a final `note` combines them.
+//!
+//! Run with `cargo run --example set_equality_proof`.
+
+fn main() {
+    let source = r#"
+module SetEquality {
+  var a: obj;
+  specvar s: set<obj>;
+  specvar t: set<obj>;
+
+  method mirror()
+    requires "s = t"
+    ensures "t = s"
+  {
+    pickAny x: obj show Forward: "x in s --> x in t" {
+      assuming H: "x in s" show Concl: "x in t" {
+        note Transfer: "x in t" from H, Precondition;
+      }
+    }
+    pickAny y: obj show Backward: "y in t --> y in s" {
+      assuming H2: "y in t" show Concl2: "y in s" {
+        note Transfer2: "y in s" from H2, Precondition;
+      }
+    }
+    note Equal: "t = s" from Forward, Backward;
+  }
+}
+"#;
+    let report = ipl::core::verify_source(source, &ipl::core::VerifyOptions::default())
+        .expect("module parses and lowers");
+    println!("{}", report.render());
+}

@@ -1,0 +1,20 @@
+//! Regenerates **Table 1** of the paper: construct counts and verification
+//! time for every benchmark data structure.
+//!
+//! Run with `cargo run --release --example table1`.
+
+fn main() {
+    let options = ipl::core::VerifyOptions {
+        config: ipl::suite::suite_config(),
+        record_sequents: false,
+        ..ipl::core::VerifyOptions::default()
+    };
+    let rows = ipl::suite::table1::generate(&options);
+    println!("{}", ipl::suite::table1::render(&rows));
+    for row in &rows {
+        println!(
+            "  {:<19} {} of {} methods fully verified",
+            row.name, row.methods_verified, row.methods
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates **Table 2** of the paper: methods and sequents verified
+//! without versus with the integrated proof language constructs.
+//!
+//! Run with `cargo run --release --example table2`.
+
+fn main() {
+    let options = ipl::core::VerifyOptions {
+        config: ipl::suite::suite_config(),
+        record_sequents: false,
+        ..ipl::core::VerifyOptions::default()
+    };
+    let rows = ipl::suite::table2::generate(&options);
+    println!("{}", ipl::suite::table2::render(&rows));
+}

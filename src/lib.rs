@@ -1,0 +1,45 @@
+//! # `ipl` — An Integrated Proof Language for Imperative Programs (reproduction)
+//!
+//! This is the facade crate of the reproduction of Zee, Kuncak and Rinard,
+//! *"An Integrated Proof Language for Imperative Programs"* (PLDI 2009).  It
+//! re-exports the individual crates of the workspace:
+//!
+//! * [`logic`] — the specification formula language,
+//! * [`gcl`] — guarded commands, the proof-construct translations, `wlp` and
+//!   splitting,
+//! * [`provers`] — the integrated prover cascade (SMT-lite, instantiation),
+//! * [`bapa`] — the BAPA cardinality decision procedure,
+//! * [`shape`] — the reachability (shape) prover,
+//! * [`lang`] — the annotated imperative surface language,
+//! * [`core`] — the verification driver and reports,
+//! * [`suite`] — the eight benchmark data structures and the Table 1 /
+//!   Table 2 harnesses.
+//!
+//! ## Quick start
+//!
+//! ```
+//! let source = r#"
+//! module Counter {
+//!   var value: int;
+//!   invariant NonNeg: "0 <= value";
+//!   method bump()
+//!     modifies value
+//!     ensures "value = old(value) + 1"
+//!   {
+//!     value := value + 1;
+//!     note Grew: "old(value) < value" from assign_value, old_value;
+//!   }
+//! }
+//! "#;
+//! let report = ipl::core::verify_source(source, &ipl::core::VerifyOptions::default()).unwrap();
+//! assert!(report.fully_proved());
+//! ```
+
+pub use ipl_bapa as bapa;
+pub use ipl_core as core;
+pub use ipl_gcl as gcl;
+pub use ipl_lang as lang;
+pub use ipl_logic as logic;
+pub use ipl_provers as provers;
+pub use ipl_shape as shape;
+pub use ipl_suite as suite;

