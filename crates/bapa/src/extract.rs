@@ -223,12 +223,10 @@ impl Extractor {
                 self.note_set(a);
                 self.note_set(b);
             }
-            Form::Eq(a, b) => {
-                // A set-algebra operand on either side forces both to be sets.
-                if is_set_structure(a) || is_set_structure(b) {
-                    self.note_set(a);
-                    self.note_set(b);
-                }
+            // A set-algebra operand on either side forces both to be sets.
+            Form::Eq(a, b) if is_set_structure(a) || is_set_structure(b) => {
+                self.note_set(a);
+                self.note_set(b);
             }
             _ => {}
         }
@@ -261,10 +259,16 @@ impl Extractor {
             Form::Bool(false) => Some(BapaForm::False),
             Form::Not(inner) => Some(BapaForm::Not(Box::new(self.extract(inner)?))),
             Form::And(parts) => Some(BapaForm::and(
-                parts.iter().map(|p| self.extract(p)).collect::<Option<Vec<_>>>()?,
+                parts
+                    .iter()
+                    .map(|p| self.extract(p))
+                    .collect::<Option<Vec<_>>>()?,
             )),
             Form::Or(parts) => Some(BapaForm::Or(
-                parts.iter().map(|p| self.extract(p)).collect::<Option<Vec<_>>>()?,
+                parts
+                    .iter()
+                    .map(|p| self.extract(p))
+                    .collect::<Option<Vec<_>>>()?,
             )),
             Form::Implies(a, b) => Some(BapaForm::Or(vec![
                 BapaForm::Not(Box::new(self.extract(a)?)),
@@ -280,9 +284,7 @@ impl Extractor {
             }
             Form::Le(a, b) => Some(BapaForm::IntLe(self.extract_int(a)?, self.extract_int(b)?)),
             Form::Lt(a, b) => Some(BapaForm::IntLt(self.extract_int(a)?, self.extract_int(b)?)),
-            Form::Elem(elem, set) => {
-                Some(BapaForm::Member(elem_id(elem), self.extract_set(set)?))
-            }
+            Form::Elem(elem, set) => Some(BapaForm::Member(elem_id(elem), self.extract_set(set)?)),
             Form::Subseteq(a, b) => {
                 Some(BapaForm::Subset(self.extract_set(a)?, self.extract_set(b)?))
             }

@@ -58,7 +58,11 @@ pub struct BapaLimits {
 
 impl Default for BapaLimits {
     fn default() -> Self {
-        BapaLimits { max_set_vars: 6, max_cooper_vars: 6, max_qe_nodes: 20_000 }
+        BapaLimits {
+            max_set_vars: 6,
+            max_cooper_vars: 6,
+            max_qe_nodes: 20_000,
+        }
     }
 }
 
@@ -110,8 +114,7 @@ mod tests {
     use ipl_logic::parser::parse_form;
 
     fn valid(assumptions: &[&str], goal: &str) -> bool {
-        let assumptions: Vec<Form> =
-            assumptions.iter().map(|s| parse_form(s).unwrap()).collect();
+        let assumptions: Vec<Form> = assumptions.iter().map(|s| parse_form(s).unwrap()).collect();
         let goal = parse_form(goal).unwrap();
         prove_valid(&assumptions, &goal, &BapaLimits::default()) == BapaOutcome::Valid
     }

@@ -26,7 +26,10 @@ pub struct LinExpr {
 impl LinExpr {
     /// The constant expression.
     pub fn constant(value: i64) -> LinExpr {
-        LinExpr { coeffs: BTreeMap::new(), constant: value }
+        LinExpr {
+            coeffs: BTreeMap::new(),
+            constant: value,
+        }
     }
 
     /// The expression `coeff * var`.
@@ -35,7 +38,10 @@ impl LinExpr {
         if coeff != 0 {
             coeffs.insert(name.to_string(), coeff);
         }
-        LinExpr { coeffs, constant: 0 }
+        LinExpr {
+            coeffs,
+            constant: 0,
+        }
     }
 
     /// Adds `coeff * var` to this expression in place.
@@ -63,7 +69,11 @@ impl LinExpr {
             return LinExpr::constant(0);
         }
         LinExpr {
-            coeffs: self.coeffs.iter().map(|(n, c)| (n.clone(), c * k)).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|(n, c)| (n.clone(), c * k))
+                .collect(),
             constant: self.constant * k,
         }
     }
@@ -139,6 +149,9 @@ impl PForm {
     }
 
     /// Negation with simplification.
+    // Associated smart constructor named after the connective, not an
+    // operator on self; `std::ops::Not` would change every call site.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(inner: PForm) -> PForm {
         match inner {
             PForm::True => PForm::False,
@@ -190,9 +203,7 @@ impl PForm {
             PForm::True | PForm::False => {}
             PForm::Le(e) | PForm::Divides(_, e) => out.extend(e.coeffs.keys().cloned()),
             PForm::Not(inner) => inner.collect_vars(out),
-            PForm::And(parts) | PForm::Or(parts) => {
-                parts.iter().for_each(|p| p.collect_vars(out))
-            }
+            PForm::And(parts) | PForm::Or(parts) => parts.iter().for_each(|p| p.collect_vars(out)),
             PForm::Exists(var, body) => {
                 let mut inner = BTreeSet::new();
                 body.collect_vars(&mut inner);
@@ -275,7 +286,10 @@ impl PForm {
                 if positive {
                     PForm::Exists(var.clone(), Box::new(body.nnf_signed(true)))
                 } else {
-                    PForm::Not(Box::new(PForm::Exists(var.clone(), Box::new(body.nnf_signed(true)))))
+                    PForm::Not(Box::new(PForm::Exists(
+                        var.clone(),
+                        Box::new(body.nnf_signed(true)),
+                    )))
                 }
             }
         }
@@ -288,12 +302,18 @@ impl PForm {
             PForm::Le(e) => PForm::le(e.substitute(name, replacement)),
             PForm::Divides(d, e) => PForm::Divides(*d, e.substitute(name, replacement)),
             PForm::Not(inner) => PForm::not(inner.substitute(name, replacement)),
-            PForm::And(parts) => {
-                PForm::and(parts.iter().map(|p| p.substitute(name, replacement)).collect())
-            }
-            PForm::Or(parts) => {
-                PForm::or(parts.iter().map(|p| p.substitute(name, replacement)).collect())
-            }
+            PForm::And(parts) => PForm::and(
+                parts
+                    .iter()
+                    .map(|p| p.substitute(name, replacement))
+                    .collect(),
+            ),
+            PForm::Or(parts) => PForm::or(
+                parts
+                    .iter()
+                    .map(|p| p.substitute(name, replacement))
+                    .collect(),
+            ),
             PForm::Exists(var, body) => {
                 if var == name {
                     self.clone()
@@ -446,7 +466,9 @@ fn dnf(form: &PForm, cap: usize) -> Option<Vec<Conjunct>> {
     match form {
         PForm::True => Some(vec![Conjunct::default()]),
         PForm::False => Some(vec![]),
-        PForm::Le(e) => Some(vec![Conjunct { les: vec![e.clone()] }]),
+        PForm::Le(e) => Some(vec![Conjunct {
+            les: vec![e.clone()],
+        }]),
         PForm::Divides(..) | PForm::Not(_) => Some(vec![Conjunct::default()]), // dropped
         PForm::And(parts) => {
             let mut acc = vec![Conjunct::default()];
@@ -580,9 +602,7 @@ fn scale_var(form: &PForm, var: &str, target: i64) -> PForm {
             }
         }
         PForm::Not(inner) => PForm::Not(Box::new(scale_var(inner, var, target))),
-        PForm::And(parts) => {
-            PForm::and(parts.iter().map(|p| scale_var(p, var, target)).collect())
-        }
+        PForm::And(parts) => PForm::and(parts.iter().map(|p| scale_var(p, var, target)).collect()),
         PForm::Or(parts) => PForm::or(parts.iter().map(|p| scale_var(p, var, target)).collect()),
         other => other.clone(),
     }
@@ -590,10 +610,8 @@ fn scale_var(form: &PForm, var: &str, target: i64) -> PForm {
 
 fn collect_divisor_lcm(form: &PForm, var: &str, acc: &mut i64) {
     match form {
-        PForm::Divides(d, e) => {
-            if e.coeff(var) != 0 {
-                *acc = lcm(*acc, *d);
-            }
+        PForm::Divides(d, e) if e.coeff(var) != 0 => {
+            *acc = lcm(*acc, *d);
         }
         PForm::Not(inner) => collect_divisor_lcm(inner, var, acc),
         PForm::And(parts) | PForm::Or(parts) => {
@@ -605,14 +623,12 @@ fn collect_divisor_lcm(form: &PForm, var: &str, acc: &mut i64) {
 
 fn collect_lower_bounds(form: &PForm, var: &str, out: &mut Vec<LinExpr>) {
     match form {
-        PForm::Le(e) => {
-            // -var + rest <= 0  means  var >= rest, i.e. the *strict* lower
-            // bound used by Cooper's B-set is rest - 1.
-            if e.coeff(var) == -1 {
-                let mut rest = e.clone();
-                rest.remove(var);
-                out.push(rest.shifted(-1));
-            }
+        // -var + rest <= 0  means  var >= rest, i.e. the *strict* lower
+        // bound used by Cooper's B-set is rest - 1.
+        PForm::Le(e) if e.coeff(var) == -1 => {
+            let mut rest = e.clone();
+            rest.remove(var);
+            out.push(rest.shifted(-1));
         }
         PForm::Not(inner) => collect_lower_bounds(inner, var, out),
         PForm::And(parts) | PForm::Or(parts) => {
@@ -628,8 +644,8 @@ fn minus_infinity(form: &PForm, var: &str) -> PForm {
     match form {
         PForm::Le(e) => match e.coeff(var) {
             0 => PForm::le(e.clone()),
-            c if c > 0 => PForm::True,  // var <= something: true at -infinity
-            _ => PForm::False,          // var >= something: false at -infinity
+            c if c > 0 => PForm::True, // var <= something: true at -infinity
+            _ => PForm::False,         // var >= something: false at -infinity
         },
         PForm::Divides(..) => form.clone(),
         PForm::Not(inner) => PForm::not(minus_infinity(inner, var)),
@@ -720,8 +736,8 @@ mod tests {
     #[test]
     fn fm_does_not_claim_satisfiable_systems_unsat() {
         let body = PForm::and(vec![
-            PForm::le(v("x").scaled(-1)),          // x >= 0
-            PForm::le(v("x").shifted(-10)),        // x <= 10
+            PForm::le(v("x").scaled(-1)),   // x >= 0
+            PForm::le(v("x").shifted(-10)), // x <= 10
         ]);
         assert!(!fm_unsatisfiable(&body));
     }
@@ -745,7 +761,10 @@ mod tests {
             PForm::le(v("x")),
         ]);
         let sentence = exists_all(&["x"], body);
-        assert_eq!(cooper_decide(&sentence, &BapaLimits::default()), Some(false));
+        assert_eq!(
+            cooper_decide(&sentence, &BapaLimits::default()),
+            Some(false)
+        );
     }
 
     #[test]
@@ -757,7 +776,10 @@ mod tests {
             PForm::Divides(2, v("x")),
             PForm::Divides(3, v("x")),
         ]);
-        assert_eq!(cooper_decide(&exists_all(&["x"], body), &BapaLimits::default()), Some(true));
+        assert_eq!(
+            cooper_decide(&exists_all(&["x"], body), &BapaLimits::default()),
+            Some(true)
+        );
 
         // exists x. 1 <= x <= 5 /\ 2 | x /\ 3 | x  -> needs x = 6, unsatisfiable.
         let body = PForm::and(vec![
@@ -798,7 +820,10 @@ mod tests {
             PForm::le(LinExpr::variable("x", -2).shifted(3)),
             PForm::le(LinExpr::variable("x", 2).shifted(-4)),
         ]);
-        assert_eq!(cooper_decide(&exists_all(&["x"], body), &BapaLimits::default()), Some(true));
+        assert_eq!(
+            cooper_decide(&exists_all(&["x"], body), &BapaLimits::default()),
+            Some(true)
+        );
 
         // exists x. 2x >= 3 /\ 2x <= 3  -> 2x = 3 has no integer solution.
         let body = PForm::and(vec![
@@ -825,10 +850,7 @@ mod tests {
     #[test]
     fn negated_le_tightens_for_integers() {
         // not(x <= 0) became x >= 1 in NNF: so x <= 0 /\ not(x <= 0) is unsat.
-        let body = PForm::and(vec![
-            PForm::le(v("x")),
-            PForm::not(PForm::le(v("x"))),
-        ]);
+        let body = PForm::and(vec![PForm::le(v("x")), PForm::not(PForm::le(v("x")))]);
         assert!(fm_unsatisfiable(&body));
     }
 }

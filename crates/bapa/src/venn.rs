@@ -92,9 +92,11 @@ impl VennCtx {
             // a <= b  <=>  a - b <= 0
             BapaForm::IntLe(a, b) => PForm::le(self.int_term(a).plus(&self.int_term(b).scaled(-1))),
             // a < b  <=>  a - b + 1 <= 0 (integers)
-            BapaForm::IntLt(a, b) => {
-                PForm::le(self.int_term(a).plus(&self.int_term(b).scaled(-1)).shifted(1))
-            }
+            BapaForm::IntLt(a, b) => PForm::le(
+                self.int_term(a)
+                    .plus(&self.int_term(b).scaled(-1))
+                    .shifted(1),
+            ),
             BapaForm::IntEq(a, b) => {
                 let diff = self.int_term(a).plus(&self.int_term(b).scaled(-1));
                 PForm::and(vec![PForm::le(diff.clone()), PForm::le(diff.scaled(-1))])
@@ -148,7 +150,9 @@ pub fn to_presburger(form: &BapaForm, limits: &BapaLimits) -> Option<PForm> {
     if set_names.len() > limits.max_set_vars {
         return None;
     }
-    let ctx = VennCtx { sets: set_names.into_iter().collect() };
+    let ctx = VennCtx {
+        sets: set_names.into_iter().collect(),
+    };
 
     let mut conjuncts = Vec::new();
     // Region cardinalities are non-negative.
@@ -207,15 +211,18 @@ mod tests {
 
     #[test]
     fn too_many_set_variables_bails_out() {
-        let form = parse_form("card(a union b union c union d union e union f union g union h) = 0")
-            .unwrap();
+        let form =
+            parse_form("card(a union b union c union d union e union f union g union h) = 0")
+                .unwrap();
         let bapa = extract(&form).unwrap();
         assert!(to_presburger(&bapa, &BapaLimits::default()).is_none());
     }
 
     #[test]
     fn satisfiable_formulas_stay_satisfiable() {
-        assert!(!unsat("card(a) = 3 & card(b) = 2 & a subseteq b | card(a) = 0"));
+        assert!(!unsat(
+            "card(a) = 3 & card(b) = 2 & a subseteq b | card(a) = 0"
+        ));
         assert!(!unsat("card(a) = 2 & x in a"));
     }
 }

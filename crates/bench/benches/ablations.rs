@@ -18,12 +18,18 @@ fn ablations(c: &mut Criterion) {
         ("from-clauses-honoured", bench_options()),
         (
             "from-clauses-ignored",
-            VerifyOptions { use_from_clauses: false, ..bench_options() },
+            VerifyOptions {
+                use_from_clauses: false,
+                ..bench_options()
+            },
         ),
         (
             "single-instantiation-round",
             VerifyOptions {
-                config: ProverConfig { instantiation_rounds: 1, ..ipl_suite::suite_config() },
+                config: ProverConfig {
+                    instantiation_rounds: 1,
+                    ..ipl_suite::suite_config()
+                },
                 ..bench_options()
             },
         ),
@@ -40,11 +46,22 @@ fn ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");
     group.sample_size(10);
     group.bench_function("hash-table-with-from", |b| {
-        b.iter(|| ipl_core::verify_source(benchmark.source, &bench_options()).unwrap().proved_sequents());
+        b.iter(|| {
+            ipl_core::verify_source(benchmark.source, &bench_options())
+                .unwrap()
+                .proved_sequents()
+        });
     });
     group.bench_function("hash-table-ignoring-from", |b| {
-        let options = VerifyOptions { use_from_clauses: false, ..bench_options() };
-        b.iter(|| ipl_core::verify_source(benchmark.source, &options).unwrap().proved_sequents());
+        let options = VerifyOptions {
+            use_from_clauses: false,
+            ..bench_options()
+        };
+        b.iter(|| {
+            ipl_core::verify_source(benchmark.source, &options)
+                .unwrap()
+                .proved_sequents()
+        });
     });
     group.finish();
 }

@@ -34,24 +34,39 @@ fn query(assumptions: &[&str], goal: &str) -> Query {
 fn provers(c: &mut Criterion) {
     let cascade = Cascade::standard(ProverConfig::default());
     let cases = vec![
-        ("ground-euf-lia", query(&["a = b", "b = first", "0 <= i", "i < size"], "a = first & 0 <= i + 1")),
+        (
+            "ground-euf-lia",
+            query(
+                &["a = b", "b = first", "0 <= i", "i < size"],
+                "a = first & 0 <= i + 1",
+            ),
+        ),
         (
             "quantifier-instantiation",
             query(
-                &["forall k:int, e:obj. (k, e) in content --> 0 <= k", "(i, o) in content"],
+                &[
+                    "forall k:int, e:obj. (k, e) in content --> 0 <= k",
+                    "(i, o) in content",
+                ],
                 "0 <= i",
             ),
         ),
         (
             "bapa-cardinality",
             query(
-                &["~((i, o) in content)", "newcontent = content union {(i, o)}"],
+                &[
+                    "~((i, o) in content)",
+                    "newcontent = content union {(i, o)}",
+                ],
                 "card(newcontent) = card(content) + 1",
             ),
         ),
         (
             "shape-reachability",
-            query(&["reach(next, first, a)", "a.next = b"], "reach(next, first, b)"),
+            query(
+                &["reach(next, first, a)", "a.next = b"],
+                "reach(next, first, b)",
+            ),
         ),
     ];
 

@@ -14,14 +14,22 @@ fn table2(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2");
     group.sample_size(10);
     group.bench_function("priority-queue-with-constructs", |b| {
-        b.iter(|| ipl_core::verify_source(benchmark.source, &bench_options()).unwrap().proved_sequents());
+        b.iter(|| {
+            ipl_core::verify_source(benchmark.source, &bench_options())
+                .unwrap()
+                .proved_sequents()
+        });
     });
     group.bench_function("priority-queue-without-constructs", |b| {
         let options = VerifyOptions {
             use_proof_constructs: false,
             ..bench_options()
         };
-        b.iter(|| ipl_core::verify_source(benchmark.source, &options).unwrap().proved_sequents());
+        b.iter(|| {
+            ipl_core::verify_source(benchmark.source, &options)
+                .unwrap()
+                .proved_sequents()
+        });
     });
     group.finish();
 }

@@ -58,12 +58,18 @@ impl Default for VerifyOptions {
 impl VerifyOptions {
     /// The Table 2 baseline: all proof language constructs removed.
     pub fn without_proof_constructs() -> Self {
-        VerifyOptions { use_proof_constructs: false, ..Self::default() }
+        VerifyOptions {
+            use_proof_constructs: false,
+            ..Self::default()
+        }
     }
 
     /// Ablation: keep the proof constructs but ignore `from` clauses.
     pub fn ignoring_from_clauses() -> Self {
-        VerifyOptions { use_from_clauses: false, ..Self::default() }
+        VerifyOptions {
+            use_from_clauses: false,
+            ..Self::default()
+        }
     }
 }
 
@@ -87,7 +93,9 @@ pub fn verify_module(module: &Module, options: &VerifyOptions) -> Result<ModuleR
     let cascade = Cascade::standard(options.config);
     let mut report = ModuleReport::new(&lowered.name, module);
     for method in &lowered.methods {
-        report.methods.push(verify_method(method, &cascade, options));
+        report
+            .methods
+            .push(verify_method(method, &cascade, options));
     }
     Ok(report)
 }
@@ -145,7 +153,11 @@ pub fn verify_method(
 /// assumption selection.
 fn sequent_query(sequent: &Sequent, method: &LoweredMethod, options: &VerifyOptions) -> Query {
     let assumptions = if options.use_from_clauses {
-        sequent.selected_assumptions().into_iter().cloned().collect()
+        sequent
+            .selected_assumptions()
+            .into_iter()
+            .cloned()
+            .collect()
     } else {
         sequent.assumptions.clone()
     };

@@ -43,7 +43,10 @@ pub struct MethodReport {
 impl MethodReport {
     /// Creates an empty report for the named method.
     pub fn new(name: &str) -> Self {
-        MethodReport { name: name.to_string(), ..Default::default() }
+        MethodReport {
+            name: name.to_string(),
+            ..Default::default()
+        }
     }
 
     /// `true` when every sequent of the method was proved.
@@ -143,7 +146,10 @@ impl ModuleReport {
                 method.duration,
             ));
             for failed in method.failed_sequents() {
-                out.push_str(&format!("    UNPROVED: {} [{}]\n", failed.name, failed.goal_label));
+                out.push_str(&format!(
+                    "    UNPROVED: {} [{}]\n",
+                    failed.name, failed.goal_label
+                ));
             }
         }
         out

@@ -165,7 +165,11 @@ pub enum Proof {
 impl Proof {
     /// Builds a `note` without a `from` clause.
     pub fn note(label: impl Into<String>, form: Form) -> Proof {
-        Proof::Note { label: label.into(), form, from: None }
+        Proof::Note {
+            label: label.into(),
+            form,
+            from: None,
+        }
     }
 
     /// Builds a `note` with a `from` clause.
@@ -179,7 +183,11 @@ impl Proof {
 
     /// Builds an `assert` without a `from` clause.
     pub fn assert(label: impl Into<String>, form: Form) -> Proof {
-        Proof::Assert { label: label.into(), form, from: None }
+        Proof::Assert {
+            label: label.into(),
+            form,
+            from: None,
+        }
     }
 
     /// Sequential composition, flattening nested sequences.
@@ -295,7 +303,10 @@ impl Ext {
 
     /// `assert label: form` (no `from` clause).
     pub fn assert(label: impl Into<String>, form: Form) -> Ext {
-        Ext::Assert { fact: Labeled::new(label, form), from: None }
+        Ext::Assert {
+            fact: Labeled::new(label, form),
+            from: None,
+        }
     }
 
     /// The set of program variables this command may modify (`mod(c)` in the
@@ -348,7 +359,12 @@ impl Ext {
                 Box::new(a.strip_proofs()),
                 Box::new(b.strip_proofs()),
             ),
-            Ext::Loop { invariant, before, cond, body } => Ext::Loop {
+            Ext::Loop {
+                invariant,
+                before,
+                cond,
+                body,
+            } => Ext::Loop {
                 invariant: invariant.clone(),
                 before: Box::new(before.strip_proofs()),
                 cond: cond.clone(),
@@ -546,12 +562,18 @@ impl Simple {
 
     /// `assert label: form` without a `from` clause.
     pub fn assert(label: impl Into<String>, form: Form) -> Simple {
-        Simple::Assert { fact: Labeled::new(label, form), from: None }
+        Simple::Assert {
+            fact: Labeled::new(label, form),
+            from: None,
+        }
     }
 
     /// `assert label: form from h`.
     pub fn assert_from(label: impl Into<String>, form: Form, from: Vec<String>) -> Simple {
-        Simple::Assert { fact: Labeled::new(label, form), from: Some(from) }
+        Simple::Assert {
+            fact: Labeled::new(label, form),
+            from: Some(from),
+        }
     }
 
     /// Number of `assert` commands contained in this command (a rough measure
@@ -654,7 +676,10 @@ mod tests {
     fn simple_seq_flattens() {
         let s = Simple::seq(vec![
             Simple::Skip,
-            Simple::seq(vec![Simple::assume("a", f("p")), Simple::assert("b", f("q"))]),
+            Simple::seq(vec![
+                Simple::assume("a", f("p")),
+                Simple::assert("b", f("q")),
+            ]),
         ]);
         match s {
             Simple::Seq(parts) => assert_eq!(parts.len(), 2),
@@ -676,11 +701,15 @@ mod tests {
 
     #[test]
     fn counts_add() {
-        let mut a = ConstructCounts::default();
-        a.note = 2;
-        let mut b = ConstructCounts::default();
-        b.note = 3;
-        b.induct = 1;
+        let mut a = ConstructCounts {
+            note: 2,
+            ..ConstructCounts::default()
+        };
+        let b = ConstructCounts {
+            note: 3,
+            induct: 1,
+            ..ConstructCounts::default()
+        };
         a.add(&b);
         assert_eq!(a.note, 5);
         assert_eq!(a.induct, 1);

@@ -62,7 +62,11 @@ pub fn catalog() -> Vec<SoundnessCase> {
 
     cases.push((
         "assert",
-        Proof::Assert { label: "A".into(), form: f("p0"), from: None },
+        Proof::Assert {
+            label: "A".into(),
+            form: f("p0"),
+            from: None,
+        },
         false,
     ));
     cases.push(("note", Proof::note("N", f("p0")), false));
@@ -77,7 +81,11 @@ pub fn catalog() -> Vec<SoundnessCase> {
     ));
     cases.push((
         "mp",
-        Proof::Mp { label: "M".into(), hyp: f("p0"), concl: f("q0") },
+        Proof::Mp {
+            label: "M".into(),
+            hyp: f("p0"),
+            concl: f("q0"),
+        },
         false,
     ));
     cases.push((
@@ -120,7 +128,10 @@ pub fn catalog() -> Vec<SoundnessCase> {
     ));
     cases.push((
         "contradiction",
-        Proof::Contradiction { label: "K".into(), form: f("p0") },
+        Proof::Contradiction {
+            label: "K".into(),
+            form: f("p0"),
+        },
         false,
     ));
     cases.push((
@@ -183,7 +194,12 @@ pub fn catalog() -> Vec<SoundnessCase> {
         .into_iter()
         .map(|(name, construct, requires_induction)| {
             let obligation = soundness_obligation(&construct);
-            SoundnessCase { name, construct, obligation, requires_induction }
+            SoundnessCase {
+                name,
+                construct,
+                obligation,
+                requires_induction,
+            }
         })
         .collect()
 }
@@ -213,7 +229,10 @@ mod tests {
             "induct",
             "seq",
         ] {
-            assert!(names.contains(&expected), "missing soundness case {expected}");
+            assert!(
+                names.contains(&expected),
+                "missing soundness case {expected}"
+            );
         }
     }
 
@@ -241,10 +260,19 @@ mod tests {
     fn assuming_obligation_matches_the_paper() {
         // wlp(⟦assuming F in (ε ; note G)⟧, H) = ((F --> G) --> H) /\ (F --> G)
         // (with an empty nested proof) and the obligation is that this implies H.
-        let case = catalog().into_iter().find(|c| c.name == "assuming").unwrap();
+        let case = catalog()
+            .into_iter()
+            .find(|c| c.name == "assuming")
+            .unwrap();
         let text = case.obligation.to_string();
-        assert!(text.contains("p0 --> q0"), "translated implication present: {text}");
-        assert!(text.ends_with("--> H_post"), "obligation concludes H: {text}");
+        assert!(
+            text.contains("p0 --> q0"),
+            "translated implication present: {text}"
+        );
+        assert!(
+            text.ends_with("--> H_post"),
+            "obligation concludes H: {text}"
+        );
     }
 
     #[test]
@@ -252,7 +280,9 @@ mod tests {
         let case = catalog().into_iter().find(|c| c.name == "note").unwrap();
         // wlp(assert F; assume F, H) = F /\ (F --> H); obligation: ... --> H
         let text = case.obligation.to_string();
-        assert!(text.contains("p0 & (p0 --> H_post)") || text.contains("p0 & (p0 --> H_post)"),
-            "unexpected obligation {text}");
+        assert!(
+            text.contains("p0 & (p0 --> H_post)") || text.contains("p0 & (p0 --> H_post)"),
+            "unexpected obligation {text}"
+        );
     }
 }

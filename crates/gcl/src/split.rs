@@ -91,7 +91,10 @@ impl Splitter {
 /// The returned list contains every sequent, including trivially valid ones;
 /// callers typically filter with [`Sequent::is_trivially_valid`].
 pub fn split_all(vc: &Vc) -> Vec<Sequent> {
-    let mut splitter = Splitter { sequents: Vec::new(), counter: 0 };
+    let mut splitter = Splitter {
+        sequents: Vec::new(),
+        counter: 0,
+    };
     walk(vc, &HashMap::new(), &Vec::new(), &mut splitter);
     splitter.sequents
 }
@@ -223,7 +226,11 @@ mod tests {
         let sequents = split_all(&vc_of(&cmd));
         assert_eq!(sequents.len(), 1);
         let s = &sequents[0];
-        assert!(s.goal.to_string().contains('$'), "goal uses a fresh instance: {}", s.goal);
+        assert!(
+            s.goal.to_string().contains('$'),
+            "goal uses a fresh instance: {}",
+            s.goal
+        );
         assert_eq!(s.assumptions.len(), 1);
     }
 
@@ -240,9 +247,19 @@ mod tests {
         let s = &sequents[0];
         let before = s.assumptions.iter().find(|a| a.label == "Before").unwrap();
         let after = s.assumptions.iter().find(|a| a.label == "After").unwrap();
-        assert_eq!(before.form, f("x = 1"), "pre-havoc assumption keeps the old incarnation");
-        assert!(after.form.to_string().contains('#'), "post-havoc assumption uses the new incarnation");
-        assert_eq!(after.form.to_string().replace(" = 2", ""), s.goal.to_string().replace(" = 2", ""));
+        assert_eq!(
+            before.form,
+            f("x = 1"),
+            "pre-havoc assumption keeps the old incarnation"
+        );
+        assert!(
+            after.form.to_string().contains('#'),
+            "post-havoc assumption uses the new incarnation"
+        );
+        assert_eq!(
+            after.form.to_string().replace(" = 2", ""),
+            s.goal.to_string().replace(" = 2", "")
+        );
     }
 
     #[test]

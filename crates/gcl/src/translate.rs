@@ -30,16 +30,25 @@ pub fn translate_ext(cmd: &Ext, ctx: &mut TranslateCtx) -> Simple {
         Ext::Proof(p) => translate_proof(p, ctx),
         Ext::Skip => Simple::Skip,
         Ext::Assume(fact) => Simple::Assume(fact.clone()),
-        Ext::Assert { fact, from } => Simple::Assert { fact: fact.clone(), from: from.clone() },
+        Ext::Assert { fact, from } => Simple::Assert {
+            fact: fact.clone(),
+            from: from.clone(),
+        },
 
         // [[x := F]] = havoc v ; assume v = F ; havoc x ; assume x = v
         Ext::Assign(x, value) => {
             let v = ctx.fresh.fresh(&format!("{x}_tmp"));
             Simple::seq(vec![
                 Simple::Havoc(vec![v.clone()]),
-                Simple::assume(format!("assign_{x}"), Form::eq(Form::var(v.clone()), value.clone())),
+                Simple::assume(
+                    format!("assign_{x}"),
+                    Form::eq(Form::var(v.clone()), value.clone()),
+                ),
                 Simple::Havoc(vec![x.clone()]),
-                Simple::assume(format!("assign_{x}"), Form::eq(Form::var(x.clone()), Form::var(v))),
+                Simple::assume(
+                    format!("assign_{x}"),
+                    Form::eq(Form::var(x.clone()), Form::var(v)),
+                ),
             ])
         }
 
@@ -64,7 +73,12 @@ pub fn translate_ext(cmd: &Ext, ctx: &mut TranslateCtx) -> Simple {
         // [[loop inv(I) c1 while(F) c2]] =
         //   assert I ; havoc mod(c1;c2) ; assume I ; [[c1]] ;
         //   (assume ~F  []  (assume F ; [[c2]] ; assert I ; assume false))
-        Ext::Loop { invariant, before, cond, body } => {
+        Ext::Loop {
+            invariant,
+            before,
+            cond,
+            body,
+        } => {
             let mut mods: Vec<String> = before.modified_vars().into_iter().collect();
             for v in body.modified_vars() {
                 if !mods.contains(&v) {
@@ -82,8 +96,15 @@ pub fn translate_ext(cmd: &Ext, ctx: &mut TranslateCtx) -> Simple {
                 Simple::assume("unreachable", Form::FALSE),
             ]);
             Simple::seq(vec![
-                Simple::assert(format!("{}_initial", invariant.label), invariant.form.clone()),
-                if mods.is_empty() { Simple::Skip } else { Simple::Havoc(mods) },
+                Simple::assert(
+                    format!("{}_initial", invariant.label),
+                    invariant.form.clone(),
+                ),
+                if mods.is_empty() {
+                    Simple::Skip
+                } else {
+                    Simple::Havoc(mods)
+                },
                 Simple::assume(invariant.label.clone(), invariant.form.clone()),
                 translate_ext(before, ctx),
                 Simple::Choice(Box::new(exit), Box::new(iterate)),
@@ -108,7 +129,13 @@ pub fn translate_ext(cmd: &Ext, ctx: &mut TranslateCtx) -> Simple {
         //   z0 := z ; assert exists x. F' ; havoc x ; assume F' ; [[c]] ;
         //   assert G ; assume forall x. (F' --> G)
         // where z = mod(c), z0 fresh, F' = F[z := z0].
-        Ext::Fix { vars, such_that, body, label, goal } => {
+        Ext::Fix {
+            vars,
+            such_that,
+            body,
+            label,
+            goal,
+        } => {
             let mods: Vec<String> = body.modified_vars().into_iter().collect();
             let mut save = Vec::new();
             let mut rename: HashMap<String, Form> = HashMap::new();
@@ -145,6 +172,9 @@ pub fn translate_ext(cmd: &Ext, ctx: &mut TranslateCtx) -> Simple {
 }
 
 /// Translates a proof construct into simple guarded commands (Figure 8).
+// Public API kept symmetric with `translate_ext`: no current proof construct
+// draws fresh names, but the context is part of the translation signature.
+#[allow(clippy::only_used_in_recursion)]
 pub fn translate_proof(proof: &Proof, ctx: &mut TranslateCtx) -> Simple {
     match proof {
         Proof::Seq(parts) => Simple::seq(parts.iter().map(|p| translate_proof(p, ctx))),
@@ -187,7 +217,13 @@ pub fn translate_proof(proof: &Proof, ctx: &mut TranslateCtx) -> Simple {
         // [[assuming lF:F in (p ; note lG:G)]] =
         //   (skip [] (assume lF:F ; [[p]] ; assert G ; assume false)) ;
         //   assume lG:(F --> G)
-        Proof::Assuming { hyp_label, hyp, body, concl_label, concl } => Simple::seq(vec![
+        Proof::Assuming {
+            hyp_label,
+            hyp,
+            body,
+            concl_label,
+            concl,
+        } => Simple::seq(vec![
             local_branch(Simple::seq(vec![
                 Simple::assume(hyp_label.clone(), hyp.clone()),
                 translate_proof(body, ctx),
@@ -218,7 +254,11 @@ pub fn translate_proof(proof: &Proof, ctx: &mut TranslateCtx) -> Simple {
         }
 
         // [[showedCase i of l:F1 | .. | Fn]] = assert Fi ; assume l:F1 | .. | Fn
-        Proof::ShowedCase { index, label, disjuncts } => {
+        Proof::ShowedCase {
+            index,
+            label,
+            disjuncts,
+        } => {
             let shown = disjuncts
                 .get(index.saturating_sub(1))
                 .cloned()
@@ -249,7 +289,11 @@ pub fn translate_proof(proof: &Proof, ctx: &mut TranslateCtx) -> Simple {
         ]),
 
         // [[instantiate l:forall x.F with t]] = assert forall x.F ; assume l:F[x := t]
-        Proof::Instantiate { label, forall, terms } => {
+        Proof::Instantiate {
+            label,
+            forall,
+            terms,
+        } => {
             let instantiated = instantiate_quantifier(forall, terms, true);
             Simple::seq(vec![
                 Simple::assert(format!("{label}_universal"), forall.clone()),
@@ -258,7 +302,11 @@ pub fn translate_proof(proof: &Proof, ctx: &mut TranslateCtx) -> Simple {
         }
 
         // [[witness t for l:exists x.F]] = assert F[x := t] ; assume l:exists x.F
-        Proof::Witness { terms, label, exists } => {
+        Proof::Witness {
+            terms,
+            label,
+            exists,
+        } => {
             let instantiated = instantiate_quantifier(exists, terms, false);
             Simple::seq(vec![
                 Simple::assert(format!("{label}_witness"), instantiated),
@@ -270,7 +318,14 @@ pub fn translate_proof(proof: &Proof, ctx: &mut TranslateCtx) -> Simple {
         //   (skip [] (assert exists x.F ; havoc x ; assume lF:F ; [[p]] ;
         //             assert G ; assume false)) ;
         //   assume lG:G                      (x must not be free in G)
-        Proof::PickWitness { vars, hyp_label, hyp, body, concl_label, concl } => {
+        Proof::PickWitness {
+            vars,
+            hyp_label,
+            hyp,
+            body,
+            concl_label,
+            concl,
+        } => {
             let goal_fv = free_vars(concl);
             let sound = vars.iter().all(|(v, _)| !goal_fv.contains(v));
             let exported = if sound { concl.clone() } else { Form::TRUE };
@@ -292,7 +347,12 @@ pub fn translate_proof(proof: &Proof, ctx: &mut TranslateCtx) -> Simple {
         // [[pickAny x in (p ; note l:G)]] =
         //   (skip [] (havoc x ; [[p]] ; assert G ; assume false)) ;
         //   assume l:forall x.G
-        Proof::PickAny { vars, body, label, goal } => Simple::seq(vec![
+        Proof::PickAny {
+            vars,
+            body,
+            label,
+            goal,
+        } => Simple::seq(vec![
             local_branch(Simple::seq(vec![
                 Simple::Havoc(vars.iter().map(|(v, _)| v.clone()).collect()),
                 translate_proof(body, ctx),
@@ -305,7 +365,12 @@ pub fn translate_proof(proof: &Proof, ctx: &mut TranslateCtx) -> Simple {
         //   (skip [] (havoc n ; assume 0 <= n ; [[p]] ;
         //             assert F[n := 0] ; assert (F --> F[n := n+1]) ; assume false)) ;
         //   assume l:forall n. (0 <= n --> F)
-        Proof::Induct { label, form, var, body } => {
+        Proof::Induct {
+            label,
+            form,
+            var,
+            body,
+        } => {
             let base = substitute_one(form, var, &Form::int(0));
             let step = Form::implies(
                 form.clone(),
@@ -355,7 +420,9 @@ fn local_branch(body: Simple) -> Simple {
 /// developer's claim is still checked soundly).
 fn instantiate_quantifier(quantified: &Form, terms: &[Form], expect_forall: bool) -> Form {
     let (bindings, body) = match (quantified, expect_forall) {
-        (Form::Forall(bs, body), true) | (Form::Exists(bs, body), false) => (bs.clone(), body.clone()),
+        (Form::Forall(bs, body), true) | (Form::Exists(bs, body), false) => {
+            (bs.clone(), body.clone())
+        }
         _ => return quantified.clone(),
     };
     let mut map = HashMap::new();
@@ -582,7 +649,10 @@ mod tests {
         // The constraint refers to `size`, which is modified by the body, so
         // the translation must refer to the saved copy in the constraint.
         let text = format!("{s:?}");
-        assert!(text.contains("size_saved"), "saved pre-state variable expected: {text}");
+        assert!(
+            text.contains("size_saved"),
+            "saved pre-state variable expected: {text}"
+        );
         assert_eq!(s.assert_count(), 2, "feasibility of constraint + the goal");
     }
 

@@ -106,7 +106,10 @@ pub fn wlp(cmd: &Simple, post: Vc) -> Vc {
                 // F --> true is true; keep the tree small.
                 Vc::True
             } else {
-                Vc::Implies { hyp: hyp.clone(), rest: Box::new(post) }
+                Vc::Implies {
+                    hyp: hyp.clone(),
+                    rest: Box::new(post),
+                }
             }
         }
         Simple::Assert { fact, from } => Vc::and(vec![
@@ -121,7 +124,10 @@ pub fn wlp(cmd: &Simple, post: Vc) -> Vc {
             if post == Vc::True {
                 Vc::True
             } else {
-                Vc::ForallVars { vars: vars.clone(), rest: Box::new(post) }
+                Vc::ForallVars {
+                    vars: vars.clone(),
+                    rest: Box::new(post),
+                }
             }
         }
         Simple::Skip => post,
@@ -207,6 +213,101 @@ mod tests {
         // The branch contributes `p /\ (false --> q)`; the skip branch `q`.
         assert!(form.to_string().contains("p"));
         assert!(form.to_string().contains("q"));
+    }
+
+    #[test]
+    fn wlp_of_sequence_threads_assumptions_left_to_right() {
+        // assume A ; assert G1 ; assume B ; assert G2 — G1 must see only A,
+        // G2 must see both A and B.
+        let cmd = Simple::seq(vec![
+            Simple::assume("A", f("0 <= a")),
+            Simple::assert("G1", f("p")),
+            Simple::assume("B", f("0 <= b")),
+            Simple::assert("G2", f("q")),
+        ]);
+        let sequents = crate::split::split_all(&vc_of(&cmd));
+        assert_eq!(sequents.len(), 2);
+        let labels = |goal: &str| -> Vec<String> {
+            sequents
+                .iter()
+                .find(|s| s.goal_label == goal)
+                .unwrap_or_else(|| panic!("no sequent for {goal}"))
+                .assumptions
+                .iter()
+                .map(|a| a.label.clone())
+                .collect()
+        };
+        assert_eq!(labels("G1"), vec!["A"]);
+        assert_eq!(labels("G2"), vec!["A", "B"]);
+    }
+
+    #[test]
+    fn translated_assignment_threads_the_value_to_the_postcondition() {
+        // x := y ; assert Post: x = y.  The translation goes through two
+        // havoc/assume pairs, so the split sequent must prove the renamed
+        // incarnation of x equal to y from the two `assign_x` equations.
+        use crate::cmd::Ext;
+        use crate::translate::{translate_ext, TranslateCtx};
+
+        let cmd = Ext::seq(vec![
+            Ext::Assign("x".into(), f("y")),
+            Ext::assert("Post", f("x = y")),
+        ]);
+        let mut ctx = TranslateCtx::new();
+        let sequents = crate::split::split_all(&vc_of(&translate_ext(&cmd, &mut ctx)));
+        assert_eq!(sequents.len(), 1);
+        let sequent = &sequents[0];
+        assert_eq!(sequent.goal_label, "Post");
+        assert!(sequent.assumptions.iter().all(|a| a.label == "assign_x"));
+        assert_eq!(sequent.assumptions.len(), 2);
+        let Form::Eq(lhs, rhs) = &sequent.goal else {
+            panic!("expected equality goal, got {:?}", sequent.goal);
+        };
+        let Form::Var(lhs) = lhs.as_ref() else {
+            panic!("expected variable lhs, got {lhs:?}");
+        };
+        assert!(
+            lhs.starts_with('x') && lhs != "x",
+            "x must be a fresh incarnation: {lhs}"
+        );
+        assert_eq!(
+            rhs.as_ref(),
+            &f("y"),
+            "the assigned value must reach the goal"
+        );
+    }
+
+    #[test]
+    fn translated_conditional_guards_each_branch() {
+        // if (p) assert T: q else assert E: r — each branch's obligation
+        // must be guarded by the condition with the right polarity.
+        use crate::cmd::Ext;
+        use crate::translate::{translate_ext, TranslateCtx};
+
+        let cmd = Ext::If(
+            f("p"),
+            Box::new(Ext::assert("T", f("q"))),
+            Box::new(Ext::assert("E", f("r"))),
+        );
+        let mut ctx = TranslateCtx::new();
+        let sequents = crate::split::split_all(&vc_of(&translate_ext(&cmd, &mut ctx)));
+        assert_eq!(sequents.len(), 2);
+        let branch = |goal: &str| {
+            sequents
+                .iter()
+                .find(|s| s.goal_label == goal)
+                .unwrap_or_else(|| panic!("no sequent for {goal}"))
+        };
+        let then_branch = branch("T");
+        assert!(then_branch
+            .assumptions
+            .iter()
+            .any(|a| a.label == "IfCond" && a.form == f("p")));
+        let else_branch = branch("E");
+        assert!(else_branch
+            .assumptions
+            .iter()
+            .any(|a| a.label == "IfNegCond" && a.form == Form::not(f("p"))));
     }
 
     #[test]

@@ -70,7 +70,12 @@ pub fn lower_module(module: &Module) -> Result<LoweredModule, LowerError> {
     for method in &module.methods {
         methods.push(lower_method(module, method, &env)?);
     }
-    Ok(LoweredModule { name: module.name.clone(), env, methods, module: module.clone() })
+    Ok(LoweredModule {
+        name: module.name.clone(),
+        env,
+        methods,
+        module: module.clone(),
+    })
 }
 
 /// Builds the sort environment of a module.
@@ -120,7 +125,10 @@ impl<'a> Lowerer<'a> {
     /// formula or program expression.
     fn fix_form(&self, form: &Form) -> Form {
         let renamed = eliminate_old(form, &|v| {
-            self.old_map.get(v).cloned().unwrap_or_else(|| v.to_string())
+            self.old_map
+                .get(v)
+                .cloned()
+                .unwrap_or_else(|| v.to_string())
         });
         self.rewrite_arrays(&renamed)
     }
@@ -187,7 +195,11 @@ impl<'a> Lowerer<'a> {
                 }
             }
             Stmt::Assign(name, value) => Ok(self.assign(name, value)),
-            Stmt::FieldAssign { field, object, value } => {
+            Stmt::FieldAssign {
+                field,
+                object,
+                value,
+            } => {
                 let updated = Form::field_write(
                     Form::var(field.clone()),
                     self.fix_form(object),
@@ -195,11 +207,15 @@ impl<'a> Lowerer<'a> {
                 );
                 Ok(Ext::seq(
                     std::iter::once(Ext::Assign(field.clone(), updated))
-                        .chain(self.vardef_updates(&[field.clone()], &BTreeSet::new()))
+                        .chain(self.vardef_updates(std::slice::from_ref(field), &BTreeSet::new()))
                         .collect::<Vec<_>>(),
                 ))
             }
-            Stmt::ArrayAssign { array, index, value } => {
+            Stmt::ArrayAssign {
+                array,
+                index,
+                value,
+            } => {
                 let state = match array {
                     Form::Var(name) if self.int_arrays.contains(name) => "intArrayState",
                     _ => "arrayState",
@@ -248,13 +264,21 @@ impl<'a> Lowerer<'a> {
                 Ok(Ext::seq(cmds))
             }
             Stmt::Ghost(name, value) => Ok(Ext::Assign(name.clone(), self.fix_form(value))),
-            Stmt::Call { target, method, args } => self.lower_call(target.as_deref(), method, args),
+            Stmt::Call {
+                target,
+                method,
+                args,
+            } => self.lower_call(target.as_deref(), method, args),
             Stmt::If(cond, then_branch, else_branch) => Ok(Ext::If(
                 self.fix_form(cond),
                 Box::new(self.lower_stmts(then_branch)?),
                 Box::new(self.lower_stmts(else_branch)?),
             )),
-            Stmt::While { cond, invariants, body } => {
+            Stmt::While {
+                cond,
+                invariants,
+                body,
+            } => {
                 let invariant = Form::and(invariants.iter().map(|i| self.fix_form(i)));
                 Ok(Ext::Loop {
                     invariant: Labeled::new("LoopInv", invariant),
@@ -274,7 +298,13 @@ impl<'a> Lowerer<'a> {
                 label.clone().unwrap_or_else(|| "Assume".to_string()),
                 self.fix_form(form),
             )),
-            Stmt::Proof(ProofStmt::Fix { vars, such_that, label, goal, body }) => {
+            Stmt::Proof(ProofStmt::Fix {
+                vars,
+                such_that,
+                label,
+                goal,
+                body,
+            }) => {
                 for (name, sort) in vars {
                     self.env.declare_var(name.clone(), sort.clone());
                 }
@@ -337,9 +367,12 @@ impl<'a> Lowerer<'a> {
 
         let mut cmds = Vec::new();
         // Precondition.
-        let pre = Form::and(callee.requires.iter().map(|r| {
-            substitute(&self.fix_form(r), &subst_map)
-        }));
+        let pre = Form::and(
+            callee
+                .requires
+                .iter()
+                .map(|r| substitute(&self.fix_form(r), &subst_map)),
+        );
         if !pre.is_true() {
             cmds.push(Ext::Assert {
                 fact: Labeled::new(format!("{callee_name}_pre"), pre),
@@ -393,7 +426,13 @@ impl<'a> Lowerer<'a> {
                 label: label.clone(),
                 form: self.fix_form(form),
             },
-            ProofStmt::Assuming { hyp_label, hyp, label, goal, body } => Proof::Assuming {
+            ProofStmt::Assuming {
+                hyp_label,
+                hyp,
+                label,
+                goal,
+                body,
+            } => Proof::Assuming {
                 hyp_label: hyp_label.clone(),
                 hyp: self.fix_form(hyp),
                 body: Box::new(self.lower_proofs(body)?),
@@ -420,13 +459,21 @@ impl<'a> Lowerer<'a> {
                 label: label.clone(),
                 goal: self.fix_form(goal),
             },
-            ProofStmt::ShowedCase { index, label, disjunction } => {
+            ProofStmt::ShowedCase {
+                index,
+                label,
+                disjunction,
+            } => {
                 let fixed = self.fix_form(disjunction);
                 let disjuncts = match fixed {
                     Form::Or(parts) => parts,
                     other => vec![other],
                 };
-                Proof::ShowedCase { index: *index, label: label.clone(), disjuncts }
+                Proof::ShowedCase {
+                    index: *index,
+                    label: label.clone(),
+                    disjuncts,
+                }
             }
             ProofStmt::ByContradiction { label, form, body } => Proof::ByContradiction {
                 label: label.clone(),
@@ -437,17 +484,32 @@ impl<'a> Lowerer<'a> {
                 label: label.clone(),
                 form: self.fix_form(form),
             },
-            ProofStmt::Instantiate { label, forall, terms } => Proof::Instantiate {
+            ProofStmt::Instantiate {
+                label,
+                forall,
+                terms,
+            } => Proof::Instantiate {
                 label: label.clone(),
                 forall: self.fix_form(forall),
                 terms: terms.iter().map(|t| self.fix_form(t)).collect(),
             },
-            ProofStmt::Witness { terms, label, exists } => Proof::Witness {
+            ProofStmt::Witness {
+                terms,
+                label,
+                exists,
+            } => Proof::Witness {
                 terms: terms.iter().map(|t| self.fix_form(t)).collect(),
                 label: label.clone(),
                 exists: self.fix_form(exists),
             },
-            ProofStmt::PickWitness { vars, hyp_label, hyp, label, goal, body } => {
+            ProofStmt::PickWitness {
+                vars,
+                hyp_label,
+                hyp,
+                label,
+                goal,
+                body,
+            } => {
                 for (name, sort) in vars {
                     self.env.declare_var(name.clone(), sort.clone());
                 }
@@ -460,7 +522,12 @@ impl<'a> Lowerer<'a> {
                     concl: self.fix_form(goal),
                 }
             }
-            ProofStmt::PickAny { vars, label, goal, body } => {
+            ProofStmt::PickAny {
+                vars,
+                label,
+                goal,
+                body,
+            } => {
                 for (name, sort) in vars {
                     self.env.declare_var(name.clone(), sort.clone());
                 }
@@ -471,7 +538,12 @@ impl<'a> Lowerer<'a> {
                     goal: self.fix_form(goal),
                 }
             }
-            ProofStmt::Induct { label, form, var, body } => {
+            ProofStmt::Induct {
+                label,
+                form,
+                var,
+                body,
+            } => {
                 self.env.declare_var(var.clone(), Sort::Int);
                 Proof::Induct {
                     label: label.clone(),
@@ -507,13 +579,19 @@ fn old_vars(form: &Form, out: &mut BTreeSet<String>) {
 
 fn collect_old_vars_stmt(stmt: &Stmt, out: &mut BTreeSet<String>) {
     match stmt {
-        Stmt::While { invariants, body, .. } => {
+        Stmt::While {
+            invariants, body, ..
+        } => {
             invariants.iter().for_each(|i| old_vars(i, out));
             body.iter().for_each(|s| collect_old_vars_stmt(s, out));
         }
         Stmt::If(_, then_branch, else_branch) => {
-            then_branch.iter().for_each(|s| collect_old_vars_stmt(s, out));
-            else_branch.iter().for_each(|s| collect_old_vars_stmt(s, out));
+            then_branch
+                .iter()
+                .for_each(|s| collect_old_vars_stmt(s, out));
+            else_branch
+                .iter()
+                .for_each(|s| collect_old_vars_stmt(s, out));
         }
         Stmt::Assert { form, .. } | Stmt::Assume { form, .. } => old_vars(form, out),
         Stmt::Proof(proof) => collect_old_vars_proof(proof, out),
@@ -530,7 +608,9 @@ fn collect_old_vars_proof(proof: &ProofStmt, out: &mut BTreeSet<String>) {
             old_vars(form, out);
             body.iter().for_each(|p| collect_old_vars_proof(p, out));
         }
-        ProofStmt::Assuming { hyp, goal, body, .. } => {
+        ProofStmt::Assuming {
+            hyp, goal, body, ..
+        } => {
             old_vars(hyp, out);
             old_vars(goal, out);
             body.iter().for_each(|p| collect_old_vars_proof(p, out));
@@ -553,7 +633,9 @@ fn collect_old_vars_proof(proof: &ProofStmt, out: &mut BTreeSet<String>) {
             old_vars(exists, out);
             terms.iter().for_each(|t| old_vars(t, out));
         }
-        ProofStmt::PickWitness { hyp, goal, body, .. } => {
+        ProofStmt::PickWitness {
+            hyp, goal, body, ..
+        } => {
             old_vars(hyp, out);
             old_vars(goal, out);
             body.iter().for_each(|p| collect_old_vars_proof(p, out));
@@ -562,7 +644,12 @@ fn collect_old_vars_proof(proof: &ProofStmt, out: &mut BTreeSet<String>) {
             old_vars(goal, out);
             body.iter().for_each(|p| collect_old_vars_proof(p, out));
         }
-        ProofStmt::Fix { such_that, goal, body, .. } => {
+        ProofStmt::Fix {
+            such_that,
+            goal,
+            body,
+            ..
+        } => {
             old_vars(such_that, out);
             old_vars(goal, out);
             body.iter().for_each(|s| collect_old_vars_stmt(s, out));
@@ -584,7 +671,10 @@ pub fn lower_method(
     // Which variables are referenced under old(...)?
     let mut olds = BTreeSet::new();
     method.ensures.iter().for_each(|e| old_vars(e, &mut olds));
-    method.body.iter().for_each(|s| collect_old_vars_stmt(s, &mut olds));
+    method
+        .body
+        .iter()
+        .for_each(|s| collect_old_vars_stmt(s, &mut olds));
 
     let mut old_map = HashMap::new();
     for var in &olds {
@@ -623,7 +713,10 @@ pub fn lower_method(
     for (specvar, definition) in &module.vardefs {
         prologue.push(Ext::assume(
             format!("{specvar}_def"),
-            Form::eq(Form::var(specvar.clone()), lowerer.rewrite_arrays(definition)),
+            Form::eq(
+                Form::var(specvar.clone()),
+                lowerer.rewrite_arrays(definition),
+            ),
         ));
     }
     for (var, snapshot) in &old_map {
@@ -658,7 +751,12 @@ pub fn lower_method(
             .collect::<Vec<_>>(),
     );
     let counts = command.count_constructs();
-    Ok(LoweredMethod { name: method.name.clone(), command, counts, env: lowerer.env })
+    Ok(LoweredMethod {
+        name: method.name.clone(),
+        command,
+        counts,
+        env: lowerer.env,
+    })
 }
 
 #[cfg(test)]
@@ -707,7 +805,10 @@ mod tests {
         assert_eq!(lowered.methods.len(), 3);
         assert_eq!(lowered.env.var_sort("size"), Some(&Sort::Int));
         assert_eq!(lowered.env.var_sort("content"), Some(&Sort::int_obj_set()));
-        assert_eq!(lowered.env.var_sort("arrayState"), Some(&Sort::obj_array_state()));
+        assert_eq!(
+            lowered.env.var_sort("arrayState"),
+            Some(&Sort::obj_array_state())
+        );
     }
 
     #[test]
@@ -716,9 +817,18 @@ mod tests {
         let lowered = lower_module(&module).unwrap();
         let push = &lowered.methods[0];
         let text = format!("{:?}", push.command);
-        assert!(text.contains("content_def"), "content definition re-established");
-        assert!(text.contains("csize_def"), "csize definition re-established");
-        assert!(text.contains("ArrayWrite"), "array assignment modelled as state update");
+        assert!(
+            text.contains("content_def"),
+            "content definition re-established"
+        );
+        assert!(
+            text.contains("csize_def"),
+            "csize definition re-established"
+        );
+        assert!(
+            text.contains("ArrayWrite"),
+            "array assignment modelled as state update"
+        );
         assert_eq!(push.counts.note, 1);
         assert_eq!(push.counts.note_with_from, 1);
     }
@@ -729,7 +839,10 @@ mod tests {
         let lowered = lower_module(&module).unwrap();
         let push = &lowered.methods[0];
         let text = format!("{:?}", push.command);
-        assert!(text.contains("csize_old"), "old(csize) handled via snapshot: {text}");
+        assert!(
+            text.contains("csize_old"),
+            "old(csize) handled via snapshot: {text}"
+        );
         assert!(!text.contains("Old("), "no unresolved old() remains");
     }
 
@@ -740,8 +853,10 @@ mod tests {
         let caller = lowered.methods.iter().find(|m| m.name == "caller").unwrap();
         let text = format!("{:?}", caller.command);
         assert!(text.contains("helper_post"), "callee postcondition assumed");
-        assert!(text.contains("size_before") || text.contains("size_snapshot"),
-            "modified state snapshotted for old(): {text}");
+        assert!(
+            text.contains("size_before") || text.contains("size_snapshot"),
+            "modified state snapshotted for old(): {text}"
+        );
     }
 
     #[test]

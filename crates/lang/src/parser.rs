@@ -107,9 +107,15 @@ fn lex(source: &str) -> Result<Vec<Sp>, LangError> {
                 j += 1;
             }
             if j >= bytes.len() {
-                return Err(LangError { message: "unterminated string".into(), line });
+                return Err(LangError {
+                    message: "unterminated string".into(),
+                    line,
+                });
             }
-            out.push(Sp { tok: Tok::Str(source[start..j].to_string()), line });
+            out.push(Sp {
+                tok: Tok::Str(source[start..j].to_string()),
+                line,
+            });
             i = j + 1;
             continue;
         }
@@ -122,7 +128,10 @@ fn lex(source: &str) -> Result<Vec<Sp>, LangError> {
                 message: format!("integer out of range: {}", &source[start..i]),
                 line,
             })?;
-            out.push(Sp { tok: Tok::Int(value), line });
+            out.push(Sp {
+                tok: Tok::Int(value),
+                line,
+            });
             continue;
         }
         if c.is_ascii_alphabetic() || c == '_' {
@@ -135,19 +144,31 @@ fn lex(source: &str) -> Result<Vec<Sp>, LangError> {
                     break;
                 }
             }
-            out.push(Sp { tok: Tok::Ident(source[start..i].to_string()), line });
+            out.push(Sp {
+                tok: Tok::Ident(source[start..i].to_string()),
+                line,
+            });
             continue;
         }
         for p in PUNCTS {
             if source[i..].starts_with(p) {
-                out.push(Sp { tok: Tok::Punct(p), line });
+                out.push(Sp {
+                    tok: Tok::Punct(p),
+                    line,
+                });
                 i += p.len();
                 continue 'outer;
             }
         }
-        return Err(LangError { message: format!("unexpected character {c:?}"), line });
+        return Err(LangError {
+            message: format!("unexpected character {c:?}"),
+            line,
+        });
     }
-    out.push(Sp { tok: Tok::Eof, line });
+    out.push(Sp {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -178,7 +199,10 @@ impl P {
     }
 
     fn err(&self, message: impl Into<String>) -> LangError {
-        LangError { message: message.into(), line: self.line() }
+        LangError {
+            message: message.into(),
+            line: self.line(),
+        }
     }
 
     fn eat_punct(&mut self, p: &str) -> bool {
@@ -401,7 +425,15 @@ impl P {
             }
         }
         let body = self.block()?;
-        Ok(Method { name, params, returns, requires, modifies, ensures, body })
+        Ok(Method {
+            name,
+            params,
+            returns,
+            requires,
+            modifies,
+            ensures,
+            body,
+        })
     }
 
     // -----------------------------------------------------------------------
@@ -426,7 +458,11 @@ impl P {
             let name = self.ident()?;
             self.expect_punct(":")?;
             let ty = self.ty()?;
-            let init = if self.eat_punct(":=") { Some(self.expr()?) } else { None };
+            let init = if self.eat_punct(":=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
             self.expect_punct(";")?;
             return Ok(Stmt::VarDecl(name, ty, init));
         }
@@ -462,11 +498,15 @@ impl P {
                 invariants.push(self.formula()?);
             }
             let body = self.block()?;
-            return Ok(Stmt::While { cond, invariants, body });
+            return Ok(Stmt::While {
+                cond,
+                invariants,
+                body,
+            });
         }
         if self.eat_kw("assert") {
             let (label, form) = self.labeled_formula()?;
-            let from = self.from_clause()?;
+            let from = self.parse_from_clause()?;
             self.expect_punct(";")?;
             return Ok(Stmt::Assert { label, form, from });
         }
@@ -479,7 +519,11 @@ impl P {
             let method = self.ident()?;
             let args = self.call_args()?;
             self.expect_punct(";")?;
-            return Ok(Stmt::Call { target: None, method, args });
+            return Ok(Stmt::Call {
+                target: None,
+                method,
+                args,
+            });
         }
         if let Some(proof) = self.proof_stmt()? {
             return Ok(Stmt::Proof(proof));
@@ -501,7 +545,11 @@ impl P {
             let args = self.call_args()?;
             self.expect_punct(";")?;
             return match lhs {
-                Form::Var(name) => Ok(Stmt::Call { target: Some(name), method, args }),
+                Form::Var(name) => Ok(Stmt::Call {
+                    target: Some(name),
+                    method,
+                    args,
+                }),
                 other => Err(self.err(format!("cannot assign call result to {other}"))),
             };
         }
@@ -510,14 +558,18 @@ impl P {
         match lhs {
             Form::Var(name) => Ok(Stmt::Assign(name, rhs)),
             Form::FieldRead(field, object) => match *field {
-                Form::Var(field) => {
-                    Ok(Stmt::FieldAssign { field, object: *object, value: rhs })
-                }
+                Form::Var(field) => Ok(Stmt::FieldAssign {
+                    field,
+                    object: *object,
+                    value: rhs,
+                }),
                 other => Err(self.err(format!("invalid field in assignment: {other}"))),
             },
-            Form::ArrayRead(_, array, index) => {
-                Ok(Stmt::ArrayAssign { array: *array, index: *index, value: rhs })
-            }
+            Form::ArrayRead(_, array, index) => Ok(Stmt::ArrayAssign {
+                array: *array,
+                index: *index,
+                value: rhs,
+            }),
             other => Err(self.err(format!("invalid assignment target {other}"))),
         }
     }
@@ -549,7 +601,7 @@ impl P {
         }
     }
 
-    fn from_clause(&mut self) -> Result<Option<Vec<String>>, LangError> {
+    fn parse_from_clause(&mut self) -> Result<Option<Vec<String>>, LangError> {
         if !self.eat_kw("from") {
             return Ok(None);
         }
@@ -575,7 +627,7 @@ impl P {
                 let label = self.ident()?;
                 self.expect_punct(":")?;
                 let form = self.formula()?;
-                let from = self.from_clause()?;
+                let from = self.parse_from_clause()?;
                 self.expect_punct(";")?;
                 ProofStmt::Note { label, form, from }
             }
@@ -597,7 +649,13 @@ impl P {
                 self.expect_punct(":")?;
                 let goal = self.formula()?;
                 let body = self.proof_block()?;
-                ProofStmt::Assuming { hyp_label, hyp, label, goal, body }
+                ProofStmt::Assuming {
+                    hyp_label,
+                    hyp,
+                    label,
+                    goal,
+                    body,
+                }
             }
             "mp" => {
                 self.bump();
@@ -631,7 +689,11 @@ impl P {
                 self.expect_punct(":")?;
                 let disjunction = self.formula()?;
                 self.expect_punct(";")?;
-                ProofStmt::ShowedCase { index, label, disjunction }
+                ProofStmt::ShowedCase {
+                    index,
+                    label,
+                    disjunction,
+                }
             }
             "byContradiction" => {
                 self.bump();
@@ -660,7 +722,11 @@ impl P {
                     terms.push(self.formula()?);
                 }
                 self.expect_punct(";")?;
-                ProofStmt::Instantiate { label, forall, terms }
+                ProofStmt::Instantiate {
+                    label,
+                    forall,
+                    terms,
+                }
             }
             "witness" => {
                 self.bump();
@@ -673,7 +739,11 @@ impl P {
                 self.expect_punct(":")?;
                 let exists = self.formula()?;
                 self.expect_punct(";")?;
-                ProofStmt::Witness { terms, label, exists }
+                ProofStmt::Witness {
+                    terms,
+                    label,
+                    exists,
+                }
             }
             "pickWitness" => {
                 self.bump();
@@ -687,7 +757,14 @@ impl P {
                 self.expect_punct(":")?;
                 let goal = self.formula()?;
                 let body = self.proof_block()?;
-                ProofStmt::PickWitness { vars, hyp_label, hyp, label, goal, body }
+                ProofStmt::PickWitness {
+                    vars,
+                    hyp_label,
+                    hyp,
+                    label,
+                    goal,
+                    body,
+                }
             }
             "pickAny" => {
                 self.bump();
@@ -697,7 +774,12 @@ impl P {
                 self.expect_punct(":")?;
                 let goal = self.formula()?;
                 let body = self.proof_block()?;
-                ProofStmt::PickAny { vars, label, goal, body }
+                ProofStmt::PickAny {
+                    vars,
+                    label,
+                    goal,
+                    body,
+                }
             }
             "induct" => {
                 self.bump();
@@ -707,7 +789,12 @@ impl P {
                 self.expect_kw("over")?;
                 let var = self.ident()?;
                 let body = self.proof_block()?;
-                ProofStmt::Induct { label, form, var, body }
+                ProofStmt::Induct {
+                    label,
+                    form,
+                    var,
+                    body,
+                }
             }
             "fix" => {
                 self.bump();
@@ -719,7 +806,13 @@ impl P {
                 self.expect_punct(":")?;
                 let goal = self.formula()?;
                 let body = self.block()?;
-                ProofStmt::Fix { vars, such_that, label, goal, body }
+                ProofStmt::Fix {
+                    vars,
+                    such_that,
+                    label,
+                    goal,
+                    body,
+                }
             }
             _ => return Ok(None),
         };
@@ -770,7 +863,11 @@ impl P {
         while self.eat_punct("||") {
             parts.push(self.and_expr()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { Form::or(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one")
+        } else {
+            Form::or(parts)
+        })
     }
 
     fn and_expr(&mut self) -> Result<Form, LangError> {
@@ -778,7 +875,11 @@ impl P {
         while self.eat_punct("&&") {
             parts.push(self.not_expr()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { Form::and(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one")
+        } else {
+            Form::and(parts)
+        })
     }
 
     fn not_expr(&mut self) -> Result<Form, LangError> {
@@ -1003,7 +1104,9 @@ mod tests {
         assert!(matches!(insert.body[2], Stmt::FieldAssign { .. }));
         let sum = module.method("sum").unwrap();
         match &sum.body[2] {
-            Stmt::While { invariants, body, .. } => {
+            Stmt::While {
+                invariants, body, ..
+            } => {
                 assert_eq!(invariants.len(), 1);
                 assert_eq!(body.len(), 2);
             }

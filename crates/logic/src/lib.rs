@@ -62,7 +62,10 @@ pub struct Labeled {
 impl Labeled {
     /// Creates a labelled formula.
     pub fn new(label: impl Into<String>, form: Form) -> Self {
-        Labeled { label: label.into(), form }
+        Labeled {
+            label: label.into(),
+            form,
+        }
     }
 }
 

@@ -12,8 +12,8 @@
 //!   be in NNF by skolem constants/functions.
 
 use crate::form::{Binding, Form};
-use crate::sorts::SortEnv;
 use crate::sort::Sort;
+use crate::sorts::SortEnv;
 use crate::subst::{substitute, FreshNames};
 use std::collections::HashMap;
 
@@ -268,7 +268,10 @@ fn sk_rec(
                 } else {
                     Form::App(
                         sk_name,
-                        universals.iter().map(|(v, _)| Form::Var(v.clone())).collect(),
+                        universals
+                            .iter()
+                            .map(|(v, _)| Form::Var(v.clone()))
+                            .collect(),
                     )
                 };
                 map.insert(name.clone(), replacement);
@@ -331,7 +334,10 @@ mod tests {
         let g = eliminate_old(&f, &|v| format!("{v}_pre"));
         let s = g.to_string();
         assert!(s.contains("elements_pre"));
-        assert!(s.contains("i_pre"), "index inside old() is also pre-state: {s}");
+        assert!(
+            s.contains("i_pre"),
+            "index inside old() is also pre-state: {s}"
+        );
     }
 
     #[test]
@@ -379,7 +385,10 @@ mod tests {
     fn nnf_eliminates_implication_and_pushes_negation() {
         let f = parse_form("~(a --> b)").unwrap();
         let g = nnf(&f);
-        assert_eq!(g, Form::and(vec![Form::var("a"), Form::not(Form::var("b"))]));
+        assert_eq!(
+            g,
+            Form::and(vec![Form::var("a"), Form::not(Form::var("b"))])
+        );
         let f = parse_form("~(forall x:int. p(x))").unwrap();
         let g = nnf(&f);
         assert!(matches!(g, Form::Exists(..)));

@@ -107,7 +107,10 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                 message: format!("integer literal out of range: {text}"),
                 offset: start,
             })?;
-            out.push(Spanned { tok: Tok::Int(value), offset: start });
+            out.push(Spanned {
+                tok: Tok::Int(value),
+                offset: start,
+            });
             continue;
         }
         if c.is_ascii_alphabetic() || c == '_' {
@@ -128,7 +131,10 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
         }
         for p in PUNCTS {
             if input[i..].starts_with(p) {
-                out.push(Spanned { tok: Tok::Punct(p), offset: i });
+                out.push(Spanned {
+                    tok: Tok::Punct(p),
+                    offset: i,
+                });
                 i += p.len();
                 continue 'outer;
             }
@@ -138,7 +144,10 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
             offset: i,
         });
     }
-    out.push(Spanned { tok: Tok::Eof, offset: input.len() });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        offset: input.len(),
+    });
     Ok(out)
 }
 
@@ -203,7 +212,10 @@ impl Parser {
     }
 
     fn error(&self, message: String) -> ParseError {
-        ParseError { message, offset: self.peek_offset() }
+        ParseError {
+            message,
+            offset: self.peek_offset(),
+        }
     }
 
     // form := iff
@@ -235,7 +247,11 @@ impl Parser {
         while self.eat_punct("|") || self.eat_punct("||") {
             parts.push(self.parse_and()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { Form::or(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one")
+        } else {
+            Form::or(parts)
+        })
     }
 
     fn parse_and(&mut self) -> Result<Form, ParseError> {
@@ -243,7 +259,11 @@ impl Parser {
         while self.eat_punct("&") || self.eat_punct("&&") {
             parts.push(self.parse_not()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { Form::and(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one")
+        } else {
+            Form::and(parts)
+        })
     }
 
     fn parse_not(&mut self) -> Result<Form, ParseError> {
@@ -429,7 +449,9 @@ impl Parser {
                     Tok::Ident(field) => {
                         base = Form::field_read(Form::var(field), base);
                     }
-                    other => return Err(self.error(format!("expected field name, found {other:?}"))),
+                    other => {
+                        return Err(self.error(format!("expected field name, found {other:?}")))
+                    }
                 }
             } else if self.eat_punct("[") {
                 let idx = self.parse_form()?;
@@ -541,9 +563,9 @@ impl Parser {
                 other => {
                     return Err(ParseError {
                         message: format!(
-                            "comprehension pattern has {} variables but sort {other} does not match",
-                            names.len()
-                        ),
+                        "comprehension pattern has {} variables but sort {other} does not match",
+                        names.len()
+                    ),
                         offset: 0,
                     })
                 }
@@ -609,7 +631,10 @@ mod tests {
         let f = parse_form("a --> b --> c").unwrap();
         assert_eq!(
             f,
-            Form::implies(Form::var("a"), Form::implies(Form::var("b"), Form::var("c")))
+            Form::implies(
+                Form::var("a"),
+                Form::implies(Form::var("b"), Form::var("c"))
+            )
         );
     }
 
@@ -681,7 +706,10 @@ mod tests {
         let f = parse_form("reach(next, first, x)").unwrap();
         assert_eq!(
             f,
-            Form::app("reach", vec![Form::var("next"), Form::var("first"), Form::var("x")])
+            Form::app(
+                "reach",
+                vec![Form::var("next"), Form::var("first"), Form::var("x")]
+            )
         );
     }
 
@@ -696,7 +724,10 @@ mod tests {
 
     #[test]
     fn parse_negative_literal() {
-        assert_eq!(parse_form("x = -1").unwrap(), Form::eq(Form::var("x"), Form::int(-1)));
+        assert_eq!(
+            parse_form("x = -1").unwrap(),
+            Form::eq(Form::var("x"), Form::int(-1))
+        );
     }
 
     #[test]

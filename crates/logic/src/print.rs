@@ -321,7 +321,11 @@ mod tests {
     fn print_field_and_array() {
         let fr = Form::field_read(Form::var("next"), Form::var("x"));
         assert_eq!(fr.to_string(), "x.next");
-        let ar = Form::array_read(Form::var("arrayState"), Form::var("elements"), Form::var("i"));
+        let ar = Form::array_read(
+            Form::var("arrayState"),
+            Form::var("elements"),
+            Form::var("i"),
+        );
         assert_eq!(ar.to_string(), "elements[i]");
     }
 

@@ -11,7 +11,7 @@ use crate::form::Form;
 /// Simplifies a formula bottom-up.  The result is logically equivalent to the
 /// input.
 pub fn simplify(form: &Form) -> Form {
-    let form = form.map_children(|c| simplify(c));
+    let form = form.map_children(simplify);
     match form {
         Form::Not(inner) => Form::not(*inner),
         Form::And(parts) => Form::and(parts),

@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 /// A sort (type) of the specification logic.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Sort {
     /// Propositions / boolean values.
     Bool,
@@ -26,6 +26,7 @@ pub enum Sort {
     Fn(Vec<Sort>, Box<Sort>),
     /// Placeholder for not-yet-inferred sorts (produced by the parser when a
     /// binder omits its annotation; resolved by sort inference).
+    #[default]
     Unknown,
 }
 
@@ -101,12 +102,6 @@ impl Sort {
     }
 }
 
-impl Default for Sort {
-    fn default() -> Self {
-        Sort::Unknown
-    }
-}
-
 impl std::fmt::Display for Sort {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -171,7 +166,10 @@ mod tests {
 
     #[test]
     fn field_sorts() {
-        assert_eq!(Sort::obj_field(), Sort::Fn(vec![Sort::Obj], Box::new(Sort::Obj)));
+        assert_eq!(
+            Sort::obj_field(),
+            Sort::Fn(vec![Sort::Obj], Box::new(Sort::Obj))
+        );
         assert!(Sort::obj_field().is_fn());
         assert!(!Sort::Obj.is_fn());
     }

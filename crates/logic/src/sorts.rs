@@ -34,8 +34,27 @@ impl SortEnv {
     }
 
     /// Looks up a variable's sort.
+    ///
+    /// Splitting renames havocked and universally quantified variables to
+    /// fresh incarnations (`x#3` from `Vc::ForallVars`, `x$7` from goal
+    /// quantifiers); an incarnation shares the sort of its base variable, so
+    /// lookup falls back to stripping those numeric suffixes.
     pub fn var_sort(&self, name: &str) -> Option<&Sort> {
-        self.vars.get(name)
+        if let Some(sort) = self.vars.get(name) {
+            return Some(sort);
+        }
+        let mut base = name;
+        while let Some(split_at) = base.rfind(['#', '$']) {
+            let (stem, suffix) = base.split_at(split_at);
+            if suffix.len() < 2 || !suffix[1..].bytes().all(|b| b.is_ascii_digit()) {
+                break;
+            }
+            if let Some(sort) = self.vars.get(stem) {
+                return Some(sort);
+            }
+            base = stem;
+        }
+        None
     }
 
     /// Looks up a function signature.
@@ -64,10 +83,14 @@ impl SortEnv {
         match form {
             Form::Var(name) => locals
                 .get(name)
-                .or_else(|| self.vars.get(name))
                 .cloned()
+                .or_else(|| self.var_sort(name).cloned())
                 .unwrap_or(Sort::Unknown),
-            Form::Int(_) | Form::Add(..) | Form::Sub(..) | Form::Mul(..) | Form::Neg(_)
+            Form::Int(_)
+            | Form::Add(..)
+            | Form::Sub(..)
+            | Form::Mul(..)
+            | Form::Neg(_)
             | Form::Card(_) => Sort::Int,
             Form::Bool(_)
             | Form::Not(_)
@@ -179,7 +202,10 @@ impl SortEnv {
                 if sort.is_known() {
                     (name.clone(), sort.clone())
                 } else {
-                    (name.clone(), infer_usage_sort(name, body).unwrap_or(Sort::Unknown))
+                    (
+                        name.clone(),
+                        infer_usage_sort(name, body).unwrap_or(Sort::Unknown),
+                    )
                 }
             })
             .collect()
@@ -202,11 +228,11 @@ fn infer_rec(name: &str, form: &Form, found: &mut Option<Sort>) {
         return;
     }
     match form {
-        Form::Lt(a, b) | Form::Le(a, b) | Form::Add(a, b) | Form::Sub(a, b) | Form::Mul(a, b) => {
-            if is_var(name, a) || is_var(name, b) {
-                *found = Some(Sort::Int);
-                return;
-            }
+        Form::Lt(a, b) | Form::Le(a, b) | Form::Add(a, b) | Form::Sub(a, b) | Form::Mul(a, b)
+            if is_var(name, a) || is_var(name, b) =>
+        {
+            *found = Some(Sort::Int);
+            return;
         }
         Form::Eq(a, b) => {
             if (is_var(name, a) && matches!(**b, Form::Null))
@@ -222,11 +248,9 @@ fn infer_rec(name: &str, form: &Form, found: &mut Option<Sort>) {
                 return;
             }
         }
-        Form::FieldRead(_, obj) => {
-            if is_var(name, obj) {
-                *found = Some(Sort::Obj);
-                return;
-            }
+        Form::FieldRead(_, obj) if is_var(name, obj) => {
+            *found = Some(Sort::Obj);
+            return;
         }
         Form::ArrayRead(_, obj, idx) => {
             if is_var(name, obj) {
@@ -238,10 +262,10 @@ fn infer_rec(name: &str, form: &Form, found: &mut Option<Sort>) {
                 return;
             }
         }
-        Form::Forall(bs, _) | Form::Exists(bs, _) | Form::Compr(bs, _) => {
-            if bs.iter().any(|(b, _)| b == name) {
-                return; // shadowed
-            }
+        Form::Forall(bs, _) | Form::Exists(bs, _) | Form::Compr(bs, _)
+            if bs.iter().any(|(b, _)| b == name) =>
+        {
+            return; // shadowed
         }
         _ => {}
     }
@@ -262,7 +286,11 @@ mod tests {
         e.declare_var("next", Sort::obj_field());
         e.declare_var("elements", Sort::Obj);
         e.declare_var("arrayState", Sort::obj_array_state());
-        e.declare_fun("reach", vec![Sort::obj_field(), Sort::Obj, Sort::Obj], Sort::Bool);
+        e.declare_fun(
+            "reach",
+            vec![Sort::obj_field(), Sort::Obj, Sort::Obj],
+            Sort::Bool,
+        );
         e
     }
 
@@ -272,10 +300,16 @@ mod tests {
         assert_eq!(e.sort_of(&parse_form("size + 1").unwrap()), Sort::Int);
         assert_eq!(e.sort_of(&parse_form("first.next").unwrap()), Sort::Obj);
         assert_eq!(e.sort_of(&parse_form("elements[3]").unwrap()), Sort::Obj);
-        assert_eq!(e.sort_of(&parse_form("content").unwrap()), Sort::int_obj_set());
+        assert_eq!(
+            e.sort_of(&parse_form("content").unwrap()),
+            Sort::int_obj_set()
+        );
         assert_eq!(e.sort_of(&parse_form("card(content)").unwrap()), Sort::Int);
         assert_eq!(e.sort_of(&parse_form("size < 3").unwrap()), Sort::Bool);
-        assert_eq!(e.sort_of(&parse_form("reach(next, first, first)").unwrap()), Sort::Bool);
+        assert_eq!(
+            e.sort_of(&parse_form("reach(next, first, first)").unwrap()),
+            Sort::Bool
+        );
     }
 
     #[test]

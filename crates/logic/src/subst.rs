@@ -239,6 +239,54 @@ mod tests {
     }
 
     #[test]
+    fn simultaneous_substitution_swaps_without_chaining() {
+        // {x := y, y := x} applied to x < y must swap, not chain x -> y -> x.
+        let form = Form::lt(v("x"), v("y"));
+        let mut map = HashMap::new();
+        map.insert("x".to_string(), v("y"));
+        map.insert("y".to_string(), v("x"));
+        assert_eq!(substitute(&form, &map), Form::lt(v("y"), v("x")));
+    }
+
+    #[test]
+    fn capture_avoidance_renames_nested_binders() {
+        // (forall i. exists j. i < n & j < n)[n := i + j] must rename both
+        // bound variables; the substituted i and j must stay free.
+        let inner = Form::exists(
+            vec![("j".into(), Sort::Int)],
+            Form::and(vec![Form::lt(v("i"), v("n")), Form::lt(v("j"), v("n"))]),
+        );
+        let form = Form::forall(vec![("i".into(), Sort::Int)], inner);
+        let g = substitute_one(&form, "n", &Form::add(v("i"), v("j")));
+        let fv = free_vars(&g);
+        assert!(fv.contains("i"), "substituted i must stay free in {g:?}");
+        assert!(fv.contains("j"), "substituted j must stay free in {g:?}");
+        let Form::Forall(outer, body) = &g else {
+            panic!("expected a forall, got {g:?}");
+        };
+        assert_ne!(outer[0].0, "i", "outer binder must be renamed");
+        let Form::Exists(inner, _) = body.as_ref() else {
+            panic!("expected an exists, got {body:?}");
+        };
+        assert_ne!(inner[0].0, "j", "inner binder must be renamed");
+    }
+
+    #[test]
+    fn capture_avoidance_in_comprehension_binders() {
+        // {e | e = x}[x := e] must rename the comprehension's binder.
+        let compr = Form::Compr(
+            vec![("e".into(), Sort::Obj)],
+            Box::new(Form::eq(v("e"), v("x"))),
+        );
+        let g = substitute_one(&compr, "x", &v("e"));
+        let Form::Compr(bindings, body) = &g else {
+            panic!("expected comprehension, got {g:?}");
+        };
+        assert_ne!(bindings[0].0, "e", "comprehension binder must be renamed");
+        assert_eq!(**body, Form::eq(v(&bindings[0].0), v("e")));
+    }
+
+    #[test]
     fn substitution_into_comprehension() {
         // {(i, n) | n = x}[x := y]
         let compr = Form::Compr(

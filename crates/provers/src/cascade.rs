@@ -210,7 +210,11 @@ impl Cascade {
                 };
             }
         }
-        ProverAnswer { outcome: Outcome::Unknown, prover: None, duration: start.elapsed() }
+        ProverAnswer {
+            outcome: Outcome::Unknown,
+            prover: None,
+            duration: start.elapsed(),
+        }
     }
 }
 
@@ -294,7 +298,10 @@ mod tests {
     fn cascade_uses_bapa_for_cardinality_goals() {
         let cascade = Cascade::default();
         let answer = cascade.prove(&query(
-            &["~((i, o) in content)", "newcontent = content union {(i, o)}"],
+            &[
+                "~((i, o) in content)",
+                "newcontent = content union {(i, o)}",
+            ],
             "card(newcontent) = card(content) + 1",
         ));
         assert_eq!(answer.outcome, Outcome::Proved);

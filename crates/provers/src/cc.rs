@@ -120,7 +120,10 @@ impl Congruence {
             Form::Int(value) => Some(*value),
             _ => None,
         };
-        self.terms.push(Node { key: key.clone(), int_value });
+        self.terms.push(Node {
+            key: key.clone(),
+            int_value,
+        });
         self.index.insert(key, id);
         self.parent.push(id);
         id

@@ -35,7 +35,12 @@ pub fn refute(forms: &[Form], env: &SortEnv, config: &ProverConfig) -> GroundRes
 }
 
 /// Returns `true` if every branch closes (the formula set is unsatisfiable).
-fn search(mut literals: Vec<Form>, mut pending: Vec<Form>, env: &SortEnv, budget: &mut usize) -> bool {
+fn search(
+    mut literals: Vec<Form>,
+    mut pending: Vec<Form>,
+    env: &SortEnv,
+    budget: &mut usize,
+) -> bool {
     if *budget == 0 {
         return false;
     }
@@ -48,9 +53,7 @@ fn search(mut literals: Vec<Form>, mut pending: Vec<Form>, env: &SortEnv, budget
             Form::Bool(false) => return true,
             Form::And(parts) => pending.extend(parts),
             Form::Or(parts) => disjunctions.push(parts),
-            Form::Implies(..) | Form::Iff(..) | Form::Not(_)
-                if !is_literal(&form) =>
-            {
+            Form::Implies(..) | Form::Iff(..) | Form::Not(_) if !is_literal(&form) => {
                 pending.push(nnf(&form));
             }
             other => {
@@ -164,31 +167,34 @@ pub fn theory_conflict(literals: &[Form], env: &SortEnv) -> bool {
     for literal in literals {
         match literal {
             Form::Le(a, b) => {
-                if let Some(expr) = linear_diff(a, b, env, &mut cc) {
+                if let Some(expr) = linear_diff(a, b, &mut cc) {
                     constraints.push(PForm::le(expr));
                 }
             }
             Form::Lt(a, b) => {
-                if let Some(expr) = linear_diff(a, b, env, &mut cc) {
+                if let Some(expr) = linear_diff(a, b, &mut cc) {
                     constraints.push(PForm::le(expr.shifted(1)));
                 }
             }
-            Form::Eq(a, b) => {
-                if env.sort_of(a) == Sort::Int || env.sort_of(b) == Sort::Int || is_arith(a) || is_arith(b) {
-                    if let Some(expr) = linear_diff(a, b, env, &mut cc) {
-                        constraints.push(PForm::le(expr.clone()));
-                        constraints.push(PForm::le(expr.scaled(-1)));
-                    }
+            Form::Eq(a, b)
+                if env.sort_of(a) == Sort::Int
+                    || env.sort_of(b) == Sort::Int
+                    || is_arith(a)
+                    || is_arith(b) =>
+            {
+                if let Some(expr) = linear_diff(a, b, &mut cc) {
+                    constraints.push(PForm::le(expr.clone()));
+                    constraints.push(PForm::le(expr.scaled(-1)));
                 }
             }
             Form::Not(inner) => match inner.as_ref() {
                 Form::Le(a, b) => {
-                    if let Some(expr) = linear_diff(b, a, env, &mut cc) {
+                    if let Some(expr) = linear_diff(b, a, &mut cc) {
                         constraints.push(PForm::le(expr.shifted(1)));
                     }
                 }
                 Form::Lt(a, b) => {
-                    if let Some(expr) = linear_diff(b, a, env, &mut cc) {
+                    if let Some(expr) = linear_diff(b, a, &mut cc) {
                         constraints.push(PForm::le(expr));
                     }
                 }
@@ -208,26 +214,27 @@ pub fn theory_conflict(literals: &[Form], env: &SortEnv) -> bool {
 
 /// Linearises `a - b` into a linear expression, mapping non-arithmetic
 /// sub-terms to variables named after their congruence class.
-fn linear_diff(a: &Form, b: &Form, env: &SortEnv, cc: &mut Congruence) -> Option<LinExpr> {
-    let la = linearise(a, env, cc)?;
-    let lb = linearise(b, env, cc)?;
+fn linear_diff(a: &Form, b: &Form, cc: &mut Congruence) -> Option<LinExpr> {
+    let la = linearise(a, cc)?;
+    let lb = linearise(b, cc)?;
     Some(la.plus(&lb.scaled(-1)))
 }
 
 fn is_arith(form: &Form) -> bool {
-    matches!(form, Form::Add(..) | Form::Sub(..) | Form::Mul(..) | Form::Neg(_) | Form::Int(_))
+    matches!(
+        form,
+        Form::Add(..) | Form::Sub(..) | Form::Mul(..) | Form::Neg(_) | Form::Int(_)
+    )
 }
 
-fn linearise(form: &Form, env: &SortEnv, cc: &mut Congruence) -> Option<LinExpr> {
+fn linearise(form: &Form, cc: &mut Congruence) -> Option<LinExpr> {
     match form {
         Form::Int(value) => Some(LinExpr::constant(*value)),
-        Form::Add(a, b) => Some(linearise(a, env, cc)?.plus(&linearise(b, env, cc)?)),
-        Form::Sub(a, b) => Some(linearise(a, env, cc)?.plus(&linearise(b, env, cc)?.scaled(-1))),
-        Form::Neg(a) => Some(linearise(a, env, cc)?.scaled(-1)),
+        Form::Add(a, b) => Some(linearise(a, cc)?.plus(&linearise(b, cc)?)),
+        Form::Sub(a, b) => Some(linearise(a, cc)?.plus(&linearise(b, cc)?.scaled(-1))),
+        Form::Neg(a) => Some(linearise(a, cc)?.scaled(-1)),
         Form::Mul(a, b) => match (a.as_ref(), b.as_ref()) {
-            (Form::Int(k), other) | (other, Form::Int(k)) => {
-                Some(linearise(other, env, cc)?.scaled(*k))
-            }
+            (Form::Int(k), other) | (other, Form::Int(k)) => Some(linearise(other, cc)?.scaled(*k)),
             _ => {
                 // Non-linear multiplication: abstract the whole product.
                 let class = cc.class_of(form);
@@ -265,8 +272,7 @@ mod tests {
     /// Convenience: does `assumptions |- goal` hold for the ground solver?
     fn proves(assumptions: &[&str], goal: &str) -> bool {
         let env = env();
-        let assumptions: Vec<Form> =
-            assumptions.iter().map(|s| parse_form(s).unwrap()).collect();
+        let assumptions: Vec<Form> = assumptions.iter().map(|s| parse_form(s).unwrap()).collect();
         let goal = parse_form(goal).unwrap();
         let problem = build_problem(&assumptions, &goal, &env);
         // Ground solver only: ignore quantified assumptions.
@@ -337,22 +343,40 @@ mod tests {
         // arrayState2 = arrayState[(elements,i) := v], j != i |-
         //     arrayState2(elements, j) = arrayState(elements, j)
         let goal = Form::eq(
-            Form::array_read(Form::var("arrayState2"), Form::var("elements"), Form::var("j")),
-            Form::array_read(Form::var("arrayState"), Form::var("elements"), Form::var("j")),
+            Form::array_read(
+                Form::var("arrayState2"),
+                Form::var("elements"),
+                Form::var("j"),
+            ),
+            Form::array_read(
+                Form::var("arrayState"),
+                Form::var("elements"),
+                Form::var("j"),
+            ),
         );
         let problem = build_problem(
             &[assumption.clone(), parse_form("~(j = i)").unwrap()],
             &goal,
             &env,
         );
-        assert_eq!(refute(&problem.ground, &env, &ProverConfig::default()), GroundResult::Unsat);
+        assert_eq!(
+            refute(&problem.ground, &env, &ProverConfig::default()),
+            GroundResult::Unsat
+        );
         // Hit case.
         let goal_hit = Form::eq(
-            Form::array_read(Form::var("arrayState2"), Form::var("elements"), Form::var("i")),
+            Form::array_read(
+                Form::var("arrayState2"),
+                Form::var("elements"),
+                Form::var("i"),
+            ),
             Form::var("v"),
         );
         let problem = build_problem(&[assumption], &goal_hit, &env);
-        assert_eq!(refute(&problem.ground, &env, &ProverConfig::default()), GroundResult::Unsat);
+        assert_eq!(
+            refute(&problem.ground, &env, &ProverConfig::default()),
+            GroundResult::Unsat
+        );
     }
 
     #[test]
@@ -368,21 +392,23 @@ mod tests {
     #[test]
     fn budget_exhaustion_reports_unknown() {
         let env = env();
-        let mut config = ProverConfig::default();
-        config.max_branch_nodes = 1;
+        let config = ProverConfig {
+            max_branch_nodes: 1,
+            ..ProverConfig::default()
+        };
         let assumptions = vec![parse_form("p | q").unwrap(), parse_form("~p | r").unwrap()];
         let goal = parse_form("q | r").unwrap();
         let problem = build_problem(&assumptions, &goal, &env);
-        assert_eq!(refute(&problem.ground, &env, &config), GroundResult::Unknown);
+        assert_eq!(
+            refute(&problem.ground, &env, &config),
+            GroundResult::Unknown
+        );
     }
 
     #[test]
     fn theory_conflict_detects_plain_contradictions() {
         let env = env();
-        let literals = vec![
-            parse_form("i < 3").unwrap(),
-            parse_form("3 < i").unwrap(),
-        ];
+        let literals = vec![parse_form("i < 3").unwrap(), parse_form("3 < i").unwrap()];
         assert!(theory_conflict(&literals, &env));
         let literals = vec![parse_form("i < 3").unwrap(), parse_form("i < 5").unwrap()];
         assert!(!theory_conflict(&literals, &env));

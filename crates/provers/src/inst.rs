@@ -178,8 +178,10 @@ fn instantiate_one(
         Form::Forall(bs, _) => bs.clone(),
         _ => bindings,
     };
-    let candidate_lists: Vec<Vec<Form>> =
-        bindings.iter().map(|(_, sort)| pool.candidates(sort)).collect();
+    let candidate_lists: Vec<Vec<Form>> = bindings
+        .iter()
+        .map(|(_, sort)| pool.candidates(sort))
+        .collect();
     if candidate_lists.iter().any(Vec::is_empty) {
         return Vec::new();
     }
@@ -243,8 +245,7 @@ mod tests {
 
     fn proves_with(assumptions: &[&str], goal: &str, config: &ProverConfig) -> bool {
         let env = env();
-        let assumptions: Vec<Form> =
-            assumptions.iter().map(|s| parse_form(s).unwrap()).collect();
+        let assumptions: Vec<Form> = assumptions.iter().map(|s| parse_form(s).unwrap()).collect();
         let goal = parse_form(goal).unwrap();
         let count = assumptions.len();
         let problem = build_problem(&assumptions, &goal, &env);
@@ -317,8 +318,10 @@ mod tests {
 
     #[test]
     fn budget_zero_rounds_cannot_use_quantifiers() {
-        let mut config = ProverConfig::default();
-        config.instantiation_rounds = 0;
+        let config = ProverConfig {
+            instantiation_rounds: 0,
+            ..ProverConfig::default()
+        };
         assert!(!proves_with(
             &["forall n:int. 0 <= n --> p(n)", "0 <= x"],
             "p(x)",
@@ -329,7 +332,7 @@ mod tests {
     #[test]
     fn term_pool_collects_sorted_candidates() {
         let env = env();
-        let forms = vec![
+        let forms = [
             parse_form("0 <= index & index < size").unwrap(),
             parse_form("first.next = a").unwrap(),
         ];

@@ -50,7 +50,11 @@ pub struct Query {
 impl Query {
     /// Creates a query.
     pub fn new(assumptions: Vec<Labeled>, goal: Form, env: SortEnv) -> Self {
-        Query { assumptions, goal, env }
+        Query {
+            assumptions,
+            goal,
+            env,
+        }
     }
 
     /// The assumption formulas without their labels.
@@ -160,6 +164,8 @@ mod tests {
 
     #[test]
     fn quick_config_is_smaller() {
-        assert!(ProverConfig::quick().max_total_instances < ProverConfig::default().max_total_instances);
+        assert!(
+            ProverConfig::quick().max_total_instances < ProverConfig::default().max_total_instances
+        );
     }
 }

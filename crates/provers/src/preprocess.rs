@@ -85,12 +85,13 @@ fn add_refutation_form(form: &Form, env: &SortEnv, fresh: &mut FreshNames, probl
 /// top-level universals.
 pub fn hoist_foralls(form: &Form, fresh: &mut FreshNames) -> Form {
     match form {
-        Form::Forall(bindings, body) => {
-            Form::forall(bindings.clone(), hoist_foralls(body, fresh))
-        }
-        Form::And(parts) => {
-            Form::and(parts.iter().map(|p| hoist_foralls(p, fresh)).collect::<Vec<_>>())
-        }
+        Form::Forall(bindings, body) => Form::forall(bindings.clone(), hoist_foralls(body, fresh)),
+        Form::And(parts) => Form::and(
+            parts
+                .iter()
+                .map(|p| hoist_foralls(p, fresh))
+                .collect::<Vec<_>>(),
+        ),
         Form::Or(parts) => {
             let mut hoisted_binders = Vec::new();
             let mut new_parts = Vec::new();
@@ -157,7 +158,13 @@ pub fn update_axioms(problem: &Problem) -> Vec<Form> {
     let mut array_writes: BTreeSet<(Form, Form, Form, Form)> = BTreeSet::new();
 
     for form in problem.all_forms() {
-        collect_accesses(form, &mut field_reads, &mut field_writes, &mut array_reads, &mut array_writes);
+        collect_accesses(
+            form,
+            &mut field_reads,
+            &mut field_writes,
+            &mut array_reads,
+            &mut array_writes,
+        );
     }
 
     let mut axioms = Vec::new();
@@ -187,7 +194,10 @@ pub fn update_axioms(problem: &Problem) -> Vec<Form> {
             );
             let miss = Form::implies(
                 Form::neq(arg.clone(), (**at).clone()),
-                Form::eq(read.clone(), Form::field_read((**base).clone(), arg.clone())),
+                Form::eq(
+                    read.clone(),
+                    Form::field_read((**base).clone(), arg.clone()),
+                ),
             );
             axioms.push(Form::and(vec![hit, miss]));
         }
@@ -206,7 +216,10 @@ pub fn update_axioms(problem: &Problem) -> Vec<Form> {
             let hit = Form::implies(same_cell.clone(), Form::eq(read.clone(), value.clone()));
             let miss = Form::implies(
                 Form::not(same_cell),
-                Form::eq(read.clone(), Form::array_read(base.clone(), arr.clone(), idx.clone())),
+                Form::eq(
+                    read.clone(),
+                    Form::array_read(base.clone(), arr.clone(), idx.clone()),
+                ),
             );
             axioms.push(Form::implies(guard, Form::and(vec![hit, miss])));
         }
@@ -291,7 +304,10 @@ mod tests {
         let goal = parse_form("p(x)").unwrap();
         let problem = build_problem(&assumptions, &goal, &env);
         assert!(problem.quantified.len() == 1);
-        assert!(problem.ground.iter().any(|f| matches!(f, Form::Not(_)) || matches!(f, Form::Eq(..))));
+        assert!(problem
+            .ground
+            .iter()
+            .any(|f| matches!(f, Form::Not(_)) || matches!(f, Form::Eq(..))));
     }
 
     #[test]
@@ -310,10 +326,13 @@ mod tests {
         let goal = parse_form("false").unwrap();
         let problem = build_problem(&assumptions, &goal, &env);
         assert!(problem.quantified.is_empty());
-        assert!(problem
-            .ground
-            .iter()
-            .any(|f| f.to_string().contains("sk_w")), "skolem constant introduced");
+        assert!(
+            problem
+                .ground
+                .iter()
+                .any(|f| f.to_string().contains("sk_w")),
+            "skolem constant introduced"
+        );
     }
 
     #[test]
@@ -336,7 +355,9 @@ mod tests {
         let problem = build_problem(&assumptions, &goal, &env);
         let axiom_text: Vec<String> = problem.ground.iter().map(|f| f.to_string()).collect();
         assert!(
-            axiom_text.iter().any(|t| t.contains("[a := v]") && t.contains("-->")),
+            axiom_text
+                .iter()
+                .any(|t| t.contains("[a := v]") && t.contains("-->")),
             "expected a guarded read-over-write axiom, got {axiom_text:?}"
         );
     }

@@ -63,8 +63,14 @@ mod tests {
 
     #[test]
     fn true_goals_are_trivial() {
-        assert_eq!(Syntactic.prove(&query(&[], "true"), &ProverConfig::default()), Outcome::Proved);
-        assert_eq!(Syntactic.prove(&query(&[], "x = x"), &ProverConfig::default()), Outcome::Proved);
+        assert_eq!(
+            Syntactic.prove(&query(&[], "true"), &ProverConfig::default()),
+            Outcome::Proved
+        );
+        assert_eq!(
+            Syntactic.prove(&query(&[], "x = x"), &ProverConfig::default()),
+            Outcome::Proved
+        );
         assert_eq!(
             Syntactic.prove(&query(&[], "1 + 1 = 2"), &ProverConfig::default()),
             Outcome::Proved
@@ -90,7 +96,10 @@ mod tests {
             Outcome::Proved
         );
         assert_eq!(
-            Syntactic.prove(&query(&["x < x + 0 - 0 & false"], "q"), &ProverConfig::default()),
+            Syntactic.prove(
+                &query(&["x < x + 0 - 0 & false"], "q"),
+                &ProverConfig::default()
+            ),
             Outcome::Proved
         );
     }

@@ -51,7 +51,10 @@ pub struct ShapeLimits {
 
 impl Default for ShapeLimits {
     fn default() -> Self {
-        ShapeLimits { max_rounds: 64, max_facts: 50_000 }
+        ShapeLimits {
+            max_rounds: 64,
+            max_facts: 50_000,
+        }
     }
 }
 
@@ -122,8 +125,15 @@ impl State {
             .map(|(f, a, b)| (f, self.find(a), self.find(b)))
             .collect();
         let diseq: Vec<_> = self.diseq.iter().cloned().collect();
-        self.diseq = diseq.into_iter().map(|(a, b)| (self.find(a), self.find(b))).collect();
-        let edges: Vec<_> = self.field_edges.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        self.diseq = diseq
+            .into_iter()
+            .map(|(a, b)| (self.find(a), self.find(b)))
+            .collect();
+        let edges: Vec<_> = self
+            .field_edges
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
         let mut new_edges = BTreeMap::new();
         for ((field, src), dst) in edges {
             let key = (field, self.find(src));
@@ -137,7 +147,11 @@ impl State {
             new_edges.insert(key, dst);
         }
         self.field_edges = new_edges;
-        let updates: Vec<_> = self.updates.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let updates: Vec<_> = self
+            .updates
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
         self.updates = updates
             .into_iter()
             .map(|(f, (g, a, v))| (f, (g, self.find(a), self.find(v))))
@@ -195,14 +209,18 @@ fn assume(form: &Form, state: &mut State, positive: bool) {
                 {
                     let at = state.node(&term_name(at));
                     let value = state.node(&term_name(value));
-                    state.updates.insert(new_field.clone(), (field_name(old), at, value));
+                    state
+                        .updates
+                        .insert(new_field.clone(), (field_name(old), at, value));
                     return;
                 }
                 if let (Form::FieldWrite(old, at, value), Form::Var(new_field)) = (var_side, other)
                 {
                     let at = state.node(&term_name(at));
                     let value = state.node(&term_name(value));
-                    state.updates.insert(new_field.clone(), (field_name(old), at, value));
+                    state
+                        .updates
+                        .insert(new_field.clone(), (field_name(old), at, value));
                     return;
                 }
             }
@@ -297,32 +315,47 @@ pub fn prove_valid(assumptions: &[Form], goal: &Form, limits: &ShapeLimits) -> S
         }
 
         // (upd-hit) and (upd-miss)
-        let updates: Vec<(String, (String, NodeId, NodeId))> =
-            state.updates.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let updates: Vec<(String, (String, NodeId, NodeId))> = state
+            .updates
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
         for (new_field, (old_field, at, value)) in &updates {
             let at = state.find(*at);
             let value = state.find(*value);
             state.field_edges.insert((new_field.clone(), at), value);
             // Frame: edges of the old field at indices known distinct from `at`
             // carry over to the new field, and vice versa.
-            let edges: Vec<((String, NodeId), NodeId)> =
-                state.field_edges.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            let edges: Vec<((String, NodeId), NodeId)> = state
+                .field_edges
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
             for ((field, src), dst) in edges {
                 let distinct = state.diseq.contains(&(src, at)) || state.diseq.contains(&(at, src));
                 if !distinct {
                     continue;
                 }
                 if &field == old_field {
-                    state.field_edges.entry((new_field.clone(), src)).or_insert(dst);
+                    state
+                        .field_edges
+                        .entry((new_field.clone(), src))
+                        .or_insert(dst);
                 } else if &field == new_field {
-                    state.field_edges.entry((old_field.clone(), src)).or_insert(dst);
+                    state
+                        .field_edges
+                        .entry((old_field.clone(), src))
+                        .or_insert(dst);
                 }
             }
         }
 
         // (step) field edges imply reachability.
-        let edges: Vec<((String, NodeId), NodeId)> =
-            state.field_edges.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let edges: Vec<((String, NodeId), NodeId)> = state
+            .field_edges
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
         for ((field, src), dst) in &edges {
             state.reach.insert((field.clone(), *src, *dst));
         }
@@ -362,8 +395,7 @@ mod tests {
     use ipl_logic::parser::parse_form;
 
     fn valid(assumptions: &[&str], goal: &str) -> bool {
-        let assumptions: Vec<Form> =
-            assumptions.iter().map(|s| parse_form(s).unwrap()).collect();
+        let assumptions: Vec<Form> = assumptions.iter().map(|s| parse_form(s).unwrap()).collect();
         let goal = parse_form(goal).unwrap();
         prove_valid(&assumptions, &goal, &ShapeLimits::default()) == ShapeOutcome::Valid
     }
@@ -398,10 +430,7 @@ mod tests {
 
     #[test]
     fn equalities_are_respected() {
-        assert!(valid(
-            &["reach(next, a, b)", "b = c"],
-            "reach(next, a, c)"
-        ));
+        assert!(valid(&["reach(next, a, b)", "b = c"], "reach(next, a, c)"));
     }
 
     #[test]
@@ -417,10 +446,7 @@ mod tests {
 
     #[test]
     fn update_hits_the_written_cell() {
-        assert!(valid(
-            &["newnext = next[x := v]"],
-            "reach(newnext, x, v)"
-        ));
+        assert!(valid(&["newnext = next[x := v]"], "reach(newnext, x, v)"));
     }
 
     #[test]

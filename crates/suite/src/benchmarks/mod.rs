@@ -32,20 +32,46 @@ pub struct Benchmark {
 /// All eight data structures, in the order of Table 1.
 pub fn all() -> Vec<Benchmark> {
     vec![
-        Benchmark { name: "Hash Table", source: hashtable::SOURCE },
-        Benchmark { name: "Priority Queue", source: priorityqueue::SOURCE },
-        Benchmark { name: "Binary Tree", source: binarytree::SOURCE },
-        Benchmark { name: "Array List", source: arraylist::SOURCE },
-        Benchmark { name: "Circular List", source: circularlist::SOURCE },
-        Benchmark { name: "Cursor List", source: cursorlist::SOURCE },
-        Benchmark { name: "Association List", source: assoclist::SOURCE },
-        Benchmark { name: "Linked List", source: linkedlist::SOURCE },
+        Benchmark {
+            name: "Hash Table",
+            source: hashtable::SOURCE,
+        },
+        Benchmark {
+            name: "Priority Queue",
+            source: priorityqueue::SOURCE,
+        },
+        Benchmark {
+            name: "Binary Tree",
+            source: binarytree::SOURCE,
+        },
+        Benchmark {
+            name: "Array List",
+            source: arraylist::SOURCE,
+        },
+        Benchmark {
+            name: "Circular List",
+            source: circularlist::SOURCE,
+        },
+        Benchmark {
+            name: "Cursor List",
+            source: cursorlist::SOURCE,
+        },
+        Benchmark {
+            name: "Association List",
+            source: assoclist::SOURCE,
+        },
+        Benchmark {
+            name: "Linked List",
+            source: linkedlist::SOURCE,
+        },
     ]
 }
 
 /// Looks a benchmark up by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<Benchmark> {
-    all().into_iter().find(|b| b.name.eq_ignore_ascii_case(name))
+    all()
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -83,7 +109,13 @@ mod tests {
         };
         let hash = counts("Hash Table");
         let linked = counts("Linked List");
-        assert!(hash > linked, "hash table ({hash}) should need more guidance than linked list ({linked})");
-        assert_eq!(linked, 0, "the linked list verifies without proof statements");
+        assert!(
+            hash > linked,
+            "hash table ({hash}) should need more guidance than linked list ({linked})"
+        );
+        assert_eq!(
+            linked, 0,
+            "the linked list verifies without proof statements"
+        );
     }
 }

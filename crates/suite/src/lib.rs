@@ -21,7 +21,10 @@ use ipl_provers::ProverConfig;
 /// suite completes quickly even when sequents fail (which is the expected
 /// outcome for the "without proof constructs" configuration).
 pub fn suite_config() -> ProverConfig {
-    ProverConfig { per_prover_timeout_ms: 800, ..ProverConfig::default() }
+    ProverConfig {
+        per_prover_timeout_ms: 800,
+        ..ProverConfig::default()
+    }
 }
 
 /// Verifies one benchmark and returns its report.
@@ -51,10 +54,22 @@ mod tests {
             "linked list should verify at least 85% of its sequents:\n{}",
             report.render()
         );
-        let add_first = report.methods.iter().find(|m| m.name == "addFirst").unwrap();
-        assert!(add_first.fully_proved(), "addFirst verifies completely:\n{}", report.render());
+        let add_first = report
+            .methods
+            .iter()
+            .find(|m| m.name == "addFirst")
+            .unwrap();
+        assert!(
+            add_first.fully_proved(),
+            "addFirst verifies completely:\n{}",
+            report.render()
+        );
         let is_empty = report.methods.iter().find(|m| m.name == "isEmpty").unwrap();
-        assert!(is_empty.fully_proved(), "isEmpty verifies completely:\n{}", report.render());
+        assert!(
+            is_empty.fully_proved(),
+            "isEmpty verifies completely:\n{}",
+            report.render()
+        );
     }
 
     #[test]
@@ -66,7 +81,11 @@ mod tests {
         };
         let module = ipl_lang::parse_module(benchmark.source).unwrap();
         let lowered = ipl_lang::lower_module(&module).unwrap();
-        let check_level = lowered.methods.iter().find(|m| m.name == "checkLevel").unwrap();
+        let check_level = lowered
+            .methods
+            .iter()
+            .find(|m| m.name == "checkLevel")
+            .unwrap();
         let cascade = ipl_provers::Cascade::standard(options.config);
         let proved_post = |report: &ipl_core::MethodReport| {
             report
@@ -80,11 +99,14 @@ mod tests {
             proved_post(&with),
             "with induct the levelOk(k) postcondition is proved: {with:?}"
         );
-        let without =
-            ipl_core::verify_method(check_level, &cascade, &ipl_core::VerifyOptions {
+        let without = ipl_core::verify_method(
+            check_level,
+            &cascade,
+            &ipl_core::VerifyOptions {
                 config: suite_config(),
                 ..ipl_core::VerifyOptions::without_proof_constructs()
-            });
+            },
+        );
         assert!(
             !proved_post(&without),
             "without induct the postcondition requires mathematical induction and must fail"

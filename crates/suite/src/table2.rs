@@ -40,7 +40,10 @@ pub fn row(benchmark: &Benchmark, options: &VerifyOptions) -> Table2Row {
         use_from_clauses: options.use_from_clauses,
         record_sequents: false,
     };
-    let with_options = VerifyOptions { record_sequents: false, ..options.clone() };
+    let with_options = VerifyOptions {
+        record_sequents: false,
+        ..options.clone()
+    };
     let without = ipl_core::verify_source(benchmark.source, &without_options)
         .unwrap_or_else(|e| panic!("{}: {e}", benchmark.name));
     let with = ipl_core::verify_source(benchmark.source, &with_options)
@@ -60,7 +63,9 @@ pub fn row(benchmark: &Benchmark, options: &VerifyOptions) -> Table2Row {
 /// Renders the table in the layout of the paper.
 pub fn render(rows: &[Table2Row]) -> String {
     let mut out = String::new();
-    out.push_str("                         Without Proof Constructs        With Proof Constructs\n");
+    out.push_str(
+        "                         Without Proof Constructs        With Proof Constructs\n",
+    );
     out.push_str("Data Structure      Methods Verified  Sequents Verified   Methods Verified  Sequents Verified\n");
     for r in rows {
         out.push_str(&format!(

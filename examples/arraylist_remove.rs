@@ -3,12 +3,15 @@
 //!
 //! Run with `cargo run --example arraylist_remove`.
 
-use ipl::core::{VerifyOptions, verify_source};
+use ipl::core::{verify_source, VerifyOptions};
 use ipl::suite::by_name;
 
 fn main() {
     let benchmark = by_name("Array List").expect("benchmark exists");
-    let options = VerifyOptions { config: ipl::suite::suite_config(), ..VerifyOptions::default() };
+    let options = VerifyOptions {
+        config: ipl::suite::suite_config(),
+        ..VerifyOptions::default()
+    };
 
     println!("== Array List with its integrated proof statements ==");
     let with = verify_source(benchmark.source, &options).expect("parses");

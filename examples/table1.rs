@@ -1,15 +1,27 @@
 //! Regenerates **Table 1** of the paper: construct counts and verification
 //! time for every benchmark data structure.
 //!
-//! Run with `cargo run --release --example table1`.
+//! Run with `cargo run --release --example table1`.  Pass `--quick` to
+//! regenerate only a three-structure subset (the CI smoke configuration).
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     let options = ipl::core::VerifyOptions {
         config: ipl::suite::suite_config(),
         record_sequents: false,
         ..ipl::core::VerifyOptions::default()
     };
-    let rows = ipl::suite::table1::generate(&options);
+    let rows = if quick {
+        ["Linked List", "Cursor List", "Association List"]
+            .iter()
+            .map(|name| {
+                let benchmark = ipl::suite::by_name(name).expect("benchmark exists");
+                ipl::suite::table1::row(&benchmark, &options)
+            })
+            .collect()
+    } else {
+        ipl::suite::table1::generate(&options)
+    };
     println!("{}", ipl::suite::table1::render(&rows));
     for row in &rows {
         println!(

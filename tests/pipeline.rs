@@ -37,7 +37,10 @@ module Buggy {
 }
 "#;
     let report = verify_source(source, &VerifyOptions::default()).unwrap();
-    assert!(!report.fully_proved(), "the invariant violation must be detected");
+    assert!(
+        !report.fully_proved(),
+        "the invariant violation must be detected"
+    );
 }
 
 #[test]
@@ -58,7 +61,10 @@ module Guided {
     let without = verify_source(source, &VerifyOptions::without_proof_constructs()).unwrap();
     assert!(with.fully_proved());
     assert!(without.fully_proved());
-    assert!(with.total_sequents() > without.total_sequents(), "notes add proof obligations");
+    assert!(
+        with.total_sequents() > without.total_sequents(),
+        "notes add proof obligations"
+    );
 }
 
 #[test]

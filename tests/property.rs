@@ -87,9 +87,8 @@ fn eval_bool(form: &Form, env: &HashMap<String, i64>) -> bool {
 }
 
 fn assignment() -> impl Strategy<Value = HashMap<String, i64>> {
-    prop::collection::vec(-10i64..10, VARS.len()).prop_map(|values| {
-        VARS.iter().map(|v| v.to_string()).zip(values).collect()
-    })
+    prop::collection::vec(-10i64..10, VARS.len())
+        .prop_map(|values| VARS.iter().map(|v| v.to_string()).zip(values).collect())
 }
 
 proptest! {

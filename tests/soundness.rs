@@ -49,16 +49,26 @@ fn induct_translation_emits_base_and_step_obligations() {
     let case = catalog().into_iter().find(|c| c.name == "induct").unwrap();
     let mut ctx = TranslateCtx::new();
     let simple = translate_proof(&case.construct, &mut ctx);
-    assert_eq!(simple.assert_count(), 2, "base case and inductive step obligations");
+    assert_eq!(
+        simple.assert_count(),
+        2,
+        "base case and inductive step obligations"
+    );
     let text = format!("{simple:?}");
-    assert!(text.contains("holds"), "the induction formula appears in the obligations");
+    assert!(
+        text.contains("holds"),
+        "the induction formula appears in the obligations"
+    );
 }
 
 #[test]
 fn pick_witness_side_condition_is_enforced() {
     // The catalog instance respects the side condition; verify that the
     // exported fact is the goal itself (not weakened to true).
-    let case = catalog().into_iter().find(|c| c.name == "pickWitness").unwrap();
+    let case = catalog()
+        .into_iter()
+        .find(|c| c.name == "pickWitness")
+        .unwrap();
     let text = format!("{:?}", case.obligation);
     assert!(text.contains("q0"), "the goal is exported: {text}");
 }

@@ -1,0 +1,206 @@
+//! Minimal stand-in for the `criterion` benchmarking crate.
+//!
+//! The CI image cannot reach a crate registry, so this stub reimplements the
+//! small slice of criterion's API that the `ipl-bench` harnesses use:
+//! `Criterion`, `benchmark_group` / `sample_size` / `bench_function` /
+//! `finish`, `Bencher::iter`, `black_box` and the `criterion_group!` /
+//! `criterion_main!` macros. Measurements are real wall-clock timings
+//! (median over the configured sample count) printed in criterion's
+//! familiar one-line format, but there is no statistical analysis, no
+//! warm-up modelling and no HTML report.
+//!
+//! A `--quick` (or `--sample-size N`) CLI argument caps the sample count so
+//! CI smoke jobs can exercise every benchmark cheaply.
+
+use std::time::{Duration, Instant};
+
+/// Opaque hint that prevents the optimiser from deleting a computed value.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver, handed to each `criterion_group!` target.
+pub struct Criterion {
+    default_sample_size: usize,
+    /// Upper bound from `--quick` / `--sample-size`; `None` means unlimited.
+    sample_cap: Option<usize>,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut sample_cap = None;
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => sample_cap = Some(2),
+                "--sample-size" => {
+                    sample_cap = args.next().and_then(|v| v.parse().ok());
+                }
+                // `cargo bench` passes `--bench`; swallow it without
+                // treating it as a filter.
+                "--bench" => {}
+                "--profile-time" => {
+                    let _ = args.next();
+                }
+                other if !other.starts_with('-') => filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        Criterion {
+            default_sample_size: 10,
+            sample_cap,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let samples = self.effective_samples(None);
+        let skip = self.skips(id);
+        run_one("", id, samples, skip, f);
+        self
+    }
+
+    fn effective_samples(&self, group_override: Option<usize>) -> usize {
+        let base = group_override.unwrap_or(self.default_sample_size);
+        match self.sample_cap {
+            Some(cap) => base.min(cap),
+            None => base,
+        }
+    }
+
+    fn skips(&self, id: &str) -> bool {
+        self.filter
+            .as_ref()
+            .is_some_and(|f| !id.contains(f.as_str()))
+    }
+}
+
+/// A named collection of benchmarks sharing a sample-size override.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Times one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let samples = self.criterion.effective_samples(self.sample_size);
+        let skip = self.criterion.skips(id);
+        run_one(&self.name, id, samples, skip, f);
+        self
+    }
+
+    /// Ends the group. (The stub keeps no per-group state to flush.)
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, samples: usize, skip: bool, mut f: F) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if skip {
+        return;
+    }
+    let mut timings = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        if bencher.iterations > 0 {
+            timings.push(bencher.elapsed / bencher.iterations);
+        }
+    }
+    timings.sort();
+    let median = timings
+        .get(timings.len() / 2)
+        .copied()
+        .unwrap_or(Duration::ZERO);
+    let low = timings.first().copied().unwrap_or(Duration::ZERO);
+    let high = timings.last().copied().unwrap_or(Duration::ZERO);
+    println!(
+        "{label:<50} time: [{} {} {}]",
+        fmt_duration(low),
+        fmt_duration(median),
+        fmt_duration(high)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Passed to the closure given to `bench_function`; times the closed-over
+/// routine.
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u32,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` (the real criterion runs many
+    /// iterations per sample; one per sample keeps the stub simple and is
+    /// plenty for the multi-millisecond verification runs measured here).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+        black_box(out);
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,48 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::rng::Rng;
+use crate::strategy::Strategy;
+use std::ops::Range;
+
+/// Conversion into a half-open `[min, max)` length range, mirroring
+/// proptest's `SizeRange` conversions for the cases the workspace uses.
+pub trait IntoSizeRange {
+    fn into_size_range(self) -> Range<usize>;
+}
+
+impl IntoSizeRange for usize {
+    fn into_size_range(self) -> Range<usize> {
+        self..self + 1
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn into_size_range(self) -> Range<usize> {
+        self
+    }
+}
+
+/// Generates vectors whose elements come from `element` and whose length is
+/// drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into_size_range(),
+    }
+}
+
+/// The result of [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let len = rng.index(self.size.start, self.size.end);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,115 @@
+//! Minimal stand-in for the `proptest` property-testing crate.
+//!
+//! The CI image cannot reach a crate registry, so this stub reimplements the
+//! slice of proptest used by the workspace's `tests/property.rs`:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_recursive` and
+//!   `boxed`, plus strategies for integer ranges, tuples, [`strategy::Just`]
+//!   and regex-subset string patterns (`&str`),
+//! * [`collection::vec`] with exact or ranged sizes,
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros,
+//! * [`config::ProptestConfig`] with `with_cases`.
+//!
+//! Generation is driven by a deterministic xorshift RNG seeded from the test
+//! name, so failures reproduce across runs. Unlike the real proptest there is
+//! no shrinking: a failing case panics with the full `Debug` rendering of its
+//! inputs instead of a minimised counterexample.
+
+pub mod collection;
+pub mod config;
+pub mod prelude;
+pub mod rng;
+pub mod strategy;
+pub mod string;
+
+/// Error value threaded out of a failing property body by the `prop_assert*`
+/// macros; converted into a panic (with the generated inputs) by `proptest!`.
+#[derive(Debug)]
+pub struct TestCaseFailed(pub String);
+
+/// Defines property tests: each function's arguments are drawn from the given
+/// strategies for `ProptestConfig::cases` iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::config::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::config::ProptestConfig = $cfg;
+                let mut rng = $crate::rng::Rng::seeded_from(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);
+                    )+
+                    let description = {
+                        let mut parts: ::std::vec::Vec<::std::string::String> = ::std::vec::Vec::new();
+                        $( parts.push(format!("{} = {:?}", stringify!($arg), &$arg)); )+
+                        parts.join("\n    ")
+                    };
+                    let outcome: ::std::result::Result<(), $crate::TestCaseFailed> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(failure) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs:\n    {}",
+                            case + 1, config.cases, failure.0, description
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniformly picks one of several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Like `assert!`, but fails the surrounding property case instead of
+/// panicking directly (the harness adds the generated inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseFailed(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails the surrounding property case instead of
+/// panicking directly.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseFailed(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}

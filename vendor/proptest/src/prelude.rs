@@ -1,0 +1,7 @@
+//! The glob-importable prelude, mirroring `proptest::prelude`.
+
+pub use crate as prop;
+pub use crate::config::ProptestConfig;
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::TestCaseFailed;
+pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};

@@ -1,0 +1,47 @@
+//! Deterministic pseudo-random number generation for the proptest stub.
+//!
+//! xorshift64* seeded from an FNV-1a hash of the test's fully qualified name:
+//! every run of a given test draws the same case sequence, so failures are
+//! reproducible without persisted seeds.
+
+/// A deterministic xorshift64* generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seeds the generator from an arbitrary string (FNV-1a).
+    pub fn seeded_from(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        // xorshift breaks on an all-zero state.
+        Rng { state: hash | 1 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in the half-open range `[low, high)`; `high` must be
+    /// strictly greater than `low`.
+    pub fn below(&mut self, low: i128, high: i128) -> i128 {
+        assert!(low < high, "empty range {low}..{high}");
+        let span = (high - low) as u128;
+        low + (u128::from(self.next_u64()) % span) as i128
+    }
+
+    /// Uniform `usize` in `[low, high)`.
+    pub fn index(&mut self, low: usize, high: usize) -> usize {
+        self.below(low as i128, high as i128) as usize
+    }
+}

@@ -1,0 +1,183 @@
+//! The [`Strategy`] trait and the combinators used by the workspace's
+//! property tests: mapping, bounded recursion, boxing and unions.
+
+use crate::rng::Rng;
+use std::rc::Rc;
+
+/// A generator of random values of one type.
+///
+/// Unlike the real proptest there is no value-tree/shrinking machinery: a
+/// strategy is simply a function from an [`Rng`] to a value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Transforms generated values with `map`.
+    fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, map }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves and `recurse`
+    /// builds one nesting level on top of a strategy for the levels below.
+    /// `depth` bounds the nesting; the `max_size` / `items` hints of the real
+    /// proptest API are accepted but unused.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _max_size: u32,
+        _items_per_collection: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            // Mix the leaves back in at every level so generation both
+            // terminates and still produces shallow values at high depth.
+            let deeper = recurse(current).boxed();
+            current = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        current
+    }
+
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            generator: Rc::new(move |rng: &mut Rng| self.generate(rng)),
+        }
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    #[allow(clippy::type_complexity)]
+    generator: Rc<dyn Fn(&mut Rng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            generator: Rc::clone(&self.generator),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        (self.generator)(rng)
+    }
+}
+
+/// Always generates a clone of one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut Rng) -> U {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// Uniformly picks one of several boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// `options` must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        let pick = rng.index(0, self.options.len());
+        self.options[pick].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty)+) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut Rng) -> $ty {
+                rng.below(self.start as i128, self.end as i128) as $ty
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut Rng) -> $ty {
+                rng.below(*self.start() as i128, *self.end() as i128 + 1) as $ty
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(i8 i16 i32 i64 isize u8 u16 u32 u64 usize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, G)
+}

@@ -1,0 +1,114 @@
+//! String strategies from regex-like patterns.
+//!
+//! A `&str` is itself a strategy generating strings that match it. The stub
+//! supports the subset of regex syntax the workspace uses: literal
+//! characters, `[a-z0-9_]`-style character classes, and the quantifiers
+//! `{m}`, `{m,n}`, `?`, `*` and `+` (the unbounded ones capped at four
+//! repetitions).
+
+use crate::rng::Rng;
+use crate::strategy::Strategy;
+
+#[derive(Debug, Clone)]
+struct Piece {
+    /// Candidate characters for this position.
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                for inner in chars.by_ref() {
+                    match inner {
+                        ']' => break,
+                        '-' if prev.is_some() => {
+                            // Range start recorded as `prev`; complete it on
+                            // the next character (handled below via marker).
+                            set.push('\u{0}');
+                        }
+                        other => {
+                            if set.last() == Some(&'\u{0}') {
+                                set.pop();
+                                let start = prev.expect("range start");
+                                set.pop();
+                                for code in start as u32..=other as u32 {
+                                    if let Some(ch) = char::from_u32(code) {
+                                        set.push(ch);
+                                    }
+                                }
+                                prev = None;
+                            } else {
+                                set.push(other);
+                                prev = Some(other);
+                            }
+                        }
+                    }
+                }
+                set
+            }
+            '\\' => vec![chars.next().unwrap_or('\\')],
+            literal => vec![literal],
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for inner in chars.by_ref() {
+                    if inner == '}' {
+                        break;
+                    }
+                    body.push(inner);
+                }
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().unwrap_or(0),
+                        hi.trim().parse().unwrap_or(4),
+                    ),
+                    None => {
+                        let n = body.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 4)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 4)
+            }
+            _ => (1, 1),
+        };
+        if !choices.is_empty() {
+            pieces.push(Piece { choices, min, max });
+        }
+    }
+    pieces
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut Rng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let count = rng.index(piece.min, piece.max + 1);
+            for _ in 0..count {
+                out.push(piece.choices[rng.index(0, piece.choices.len())]);
+            }
+        }
+        out
+    }
+}

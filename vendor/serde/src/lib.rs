@@ -1,0 +1,18 @@
+//! Minimal stand-in for the `serde` crate.
+//!
+//! The CI image cannot reach a crate registry, so this stub provides just the
+//! surface the workspace uses: the `Serialize` / `Deserialize` trait names and
+//! the derive macros of the same names. The derives expand to nothing and the
+//! traits hold for every type, which is sound because no code in the
+//! workspace performs actual serialization — the derives only mark types as
+//! serializable for future tooling.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}

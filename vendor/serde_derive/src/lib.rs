@@ -1,0 +1,18 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros backing the
+//! vendored `serde` stub (the build container has no registry access).
+//!
+//! The workspace only uses serde derives as structural annotations — nothing
+//! actually serializes — so the derives expand to nothing and the traits in
+//! the `serde` stub are blanket-implemented for every type.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
