@@ -78,5 +78,34 @@ fn provers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, provers);
+/// Head-to-head of the two instantiation engines on quantifier-heavy
+/// queries: trigger-driven E-matching versus the sort-pool cross-product
+/// fallback it replaced.
+fn instantiation_engines(c: &mut Criterion) {
+    let ematch = Cascade::standard(ProverConfig::default());
+    let pool = Cascade::standard(ProverConfig::without_triggers());
+    // Several irrelevant ground facts inflate the sort pool; E-matching only
+    // instantiates against terms that occur under the trigger heads.
+    let q = query(
+        &[
+            "forall k:int, e:obj. (k, e) in content --> 0 <= k",
+            "forall n:int. p(n) --> 0 <= n",
+            "(i, o) in content",
+            "0 <= j",
+            "j < size",
+            "size <= csize",
+            "a = b",
+            "first.next = a",
+        ],
+        "0 <= i",
+    );
+
+    let mut group = c.benchmark_group("instantiation");
+    group.sample_size(20);
+    group.bench_function("ematch", |b| b.iter(|| ematch.prove(&q).outcome));
+    group.bench_function("sort-pool", |b| b.iter(|| pool.prove(&q).outcome));
+    group.finish();
+}
+
+criterion_group!(benches, provers, instantiation_engines);
 criterion_main!(benches);

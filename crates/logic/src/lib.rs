@@ -23,6 +23,8 @@
 //!   comprehension beta-reduction, set-operation expansion, negation normal
 //!   form, skolemisation and old-state elimination.
 //! * [`simplify`] — structural simplification (constant folding, unit laws).
+//! * [`hashed`] — formulas with cached structural hash and size, used by the
+//!   provers' term indexes and instance-deduplication sets.
 //!
 //! # Example
 //!
@@ -36,6 +38,7 @@
 //! ```
 
 pub mod form;
+pub mod hashed;
 pub mod normal;
 pub mod parser;
 pub mod print;
@@ -45,6 +48,7 @@ pub mod sorts;
 pub mod subst;
 
 pub use form::Form;
+pub use hashed::Hashed;
 pub use sort::Sort;
 pub use sorts::SortEnv;
 pub use subst::{free_vars, substitute, FreshNames};

@@ -45,7 +45,9 @@ impl Prover for GroundSmt {
     }
 }
 
-/// The instantiating SMT-lite / first-order prover.
+/// The instantiating SMT-lite / first-order prover: trigger-driven
+/// E-matching over the ground term index, with sort-pool enumeration as the
+/// fallback for trigger-less quantifiers (see [`crate::inst`]).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct InstSmt;
 

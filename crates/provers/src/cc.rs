@@ -1,12 +1,23 @@
-//! Congruence closure over ground terms (the EUF theory solver).
+//! Incremental congruence closure over ground terms (the EUF theory solver).
 //!
-//! Terms are interned into a union-find structure; asserted equalities are
-//! merged and congruence (`f(a) = f(b)` whenever `a = b`) is propagated to a
-//! fixpoint.  Conflicts are reported for:
+//! Terms are interned into integer-keyed nodes (head symbols are interned in a
+//! symbol table, so no `format!`-string keys are ever built).  Equalities are
+//! merged through a union-find with union-by-size; congruence
+//! (`f(a) = f(b)` whenever `a = b`) is propagated with *use-lists* and a
+//! *signature table* in the style of Downey–Sethi–Tarjan / Simplify, so only
+//! the parents of a merged class are re-examined instead of every node.
+//!
+//! The engine is **backtrackable**: [`Congruence::push`] opens a scope and
+//! [`Congruence::pop`] undoes every intern, merge, disequality and signature
+//! update performed since, restoring classes exactly.  This lets the ground
+//! tableau thread one persistent engine through its branch exploration
+//! instead of rebuilding the closure at every leaf.
+//!
+//! Conflicts are detected eagerly while merging:
 //!
 //! * a disequality whose two sides end up in the same class,
-//! * two distinct integer literals (or `null` and an integer) in one class,
-//! * a predicate atom asserted both true and false (modulo congruence).
+//! * two distinct integer literals (or distinct boolean literals) in one
+//!   class.
 
 use ipl_logic::Form;
 use std::collections::HashMap;
@@ -14,35 +25,123 @@ use std::collections::HashMap;
 /// Identifier of an interned term.
 pub type TermId = usize;
 
-/// The congruence-closure engine.
-#[derive(Debug, Default)]
-pub struct Congruence {
-    /// Interned terms, indexed by id.
-    terms: Vec<Node>,
-    /// Map from structural key to id.
-    index: HashMap<Key, TermId>,
-    /// Union-find parents.
-    parent: Vec<TermId>,
-    /// Pending merges.
-    pending: Vec<(TermId, TermId)>,
-    /// Asserted disequalities.
-    disequalities: Vec<(TermId, TermId)>,
+/// Identifier of an interned head symbol or opaque leaf.
+type SymId = u32;
+
+/// Head constructor of an application node.  Interpreted and uninterpreted
+/// heads are distinguished only by the `Named` payload; congruence treats all
+/// of them as free function symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Head {
+    /// A named application `f(...)`.
+    Named(SymId),
+    FieldRead,
+    FieldWrite,
+    ArrayRead,
+    ArrayWrite,
+    Tuple,
+    Add,
+    Sub,
+    Mul,
+    Neg,
+    Card,
+    Union,
+    Inter,
+    Diff,
+    FiniteSet,
+    Elem,
+    Subseteq,
+    Eq,
+    Lt,
+    Le,
+    Ite,
 }
 
 /// The shape of an interned node.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum Key {
-    /// A leaf (variable, literal, `null`, ...) identified by its printed form.
-    Leaf(String),
-    /// An application of a head symbol to interned children.
-    App(String, Vec<TermId>),
+    /// A named variable.
+    Var(SymId),
+    /// An integer literal.
+    Int(i64),
+    /// A boolean literal.
+    Bool(bool),
+    /// The `null` reference.
+    Null,
+    /// The empty set.
+    EmptySet,
+    /// Remaining boolean structure or binders, interned structurally.
+    Opaque(SymId),
+    /// An application of a head to interned children.
+    App(Head, Vec<TermId>),
 }
 
-#[derive(Debug, Clone)]
-struct Node {
-    key: Key,
-    /// For integer literals, the value (used for constant-conflict detection).
-    int_value: Option<i64>,
+/// A congruence signature: head plus the class representatives of the
+/// children.
+type Sig = (Head, Vec<TermId>);
+
+/// One undoable step on the trail.
+#[derive(Debug)]
+enum Undo {
+    /// `child` was linked under `survivor`; restore sizes, class data and the
+    /// lengths of the survivor's use and disequality lists.
+    Union {
+        child: TermId,
+        survivor: TermId,
+        survivor_uses_len: usize,
+        survivor_diseqs_len: usize,
+        survivor_int: Option<i64>,
+        survivor_bool: Option<bool>,
+    },
+    /// A use-list entry was appended to `root`.
+    UsePush(TermId),
+    /// A disequality partner was appended to `root`'s list.
+    DiseqPush(TermId),
+    /// A fresh signature was inserted.
+    SigInsert(Sig),
+}
+
+/// Marks the state at a `push`.
+#[derive(Debug)]
+struct Scope {
+    trail_len: usize,
+    terms_len: usize,
+    conflict: bool,
+}
+
+/// The incremental congruence-closure engine.
+#[derive(Debug, Default)]
+pub struct Congruence {
+    /// Interned head / variable symbols.
+    symbols: HashMap<String, SymId>,
+    /// Opaque (boolean-structured) leaves, interned structurally.
+    opaques: HashMap<Form, SymId>,
+    /// Interned term keys, indexed by id.
+    terms: Vec<Key>,
+    /// Map from structural key to id.
+    index: HashMap<Key, TermId>,
+    /// Union-find parents (`parent[root] == root`).
+    parent: Vec<TermId>,
+    /// Class sizes, valid at roots.
+    size: Vec<u32>,
+    /// Known integer value of the class, valid at roots.
+    class_int: Vec<Option<i64>>,
+    /// Known boolean value of the class, valid at roots.
+    class_bool: Vec<Option<bool>>,
+    /// Application parents of each class, valid at roots.
+    uses: Vec<Vec<TermId>>,
+    /// Disequal partner terms of each class, valid at roots.
+    diseqs: Vec<Vec<TermId>>,
+    /// Signature table for congruence detection.
+    sigs: HashMap<Sig, TermId>,
+    /// Queued merges not yet propagated.
+    pending: Vec<(TermId, TermId)>,
+    /// Sticky conflict flag (until the enclosing scope is popped).
+    conflict: bool,
+    /// Undo trail.
+    trail: Vec<Undo>,
+    /// Open backtracking scopes.
+    scopes: Vec<Scope>,
 }
 
 impl Congruence {
@@ -51,66 +150,83 @@ impl Congruence {
         Self::default()
     }
 
+    fn symbol(&mut self, name: &str) -> SymId {
+        if let Some(&id) = self.symbols.get(name) {
+            return id;
+        }
+        let id = self.symbols.len() as SymId;
+        self.symbols.insert(name.to_string(), id);
+        id
+    }
+
+    fn opaque(&mut self, form: &Form) -> SymId {
+        if let Some(&id) = self.opaques.get(form) {
+            return id;
+        }
+        let id = self.opaques.len() as SymId;
+        self.opaques.insert(form.clone(), id);
+        id
+    }
+
     /// Interns a term (and all its sub-terms), returning its id.
     pub fn intern(&mut self, term: &Form) -> TermId {
         let key = match term {
-            Form::Var(name) => Key::Leaf(format!("var:{name}")),
-            Form::Int(value) => Key::Leaf(format!("int:{value}")),
-            Form::Bool(value) => Key::Leaf(format!("bool:{value}")),
-            Form::Null => Key::Leaf("null".to_string()),
-            Form::EmptySet => Key::Leaf("emptyset".to_string()),
+            Form::Var(name) => Key::Var(self.symbol(name)),
+            Form::Int(value) => Key::Int(*value),
+            Form::Bool(value) => Key::Bool(*value),
+            Form::Null => Key::Null,
+            Form::EmptySet => Key::EmptySet,
             Form::App(name, args) => {
+                let head = Head::Named(self.symbol(name));
                 let children = args.iter().map(|a| self.intern(a)).collect();
-                Key::App(format!("app:{name}"), children)
+                Key::App(head, children)
             }
             Form::FieldRead(fun, arg) => {
-                let children = vec![self.intern(fun), self.intern(arg)];
-                Key::App("fieldread".to_string(), children)
+                Key::App(Head::FieldRead, vec![self.intern(fun), self.intern(arg)])
             }
-            Form::FieldWrite(base, at, value) => {
-                let children = vec![self.intern(base), self.intern(at), self.intern(value)];
-                Key::App("fieldwrite".to_string(), children)
-            }
-            Form::ArrayRead(state, arr, idx) => {
-                let children = vec![self.intern(state), self.intern(arr), self.intern(idx)];
-                Key::App("arrayread".to_string(), children)
-            }
-            Form::ArrayWrite(state, arr, idx, value) => {
-                let children = vec![
+            Form::FieldWrite(base, at, value) => Key::App(
+                Head::FieldWrite,
+                vec![self.intern(base), self.intern(at), self.intern(value)],
+            ),
+            Form::ArrayRead(state, arr, idx) => Key::App(
+                Head::ArrayRead,
+                vec![self.intern(state), self.intern(arr), self.intern(idx)],
+            ),
+            Form::ArrayWrite(state, arr, idx, value) => Key::App(
+                Head::ArrayWrite,
+                vec![
                     self.intern(state),
                     self.intern(arr),
                     self.intern(idx),
                     self.intern(value),
-                ];
-                Key::App("arraywrite".to_string(), children)
-            }
+                ],
+            ),
             Form::Tuple(parts) => {
-                let children = parts.iter().map(|p| self.intern(p)).collect();
-                Key::App("tuple".to_string(), children)
+                Key::App(Head::Tuple, parts.iter().map(|p| self.intern(p)).collect())
             }
-            Form::Add(a, b) => Key::App("add".to_string(), vec![self.intern(a), self.intern(b)]),
-            Form::Sub(a, b) => Key::App("sub".to_string(), vec![self.intern(a), self.intern(b)]),
-            Form::Mul(a, b) => Key::App("mul".to_string(), vec![self.intern(a), self.intern(b)]),
-            Form::Neg(a) => Key::App("neg".to_string(), vec![self.intern(a)]),
-            Form::Card(a) => Key::App("card".to_string(), vec![self.intern(a)]),
-            Form::Union(a, b) => {
-                Key::App("union".to_string(), vec![self.intern(a), self.intern(b)])
-            }
-            Form::Inter(a, b) => {
-                Key::App("inter".to_string(), vec![self.intern(a), self.intern(b)])
-            }
-            Form::Diff(a, b) => Key::App("diff".to_string(), vec![self.intern(a), self.intern(b)]),
-            Form::FiniteSet(parts) => {
-                let children = parts.iter().map(|p| self.intern(p)).collect();
-                Key::App("finiteset".to_string(), children)
-            }
-            Form::Elem(a, b) => Key::App("elem".to_string(), vec![self.intern(a), self.intern(b)]),
+            Form::Add(a, b) => Key::App(Head::Add, vec![self.intern(a), self.intern(b)]),
+            Form::Sub(a, b) => Key::App(Head::Sub, vec![self.intern(a), self.intern(b)]),
+            Form::Mul(a, b) => Key::App(Head::Mul, vec![self.intern(a), self.intern(b)]),
+            Form::Neg(a) => Key::App(Head::Neg, vec![self.intern(a)]),
+            Form::Card(a) => Key::App(Head::Card, vec![self.intern(a)]),
+            Form::Union(a, b) => Key::App(Head::Union, vec![self.intern(a), self.intern(b)]),
+            Form::Inter(a, b) => Key::App(Head::Inter, vec![self.intern(a), self.intern(b)]),
+            Form::Diff(a, b) => Key::App(Head::Diff, vec![self.intern(a), self.intern(b)]),
+            Form::FiniteSet(parts) => Key::App(
+                Head::FiniteSet,
+                parts.iter().map(|p| self.intern(p)).collect(),
+            ),
+            Form::Elem(a, b) => Key::App(Head::Elem, vec![self.intern(a), self.intern(b)]),
+            Form::Subseteq(a, b) => Key::App(Head::Subseteq, vec![self.intern(a), self.intern(b)]),
+            Form::Eq(a, b) => Key::App(Head::Eq, vec![self.intern(a), self.intern(b)]),
+            Form::Lt(a, b) => Key::App(Head::Lt, vec![self.intern(a), self.intern(b)]),
+            Form::Le(a, b) => Key::App(Head::Le, vec![self.intern(a), self.intern(b)]),
             Form::Ite(c, t, e) => Key::App(
-                "ite".to_string(),
+                Head::Ite,
                 vec![self.intern(c), self.intern(t), self.intern(e)],
             ),
-            // Remaining boolean structure or binders: opaque leaf by printed form.
-            other => Key::Leaf(format!("opaque:{other}")),
+            // Remaining boolean structure or binders: opaque structural leaf.
+            other => Key::Opaque(self.opaque(other)),
         };
         if let Some(&id) = self.index.get(&key) {
             return id;
@@ -120,24 +236,46 @@ impl Congruence {
             Form::Int(value) => Some(*value),
             _ => None,
         };
-        self.terms.push(Node {
-            key: key.clone(),
-            int_value,
-        });
-        self.index.insert(key, id);
+        let bool_value = match term {
+            Form::Bool(value) => Some(*value),
+            _ => None,
+        };
+        self.terms.push(key.clone());
+        self.index.insert(key.clone(), id);
         self.parent.push(id);
+        self.size.push(1);
+        self.class_int.push(int_value);
+        self.class_bool.push(bool_value);
+        self.uses.push(Vec::new());
+        self.diseqs.push(Vec::new());
+        // Register the application in its children's use-lists and in the
+        // signature table; a signature collision merges the new term into the
+        // existing congruent class.
+        if let Key::App(head, children) = key {
+            let sig: Vec<TermId> = children.iter().map(|&c| self.find(c)).collect();
+            for &root in sig.iter() {
+                self.uses[root].push(id);
+                self.trail.push(Undo::UsePush(root));
+            }
+            let sig = (head, sig);
+            match self.sigs.get(&sig) {
+                Some(&existing) => self.pending.push((id, existing)),
+                None => {
+                    self.sigs.insert(sig.clone(), id);
+                    self.trail.push(Undo::SigInsert(sig));
+                }
+            }
+        }
         id
     }
 
-    /// The current representative of a term id.
-    pub fn find(&mut self, id: TermId) -> TermId {
-        if self.parent[id] == id {
-            id
-        } else {
-            let root = self.find(self.parent[id]);
-            self.parent[id] = root;
-            root
+    /// The current representative of a term id (no path compression, so the
+    /// structure stays cheap to undo; union-by-size bounds the depth).
+    pub fn find(&self, mut id: TermId) -> TermId {
+        while self.parent[id] != id {
+            id = self.parent[id];
         }
+        id
     }
 
     /// Asserts an equality between two terms.
@@ -149,7 +287,16 @@ impl Congruence {
     /// Asserts a disequality between two terms.
     pub fn assert_neq(&mut self, a: &Form, b: &Form) {
         let (ia, ib) = (self.intern(a), self.intern(b));
-        self.disequalities.push((ia, ib));
+        self.close();
+        let (ra, rb) = (self.find(ia), self.find(ib));
+        if ra == rb {
+            self.conflict = true;
+            return;
+        }
+        self.diseqs[ra].push(ib);
+        self.trail.push(Undo::DiseqPush(ra));
+        self.diseqs[rb].push(ia);
+        self.trail.push(Undo::DiseqPush(rb));
     }
 
     /// Returns `true` if the two terms are currently known equal.
@@ -159,38 +306,102 @@ impl Congruence {
         self.find(ia) == self.find(ib)
     }
 
-    /// Propagates all pending merges and congruence to a fixpoint.
+    /// Propagates all pending merges and congruence to a fixpoint, detecting
+    /// conflicts along the way.
     pub fn close(&mut self) {
-        loop {
-            while let Some((a, b)) = self.pending.pop() {
-                let (ra, rb) = (self.find(a), self.find(b));
-                if ra != rb {
-                    self.parent[ra] = rb;
-                }
+        while let Some((a, b)) = self.pending.pop() {
+            if self.conflict {
+                self.pending.clear();
+                return;
             }
-            // Congruence: group application nodes by (head, representative children).
-            let mut signature: HashMap<(String, Vec<TermId>), TermId> = HashMap::new();
-            let mut new_merges = Vec::new();
-            for id in 0..self.terms.len() {
-                if let Key::App(head, children) = self.terms[id].key.clone() {
-                    let sig: Vec<TermId> = children.iter().map(|&c| self.find(c)).collect();
-                    let entry = (head, sig);
-                    match signature.get(&entry) {
-                        Some(&other) => {
-                            if self.find(other) != self.find(id) {
-                                new_merges.push((other, id));
-                            }
+            self.merge(a, b);
+        }
+    }
+
+    /// Merges the classes of `a` and `b`, propagating congruence through the
+    /// use-lists of the absorbed class.
+    fn merge(&mut self, a: TermId, b: TermId) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        // Union by size: absorb the smaller class.
+        let (child, survivor) = if self.size[ra] <= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        // Disequality check: does any partner of the child live in the
+        // survivor's class (or vice versa)?  Checking the smaller list keeps
+        // this linear overall.
+        let (small, large) = if self.diseqs[child].len() <= self.diseqs[survivor].len() {
+            (child, survivor)
+        } else {
+            (survivor, child)
+        };
+        for i in 0..self.diseqs[small].len() {
+            let partner = self.diseqs[small][i];
+            let rp = self.find(partner);
+            if rp == large || rp == small {
+                self.conflict = true;
+                return;
+            }
+        }
+        self.trail.push(Undo::Union {
+            child,
+            survivor,
+            survivor_uses_len: self.uses[survivor].len(),
+            survivor_diseqs_len: self.diseqs[survivor].len(),
+            survivor_int: self.class_int[survivor],
+            survivor_bool: self.class_bool[survivor],
+        });
+        self.parent[child] = survivor;
+        self.size[survivor] += self.size[child];
+        // Merge known constants; a clash is a conflict.
+        match (self.class_int[survivor], self.class_int[child]) {
+            (Some(x), Some(y)) if x != y => {
+                self.conflict = true;
+                return;
+            }
+            (None, Some(y)) => self.class_int[survivor] = Some(y),
+            _ => {}
+        }
+        match (self.class_bool[survivor], self.class_bool[child]) {
+            (Some(x), Some(y)) if x != y => {
+                self.conflict = true;
+                return;
+            }
+            (None, Some(y)) => self.class_bool[survivor] = Some(y),
+            _ => {}
+        }
+        // Move the child's disequalities and uses onto the survivor (by
+        // appending copies; `pop` truncates the survivor's lists back).
+        for i in 0..self.diseqs[child].len() {
+            let partner = self.diseqs[child][i];
+            self.diseqs[survivor].push(partner);
+        }
+        // Congruence: re-sign every application that had the child's class as
+        // a child; a signature collision queues a merge.
+        for i in 0..self.uses[child].len() {
+            let parent_term = self.uses[child][i];
+            self.uses[survivor].push(parent_term);
+            if let Key::App(head, children) = &self.terms[parent_term] {
+                let head = *head;
+                let children = children.clone();
+                let sig: Vec<TermId> = children.iter().map(|&c| self.find(c)).collect();
+                let sig = (head, sig);
+                match self.sigs.get(&sig) {
+                    Some(&other) => {
+                        if self.find(other) != self.find(parent_term) {
+                            self.pending.push((other, parent_term));
                         }
-                        None => {
-                            signature.insert(entry, id);
-                        }
+                    }
+                    None => {
+                        self.sigs.insert(sig.clone(), parent_term);
+                        self.trail.push(Undo::SigInsert(sig));
                     }
                 }
             }
-            if new_merges.is_empty() {
-                return;
-            }
-            self.pending.extend(new_merges);
         }
     }
 
@@ -198,43 +409,7 @@ impl Congruence {
     /// inconsistent.
     pub fn has_conflict(&mut self) -> bool {
         self.close();
-        // Disequality conflicts.
-        for (a, b) in self.disequalities.clone() {
-            if self.find(a) == self.find(b) {
-                return true;
-            }
-        }
-        // Distinct integer literals merged into one class.
-        let mut class_value: HashMap<TermId, i64> = HashMap::new();
-        // Distinct boolean literals merged (can arise through ite reasoning).
-        let mut class_bool: HashMap<TermId, bool> = HashMap::new();
-        for id in 0..self.terms.len() {
-            let root = self.find(id);
-            if let Some(value) = self.terms[id].int_value {
-                match class_value.get(&root) {
-                    Some(&existing) if existing != value => return true,
-                    _ => {
-                        class_value.insert(root, value);
-                    }
-                }
-            }
-            if let Key::Leaf(text) = &self.terms[id].key {
-                let flag = match text.as_str() {
-                    "bool:true" => Some(true),
-                    "bool:false" => Some(false),
-                    _ => None,
-                };
-                if let Some(flag) = flag {
-                    match class_bool.get(&root) {
-                        Some(&existing) if existing != flag => return true,
-                        _ => {
-                            class_bool.insert(root, flag);
-                        }
-                    }
-                }
-            }
-        }
-        false
+        self.conflict
     }
 
     /// The representative id of a term, interning it if necessary.
@@ -242,6 +417,74 @@ impl Congruence {
         let id = self.intern(term);
         self.close();
         self.find(id)
+    }
+
+    /// Opens a backtracking scope.  All interning, merges and disequalities
+    /// performed afterwards are undone by the matching [`Congruence::pop`].
+    pub fn push(&mut self) {
+        self.close();
+        self.scopes.push(Scope {
+            trail_len: self.trail.len(),
+            terms_len: self.terms.len(),
+            conflict: self.conflict,
+        });
+    }
+
+    /// Closes the innermost scope, restoring classes and disequalities
+    /// exactly as they were at the matching [`Congruence::push`].
+    pub fn pop(&mut self) {
+        let scope = self.scopes.pop().expect("pop without matching push");
+        self.pending.clear();
+        while self.trail.len() > scope.trail_len {
+            match self.trail.pop().expect("len checked") {
+                Undo::Union {
+                    child,
+                    survivor,
+                    survivor_uses_len,
+                    survivor_diseqs_len,
+                    survivor_int,
+                    survivor_bool,
+                } => {
+                    self.parent[child] = child;
+                    self.size[survivor] -= self.size[child];
+                    self.uses[survivor].truncate(survivor_uses_len);
+                    self.diseqs[survivor].truncate(survivor_diseqs_len);
+                    self.class_int[survivor] = survivor_int;
+                    self.class_bool[survivor] = survivor_bool;
+                }
+                Undo::UsePush(root) => {
+                    self.uses[root].pop();
+                }
+                Undo::DiseqPush(root) => {
+                    self.diseqs[root].pop();
+                }
+                Undo::SigInsert(sig) => {
+                    self.sigs.remove(&sig);
+                }
+            }
+        }
+        for id in scope.terms_len..self.terms.len() {
+            let key = self.terms[id].clone();
+            self.index.remove(&key);
+        }
+        self.terms.truncate(scope.terms_len);
+        self.parent.truncate(scope.terms_len);
+        self.size.truncate(scope.terms_len);
+        self.class_int.truncate(scope.terms_len);
+        self.class_bool.truncate(scope.terms_len);
+        self.uses.truncate(scope.terms_len);
+        self.diseqs.truncate(scope.terms_len);
+        self.conflict = scope.conflict;
+    }
+
+    /// Number of interned terms (diagnostics and tests).
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Current scope depth (diagnostics and tests).
+    pub fn depth(&self) -> usize {
+        self.scopes.len()
     }
 }
 
@@ -288,6 +531,15 @@ mod tests {
     }
 
     #[test]
+    fn disequality_then_merge_conflict() {
+        let mut cc = Congruence::new();
+        cc.assert_neq(&f("a"), &f("b"));
+        assert!(!cc.has_conflict());
+        cc.assert_eq(&f("a"), &f("b"));
+        assert!(cc.has_conflict());
+    }
+
+    #[test]
     fn distinct_integer_literals_conflict() {
         let mut cc = Congruence::new();
         cc.assert_eq(&f("x"), &f("1"));
@@ -313,5 +565,72 @@ mod tests {
         cc.assert_eq(&f("g(a)"), &f("c"));
         cc.assert_eq(&f("g(b)"), &f("d"));
         assert!(cc.are_equal(&f("c"), &f("d")));
+    }
+
+    #[test]
+    fn push_pop_restores_classes_exactly() {
+        let mut cc = Congruence::new();
+        cc.assert_eq(&f("a"), &f("b"));
+        assert!(cc.are_equal(&f("g(a)"), &f("g(b)")));
+        let terms_before = cc.term_count();
+
+        cc.push();
+        cc.assert_eq(&f("b"), &f("c"));
+        cc.assert_eq(&f("g(c)"), &f("d"));
+        assert!(cc.are_equal(&f("a"), &f("c")));
+        assert!(cc.are_equal(&f("g(a)"), &f("d")));
+        cc.pop();
+
+        // The scope's merges and interned terms are gone...
+        assert_eq!(cc.term_count(), terms_before);
+        assert!(!cc.are_equal(&f("a"), &f("c")));
+        assert!(!cc.are_equal(&f("g(a)"), &f("d")));
+        // ...but the outer facts survive, including congruence.
+        assert!(cc.are_equal(&f("a"), &f("b")));
+        assert!(cc.are_equal(&f("g(a)"), &f("g(b)")));
+    }
+
+    #[test]
+    fn push_pop_restores_disequalities_exactly() {
+        let mut cc = Congruence::new();
+        cc.assert_neq(&f("a"), &f("b"));
+        cc.push();
+        cc.assert_neq(&f("a"), &f("c"));
+        cc.assert_eq(&f("a"), &f("c"));
+        assert!(cc.has_conflict());
+        cc.pop();
+        // The inner disequality and the conflict are gone; the outer one is
+        // still in force.
+        assert!(!cc.has_conflict());
+        cc.assert_eq(&f("a"), &f("c"));
+        assert!(!cc.has_conflict());
+        cc.assert_eq(&f("a"), &f("b"));
+        assert!(cc.has_conflict());
+    }
+
+    #[test]
+    fn nested_scopes_unwind_in_order() {
+        let mut cc = Congruence::new();
+        cc.push();
+        cc.assert_eq(&f("a"), &f("b"));
+        cc.push();
+        cc.assert_eq(&f("b"), &f("c"));
+        assert!(cc.are_equal(&f("a"), &f("c")));
+        cc.pop();
+        assert!(cc.are_equal(&f("a"), &f("b")));
+        assert!(!cc.are_equal(&f("a"), &f("c")));
+        cc.pop();
+        assert!(!cc.are_equal(&f("a"), &f("b")));
+        assert_eq!(cc.depth(), 0);
+    }
+
+    #[test]
+    fn congruence_discovered_at_intern_time() {
+        let mut cc = Congruence::new();
+        cc.assert_eq(&f("a"), &f("b"));
+        cc.close();
+        // g(a) is interned only now; its signature collides with g(b)'s.
+        cc.assert_eq(&f("g(b)"), &f("c"));
+        assert!(cc.are_equal(&f("g(a)"), &f("c")));
     }
 }

@@ -1,24 +1,45 @@
-//! Bounded quantifier instantiation on top of the ground solver.
+//! Trigger-driven quantifier instantiation (E-matching) on top of the ground
+//! solver.
 //!
-//! Universally quantified assumptions are instantiated with ground terms of
-//! matching sorts drawn from the problem itself, in rounds, interleaved with
-//! ground refutation attempts.  The search is budgeted: the number of rounds,
-//! the instances per quantifier and the total number of instances are all
-//! capped.  This mirrors the behaviour of the paper's automated provers —
-//! powerful, but defeated by large assumption bases and by existential goals
-//! whose witness term does not already occur in the problem.  The integrated
-//! proof language exists precisely to remove those obstacles (`from` clauses
-//! shrink the assumption base, `witness`/`instantiate` supply the terms).
+//! Universally quantified assumptions are instantiated in rounds, interleaved
+//! with ground refutation attempts.  For each quantifier the engine selects
+//! *triggers* — multi-patterns of uninterpreted applications, field reads,
+//! array reads and membership atoms that together cover every binder — and
+//! matches them against a term index built from the congruence classes of the
+//! current ground set ([`Matcher`]).  Instances are therefore generated only
+//! for terms that actually occur in the problem, in the style of Simplify's
+//! E-matching, instead of the sort-indexed cross product the engine used to
+//! enumerate.  Quantifiers for which no trigger can be selected (purely
+//! arithmetic bodies, say) fall back to the bounded sort-pool enumeration
+//! ([`TermPool`]).
+//!
+//! Rounds keep an *instance frontier*: after the first round a quantifier is
+//! only matched against candidate terms added since it was last processed,
+//! so the engine never rescans the full (growing) ground set.  The frontier
+//! rewinds when completeness demands it: a match scan truncated by the
+//! per-quantifier budget keeps its watermark, and newly learned unit
+//! equalities (which can make old terms match) rewind every quantifier.
+//!
+//! The search remains budgeted — rounds, matches per quantifier and total
+//! instances are all capped.  This mirrors the behaviour of the paper's
+//! automated provers: powerful, but defeated by large assumption bases and by
+//! existential goals whose witness term does not already occur in the
+//! problem.  The integrated proof language exists precisely to remove those
+//! obstacles (`from` clauses shrink the assumption base,
+//! `witness`/`instantiate` supply the terms).
 
+use crate::cc::Congruence;
 use crate::ground::{refute, GroundResult};
 use crate::preprocess::Problem;
-use crate::ProverConfig;
+use crate::{ProverConfig, TriggerConfig};
+use ipl_logic::hashed::Hashed;
 use ipl_logic::simplify::simplify;
 use ipl_logic::subst::substitute;
-use ipl_logic::{Form, Sort, SortEnv};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use ipl_logic::{free_vars, Form, Sort, SortEnv};
+use std::borrow::Cow;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
-/// Attempts to refute the problem using ground reasoning plus bounded
+/// Attempts to refute the problem using ground reasoning plus trigger-driven
 /// quantifier instantiation.
 pub fn refute_with_instantiation(
     problem: &Problem,
@@ -35,10 +56,17 @@ pub fn refute_with_instantiation(
     }
     let env = &env;
     let mut ground: Vec<Form> = problem.ground.clone();
-    let mut quantified: Vec<Form> = problem.quantified.clone();
-    let mut seen_instances: BTreeSet<Form> = BTreeSet::new();
+    let mut quantifiers: Vec<Quantifier> = problem
+        .quantified
+        .iter()
+        .map(|q| Quantifier::new(q, env, &config.triggers))
+        .collect();
+    let mut seen_instances: HashSet<Hashed> = HashSet::new();
     let instance_budget = config.effective_instances(assumption_count);
     let mut total_instances = 0usize;
+
+    let mut matcher = Matcher::new();
+    matcher.index_forms(&ground, 0);
 
     for round in 0..=config.instantiation_rounds {
         if refute(&ground, env, config) == GroundResult::Unsat {
@@ -47,16 +75,55 @@ pub fn refute_with_instantiation(
         if round == config.instantiation_rounds {
             break;
         }
-        let pool = term_pool(ground.iter().chain(quantified.iter()), env);
+        // The sort pool is only needed for quantifiers without usable
+        // triggers (or, as a fallback, for quantifiers whose triggers have
+        // never matched anything).  Snapshot the quantifier forms now (the
+        // loop below borrows `quantifiers` mutably) but build the pool lazily
+        // — in the common all-triggers-match case it is never built at all.
+        let quantifier_forms: Vec<Form> = quantifiers.iter().map(|q| q.form.clone()).collect();
+        let mut pool: Option<TermPool> = None;
+
         let mut new_ground = Vec::new();
         let mut new_quantified = Vec::new();
-        for quantifier in &quantified {
-            let instances = instantiate_one(quantifier, &pool, env, config);
+        'quantifiers: for quantifier in &mut quantifiers {
+            let use_triggers = config.triggers.enabled && !quantifier.triggers.is_empty();
+            let mut instances = Vec::new();
+            if use_triggers {
+                let limit = config.triggers.max_matches_per_quantifier;
+                let assignments = matcher.match_quantifier(
+                    &quantifier.triggers,
+                    &quantifier.binder_names,
+                    quantifier.frontier,
+                    limit,
+                );
+                quantifier.matched_total += assignments.len();
+                // Advance the frontier only when this round's matching was
+                // exhaustive: a truncated scan must be allowed to revisit old
+                // candidates next round (duplicates are cheap — the instance
+                // set deduplicates).
+                if assignments.len() < limit {
+                    quantifier.frontier = round + 1;
+                }
+                for assignment in &assignments {
+                    let instance = simplify(&substitute(&quantifier.body, assignment));
+                    if !instance.is_true() {
+                        instances.push(instance);
+                    }
+                }
+            }
+            let pool_eligible =
+                !use_triggers || (config.triggers.pool_fallback && quantifier.matched_total == 0);
+            if pool_eligible {
+                let pool = pool.get_or_insert_with(|| {
+                    term_pool(ground.iter().chain(quantifier_forms.iter()), env)
+                });
+                instances.extend(instantiate_from_pool(quantifier, pool, config));
+            }
             for instance in instances {
                 if total_instances >= instance_budget {
-                    break;
+                    break 'quantifiers; // budget is global: stop all quantifiers
                 }
-                if seen_instances.insert(instance.clone()) {
+                if seen_instances.insert(Hashed::new(instance.clone())) {
                     total_instances += 1;
                     match instance {
                         Form::Forall(..) => new_quantified.push(instance),
@@ -68,40 +135,506 @@ pub fn refute_with_instantiation(
         if new_ground.is_empty() && new_quantified.is_empty() {
             break; // nothing new to try
         }
+        // New unit equalities can merge old congruence classes and thereby
+        // enable matches among terms indexed in earlier rounds; the frontier
+        // would suppress those forever, so rewind it for every quantifier.
+        if new_ground.iter().any(|f| matches!(f, Form::Eq(..))) {
+            for quantifier in &mut quantifiers {
+                quantifier.frontier = 0;
+            }
+        }
+        matcher.index_forms(&new_ground, round + 1);
         ground.extend(new_ground);
-        quantified.extend(new_quantified);
+        for form in new_quantified {
+            quantifiers.push(Quantifier::new(&form, env, &config.triggers));
+        }
     }
     GroundResult::Unknown
 }
 
-/// A pool of ground terms grouped by sort, used as instantiation candidates.
-#[derive(Debug, Default)]
-pub struct TermPool {
-    by_sort: BTreeMap<Sort, Vec<Form>>,
+/// A universally quantified assumption prepared for matching.
+#[derive(Debug)]
+struct Quantifier {
+    /// The original formula (used when seeding the sort pool).
+    form: Form,
+    /// Binder names, for fast membership tests during matching.
+    binder_names: HashSet<String>,
+    /// Binders with sorts resolved from usage.
+    bindings: Vec<(String, Sort)>,
+    /// The quantifier body.
+    body: Form,
+    /// Selected triggers; each trigger is a multi-pattern whose patterns
+    /// together cover every binder.
+    triggers: Vec<Vec<Form>>,
+    /// Candidate-stamp watermark: only candidates stamped at or after this
+    /// value produce new matches (the instance frontier).
+    frontier: usize,
+    /// Total matches produced so far (decides the pool fallback).
+    matched_total: usize,
 }
 
-impl TermPool {
-    /// Candidate terms for a binder of the given sort, smallest first.
-    pub fn candidates(&self, sort: &Sort) -> Vec<Form> {
-        let mut out = match sort {
-            Sort::Unknown => {
-                let mut all: Vec<Form> = Vec::new();
-                for terms in self.by_sort.values() {
-                    all.extend(terms.iter().cloned());
-                }
-                all
-            }
-            known => self.by_sort.get(known).cloned().unwrap_or_default(),
+impl Quantifier {
+    fn new(form: &Form, env: &SortEnv, config: &TriggerConfig) -> Self {
+        // Resolve unknown binder sorts from usage before anything else.
+        let resolved = env.annotate_binders(form);
+        let (bindings, body) = match &resolved {
+            Form::Forall(bs, body) => (bs.clone(), (**body).clone()),
+            other => (Vec::new(), other.clone()),
         };
-        out.sort_by_key(Form::size);
-        out.dedup();
+        let binder_names: HashSet<String> = bindings.iter().map(|(n, _)| n.clone()).collect();
+        let triggers = if config.enabled {
+            select_triggers(&bindings, &body, config)
+        } else {
+            Vec::new()
+        };
+        Quantifier {
+            form: form.clone(),
+            binder_names,
+            bindings,
+            body,
+            triggers,
+            frontier: 0,
+            matched_total: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trigger selection
+// ---------------------------------------------------------------------------
+
+/// Selects triggers for a quantifier body: multi-patterns of indexable terms
+/// (uninterpreted applications, field/array reads, membership atoms) that
+/// together mention every binder.
+///
+/// Preference order: single patterns covering all binders (up to the
+/// configured limit, smallest first), then one greedily assembled
+/// multi-pattern.  Returns an empty list when the binders cannot be covered —
+/// the caller then falls back to sort-pool enumeration.
+pub fn select_triggers(
+    bindings: &[(String, Sort)],
+    body: &Form,
+    config: &TriggerConfig,
+) -> Vec<Vec<Form>> {
+    let binders: HashSet<String> = bindings.iter().map(|(n, _)| n.clone()).collect();
+    if binders.is_empty() {
+        return Vec::new();
+    }
+    let mut candidates: Vec<PatternCandidate> = Vec::new();
+    let mut seen: HashSet<Hashed> = HashSet::new();
+    collect_patterns(
+        body,
+        &binders,
+        config,
+        &mut Vec::new(),
+        &mut seen,
+        &mut candidates,
+    );
+
+    // Single patterns covering every binder, smallest first.
+    let mut singles: Vec<&PatternCandidate> = candidates
+        .iter()
+        .filter(|c| c.coverage.len() == binders.len())
+        .collect();
+    singles.sort_by_key(|c| c.size);
+    if !singles.is_empty() {
+        return singles
+            .iter()
+            .take(config.max_triggers_per_quantifier)
+            .map(|c| vec![c.pattern.clone()])
+            .collect();
+    }
+
+    // Greedy multi-pattern: widest coverage first, then smallest.
+    candidates.sort_by(|a, b| {
+        b.coverage
+            .len()
+            .cmp(&a.coverage.len())
+            .then(a.size.cmp(&b.size))
+    });
+    let mut covered: HashSet<String> = HashSet::new();
+    let mut multi: Vec<Form> = Vec::new();
+    for candidate in &candidates {
+        if candidate.coverage.iter().any(|v| !covered.contains(v)) {
+            covered.extend(candidate.coverage.iter().cloned());
+            multi.push(candidate.pattern.clone());
+            if covered.len() == binders.len() {
+                return vec![multi];
+            }
+        }
+    }
+    Vec::new() // binders not coverable: no trigger
+}
+
+#[derive(Debug)]
+struct PatternCandidate {
+    pattern: Form,
+    size: usize,
+    coverage: Vec<String>,
+}
+
+/// Collects indexable subterms of `form` that mention at least one binder and
+/// no binder of a nested quantifier or comprehension.
+fn collect_patterns(
+    form: &Form,
+    binders: &HashSet<String>,
+    config: &TriggerConfig,
+    nested: &mut Vec<String>,
+    seen: &mut HashSet<Hashed>,
+    out: &mut Vec<PatternCandidate>,
+) {
+    if let Form::Forall(bs, body) | Form::Exists(bs, body) | Form::Compr(bs, body) = form {
+        let depth = nested.len();
+        nested.extend(bs.iter().map(|(n, _)| n.clone()));
+        collect_patterns(body, binders, config, nested, seen, out);
+        nested.truncate(depth);
+        return;
+    }
+    if index_key(form).is_some() {
+        let hashed = Hashed::new(form.clone());
+        if hashed.size() <= config.max_pattern_size && !seen.contains(&hashed) {
+            let fv = free_vars(form);
+            let coverage: Vec<String> = fv
+                .iter()
+                .filter(|v| binders.contains(*v))
+                .cloned()
+                .collect();
+            if !coverage.is_empty() && !fv.iter().any(|v| nested.contains(v)) {
+                let size = hashed.size();
+                seen.insert(hashed);
+                out.push(PatternCandidate {
+                    pattern: form.clone(),
+                    size,
+                    coverage,
+                });
+            }
+        }
+    }
+    form.for_each_child(|c| collect_patterns(c, binders, config, nested, seen, out));
+}
+
+// ---------------------------------------------------------------------------
+// The term index and the E-matcher
+// ---------------------------------------------------------------------------
+
+/// Index key of a matchable term: the head symbol shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum IndexKey {
+    /// Named application `f(...)` with its arity.
+    App(String, usize),
+    FieldRead,
+    ArrayRead,
+    Elem,
+}
+
+/// Returns the index key of a term if its root is matchable.
+fn index_key(form: &Form) -> Option<IndexKey> {
+    match form {
+        Form::App(name, args) => Some(IndexKey::App(name.clone(), args.len())),
+        Form::FieldRead(..) => Some(IndexKey::FieldRead),
+        Form::ArrayRead(..) => Some(IndexKey::ArrayRead),
+        Form::Elem(..) => Some(IndexKey::Elem),
+        _ => None,
+    }
+}
+
+/// One indexed ground term.
+#[derive(Debug, Clone)]
+struct Candidate {
+    form: Form,
+    /// The round in which the term entered the index (for the frontier).
+    stamp: usize,
+}
+
+/// A term index over the ground set, grouped by head symbol, together with a
+/// congruence engine tracking the asserted unit equalities so that matching
+/// works modulo the known congruence classes.
+#[derive(Debug, Default)]
+pub struct Matcher {
+    cc: Congruence,
+    index: HashMap<IndexKey, Vec<Candidate>>,
+    indexed: HashSet<Hashed>,
+}
+
+impl Matcher {
+    /// Creates an empty matcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Indexes every matchable subterm of the given ground formulas with the
+    /// given frontier stamp, and asserts their top-level unit equalities into
+    /// the congruence engine.
+    fn index_forms(&mut self, forms: &[Form], stamp: usize) {
+        for form in forms {
+            if let Form::Eq(a, b) = form {
+                self.cc.assert_eq(a, b);
+            }
+            self.index_term(form, &mut Vec::new(), stamp);
+        }
+    }
+
+    fn index_term(&mut self, form: &Form, bound: &mut Vec<String>, stamp: usize) {
+        if let Form::Forall(bs, body) | Form::Exists(bs, body) | Form::Compr(bs, body) = form {
+            let depth = bound.len();
+            bound.extend(bs.iter().map(|(n, _)| n.clone()));
+            self.index_term(body, bound, stamp);
+            bound.truncate(depth);
+            return;
+        }
+        if let Some(key) = index_key(form) {
+            let ground = bound.is_empty() || !free_vars(form).iter().any(|v| bound.contains(v));
+            if ground && self.indexed.insert(Hashed::new(form.clone())) {
+                self.cc.intern(form);
+                self.index.entry(key).or_default().push(Candidate {
+                    form: form.clone(),
+                    stamp,
+                });
+            }
+        }
+        form.for_each_child(|c| self.index_term(c, bound, stamp));
+    }
+
+    /// Matches a quantifier's triggers against the index, returning complete
+    /// binder assignments.  Only assignments in which at least one matched
+    /// candidate carries a stamp at or past `frontier` are returned (the
+    /// instance frontier); `frontier == 0` accepts everything.
+    fn match_quantifier(
+        &mut self,
+        triggers: &[Vec<Form>],
+        binders: &HashSet<String>,
+        frontier: usize,
+        limit: usize,
+    ) -> Vec<HashMap<String, Form>> {
+        let mut out = Vec::new();
+        // Detach the index so matching can borrow the engine mutably while
+        // iterating candidate lists.
+        let index = std::mem::take(&mut self.index);
+        for trigger in triggers {
+            let mut assignment = HashMap::new();
+            self.match_multi(
+                &index,
+                trigger,
+                binders,
+                frontier,
+                frontier == 0,
+                &mut assignment,
+                &mut out,
+                limit,
+            );
+            if out.len() >= limit {
+                break;
+            }
+        }
+        self.index = index;
         out
     }
 
+    /// Backtracking search over the patterns of one multi-pattern trigger.
+    #[allow(clippy::too_many_arguments)]
+    fn match_multi(
+        &mut self,
+        index: &HashMap<IndexKey, Vec<Candidate>>,
+        patterns: &[Form],
+        binders: &HashSet<String>,
+        frontier: usize,
+        any_new: bool,
+        assignment: &mut HashMap<String, Form>,
+        out: &mut Vec<HashMap<String, Form>>,
+        limit: usize,
+    ) {
+        if out.len() >= limit {
+            return;
+        }
+        let Some((pattern, rest)) = patterns.split_first() else {
+            if any_new {
+                out.push(assignment.clone());
+            }
+            return;
+        };
+        let key = index_key(pattern).expect("trigger patterns have indexable roots");
+        let Some(candidates) = index.get(&key) else {
+            return;
+        };
+        for candidate in candidates {
+            let mut trail = Vec::new();
+            if self.match_term(pattern, &candidate.form, binders, assignment, &mut trail) {
+                self.match_multi(
+                    index,
+                    rest,
+                    binders,
+                    frontier,
+                    any_new || candidate.stamp >= frontier,
+                    assignment,
+                    out,
+                    limit,
+                );
+            }
+            for name in trail {
+                assignment.remove(&name);
+            }
+            if out.len() >= limit {
+                return;
+            }
+        }
+    }
+
+    /// Matches one pattern against one ground term, extending the assignment.
+    /// Newly bound binders are recorded on `trail` so the caller can undo.
+    fn match_term(
+        &mut self,
+        pattern: &Form,
+        target: &Form,
+        binders: &HashSet<String>,
+        assignment: &mut HashMap<String, Form>,
+        trail: &mut Vec<String>,
+    ) -> bool {
+        if let Form::Var(name) = pattern {
+            if binders.contains(name) {
+                return match assignment.get(name) {
+                    Some(bound) => {
+                        let bound = bound.clone();
+                        self.cc.are_equal(&bound, target)
+                    }
+                    None => {
+                        assignment.insert(name.clone(), target.clone());
+                        trail.push(name.clone());
+                        true
+                    }
+                };
+            }
+        }
+        if !mentions_any(pattern, binders) {
+            // Fully ground sub-pattern: compare modulo the congruence.
+            return self.cc.are_equal(pattern, target);
+        }
+        if !heads_compatible(pattern, target) {
+            return false;
+        }
+        let pattern_children = children(pattern);
+        let target_children = children(target);
+        debug_assert_eq!(pattern_children.len(), target_children.len());
+        pattern_children
+            .iter()
+            .zip(target_children.iter())
+            .all(|(p, t)| self.match_term(p, t, binders, assignment, trail))
+    }
+
+    /// Number of indexed candidate terms (diagnostics and tests).
+    pub fn candidate_count(&self) -> usize {
+        self.index.values().map(Vec::len).sum()
+    }
+}
+
+/// Do two terms agree on their root constructor (including head symbol and
+/// child count), so that child-wise matching is meaningful?
+fn heads_compatible(pattern: &Form, target: &Form) -> bool {
+    match (pattern, target) {
+        (Form::App(a, xs), Form::App(b, ys)) => a == b && xs.len() == ys.len(),
+        (Form::And(xs), Form::And(ys))
+        | (Form::Or(xs), Form::Or(ys))
+        | (Form::FiniteSet(xs), Form::FiniteSet(ys))
+        | (Form::Tuple(xs), Form::Tuple(ys)) => xs.len() == ys.len(),
+        (Form::Forall(bs, _), Form::Forall(cs, _))
+        | (Form::Exists(bs, _), Form::Exists(cs, _))
+        | (Form::Compr(bs, _), Form::Compr(cs, _)) => bs == cs,
+        _ => std::mem::discriminant(pattern) == std::mem::discriminant(target),
+    }
+}
+
+/// The direct children of a node, in visiting order.
+fn children(form: &Form) -> Vec<&Form> {
+    let mut out = Vec::new();
+    form.for_each_child(|c| out.push(c));
+    out
+}
+
+/// Does the form mention any of the given names as a free variable?
+///
+/// A short-circuiting walk rather than `free_vars` — this sits in the
+/// E-matching hot loop, and materialising a fresh set of cloned names per
+/// pattern node per candidate would dominate the match.
+fn mentions_any(form: &Form, names: &HashSet<String>) -> bool {
+    fn walk(form: &Form, names: &HashSet<String>, shadow: &mut Vec<String>) -> bool {
+        match form {
+            Form::Var(v) => names.contains(v) && !shadow.contains(v),
+            Form::Forall(bs, body) | Form::Exists(bs, body) | Form::Compr(bs, body) => {
+                let depth = shadow.len();
+                shadow.extend(bs.iter().map(|(b, _)| b.clone()));
+                let hit = walk(body, names, shadow);
+                shadow.truncate(depth);
+                hit
+            }
+            other => {
+                let mut hit = false;
+                other.for_each_child(|c| {
+                    if !hit {
+                        hit = walk(c, names, shadow);
+                    }
+                });
+                hit
+            }
+        }
+    }
+    if names.is_empty() {
+        return false;
+    }
+    walk(form, names, &mut Vec::new())
+}
+
+// ---------------------------------------------------------------------------
+// Sort-pool fallback (for trigger-less quantifiers)
+// ---------------------------------------------------------------------------
+
+/// A pool of ground terms grouped by sort, used as instantiation candidates
+/// by the fallback enumerator.  Terms are deduplicated as they are inserted
+/// and buckets are sorted by term size once at construction, so lookups
+/// neither re-sort nor clone.
+#[derive(Debug, Default)]
+pub struct TermPool {
+    by_sort: BTreeMap<Sort, Vec<Form>>,
+    seen: HashSet<Hashed>,
+}
+
+impl TermPool {
+    /// Candidate terms for a binder of the given sort, smallest first.  For a
+    /// known sort this borrows the pre-sorted bucket; only the (rare) unknown
+    /// sort merges buckets on demand.
+    pub fn candidates(&self, sort: &Sort) -> Cow<'_, [Form]> {
+        match sort {
+            Sort::Unknown => {
+                let mut all: Vec<(usize, Form)> = self
+                    .by_sort
+                    .values()
+                    .flat_map(|terms| terms.iter().map(|t| (t.size(), t.clone())))
+                    .collect();
+                all.sort();
+                Cow::Owned(all.into_iter().map(|(_, t)| t).collect())
+            }
+            known => Cow::Borrowed(
+                self.by_sort
+                    .get(known)
+                    .map(Vec::as_slice)
+                    .unwrap_or_default(),
+            ),
+        }
+    }
+
     fn insert(&mut self, sort: Sort, term: Form) {
-        let entry = self.by_sort.entry(sort).or_default();
-        if !entry.contains(&term) {
-            entry.push(term);
+        if self.seen.insert(Hashed::new(term.clone())) {
+            self.by_sort.entry(sort).or_default().push(term);
+        }
+    }
+
+    /// Sorts every bucket by (size, structure) once at construction.
+    /// Deduplication already happened at [`TermPool::insert`] via the global
+    /// `seen` set, so buckets contain no equal terms to begin with.
+    fn finalize(&mut self) {
+        for bucket in self.by_sort.values_mut() {
+            let mut decorated: Vec<(usize, Form)> =
+                bucket.drain(..).map(|t| (t.size(), t)).collect();
+            decorated.sort();
+            bucket.extend(decorated.into_iter().map(|(_, t)| t));
         }
     }
 
@@ -126,6 +659,7 @@ pub fn term_pool<'a>(forms: impl Iterator<Item = &'a Form>, env: &SortEnv) -> Te
     for form in forms {
         collect_terms(form, env, &mut pool, &mut Vec::new());
     }
+    pool.finalize();
     pool
 }
 
@@ -157,32 +691,26 @@ fn mentions(form: &Form, names: &[String]) -> bool {
     if names.is_empty() {
         return false;
     }
-    let fv = ipl_logic::free_vars(form);
+    let fv = free_vars(form);
     names.iter().any(|n| fv.contains(n))
 }
 
-/// Generates instances of one universally quantified assumption.
-fn instantiate_one(
-    quantifier: &Form,
+/// Generates instances of one quantifier by enumerating the sort pool (the
+/// fallback for quantifiers without triggers).
+fn instantiate_from_pool(
+    quantifier: &Quantifier,
     pool: &TermPool,
-    env: &SortEnv,
     config: &ProverConfig,
 ) -> Vec<Form> {
-    let (bindings, body) = match quantifier {
-        Form::Forall(bs, body) => (bs.clone(), (**body).clone()),
-        _ => return Vec::new(),
-    };
-    // Resolve unknown binder sorts from usage before picking candidates.
-    let resolved = env.annotate_binders(quantifier);
-    let bindings = match &resolved {
-        Form::Forall(bs, _) => bs.clone(),
-        _ => bindings,
-    };
-    let candidate_lists: Vec<Vec<Form>> = bindings
+    let bindings = &quantifier.bindings;
+    if bindings.is_empty() {
+        return Vec::new();
+    }
+    let candidate_lists: Vec<Cow<'_, [Form]>> = bindings
         .iter()
         .map(|(_, sort)| pool.candidates(sort))
         .collect();
-    if candidate_lists.iter().any(Vec::is_empty) {
+    if candidate_lists.iter().any(|c| c.is_empty()) {
         return Vec::new();
     }
     let mut out = Vec::new();
@@ -193,7 +721,7 @@ fn instantiate_one(
         for (slot, (name, _)) in bindings.iter().enumerate() {
             map.insert(name.clone(), candidate_lists[slot][indices[slot]].clone());
         }
-        let instance = simplify(&substitute(&body, &map));
+        let instance = simplify(&substitute(&quantifier.body, &map));
         if !instance.is_true() {
             out.push(instance);
         }
@@ -256,6 +784,17 @@ mod tests {
     fn universal_modus_ponens() {
         assert!(proves(&["forall n:int. 0 <= n --> p(n)", "0 <= x"], "p(x)"));
         assert!(!proves(&["forall n:int. 0 <= n --> p(n)"], "p(x)"));
+    }
+
+    #[test]
+    fn universal_modus_ponens_without_triggers() {
+        // The sort-pool fallback alone still proves the simple cases.
+        let config = ProverConfig::without_triggers();
+        assert!(proves_with(
+            &["forall n:int. 0 <= n --> p(n)", "0 <= x"],
+            "p(x)",
+            &config
+        ));
     }
 
     #[test]
@@ -341,8 +880,104 @@ mod tests {
         let ints = pool.candidates(&Sort::Int);
         assert!(ints.contains(&Form::var("index")));
         assert!(ints.contains(&Form::var("size")));
+        // Buckets are sorted by size once at construction.
+        let sizes: Vec<usize> = ints.iter().map(Form::size).collect();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
         let objs = pool.candidates(&Sort::Obj);
         assert!(objs.contains(&Form::var("first")));
         assert!(objs.iter().any(|t| t.to_string() == "first.next"));
+    }
+
+    #[test]
+    fn term_pool_deduplicates_equal_terms_of_equal_size() {
+        let env = env();
+        // `index` appears in both formulas; the bucket must list it once.
+        let forms = [
+            parse_form("0 <= index").unwrap(),
+            parse_form("index < size").unwrap(),
+        ];
+        let pool = term_pool(forms.iter(), &env);
+        let ints = pool.candidates(&Sort::Int);
+        assert_eq!(ints.iter().filter(|t| **t == Form::var("index")).count(), 1);
+    }
+
+    // ----- trigger selection -----
+
+    fn triggers_of(quantifier: &str) -> Vec<Vec<Form>> {
+        let form = parse_form(quantifier).unwrap();
+        let form = env().annotate_binders(&form);
+        let (bindings, body) = match &form {
+            Form::Forall(bs, body) => (bs.clone(), (**body).clone()),
+            _ => panic!("expected a universal quantifier"),
+        };
+        select_triggers(&bindings, &body, &TriggerConfig::default())
+    }
+
+    #[test]
+    fn single_pattern_trigger_selected() {
+        let triggers = triggers_of("forall n:int. 0 <= n --> p(n)");
+        assert!(!triggers.is_empty());
+        // Every trigger is a single pattern covering the binder.
+        for trigger in &triggers {
+            assert_eq!(trigger.len(), 1);
+            assert!(free_vars(&trigger[0]).contains("n"));
+        }
+        assert!(triggers.iter().any(|t| t[0] == parse_form("p(n)").unwrap()));
+    }
+
+    #[test]
+    fn field_read_serves_as_trigger() {
+        let triggers = triggers_of("forall v:obj. v.next = null --> member(v)");
+        assert!(!triggers.is_empty());
+        let first = &triggers[0][0];
+        assert!(matches!(first, Form::FieldRead(..) | Form::App(..)));
+    }
+
+    #[test]
+    fn multi_pattern_trigger_covers_all_binders() {
+        // No single application mentions both binders, so a multi-pattern is
+        // required.
+        let triggers = triggers_of("forall u:obj, w:obj. member(u) & member(w) --> u = w");
+        assert_eq!(triggers.len(), 1, "one combined multi-pattern");
+        let trigger = &triggers[0];
+        assert!(trigger.len() >= 2, "needs at least two patterns");
+        let covered: HashSet<String> = trigger
+            .iter()
+            .flat_map(|p| free_vars(p).into_iter())
+            .collect();
+        assert!(covered.contains("u") && covered.contains("w"));
+    }
+
+    #[test]
+    fn arithmetic_only_bodies_have_no_trigger() {
+        let triggers = triggers_of("forall n:int. 0 <= n --> n < n + 1");
+        assert!(
+            triggers.is_empty(),
+            "purely arithmetic bodies cannot be triggered: {triggers:?}"
+        );
+    }
+
+    #[test]
+    fn matcher_instantiates_only_occurring_terms() {
+        // With triggers, only `x` (which occurs under `p`) is tried — the
+        // engine proves the goal without enumerating every int-sorted term.
+        let config = ProverConfig {
+            max_instances_per_quantifier: 1,
+            triggers: TriggerConfig {
+                pool_fallback: false,
+                ..TriggerConfig::default()
+            },
+            ..ProverConfig::default()
+        };
+        assert!(proves_with(
+            &[
+                "forall n:int. 0 <= n --> p(n)",
+                "0 <= x",
+                "x < size",
+                "size < y"
+            ],
+            "p(x)",
+            &config
+        ));
     }
 }

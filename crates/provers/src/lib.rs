@@ -7,12 +7,16 @@
 //! * [`syntactic`] — the cheap syntactic checks performed during splitting
 //!   (goal among assumptions, `false` among assumptions, reflexive goals);
 //! * [`ground`] — an SMT-lite solver for ground formulas: a tableau search
-//!   over the boolean structure with a theory back end combining congruence
-//!   closure ([`cc`]) and linear integer arithmetic (a Fourier–Motzkin
-//!   refutation shared with `ipl-bapa`);
-//! * [`inst`] — bounded quantifier instantiation on top of the ground solver
-//!   (the stand-in for the E-matching SMT solvers and the first-order provers
-//!   of the paper);
+//!   over the boolean structure threading one incremental, backtrackable
+//!   congruence-closure engine ([`cc`]) through the branches, combined with
+//!   linear integer arithmetic (a Fourier–Motzkin refutation shared with
+//!   `ipl-bapa`);
+//! * [`inst`] — trigger-driven E-matching instantiation on top of the ground
+//!   solver (the stand-in for the E-matching SMT solvers and the first-order
+//!   provers of the paper): triggers are selected per quantifier and matched
+//!   against a term index of the ground set, with a bounded sort-pool
+//!   enumeration as the fallback for trigger-less quantifiers
+//!   ([`TriggerConfig`] holds the knobs);
 //! * adapters for the [`ipl-bapa`] cardinality decision procedure and the
 //!   [`ipl-shape`] reachability prover;
 //! * [`cascade`] — the dispatcher that runs the provers in order with per-
@@ -72,6 +76,48 @@ pub enum Outcome {
     Unknown,
 }
 
+/// Knobs of the trigger-driven E-matching instantiation engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TriggerConfig {
+    /// Master switch: when `false`, every quantifier falls back to the
+    /// sort-pool cross-product instantiator (the pre-E-matching behaviour,
+    /// kept for the ablation benchmarks).
+    pub enabled: bool,
+    /// Maximum number of (multi-)patterns selected per quantifier.
+    pub max_triggers_per_quantifier: usize,
+    /// Maximum AST size of a single pattern term.
+    pub max_pattern_size: usize,
+    /// Maximum matches accepted per quantifier per round.
+    pub max_matches_per_quantifier: usize,
+    /// When `true`, a quantifier whose triggers never produced a single match
+    /// retries with the sort pool (covers bodies whose relevant terms exist
+    /// only at other sorts).
+    pub pool_fallback: bool,
+}
+
+impl Default for TriggerConfig {
+    fn default() -> Self {
+        TriggerConfig {
+            enabled: true,
+            max_triggers_per_quantifier: 4,
+            max_pattern_size: 12,
+            max_matches_per_quantifier: 96,
+            pool_fallback: true,
+        }
+    }
+}
+
+impl TriggerConfig {
+    /// The configuration of the pre-E-matching engine: triggers off, every
+    /// quantifier instantiated from the sort pool.
+    pub fn disabled() -> Self {
+        TriggerConfig {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+}
+
 /// Resource budgets controlling the bounded search.  These are the knobs the
 /// Table 2 experiment and the ablation benchmarks turn.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -90,6 +136,8 @@ pub struct ProverConfig {
     /// base grows (models the paper's observation that large assumption bases
     /// degrade the provers).
     pub assumption_penalty_threshold: usize,
+    /// E-matching trigger selection and matching budgets.
+    pub triggers: TriggerConfig,
 }
 
 impl Default for ProverConfig {
@@ -101,6 +149,7 @@ impl Default for ProverConfig {
             max_total_instances: 1_500,
             per_prover_timeout_ms: 2_000,
             assumption_penalty_threshold: 28,
+            triggers: TriggerConfig::default(),
         }
     }
 }
@@ -116,6 +165,16 @@ impl ProverConfig {
             max_total_instances: 200,
             per_prover_timeout_ms: 500,
             assumption_penalty_threshold: 20,
+            triggers: TriggerConfig::default(),
+        }
+    }
+
+    /// The default budgets with E-matching disabled (the sort-pool
+    /// cross-product instantiator); used by the ablation benchmarks.
+    pub fn without_triggers() -> Self {
+        ProverConfig {
+            triggers: TriggerConfig::disabled(),
+            ..Self::default()
         }
     }
 

@@ -73,6 +73,45 @@ mod tests {
     }
 
     #[test]
+    fn association_list_fully_verifies_with_ematching() {
+        // Regression pin for the trigger-driven E-matching engine: before it
+        // landed the suite verified only 2 of 5 Association List methods
+        // (`put` among the failures, defeated by the blind sort-pool
+        // cross-product).  All five must now prove with the default config.
+        let benchmark = by_name("Association List").unwrap();
+        let options = ipl_core::VerifyOptions {
+            config: suite_config(),
+            ..ipl_core::VerifyOptions::default()
+        };
+        let report = verify_benchmark(&benchmark, &options).unwrap();
+        assert!(
+            report.fully_proved(),
+            "association list should fully verify:\n{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn priority_queue_findmax_verifies_with_ematching() {
+        // Regression pin: Priority Queue verified 0 of 6 methods before the
+        // incremental congruence closure + E-matching rework.
+        let benchmark = by_name("Priority Queue").unwrap();
+        let options = ipl_core::VerifyOptions {
+            config: suite_config(),
+            ..ipl_core::VerifyOptions::default()
+        };
+        let report = verify_benchmark(&benchmark, &options).unwrap();
+        for method in ["findMax", "sizeOf", "clear"] {
+            let m = report.methods.iter().find(|m| m.name == method).unwrap();
+            assert!(
+                m.fully_proved(),
+                "{method} should fully verify:\n{}",
+                report.render()
+            );
+        }
+    }
+
+    #[test]
     fn priority_queue_induction_needs_the_induct_construct() {
         let benchmark = by_name("Priority Queue").unwrap();
         let options = ipl_core::VerifyOptions {

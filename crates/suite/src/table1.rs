@@ -28,6 +28,10 @@ pub struct Table1Row {
     /// Methods fully verified / total (for the honesty column of the
     /// reproduction — the paper verifies everything).
     pub methods_verified: usize,
+    /// Total sequents dispatched to the cascade.
+    pub sequents_total: usize,
+    /// Sequents proved.
+    pub sequents_proved: usize,
 }
 
 /// Generates Table 1 by verifying every benchmark with its proof constructs.
@@ -48,7 +52,41 @@ pub fn row(benchmark: &Benchmark, options: &VerifyOptions) -> Table1Row {
         invariants: report.invariant_count,
         counts: report.total_counts(),
         methods_verified: report.methods_verified(),
+        sequents_total: report.total_sequents(),
+        sequents_proved: report.proved_sequents(),
     }
+}
+
+/// Serialises the rows as the machine-readable `BENCH_table1.json` document
+/// consumed by the CI perf-trajectory artifact.  `baseline_total_wall_ms`
+/// records the pre-optimisation measurement the current run is compared
+/// against.  (Hand-rolled JSON: the vendored `serde` is a no-op stub.)
+pub fn to_bench_json(
+    rows: &[Table1Row],
+    total_wall_ms: u128,
+    baseline_total_wall_ms: Option<u128>,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"total_wall_ms\": {total_wall_ms},\n"));
+    if let Some(baseline) = baseline_total_wall_ms {
+        out.push_str(&format!("  \"baseline_total_wall_ms\": {baseline},\n"));
+    }
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"methods\": {}, \"methods_verified\": {}, \
+             \"sequents_total\": {}, \"sequents_proved\": {}, \"wall_ms\": {}}}{}\n",
+            row.name,
+            row.methods,
+            row.methods_verified,
+            row.sequents_total,
+            row.sequents_proved,
+            row.time.as_millis(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Renders the table in the layout of the paper.
@@ -138,6 +176,8 @@ mod tests {
                     invariants: module.invariants.len(),
                     counts,
                     methods_verified: 0,
+                    sequents_total: 0,
+                    sequents_proved: 0,
                 }
             })
             .collect();
@@ -145,5 +185,34 @@ mod tests {
         assert_eq!(text.lines().count(), 9, "header plus eight rows");
         assert!(text.contains("Hash Table"));
         assert!(text.contains("Linked List"));
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let row = Table1Row {
+            name: "Linked List".to_string(),
+            methods: 6,
+            statements: 14,
+            time: Duration::from_millis(12),
+            specvars: 2,
+            invariants: 1,
+            counts: ConstructCounts::default(),
+            methods_verified: 6,
+            sequents_total: 40,
+            sequents_proved: 40,
+        };
+        let json = to_bench_json(&[row], 1234, Some(3456));
+        assert!(json.contains("\"total_wall_ms\": 1234"));
+        assert!(json.contains("\"baseline_total_wall_ms\": 3456"));
+        assert!(json.contains("\"name\": \"Linked List\""));
+        assert!(json.contains("\"methods_verified\": 6"));
+        assert!(json.contains("\"wall_ms\": 12"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

@@ -3,6 +3,19 @@
 //!
 //! Run with `cargo run --release --example table1`.  Pass `--quick` to
 //! regenerate only a three-structure subset (the CI smoke configuration).
+//!
+//! Besides the human-readable table, the run writes `BENCH_table1.json`
+//! (override the path with the `BENCH_TABLE1_OUT` environment variable):
+//! per-benchmark methods proved, sequent counts and wall-clock milliseconds,
+//! plus the pre-E-matching baseline total, so that successive perf PRs have
+//! a trajectory to compare against.
+
+use std::time::Instant;
+
+/// Total wall-clock of the full (non-quick) run measured immediately before
+/// the trigger-driven E-matching engine landed, on the CI reference machine.
+/// Kept as the comparison point in `BENCH_table1.json`.
+const PRE_EMATCHING_BASELINE_MS: u128 = 3506;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -11,6 +24,7 @@ fn main() {
         record_sequents: false,
         ..ipl::core::VerifyOptions::default()
     };
+    let start = Instant::now();
     let rows = if quick {
         ["Linked List", "Cursor List", "Association List"]
             .iter()
@@ -22,11 +36,22 @@ fn main() {
     } else {
         ipl::suite::table1::generate(&options)
     };
+    let total_wall_ms = start.elapsed().as_millis();
     println!("{}", ipl::suite::table1::render(&rows));
     for row in &rows {
         println!(
             "  {:<19} {} of {} methods fully verified",
             row.name, row.methods_verified, row.methods
         );
+    }
+    println!("\n  total wall-clock: {total_wall_ms} ms");
+
+    // The baseline is only meaningful for the full run.
+    let baseline = (!quick).then_some(PRE_EMATCHING_BASELINE_MS);
+    let json = ipl::suite::table1::to_bench_json(&rows, total_wall_ms, baseline);
+    let out_path = std::env::var("BENCH_TABLE1_OUT").unwrap_or_else(|_| "BENCH_table1.json".into());
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("  wrote {out_path}"),
+        Err(e) => eprintln!("  could not write {out_path}: {e}"),
     }
 }
