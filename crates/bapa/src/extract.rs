@@ -117,6 +117,26 @@ impl BapaForm {
         }
     }
 
+    /// Collects the free integer variables appearing in the formula.
+    pub fn int_vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            BapaForm::Not(inner) => inner.int_vars(out),
+            BapaForm::And(parts) | BapaForm::Or(parts) => {
+                parts.iter().for_each(|p| p.int_vars(out))
+            }
+            BapaForm::IntLe(a, b) | BapaForm::IntLt(a, b) | BapaForm::IntEq(a, b) => {
+                collect_int_vars(a, out);
+                collect_int_vars(b, out);
+            }
+            BapaForm::True
+            | BapaForm::False
+            | BapaForm::SetEq(..)
+            | BapaForm::Subset(..)
+            | BapaForm::Member(..)
+            | BapaForm::ElemEq(..) => {}
+        }
+    }
+
     /// Collects the set variables appearing in the formula.
     pub fn set_vars(&self, out: &mut BTreeSet<String>) {
         match self {
@@ -173,6 +193,20 @@ fn collect_int_set_vars(term: &IntTerm, out: &mut BTreeSet<String>) {
         }
         IntTerm::MulConst(_, a) => collect_int_set_vars(a, out),
         IntTerm::Const(_) | IntTerm::Var(_) => {}
+    }
+}
+
+fn collect_int_vars(term: &IntTerm, out: &mut BTreeSet<String>) {
+    match term {
+        IntTerm::Var(name) => {
+            out.insert(name.clone());
+        }
+        IntTerm::Add(a, b) | IntTerm::Sub(a, b) => {
+            collect_int_vars(a, out);
+            collect_int_vars(b, out);
+        }
+        IntTerm::MulConst(_, a) => collect_int_vars(a, out),
+        IntTerm::Const(_) | IntTerm::Card(_) => {}
     }
 }
 

@@ -28,8 +28,11 @@
 //! problem exceeds the configured size limits.
 
 pub mod extract;
+pub mod incremental;
 pub mod presburger;
 pub mod venn;
+
+pub use incremental::IncrementalBapa;
 
 use ipl_logic::Form;
 
@@ -89,22 +92,18 @@ pub fn prove_valid(assumptions: &[Form], goal: &Form, limits: &BapaLimits) -> Ba
         Some(g) => g,
         None => return BapaOutcome::Unknown,
     };
-    // Validity of A --> G  <=>  unsatisfiability of A /\ ~G.
-    let negated = extract::BapaForm::and(
-        translated
-            .into_iter()
-            .chain(std::iter::once(extract::BapaForm::Not(Box::new(goal))))
-            .collect(),
-    );
-    match venn::to_presburger(&negated, limits) {
-        Some(sentence) => {
-            if presburger::unsatisfiable(&sentence, limits) {
-                BapaOutcome::Valid
-            } else {
-                BapaOutcome::Unknown
-            }
-        }
-        None => BapaOutcome::Unknown,
+    // Validity of A --> G  <=>  unsatisfiability of A /\ ~G.  The conjunction
+    // is refuted component-wise so that unrelated assumptions (with their own
+    // set variables) cannot push the Venn construction over its size limit.
+    let mut parts: Vec<extract::BapaForm> = Vec::new();
+    for t in translated {
+        parts.extend(venn::conjuncts(&t));
+    }
+    parts.push(extract::BapaForm::Not(Box::new(goal)));
+    if venn::conjunction_unsatisfiable(&parts, limits) {
+        BapaOutcome::Valid
+    } else {
+        BapaOutcome::Unknown
     }
 }
 

@@ -134,6 +134,93 @@ impl VennCtx {
     }
 }
 
+/// Splits the conjuncts of a BAPA conjunction into connected components of
+/// the variable-sharing graph: two conjuncts land in the same component when
+/// they share a set variable, an element variable or an integer variable.
+///
+/// The Venn construction is exponential in the number of set variables of the
+/// formula it is given, so solving each component separately is the
+/// difference between `2^(m+n)` regions and `2^m + 2^n` — and because the
+/// fragment has no universe complement, a conjunction is satisfiable exactly
+/// when every component is satisfiable on its own universe.  Returned indices
+/// partition `parts`.
+pub fn components(parts: &[BapaForm]) -> Vec<Vec<usize>> {
+    use std::collections::BTreeMap;
+    // Union-find over conjunct indices.
+    let mut parent: Vec<usize> = (0..parts.len()).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    // First conjunct seen for every variable, namespaced by kind (set /
+    // element / integer — extraction classifies every name into one kind, and
+    // the translation never links same-named variables of different kinds).
+    let mut owner: BTreeMap<(u8, String), usize> = BTreeMap::new();
+    for (i, part) in parts.iter().enumerate() {
+        let mut sets = BTreeSet::new();
+        let mut elems = BTreeSet::new();
+        let mut ints = BTreeSet::new();
+        part.set_vars(&mut sets);
+        part.element_vars(&mut elems);
+        part.int_vars(&mut ints);
+        let tagged = sets
+            .into_iter()
+            .map(|v| (0u8, v))
+            .chain(elems.into_iter().map(|v| (1u8, v)))
+            .chain(ints.into_iter().map(|v| (2u8, v)));
+        for key in tagged {
+            match owner.get(&key) {
+                Some(&j) => {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+                None => {
+                    owner.insert(key, i);
+                }
+            }
+        }
+    }
+    let mut grouped: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for i in 0..parts.len() {
+        let root = find(&mut parent, i);
+        grouped.entry(root).or_default().push(i);
+    }
+    grouped.into_values().collect()
+}
+
+/// Flattens a BAPA formula into its top-level conjuncts.
+pub fn conjuncts(form: &BapaForm) -> Vec<BapaForm> {
+    match form {
+        BapaForm::And(parts) => parts.clone(),
+        BapaForm::True => Vec::new(),
+        other => vec![other.clone()],
+    }
+}
+
+/// Checks unsatisfiability of a conjunction of BAPA formulas by solving each
+/// shared-variable connected component independently.
+///
+/// A component whose set-variable count exceeds the limit is skipped (it can
+/// neither prove nor disprove unsatisfiability on its own), so the check
+/// degrades gracefully instead of giving up on the whole conjunction the way
+/// the monolithic translation did.
+pub fn conjunction_unsatisfiable(parts: &[BapaForm], limits: &BapaLimits) -> bool {
+    for component in components(parts) {
+        let formula = BapaForm::and(component.iter().map(|&i| parts[i].clone()).collect());
+        if let Some(sentence) = to_presburger(&formula, limits) {
+            if crate::presburger::unsatisfiable(&sentence, limits) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
 /// Translates a BAPA formula into an existentially closed Presburger sentence
 /// whose satisfiability coincides with the satisfiability of the input.
 ///

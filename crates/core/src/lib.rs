@@ -128,12 +128,25 @@ pub fn verify_method(
             report.trivial_sequents += 1;
             report.proved_sequents += 1;
             report.total_sequents += 1;
+            *report
+                .prover_counts
+                .entry("trivial".to_string())
+                .or_insert(0) += 1;
             continue;
         }
         report.total_sequents += 1;
         let answer = cascade.prove(&sequent_query(sequent, method, options));
         if answer.outcome == Outcome::Proved {
             report.proved_sequents += 1;
+            if let Some(prover) = &answer.prover {
+                *report.prover_counts.entry(prover.clone()).or_insert(0) += 1;
+            }
+        }
+        for (stage, duration) in &answer.stage_durations {
+            *report
+                .stage_durations
+                .entry(stage.clone())
+                .or_insert(std::time::Duration::ZERO) += *duration;
         }
         if options.record_sequents {
             report.sequents.push(SequentReport {

@@ -4,6 +4,7 @@
 use ipl_gcl::cmd::ConstructCounts;
 use ipl_lang::Module;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Outcome of one sequent.
@@ -36,6 +37,11 @@ pub struct MethodReport {
     pub counts: ConstructCounts,
     /// Wall-clock verification time for the method.
     pub duration: Duration,
+    /// Sequents discharged per cascade stage (prover name -> count).
+    pub prover_counts: BTreeMap<String, usize>,
+    /// Wall-clock spent per cascade stage across all sequents of the method
+    /// (prover name -> total), including stages that failed to prove.
+    pub stage_durations: BTreeMap<String, Duration>,
     /// Per-sequent details (when recording is enabled).
     pub sequents: Vec<SequentReport>,
 }
@@ -113,6 +119,28 @@ impl ModuleReport {
     /// Total verification time.
     pub fn total_duration(&self) -> Duration {
         self.methods.iter().map(|m| m.duration).sum()
+    }
+
+    /// Sequents discharged per cascade stage, aggregated over all methods.
+    pub fn prover_counts(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for method in &self.methods {
+            for (prover, count) in &method.prover_counts {
+                *out.entry(prover.clone()).or_insert(0) += count;
+            }
+        }
+        out
+    }
+
+    /// Wall-clock per cascade stage, aggregated over all methods.
+    pub fn stage_durations(&self) -> BTreeMap<String, Duration> {
+        let mut out = BTreeMap::new();
+        for method in &self.methods {
+            for (stage, duration) in &method.stage_durations {
+                *out.entry(stage.clone()).or_insert(Duration::ZERO) += *duration;
+            }
+        }
+        out
     }
 
     /// Aggregated proof-construct counts (Table 1 row for this module).

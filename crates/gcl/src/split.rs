@@ -30,14 +30,23 @@ impl Sequent {
     /// The assumptions the provers should use: all of them, unless the
     /// originating assert carries a `from` clause, in which case only the
     /// named facts are kept (the paper's assumption-base control).
+    ///
+    /// Hypotheses peeled off the goal itself during splitting (an implication
+    /// antecedent becoming `{label}_hyp_N`) are always kept: they are part of
+    /// the obligation, not of the assumption base the `from` clause narrows,
+    /// and their generated labels are not nameable from the source anyway.
     pub fn selected_assumptions(&self) -> Vec<&Labeled> {
         match &self.from {
             None => self.assumptions.iter().collect(),
-            Some(names) => self
-                .assumptions
-                .iter()
-                .filter(|a| names.iter().any(|n| n == &a.label))
-                .collect(),
+            Some(names) => {
+                let hyp_prefix = format!("{}_hyp_", self.goal_label);
+                self.assumptions
+                    .iter()
+                    .filter(|a| {
+                        a.label.starts_with(&hyp_prefix) || names.iter().any(|n| n == &a.label)
+                    })
+                    .collect()
+            }
         }
     }
 
@@ -276,6 +285,28 @@ mod tests {
         let selected = s.selected_assumptions();
         assert_eq!(selected.len(), 1);
         assert_eq!(selected[0].label, "Relevant");
+    }
+
+    #[test]
+    fn from_clause_keeps_goal_hypotheses() {
+        // The hypothesis of the goal's implication lands in the assumptions
+        // under a generated `_hyp_` label; a `from` clause (which can only
+        // name source-level facts) must not drop it.
+        let cmd = Simple::seq(vec![
+            Simple::assume("Relevant", f("forall x:int. p(x) --> q(x)")),
+            Simple::assume("Irrelevant", f("r")),
+            Simple::assert_from(
+                "Goal",
+                f("forall y:int. p(y) --> q(y)"),
+                vec!["Relevant".to_string()],
+            ),
+        ]);
+        let sequents = split_all(&vc_of(&cmd));
+        assert_eq!(sequents.len(), 1);
+        let selected = sequents[0].selected_assumptions();
+        assert_eq!(selected.len(), 2, "Relevant plus the goal hypothesis");
+        assert!(selected.iter().any(|a| a.label == "Goal_hyp_1"));
+        assert!(selected.iter().all(|a| a.label != "Irrelevant"));
     }
 
     #[test]

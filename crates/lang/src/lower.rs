@@ -657,6 +657,66 @@ fn collect_old_vars_proof(proof: &ProofStmt, out: &mut BTreeSet<String>) {
     }
 }
 
+/// Collects every variable the method body can assign (directly, through a
+/// heap or array write, an allocation, or a call's modifies clause).
+fn collect_assigned_vars(stmts: &[Stmt], module: &Module, out: &mut BTreeSet<String>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::VarDecl(name, _, _) | Stmt::Assign(name, _) | Stmt::Ghost(name, _) => {
+                out.insert(name.clone());
+            }
+            Stmt::FieldAssign { field, .. } => {
+                out.insert(field.clone());
+            }
+            Stmt::ArrayAssign { .. } => {
+                // Which of the two array states changes depends on the array's
+                // element type; include both (over-approximation is safe).
+                out.insert("arrayState".to_string());
+                out.insert("intArrayState".to_string());
+            }
+            Stmt::New(name) => {
+                out.insert(name.clone());
+                out.insert("alloc".to_string());
+            }
+            Stmt::Call { target, method, .. } => {
+                out.extend(target.iter().cloned());
+                if let Some(callee) = module.methods.iter().find(|m| &m.name == method) {
+                    out.extend(callee.modifies.iter().cloned());
+                }
+            }
+            Stmt::If(_, then_branch, else_branch) => {
+                collect_assigned_vars(then_branch, module, out);
+                collect_assigned_vars(else_branch, module, out);
+            }
+            Stmt::While { body, .. } => collect_assigned_vars(body, module, out),
+            Stmt::Assert { .. } | Stmt::Assume { .. } | Stmt::Proof(_) | Stmt::Skip => {}
+        }
+    }
+}
+
+/// The variables whose value can differ between method entry and a later
+/// program point: the modifies clause, everything assigned in the body, and
+/// (transitively) every specification variable whose `vardef` depends on one
+/// of those — the maintenance havocs re-assign them.
+fn mutable_vars(method: &Method, module: &Module) -> BTreeSet<String> {
+    let mut mutable: BTreeSet<String> = method.modifies.iter().cloned().collect();
+    collect_assigned_vars(&method.body, module, &mut mutable);
+    loop {
+        let mut changed = false;
+        for (specvar, definition) in &module.vardefs {
+            if !mutable.contains(specvar)
+                && free_vars(definition).iter().any(|v| mutable.contains(v))
+            {
+                mutable.insert(specvar.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            return mutable;
+        }
+    }
+}
+
 /// Lowers one method into its verification command.
 pub fn lower_method(
     module: &Module,
@@ -676,8 +736,12 @@ pub fn lower_method(
         .iter()
         .for_each(|s| collect_old_vars_stmt(s, &mut olds));
 
+    // Snapshot only variables that can actually change: for an immutable
+    // variable `old(v)` is just `v`, and renaming it anyway would force every
+    // `from` clause to name the bridging `v_old = v` assumption explicitly.
+    let mutable = mutable_vars(method, module);
     let mut old_map = HashMap::new();
-    for var in &olds {
+    for var in olds.iter().filter(|v| mutable.contains(*v)) {
         let snapshot = format!("{var}_old");
         if let Some(sort) = env.var_sort(var).cloned() {
             env.declare_var(snapshot.clone(), sort);

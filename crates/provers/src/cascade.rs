@@ -25,6 +25,9 @@ pub struct ProverAnswer {
     pub prover: Option<String>,
     /// Total time spent across the cascade.
     pub duration: Duration,
+    /// Wall-clock spent in each attempted cascade stage, in dispatch order
+    /// (the stage that proved the query is last).
+    pub stage_durations: Vec<(String, Duration)>,
 }
 
 /// The ground SMT-lite prover (no quantifier instantiation).
@@ -197,18 +200,22 @@ impl Cascade {
     /// Runs the cascade on a query.
     pub fn prove(&self, query: &Query) -> ProverAnswer {
         let start = Instant::now();
+        let mut stage_durations = Vec::with_capacity(self.provers.len());
         for prover in &self.provers {
+            let stage_start = Instant::now();
             let outcome = run_with_timeout(
                 Arc::clone(prover),
                 query.clone(),
                 self.config,
                 Duration::from_millis(self.config.per_prover_timeout_ms),
             );
+            stage_durations.push((prover.name().to_string(), stage_start.elapsed()));
             if outcome == Outcome::Proved {
                 return ProverAnswer {
                     outcome: Outcome::Proved,
                     prover: Some(prover.name().to_string()),
                     duration: start.elapsed(),
+                    stage_durations,
                 };
             }
         }
@@ -216,6 +223,7 @@ impl Cascade {
             outcome: Outcome::Unknown,
             prover: None,
             duration: start.elapsed(),
+            stage_durations,
         }
     }
 }
@@ -297,8 +305,26 @@ mod tests {
     }
 
     #[test]
-    fn cascade_uses_bapa_for_cardinality_goals() {
+    fn cardinality_goals_close_inside_the_ground_tableau() {
+        // With the theory combination on, the BAPA⇄ground exchange closes
+        // the cardinality goal inside the ground stage — the standalone BAPA
+        // prover is never reached.
         let cascade = Cascade::default();
+        let answer = cascade.prove(&query(
+            &[
+                "~((i, o) in content)",
+                "newcontent = content union {(i, o)}",
+            ],
+            "card(newcontent) = card(content) + 1",
+        ));
+        assert_eq!(answer.outcome, Outcome::Proved);
+        assert_eq!(answer.prover.as_deref(), Some("smt-ground"));
+    }
+
+    #[test]
+    fn cascade_uses_bapa_for_cardinality_goals_without_exchange() {
+        // The ablation configuration falls back to the standalone BAPA stage.
+        let cascade = Cascade::standard(ProverConfig::without_exchange());
         let answer = cascade.prove(&query(
             &[
                 "~((i, o) in content)",

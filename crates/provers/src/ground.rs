@@ -17,6 +17,7 @@
 //! the provers is reproduced.
 
 use crate::cc::Congruence;
+use crate::exchange::{BapaExchange, ExchangeBudget, TheoryExchange, TheoryResult};
 use crate::ProverConfig;
 use ipl_bapa::presburger::{fm_unsatisfiable, LinExpr, PForm};
 use ipl_logic::normal::nnf;
@@ -34,7 +35,7 @@ pub enum GroundResult {
 
 /// Attempts to refute the conjunction of the given ground formulas.
 pub fn refute(forms: &[Form], env: &SortEnv, config: &ProverConfig) -> GroundResult {
-    let mut tableau = Tableau::new(env, config.max_branch_nodes);
+    let mut tableau = Tableau::new(env, config);
     if tableau.search(forms.to_vec()) {
         GroundResult::Unsat
     } else {
@@ -42,8 +43,8 @@ pub fn refute(forms: &[Form], env: &SortEnv, config: &ProverConfig) -> GroundRes
     }
 }
 
-/// The tableau search state: one congruence engine and one literal stack
-/// shared across the whole branch exploration.
+/// The tableau search state: one congruence engine, one literal stack and one
+/// set of theory solvers shared across the whole branch exploration.
 struct Tableau<'a> {
     env: &'a SortEnv,
     budget: usize,
@@ -53,6 +54,13 @@ struct Tableau<'a> {
     literal_set: HashSet<Form>,
     /// The persistent congruence engine, scoped in lockstep with branching.
     cc: Congruence,
+    /// Cooperating theories (the Nelson–Oppen combination), scoped in
+    /// lockstep with the congruence engine.
+    theories: Vec<Box<dyn TheoryExchange>>,
+    /// Fixpoint iterations of the exchange loop per leaf.
+    exchange_rounds: usize,
+    /// Remaining exchange budgets for this search.
+    exchange_budget: ExchangeBudget,
 }
 
 /// Outcome of asserting one literal onto the branch.
@@ -64,13 +72,24 @@ enum Asserted {
 }
 
 impl<'a> Tableau<'a> {
-    fn new(env: &'a SortEnv, budget: usize) -> Self {
+    fn new(env: &'a SortEnv, config: &ProverConfig) -> Self {
+        let theories: Vec<Box<dyn TheoryExchange>> = if config.exchange.enabled {
+            vec![Box::new(BapaExchange::default())]
+        } else {
+            Vec::new()
+        };
         Tableau {
             env,
-            budget,
+            budget: config.max_branch_nodes,
             literals: Vec::new(),
             literal_set: HashSet::new(),
             cc: Congruence::new(),
+            theories,
+            exchange_rounds: config.exchange.max_rounds,
+            exchange_budget: ExchangeBudget {
+                leaf_checks: config.exchange.max_leaf_checks,
+                entailment_queries: config.exchange.max_entailment_queries,
+            },
         }
     }
 
@@ -138,7 +157,9 @@ impl<'a> Tableau<'a> {
             return true;
         }
         if simplified.is_empty() {
-            return false; // saturated, consistent branch: cannot refute
+            // Saturated, consistent branch: the last word goes to the theory
+            // combination before the branch is declared open.
+            return self.leaf_exchange();
         }
 
         // Branch on the smallest disjunction.
@@ -150,8 +171,10 @@ impl<'a> Tableau<'a> {
             pending.push(disjunct);
             let mark = self.literals.len();
             self.cc.push();
+            self.theories.iter_mut().for_each(|t| t.push());
             let closed = self.search(pending);
             self.cc.pop();
+            self.theories.iter_mut().for_each(|t| t.pop());
             for literal in self.literals.drain(mark..) {
                 self.literal_set.remove(&literal);
             }
@@ -162,10 +185,67 @@ impl<'a> Tableau<'a> {
         true
     }
 
+    /// The Nelson–Oppen equality-exchange loop, run at a saturated leaf:
+    /// each theory imports the congruence-implied (dis)equalities over its
+    /// shared variables and either closes the branch or exports entailed
+    /// facts, which are asserted back as branch literals; the loop iterates
+    /// until a conflict, a fixpoint, or budget exhaustion.  Returns `true`
+    /// when the branch closed.
+    fn leaf_exchange(&mut self) -> bool {
+        if self.exchange_budget.leaf_checks == 0 || !self.theories.iter().any(|t| t.is_active()) {
+            return false;
+        }
+        self.exchange_budget.leaf_checks -= 1;
+        for _ in 0..self.exchange_rounds {
+            let mut exported = Vec::new();
+            let mut theories = std::mem::take(&mut self.theories);
+            let mut closed = false;
+            for theory in &mut theories {
+                match theory.check(&mut self.cc, &mut self.exchange_budget) {
+                    TheoryResult::Conflict => {
+                        closed = true;
+                        break;
+                    }
+                    TheoryResult::Facts(facts) => exported.extend(facts),
+                }
+            }
+            self.theories = theories;
+            if closed {
+                return true;
+            }
+            let before = self.literals.len();
+            for fact in exported {
+                if let Asserted::Closed = self.assert_literal(fact) {
+                    return true;
+                }
+            }
+            if self.cc.has_conflict() || self.arith_conflict() {
+                return true;
+            }
+            if self.literals.len() == before {
+                return false; // fixpoint without a conflict
+            }
+        }
+        false
+    }
+
     /// Pushes one literal onto the assertion stack, feeding it to the
-    /// congruence engine; reports closure on syntactic complement or eager
-    /// theory conflict.
+    /// congruence engine and the theory solvers; reports closure on syntactic
+    /// complement or eager theory conflict.
     fn assert_literal(&mut self, literal: Form) -> Asserted {
+        let mut theories = std::mem::take(&mut self.theories);
+        let asserted = self.assert_literal_with(&mut theories, literal);
+        self.theories = theories;
+        asserted
+    }
+
+    /// [`Tableau::assert_literal`] with the theory list borrowed separately,
+    /// so the exchange loop can assert facts while iterating the theories.
+    fn assert_literal_with(
+        &mut self,
+        theories: &mut [Box<dyn TheoryExchange>],
+        literal: Form,
+    ) -> Asserted {
         let negated = Form::not(literal.clone());
         if self.literal_set.contains(&negated) {
             return Asserted::Closed;
@@ -174,6 +254,9 @@ impl<'a> Tableau<'a> {
             return Asserted::Open; // already on the branch
         }
         assert_into_cc(&mut self.cc, &literal);
+        theories.iter_mut().for_each(|t| {
+            t.assert_literal(&literal);
+        });
         self.literals.push(literal);
         if self.cc.has_conflict() {
             Asserted::Closed
@@ -344,6 +427,9 @@ mod tests {
         e.declare_var("next", Sort::obj_field());
         e.declare_var("content", Sort::int_obj_set());
         e.declare_var("nodes", Sort::obj_set());
+        for v in ["s", "t"] {
+            e.declare_var(v, Sort::obj_set());
+        }
         e.declare_var("arrayState", Sort::obj_array_state());
         e
     }
@@ -491,6 +577,109 @@ mod tests {
         assert!(theory_conflict(&literals, &env));
         let literals = vec![parse_form("i < 3").unwrap(), parse_form("i < 5").unwrap()];
         assert!(!theory_conflict(&literals, &env));
+    }
+
+    // ----- the Nelson–Oppen BAPA⇄ground exchange -----
+
+    /// Refutes raw ground literals with the given config (bypassing
+    /// preprocessing, so the literal set is exactly what the tableau sees).
+    fn refute_literals(literals: &[&str], config: &ProverConfig) -> GroundResult {
+        let forms: Vec<Form> = literals.iter().map(|s| parse_form(s).unwrap()).collect();
+        refute(&forms, &env(), config)
+    }
+
+    #[test]
+    fn exchange_closes_cardinality_branches() {
+        let literals = ["card(nodes) = 0", "a in nodes"];
+        assert_eq!(
+            refute_literals(&literals, &ProverConfig::default()),
+            GroundResult::Unsat,
+            "the in-tableau BAPA theory closes the branch"
+        );
+        assert_eq!(
+            refute_literals(&literals, &ProverConfig::without_exchange()),
+            GroundResult::Unknown,
+            "without the exchange the ground solver alone cannot"
+        );
+    }
+
+    #[test]
+    fn congruence_implied_equalities_reach_bapa() {
+        // s and t are never equated by a literal — only the congruence
+        // closure (via a = b) knows g(a) = g(b); the exchange must hand that
+        // equality to BAPA for the conflict to appear.
+        assert_eq!(
+            refute_literals(
+                &["a = b", "g(a) = s", "g(b) = t", "card(s) = 0", "x in t",],
+                &ProverConfig::default()
+            ),
+            GroundResult::Unsat
+        );
+    }
+
+    #[test]
+    fn bapa_entailed_facts_flow_back_to_the_ground_core() {
+        // BAPA entails s = emptyset from card(s) = 0; asserting it back lets
+        // the congruence close g(s) = g(emptyset), conflicting with the
+        // disequality.  Neither side can do this alone.
+        let literals = ["card(s) = 0", "g(s) = a", "g(emptyset) = b", "~(a = b)"];
+        assert_eq!(
+            refute_literals(&literals, &ProverConfig::default()),
+            GroundResult::Unsat
+        );
+        assert_eq!(
+            refute_literals(&literals, &ProverConfig::without_exchange()),
+            GroundResult::Unknown
+        );
+    }
+
+    #[test]
+    fn exchange_iterates_to_a_fixpoint_across_rounds() {
+        // Round one exports s = emptyset; only then does the congruence
+        // merge h(s) with h(emptyset), making p and q equal — which clashes
+        // with the membership split only on the next exchange round.
+        assert_eq!(
+            refute_literals(
+                &[
+                    "card(s) = 0",
+                    "h(s) = p",
+                    "h(emptyset) = q",
+                    "p in nodes",
+                    "~(q in nodes)",
+                ],
+                &ProverConfig::default()
+            ),
+            GroundResult::Unsat
+        );
+    }
+
+    #[test]
+    fn exchange_facts_do_not_leak_across_branches() {
+        // The first disjunct's leaf exports s = emptyset and closes; the
+        // second branch is satisfiable and must not inherit that fact.
+        assert_eq!(
+            refute_literals(
+                &["card(s) = 0 | p", "g(s) = a", "g(emptyset) = b", "~(a = b)",],
+                &ProverConfig::default()
+            ),
+            GroundResult::Unknown
+        );
+    }
+
+    #[test]
+    fn exchange_budget_exhaustion_degrades_gracefully() {
+        let config = ProverConfig {
+            exchange: crate::ExchangeConfig {
+                max_leaf_checks: 0,
+                ..crate::ExchangeConfig::default()
+            },
+            ..ProverConfig::default()
+        };
+        assert_eq!(
+            refute_literals(&["card(nodes) = 0", "a in nodes"], &config),
+            GroundResult::Unknown,
+            "no leaf checks allowed: falls back to plain ground reasoning"
+        );
     }
 
     #[test]

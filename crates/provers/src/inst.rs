@@ -30,7 +30,7 @@
 
 use crate::cc::Congruence;
 use crate::ground::{refute, GroundResult};
-use crate::preprocess::Problem;
+use crate::preprocess::{axioms_for, Accesses, Problem};
 use crate::{ProverConfig, TriggerConfig};
 use ipl_logic::hashed::Hashed;
 use ipl_logic::simplify::simplify;
@@ -61,12 +61,30 @@ pub fn refute_with_instantiation(
         .iter()
         .map(|q| Quantifier::new(q, env, &config.triggers))
         .collect();
-    let mut seen_instances: HashSet<Hashed> = HashSet::new();
+    // Seeded with the initial ground set so that neither re-derived axioms
+    // nor instances duplicating an existing formula are added twice.
+    let mut seen_instances: HashSet<Hashed> =
+        ground.iter().map(|f| Hashed::new(f.clone())).collect();
     let instance_budget = config.effective_instances(assumption_count);
     let mut total_instances = 0usize;
 
     let mut matcher = Matcher::new();
     matcher.index_forms(&ground, 0);
+
+    // Accesses of the problem and its instances (the initial ground set
+    // already carries its axioms from `build_problem`), plus every equality
+    // occurring *anywhere* in the ground set — including under disjunctions,
+    // where a write equality is only branch-locally satisfiable and thus
+    // invisible to the matcher's unit-equality congruence.
+    let mut accesses = Accesses::default();
+    let mut ground_equalities: HashSet<Hashed> = HashSet::new();
+    for form in problem.all_forms() {
+        accesses.collect(form);
+    }
+    for form in &ground {
+        collect_equalities(form, &mut ground_equalities);
+    }
+    let mut ground_scanned = ground.len();
 
     for round in 0..=config.instantiation_rounds {
         if refute(&ground, env, config) == GroundResult::Unsat {
@@ -138,7 +156,8 @@ pub fn refute_with_instantiation(
         // New unit equalities can merge old congruence classes and thereby
         // enable matches among terms indexed in earlier rounds; the frontier
         // would suppress those forever, so rewind it for every quantifier.
-        if new_ground.iter().any(|f| matches!(f, Form::Eq(..))) {
+        let learned_equalities = new_ground.iter().any(|f| matches!(f, Form::Eq(..)));
+        if learned_equalities {
             for quantifier in &mut quantifiers {
                 quantifier.frontier = 0;
             }
@@ -148,8 +167,86 @@ pub fn refute_with_instantiation(
         for form in new_quantified {
             quantifiers.push(Quantifier::new(&form, env, &config.triggers));
         }
+        // Instances can introduce field/array reads that did not exist when
+        // the read-over-write axioms were first generated; re-derive the
+        // axiom set over the grown access set so those reads get their
+        // select/store semantics too.  Accesses are collected from the
+        // problem and its instances only — never from generated axioms,
+        // whose miss branches mention base-state reads that would otherwise
+        // breed further axioms each round.
+        let accesses_before = accesses.len();
+        for form in &ground[ground_scanned..] {
+            accesses.collect(form);
+            collect_equalities(form, &mut ground_equalities);
+        }
+        ground_scanned = ground.len();
+        // Re-derive when the access set grew — and also when equalities were
+        // learned, which can entail the guard of a previously skipped axiom
+        // (the filter below) without introducing any new access.
+        if accesses.len() > accesses_before || learned_equalities {
+            let mut new_axioms = Vec::new();
+            for axiom in axioms_for(&accesses) {
+                // Keep a *guarded* axiom only when its guard equality is
+                // entailed by the asserted unit equalities or at least
+                // occurs somewhere in the ground set (possibly under a
+                // disjunction, where it is branch-locally assertable): a
+                // guard no branch can ever satisfy would still double the
+                // tableau's branching for nothing.  (The initial axiom set
+                // from `build_problem` is not filtered — only the per-round
+                // additions, which exist purely to give instance-introduced
+                // reads their select/store semantics.)
+                if let Form::Implies(guard, _) = &axiom {
+                    if let Form::Eq(a, b) = guard.as_ref() {
+                        if !ground_equalities.contains(&Hashed::new((**guard).clone()))
+                            && !matcher.knows_equal(a, b)
+                        {
+                            continue;
+                        }
+                    }
+                }
+                if seen_instances.insert(Hashed::new(axiom.clone())) {
+                    new_axioms.push(axiom);
+                }
+            }
+            if !new_axioms.is_empty() {
+                matcher.index_forms(&new_axioms, round + 1);
+                ground.extend(new_axioms);
+                ground_scanned = ground.len(); // axioms are not re-scanned
+            }
+        }
     }
     GroundResult::Unknown
+}
+
+/// Collects the equality subformulas a tableau branch could assert
+/// *positively* (for the per-round axiom guard filter): equalities under
+/// conjunctions and disjunctions count, equalities under negation or in an
+/// implication antecedent do not — in particular the guards of existing
+/// read-over-write axioms, which only ever occur negated in a branch, must
+/// not readmit themselves.
+fn collect_equalities(form: &Form, out: &mut HashSet<Hashed>) {
+    fn rec(form: &Form, positive: bool, out: &mut HashSet<Hashed>) {
+        match form {
+            Form::Eq(..) => {
+                if positive {
+                    out.insert(Hashed::new(form.clone()));
+                }
+            }
+            Form::Not(inner) => rec(inner, !positive, out),
+            Form::Implies(antecedent, consequent) => {
+                rec(antecedent, !positive, out);
+                rec(consequent, positive, out);
+            }
+            Form::Iff(a, b) => {
+                for side in [a, b] {
+                    rec(side, true, out);
+                    rec(side, false, out);
+                }
+            }
+            other => other.for_each_child(|c| rec(c, positive, out)),
+        }
+    }
+    rec(form, true, out);
 }
 
 /// A universally quantified assumption prepared for matching.
@@ -523,6 +620,13 @@ impl Matcher {
     /// Number of indexed candidate terms (diagnostics and tests).
     pub fn candidate_count(&self) -> usize {
         self.index.values().map(Vec::len).sum()
+    }
+
+    /// Does the asserted ground-equality congruence identify the two terms?
+    /// (Used to filter per-round read-over-write axioms to pairs whose guard
+    /// is actually entailed.)
+    fn knows_equal(&mut self, a: &Form, b: &Form) -> bool {
+        self.cc.are_equal(a, b)
     }
 }
 

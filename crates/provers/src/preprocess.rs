@@ -62,6 +62,16 @@ pub fn build_problem(assumptions: &[Form], goal: &Form, env: &SortEnv) -> Proble
 /// ground / quantified partitions.
 fn add_refutation_form(form: &Form, env: &SortEnv, fresh: &mut FreshNames, problem: &mut Problem) {
     let annotated = env.annotate_binders(form);
+    // Retain raw set-algebra conjuncts alongside their membership-level
+    // expansion: the expansion becomes a universally quantified formula that
+    // only the instantiating prover can use, while the retained atom is a
+    // ground literal the congruence closure and the in-tableau BAPA theory
+    // reason about directly (the theory-combination layer depends on this).
+    for conjunct in annotated.clone().into_conjuncts() {
+        if let Some(atom) = retained_theory_atom(&conjunct, env) {
+            problem.ground.push(atom);
+        }
+    }
     let expanded = expand_sets(&annotated, env);
     let expanded = split_int_disequalities(&expanded, env);
     let normalised = nnf(&expanded);
@@ -76,6 +86,51 @@ fn add_refutation_form(form: &Form, env: &SortEnv, fresh: &mut FreshNames, probl
             other => problem.ground.push(other),
         }
     }
+}
+
+/// A top-level conjunct worth keeping in its un-expanded set-algebra form for
+/// the theory layer: a (possibly negated) set equality, subset atom, or
+/// membership in a structured set expression.
+fn retained_theory_atom(form: &Form, env: &SortEnv) -> Option<Form> {
+    let atom = match form {
+        Form::Not(inner) => inner.as_ref(),
+        other => other,
+    };
+    #[allow(clippy::match_like_matches_macro)]
+    let keep = match atom {
+        // Comprehension equalities are excluded: the congruence closure can
+        // only see the comprehension as an opaque leaf and BAPA rejects it,
+        // while the membership-level expansion covers it completely — yet the
+        // extra ground literal measurably slows the instantiating prover.
+        Form::Eq(a, b)
+            if matches!(a.as_ref(), Form::Compr(..)) || matches!(b.as_ref(), Form::Compr(..)) =>
+        {
+            false
+        }
+        Form::Eq(a, b) => {
+            env.sort_of(a).is_set()
+                || env.sort_of(b).is_set()
+                || is_set_structure(a)
+                || is_set_structure(b)
+        }
+        Form::Subseteq(..) => true,
+        Form::Elem(_, set) => is_set_structure(set),
+        _ => false,
+    };
+    keep.then(|| form.clone())
+}
+
+/// Is the term structurally a set expression?
+fn is_set_structure(form: &Form) -> bool {
+    matches!(
+        form,
+        Form::EmptySet
+            | Form::FiniteSet(_)
+            | Form::Union(..)
+            | Form::Inter(..)
+            | Form::Diff(..)
+            | Form::Compr(..)
+    )
 }
 
 /// Hoists universal quantifiers out of conjunctions and disjunctions
@@ -145,6 +200,52 @@ pub fn split_int_disequalities(form: &Form, env: &SortEnv) -> Form {
     }
 }
 
+/// The field/array read and write terms of a formula set, from which the
+/// McCarthy read-over-write axioms are generated.
+///
+/// Kept as an explicit accumulator so the instantiation engine can extend it
+/// with the accesses of newly generated instances round by round — collecting
+/// from the *instances* only, never from previously generated axioms (whose
+/// miss branches mention base-state reads that would otherwise breed new
+/// axioms quadratically).
+#[derive(Debug, Clone, Default)]
+pub struct Accesses {
+    /// Field reads: (function term, argument).
+    field_reads: BTreeSet<(Form, Form)>,
+    /// Field writes: (base, at, value).
+    field_writes: BTreeSet<(Form, Form, Form)>,
+    /// Array reads: (state, array, index).
+    array_reads: BTreeSet<(Form, Form, Form)>,
+    /// Array writes: (base state, array, index, value).
+    array_writes: BTreeSet<(Form, Form, Form, Form)>,
+}
+
+impl Accesses {
+    /// Records every access occurring in the formula.
+    pub fn collect(&mut self, form: &Form) {
+        collect_accesses(
+            form,
+            &mut self.field_reads,
+            &mut self.field_writes,
+            &mut self.array_reads,
+            &mut self.array_writes,
+        );
+    }
+
+    /// Total number of recorded access terms (cheap growth check).
+    pub fn len(&self) -> usize {
+        self.field_reads.len()
+            + self.field_writes.len()
+            + self.array_reads.len()
+            + self.array_writes.len()
+    }
+
+    /// Returns `true` if no accesses were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Generates the McCarthy read-over-write axioms for every (read, write) pair
 /// occurring in the problem.
 ///
@@ -152,24 +253,24 @@ pub fn split_int_disequalities(form: &Form, env: &SortEnv) -> Form {
 /// `g(x) = f(x)` otherwise.  The axiom is guarded by `g = f[a := v]` so it is
 /// sound to add it for *every* pair of a read and a write term.
 pub fn update_axioms(problem: &Problem) -> Vec<Form> {
-    let mut field_reads: BTreeSet<(Form, Form)> = BTreeSet::new(); // (function term, argument)
-    let mut field_writes: BTreeSet<(Form, Form, Form)> = BTreeSet::new(); // (base, at, value)
-    let mut array_reads: BTreeSet<(Form, Form, Form)> = BTreeSet::new(); // (state, array, index)
-    let mut array_writes: BTreeSet<(Form, Form, Form, Form)> = BTreeSet::new();
-
+    let mut accesses = Accesses::default();
     for form in problem.all_forms() {
-        collect_accesses(
-            form,
-            &mut field_reads,
-            &mut field_writes,
-            &mut array_reads,
-            &mut array_writes,
-        );
+        accesses.collect(form);
     }
+    axioms_for(&accesses)
+}
 
+/// The read-over-write axioms of a recorded access set.
+pub fn axioms_for(accesses: &Accesses) -> Vec<Form> {
+    let Accesses {
+        field_reads,
+        field_writes,
+        array_reads,
+        array_writes,
+    } = accesses;
     let mut axioms = Vec::new();
-    for (fun, arg) in &field_reads {
-        for (base, at, value) in &field_writes {
+    for (fun, arg) in field_reads {
+        for (base, at, value) in field_writes {
             let write_term = Form::field_write(base.clone(), at.clone(), value.clone());
             let guard = Form::eq(fun.clone(), write_term);
             let read = Form::field_read(fun.clone(), arg.clone());
@@ -185,7 +286,7 @@ pub fn update_axioms(problem: &Problem) -> Vec<Form> {
         }
     }
     // Reads applied directly to a write term need no guard.
-    for (fun, arg) in &field_reads {
+    for (fun, arg) in field_reads {
         if let Form::FieldWrite(base, at, value) = fun {
             let read = Form::field_read(fun.clone(), arg.clone());
             let hit = Form::implies(
@@ -203,8 +304,8 @@ pub fn update_axioms(problem: &Problem) -> Vec<Form> {
         }
     }
 
-    for (state, arr, idx) in &array_reads {
-        for (base, warr, widx, value) in &array_writes {
+    for (state, arr, idx) in array_reads {
+        for (base, warr, widx, value) in array_writes {
             let write_term =
                 Form::array_write(base.clone(), warr.clone(), widx.clone(), value.clone());
             let guard = Form::eq(state.clone(), write_term);
@@ -224,7 +325,7 @@ pub fn update_axioms(problem: &Problem) -> Vec<Form> {
             axioms.push(Form::implies(guard, Form::and(vec![hit, miss])));
         }
     }
-    for (state, arr, idx) in &array_reads {
+    for (state, arr, idx) in array_reads {
         if let Form::ArrayWrite(base, warr, widx, value) = state {
             let read = Form::array_read(state.clone(), arr.clone(), idx.clone());
             let same_cell = Form::and(vec![

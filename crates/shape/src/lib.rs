@@ -184,15 +184,105 @@ fn field_name(form: &Form) -> String {
     format!("{form}")
 }
 
+/// Aliases between field-denoting variables, discovered in a pre-pass.
+///
+/// The guarded-command translation chains every field update through fresh
+/// incarnations (`next#6 = next_tmp_3#5`, `next_tmp_3#5 = next#4[o := v]`);
+/// without aliasing, facts recorded under one incarnation are invisible to
+/// queries phrased with another, because the saturation tables key on field
+/// *names*.
+#[derive(Debug, Default)]
+struct FieldAliases {
+    parent: BTreeMap<String, String>,
+}
+
+impl FieldAliases {
+    /// The canonical representative of a field name.
+    fn canon(&self, name: &str) -> String {
+        let mut current = name;
+        while let Some(next) = self.parent.get(current) {
+            current = next;
+        }
+        current.to_string()
+    }
+
+    fn union(&mut self, a: &str, b: &str) {
+        let (ra, rb) = (self.canon(a), self.canon(b));
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+/// Collects the names used in field position anywhere in the formula: the
+/// first argument of `reach`, the field of a read, and both sides of a field
+/// update equation.
+fn collect_field_names(form: &Form, out: &mut BTreeSet<String>) {
+    match form {
+        Form::App(name, args) if name == "reach" && args.len() == 3 => {
+            if let Form::Var(f) = &args[0] {
+                out.insert(f.clone());
+            }
+        }
+        Form::FieldRead(field, _) => {
+            if let Form::Var(f) = field.as_ref() {
+                out.insert(f.clone());
+            }
+        }
+        Form::Eq(lhs, rhs) => {
+            for (a, b) in [(lhs, rhs), (rhs, lhs)] {
+                if let (Form::Var(f), Form::FieldWrite(old, ..)) = (a.as_ref(), b.as_ref()) {
+                    out.insert(f.clone());
+                    if let Form::Var(g) = old.as_ref() {
+                        out.insert(g.clone());
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+    form.for_each_child(|c| collect_field_names(c, out));
+}
+
+/// Builds the field-alias relation: positive equalities between two names
+/// that occur in field position union their alias classes.
+fn field_aliases(assumptions: &[Form], goal: &Form) -> FieldAliases {
+    let mut names = BTreeSet::new();
+    for form in assumptions.iter().chain(std::iter::once(goal)) {
+        collect_field_names(form, &mut names);
+    }
+    let mut aliases = FieldAliases::default();
+    fn scan(form: &Form, names: &BTreeSet<String>, aliases: &mut FieldAliases, positive: bool) {
+        match form {
+            Form::Not(inner) => scan(inner, names, aliases, !positive),
+            Form::And(parts) if positive => {
+                parts.iter().for_each(|p| scan(p, names, aliases, true))
+            }
+            Form::Eq(lhs, rhs) if positive => {
+                if let (Form::Var(a), Form::Var(b)) = (lhs.as_ref(), rhs.as_ref()) {
+                    if names.contains(a) && names.contains(b) {
+                        aliases.union(a, b);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for form in assumptions {
+        scan(form, &names, &mut aliases, true);
+    }
+    aliases
+}
+
 /// Attempts to record one assumption literal; unknown forms are ignored
 /// (which is sound for validity checking).
-fn assume(form: &Form, state: &mut State, positive: bool) {
+fn assume(form: &Form, state: &mut State, aliases: &FieldAliases, positive: bool) {
     match form {
-        Form::Not(inner) => assume(inner, state, !positive),
-        Form::And(parts) if positive => parts.iter().for_each(|p| assume(p, state, true)),
-        Form::Or(parts) if !positive => parts.iter().for_each(|p| assume(p, state, false)),
+        Form::Not(inner) => assume(inner, state, aliases, !positive),
+        Form::And(parts) if positive => parts.iter().for_each(|p| assume(p, state, aliases, true)),
+        Form::Or(parts) if !positive => parts.iter().for_each(|p| assume(p, state, aliases, false)),
         Form::App(name, args) if name == "reach" && args.len() == 3 => {
-            let field = field_name(&args[0]);
+            let field = aliases.canon(&field_name(&args[0]));
             let src = state.node(&term_name(&args[1]));
             let dst = state.node(&term_name(&args[2]));
             if positive {
@@ -209,18 +299,20 @@ fn assume(form: &Form, state: &mut State, positive: bool) {
                 {
                     let at = state.node(&term_name(at));
                     let value = state.node(&term_name(value));
-                    state
-                        .updates
-                        .insert(new_field.clone(), (field_name(old), at, value));
+                    state.updates.insert(
+                        aliases.canon(new_field),
+                        (aliases.canon(&field_name(old)), at, value),
+                    );
                     return;
                 }
                 if let (Form::FieldWrite(old, at, value), Form::Var(new_field)) = (var_side, other)
                 {
                     let at = state.node(&term_name(at));
                     let value = state.node(&term_name(value));
-                    state
-                        .updates
-                        .insert(new_field.clone(), (field_name(old), at, value));
+                    state.updates.insert(
+                        aliases.canon(new_field),
+                        (aliases.canon(&field_name(old)), at, value),
+                    );
                     return;
                 }
             }
@@ -228,7 +320,7 @@ fn assume(form: &Form, state: &mut State, positive: bool) {
             if let Form::FieldRead(field, obj) = var_side {
                 let src = state.node(&term_name(obj));
                 let dst = state.node(&term_name(other));
-                let key = (field_name(field), src);
+                let key = (aliases.canon(&field_name(field)), src);
                 if positive {
                     match state.field_edges.get(&key) {
                         // Functionality: a second edge from the same source
@@ -253,7 +345,9 @@ fn assume(form: &Form, state: &mut State, positive: bool) {
                 let src = state.node(&term_name(obj));
                 let dst = state.node(&term_name(var_side));
                 if positive {
-                    state.field_edges.insert((field_name(field), src), dst);
+                    state
+                        .field_edges
+                        .insert((aliases.canon(&field_name(field)), src), dst);
                 }
                 return;
             }
@@ -272,12 +366,13 @@ fn assume(form: &Form, state: &mut State, positive: bool) {
 
 /// Proves validity of `(/\ assumptions) --> goal` for ground shape formulas.
 pub fn prove_valid(assumptions: &[Form], goal: &Form, limits: &ShapeLimits) -> ShapeOutcome {
+    let aliases = field_aliases(assumptions, goal);
     let mut state = State::default();
     for a in assumptions {
-        assume(a, &mut state, true);
+        assume(a, &mut state, &aliases, true);
     }
     // Refutation: assume the negation of the goal.
-    assume(goal, &mut state, false);
+    assume(goal, &mut state, &aliases, false);
 
     // Saturate.
     for _ in 0..limits.max_rounds {
@@ -460,6 +555,23 @@ mod tests {
             &["newnext = next[x := v]", "a.next = b"],
             "reach(newnext, a, b)"
         ));
+    }
+
+    #[test]
+    fn field_incarnation_chains_are_aliased() {
+        // The guarded-command translation routes updates through temporaries:
+        // facts recorded under one incarnation must serve queries phrased
+        // with another.
+        assert!(valid(
+            &["tmp = next[x := v]", "newnext = tmp"],
+            "reach(newnext, x, v)"
+        ));
+        assert!(valid(
+            &["newnext = tmp", "tmp = next[x := v]", "reach(next, v, w)"],
+            "reach(newnext, x, v)"
+        ));
+        // Aliasing must not identify distinct fields without an equality.
+        assert!(!valid(&["tmp = next[x := v]"], "reach(othernext, x, v)"));
     }
 
     #[test]

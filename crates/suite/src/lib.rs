@@ -9,6 +9,7 @@
 //! * [`table2`] — Table 2: methods and sequents verified *without* the
 //!   integrated proof language constructs versus *with* them.
 
+pub mod baseline;
 pub mod benchmarks;
 pub mod table1;
 pub mod table2;

@@ -6,6 +6,7 @@ use crate::benchmarks::{all, Benchmark};
 use ipl_core::VerifyOptions;
 use ipl_gcl::cmd::ConstructCounts;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// One row of Table 1.
@@ -32,6 +33,12 @@ pub struct Table1Row {
     pub sequents_total: usize,
     /// Sequents proved.
     pub sequents_proved: usize,
+    /// Sequents discharged per cascade stage (prover name -> count;
+    /// `"trivial"` counts the sequents eliminated during splitting).
+    pub prover_counts: BTreeMap<String, usize>,
+    /// Wall-clock spent per cascade stage, milliseconds (includes stages
+    /// that were attempted and failed).
+    pub stage_ms: BTreeMap<String, u128>,
 }
 
 /// Generates Table 1 by verifying every benchmark with its proof constructs.
@@ -54,6 +61,12 @@ pub fn row(benchmark: &Benchmark, options: &VerifyOptions) -> Table1Row {
         methods_verified: report.methods_verified(),
         sequents_total: report.total_sequents(),
         sequents_proved: report.proved_sequents(),
+        prover_counts: report.prover_counts(),
+        stage_ms: report
+            .stage_durations()
+            .into_iter()
+            .map(|(stage, duration)| (stage, duration.as_millis()))
+            .collect(),
     }
 }
 
@@ -73,19 +86,100 @@ pub fn to_bench_json(
     }
     out.push_str("  \"benchmarks\": [\n");
     for (i, row) in rows.iter().enumerate() {
+        let map_json = |entries: Vec<(String, String)>| {
+            let inner: Vec<String> = entries
+                .into_iter()
+                .map(|(k, v)| format!("\"{k}\": {v}"))
+                .collect();
+            format!("{{{}}}", inner.join(", "))
+        };
+        let provers = map_json(
+            row.prover_counts
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_string()))
+                .collect(),
+        );
+        let stages = map_json(
+            row.stage_ms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_string()))
+                .collect(),
+        );
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"methods\": {}, \"methods_verified\": {}, \
-             \"sequents_total\": {}, \"sequents_proved\": {}, \"wall_ms\": {}}}{}\n",
+             \"sequents_total\": {}, \"sequents_proved\": {}, \"wall_ms\": {}, \
+             \"provers\": {}, \"stage_ms\": {}}}{}\n",
             row.name,
             row.methods,
             row.methods_verified,
             row.sequents_total,
             row.sequents_proved,
             row.time.as_millis(),
+            provers,
+            stages,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
     out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the rows as a GitHub-flavoured markdown table (the CI job
+/// summary), including the prover that discharged each sequent and the
+/// per-stage cost, so reviewers see the Table-1 delta without downloading
+/// the artifact.
+pub fn render_markdown(
+    rows: &[Table1Row],
+    total_wall_ms: u128,
+    baseline_total_wall_ms: Option<u128>,
+) -> String {
+    let mut out = String::from("## Table 1 benchmark results\n\n");
+    out.push_str(
+        "| Benchmark | Methods | Sequents | Wall (ms) | Discharged by | Stage cost (ms) |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|\n");
+    let fmt_map = |entries: Vec<String>| {
+        if entries.is_empty() {
+            "—".to_string()
+        } else {
+            entries.join(", ")
+        }
+    };
+    for row in rows {
+        let provers = fmt_map(
+            row.prover_counts
+                .iter()
+                .map(|(prover, count)| format!("{prover} {count}"))
+                .collect(),
+        );
+        let stages = fmt_map(
+            row.stage_ms
+                .iter()
+                .filter(|(_, ms)| **ms > 0)
+                .map(|(stage, ms)| format!("{stage} {ms}"))
+                .collect(),
+        );
+        out.push_str(&format!(
+            "| {} | {}/{} | {}/{} | {} | {} | {} |\n",
+            row.name,
+            row.methods_verified,
+            row.methods,
+            row.sequents_proved,
+            row.sequents_total,
+            row.time.as_millis(),
+            provers,
+            stages,
+        ));
+    }
+    let methods_verified: usize = rows.iter().map(|r| r.methods_verified).sum();
+    let methods: usize = rows.iter().map(|r| r.methods).sum();
+    out.push_str(&format!(
+        "\n**{methods_verified}/{methods} methods verified, total wall-clock {total_wall_ms} ms**"
+    ));
+    if let Some(baseline) = baseline_total_wall_ms {
+        out.push_str(&format!(" (pre-E-matching baseline: {baseline} ms)"));
+    }
+    out.push('\n');
     out
 }
 
@@ -178,6 +272,8 @@ mod tests {
                     methods_verified: 0,
                     sequents_total: 0,
                     sequents_proved: 0,
+                    prover_counts: Default::default(),
+                    stage_ms: Default::default(),
                 }
             })
             .collect();
@@ -200,6 +296,15 @@ mod tests {
             methods_verified: 6,
             sequents_total: 40,
             sequents_proved: 40,
+            prover_counts: [("smt-ground".to_string(), 30), ("trivial".to_string(), 10)]
+                .into_iter()
+                .collect(),
+            stage_ms: [
+                ("smt-ground".to_string(), 9u128),
+                ("bapa".to_string(), 2u128),
+            ]
+            .into_iter()
+            .collect(),
         };
         let json = to_bench_json(&[row], 1234, Some(3456));
         assert!(json.contains("\"total_wall_ms\": 1234"));
@@ -207,6 +312,8 @@ mod tests {
         assert!(json.contains("\"name\": \"Linked List\""));
         assert!(json.contains("\"methods_verified\": 6"));
         assert!(json.contains("\"wall_ms\": 12"));
+        assert!(json.contains("\"provers\": {\"smt-ground\": 30, \"trivial\": 10}"));
+        assert!(json.contains("\"stage_ms\": {\"bapa\": 2, \"smt-ground\": 9}"));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(
             json.matches('{').count(),

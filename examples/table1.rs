@@ -6,10 +6,21 @@
 //!
 //! Besides the human-readable table, the run writes `BENCH_table1.json`
 //! (override the path with the `BENCH_TABLE1_OUT` environment variable):
-//! per-benchmark methods proved, sequent counts and wall-clock milliseconds,
-//! plus the pre-E-matching baseline total, so that successive perf PRs have
-//! a trajectory to compare against.
+//! per-benchmark methods proved, sequent counts, wall-clock milliseconds and
+//! per-cascade-stage cost, plus the pre-E-matching baseline total, so that
+//! successive perf PRs have a trajectory to compare against.
+//!
+//! Pass `--check-baseline <path>` to turn the run into the CI regression
+//! gate: the fresh results are compared against the committed baseline
+//! document and the process exits non-zero when any benchmark verifies fewer
+//! methods than the baseline or total wall-clock regresses more than 25%.
+//!
+//! When `GITHUB_STEP_SUMMARY` is set (as it is inside GitHub Actions), a
+//! markdown summary table — methods, sequents, wall-clock and which prover
+//! discharged each sequent — is appended to it so reviewers see the Table-1
+//! delta without downloading the artifact.
 
+use std::io::Write;
 use std::time::Instant;
 
 /// Total wall-clock of the full (non-quick) run measured immediately before
@@ -18,7 +29,32 @@ use std::time::Instant;
 const PRE_EMATCHING_BASELINE_MS: u128 = 3506;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let baseline_path = args.iter().position(|a| a == "--check-baseline").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--check-baseline requires a path argument");
+            std::process::exit(2);
+        })
+    });
+    if quick && baseline_path.is_some() {
+        // The quick subset would report every full-run-only benchmark as
+        // missing — a guaranteed spurious violation, never a useful check.
+        eprintln!("--check-baseline requires the full run; drop --quick");
+        std::process::exit(2);
+    }
+    // Read the committed baseline *before* this run overwrites the file.
+    let baseline = baseline_path.as_deref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        ipl::suite::baseline::parse_baseline(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse baseline {path}: {e}");
+            std::process::exit(2);
+        })
+    });
+
     let options = ipl::core::VerifyOptions {
         config: ipl::suite::suite_config(),
         record_sequents: false,
@@ -47,11 +83,47 @@ fn main() {
     println!("\n  total wall-clock: {total_wall_ms} ms");
 
     // The baseline is only meaningful for the full run.
-    let baseline = (!quick).then_some(PRE_EMATCHING_BASELINE_MS);
-    let json = ipl::suite::table1::to_bench_json(&rows, total_wall_ms, baseline);
+    let pre_ematching = (!quick).then_some(PRE_EMATCHING_BASELINE_MS);
+    let json = ipl::suite::table1::to_bench_json(&rows, total_wall_ms, pre_ematching);
     let out_path = std::env::var("BENCH_TABLE1_OUT").unwrap_or_else(|_| "BENCH_table1.json".into());
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("  wrote {out_path}"),
         Err(e) => eprintln!("  could not write {out_path}: {e}"),
+    }
+
+    // CI job summary.
+    if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        let markdown = ipl::suite::table1::render_markdown(&rows, total_wall_ms, pre_ematching);
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&summary_path)
+        {
+            Ok(mut file) => {
+                if let Err(e) = file.write_all(markdown.as_bytes()) {
+                    eprintln!("  could not append job summary: {e}");
+                }
+            }
+            Err(e) => eprintln!("  could not open {summary_path}: {e}"),
+        }
+    }
+
+    // Regression gate.
+    if let Some(baseline) = baseline {
+        let violations = ipl::suite::baseline::check_baseline(&rows, total_wall_ms, &baseline);
+        if violations.is_empty() {
+            println!(
+                "  baseline check passed: no benchmark lost methods, wall-clock within \
+                 {:.0}% (+{} ms slack)",
+                ipl::suite::baseline::WALL_CLOCK_TOLERANCE * 100.0,
+                ipl::suite::baseline::WALL_CLOCK_SLACK_MS
+            );
+        } else {
+            eprintln!("  BASELINE REGRESSION:");
+            for violation in &violations {
+                eprintln!("    - {violation}");
+            }
+            std::process::exit(1);
+        }
     }
 }

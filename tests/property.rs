@@ -18,8 +18,10 @@ use ipl::logic::parser::parse_form;
 use ipl::logic::simplify::simplify;
 use ipl::logic::subst::{free_vars, substitute_one};
 use ipl::logic::Form;
+use ipl_bapa::extract::Extractor;
+use ipl_bapa::incremental::{BapaCheck, IncrementalBapa};
 use ipl_bapa::presburger::{cooper_decide, fm_unsatisfiable, LinExpr, PForm};
-use ipl_bapa::BapaLimits;
+use ipl_bapa::{venn, BapaLimits};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -56,6 +58,40 @@ fn formula() -> impl Strategy<Value = Form> {
             (inner.clone(), inner).prop_map(|(x, y)| Form::Implies(Box::new(x), Box::new(y))),
         ]
     })
+}
+
+const SET_VARS: [&str; 3] = ["s", "t", "u"];
+const ELEM_VARS: [&str; 2] = ["x", "y"];
+
+/// Strategy for set terms of the BAPA fragment.
+fn set_term() -> impl Strategy<Value = Form> {
+    let leaf = prop_oneof![
+        (0usize..SET_VARS.len()).prop_map(|i| Form::var(SET_VARS[i])),
+        Just(Form::EmptySet),
+        (0usize..ELEM_VARS.len()).prop_map(|i| Form::FiniteSet(vec![Form::var(ELEM_VARS[i])])),
+    ];
+    leaf.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::Union(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::Inter(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Form::Diff(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// Strategy for (possibly negated) atoms of the BAPA fragment.
+fn bapa_atom() -> impl Strategy<Value = Form> {
+    let positive = prop_oneof![
+        (set_term(), -3i64..4).prop_map(|(s, k)| Form::eq(Form::Card(Box::new(s)), Form::int(k))),
+        (set_term(), set_term())
+            .prop_map(|(a, b)| Form::le(Form::Card(Box::new(a)), Form::Card(Box::new(b)))),
+        (set_term(), set_term()).prop_map(|(a, b)| Form::eq(a, b)),
+        (set_term(), set_term()).prop_map(|(a, b)| Form::Subseteq(Box::new(a), Box::new(b))),
+        (0usize..ELEM_VARS.len(), set_term())
+            .prop_map(|(i, s)| Form::elem(Form::var(ELEM_VARS[i]), s)),
+    ];
+    (positive, 0usize..2)
+        .prop_map(|(atom, negate)| if negate == 1 { Form::not(atom) } else { atom })
 }
 
 /// Reference evaluator for the ground fragment used by the strategies.
@@ -161,6 +197,75 @@ proptest! {
         prop_assert_eq!(stripped.count_constructs().total_proof_statements(), 0);
         // The executable part is untouched.
         prop_assert_eq!(stripped.modified_vars(), cmd.modified_vars());
+    }
+
+    #[test]
+    fn incremental_extraction_matches_the_one_shot_path(
+        atoms in prop::collection::vec(bapa_atom(), 1..5)
+    ) {
+        // One-shot: scan the whole conjunction, then extract every atom.
+        let refs: Vec<&Form> = atoms.iter().collect();
+        let extractor = Extractor::scan(&refs);
+        let mut one_shot = Vec::new();
+        for atom in &atoms {
+            if let Some(extracted) = extractor.extract(atom) {
+                one_shot.extend(venn::conjuncts(&extracted));
+            }
+        }
+        // Incremental: assert atom by atom, read back the extracted set.
+        let mut engine = IncrementalBapa::default();
+        for atom in &atoms {
+            engine.assert_form(atom);
+        }
+        prop_assert_eq!(engine.atoms(), &one_shot[..]);
+    }
+
+    #[test]
+    fn incremental_pop_restores_the_one_shot_view(
+        prefix in prop::collection::vec(bapa_atom(), 1..4),
+        scoped in prop::collection::vec(bapa_atom(), 1..4)
+    ) {
+        // Asserting and popping a scope must leave the engine observably
+        // identical (atoms and satisfiability verdict) to one that only ever
+        // saw the prefix.
+        let mut reference = IncrementalBapa::default();
+        for atom in &prefix {
+            reference.assert_form(atom);
+        }
+        let mut engine = IncrementalBapa::default();
+        for atom in &prefix {
+            engine.assert_form(atom);
+        }
+        engine.push();
+        for atom in &scoped {
+            engine.assert_form(atom);
+        }
+        let _ = engine.check();
+        engine.pop();
+        prop_assert_eq!(engine.atoms(), reference.atoms());
+        prop_assert_eq!(engine.check(), reference.check());
+    }
+
+    #[test]
+    fn incremental_check_agrees_with_prove_valid(
+        atoms in prop::collection::vec(bapa_atom(), 1..4)
+    ) {
+        // `assumptions |- false` is valid exactly when the conjunction of
+        // assumptions is unsatisfiable, which is what `check` decides.
+        let mut engine = IncrementalBapa::default();
+        let mut accepted = Vec::new();
+        for atom in &atoms {
+            if engine.assert_form(atom) {
+                accepted.push(atom.clone());
+            }
+        }
+        let one_shot =
+            ipl::bapa::prove_valid(&accepted, &Form::FALSE, &BapaLimits::default());
+        let incremental = engine.check();
+        prop_assert_eq!(
+            incremental == BapaCheck::Unsat,
+            one_shot == ipl::bapa::BapaOutcome::Valid
+        );
     }
 
     #[test]
