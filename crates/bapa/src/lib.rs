@@ -57,6 +57,9 @@ pub struct BapaLimits {
     pub max_cooper_vars: usize,
     /// Hard cap on formula nodes produced during quantifier elimination.
     pub max_qe_nodes: usize,
+    /// Cooperative deadline: the Venn-region and quantifier-elimination
+    /// loops poll it and give up (reporting `Unknown`) once it passes.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for BapaLimits {
@@ -65,7 +68,15 @@ impl Default for BapaLimits {
             max_set_vars: 6,
             max_cooper_vars: 6,
             max_qe_nodes: 20_000,
+            deadline: None,
         }
+    }
+}
+
+impl BapaLimits {
+    /// Returns `true` once the deadline (if any) has passed.
+    pub fn expired(&self) -> bool {
+        matches!(self.deadline, Some(deadline) if std::time::Instant::now() >= deadline)
     }
 }
 

@@ -672,6 +672,9 @@ pub fn cooper_decide(sentence: &PForm, limits: &BapaLimits) -> Option<bool> {
     let mut current = body.nnf();
     // Eliminate innermost-first (reverse declaration order).
     for var in vars.iter().rev() {
+        if limits.expired() {
+            return None;
+        }
         current = cooper_eliminate(var, &current, limits.max_qe_nodes)?.nnf();
         if current.size() > limits.max_qe_nodes {
             return None;

@@ -211,6 +211,9 @@ pub fn conjuncts(form: &BapaForm) -> Vec<BapaForm> {
 /// the monolithic translation did.
 pub fn conjunction_unsatisfiable(parts: &[BapaForm], limits: &BapaLimits) -> bool {
     for component in components(parts) {
+        if limits.expired() {
+            return false;
+        }
         let formula = BapaForm::and(component.iter().map(|&i| parts[i].clone()).collect());
         if let Some(sentence) = to_presburger(&formula, limits) {
             if crate::presburger::unsatisfiable(&sentence, limits) {

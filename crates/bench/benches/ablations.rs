@@ -28,7 +28,7 @@ fn ablations(c: &mut Criterion) {
             VerifyOptions {
                 config: ProverConfig {
                     instantiation_rounds: 1,
-                    ..ipl_suite::suite_config()
+                    ..bench_options().config
                 },
                 ..bench_options()
             },

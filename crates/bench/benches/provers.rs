@@ -32,7 +32,7 @@ fn query(assumptions: &[&str], goal: &str) -> Query {
 }
 
 fn provers(c: &mut Criterion) {
-    let cascade = Cascade::standard(ProverConfig::default());
+    let cascade = Cascade::standard(ProverConfig::without_cache());
     let cases = vec![
         (
             "ground-euf-lia",
@@ -82,8 +82,11 @@ fn provers(c: &mut Criterion) {
 /// queries: trigger-driven E-matching versus the sort-pool cross-product
 /// fallback it replaced.
 fn instantiation_engines(c: &mut Criterion) {
-    let ematch = Cascade::standard(ProverConfig::default());
-    let pool = Cascade::standard(ProverConfig::without_triggers());
+    let ematch = Cascade::standard(ProverConfig::without_cache());
+    let pool = Cascade::standard(ProverConfig {
+        use_cache: false,
+        ..ProverConfig::without_triggers()
+    });
     // Several irrelevant ground facts inflate the sort pool; E-matching only
     // instantiates against terms that occur under the trigger heads.
     let q = query(

@@ -1,0 +1,78 @@
+//! Micro-benchmarks of the shared (`Arc`-based, hash-consed) term
+//! representation against the cost profile of the old `Box`-based tree:
+//!
+//! * `clone-shared` — cloning a formula today: a pointer bump per recursive
+//!   position (the operation the pipeline performs hundreds of times per
+//!   method);
+//! * `clone-deep` — a full structural rebuild, which is what every one of
+//!   those clones cost with `Box<Form>` children;
+//! * `subst-shared` vs `subst-tree` — capture-avoiding substitution on a
+//!   hash-consed DAG (pointer-memoised, linear in distinct nodes) against the
+//!   same formula as a plain tree;
+//! * `intern` — the cost of hash-consing itself, for scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ipl_logic::parser::parse_form;
+use ipl_logic::{share, substitute, Form};
+use std::collections::HashMap;
+
+/// Rebuilds the whole tree, allocating every node anew — the clone cost of
+/// the pre-refactor `Box<Form>` representation.
+fn deep_clone(form: &Form) -> Form {
+    form.map_children(deep_clone)
+}
+
+/// A formula shaped like the suite's verification conditions: nested
+/// quantifiers, field reads and repeated subterms that hash-consing shares.
+fn vc_like(depth: usize) -> Form {
+    let leaf = parse_form(
+        "forall i:int. 0 <= i & i < size --> (elements[i] ~= null & (i, elements[i]) in content)",
+    )
+    .unwrap();
+    let mut form = leaf.clone();
+    for _ in 0..depth {
+        form = Form::and(vec![
+            Form::implies(parse_form("0 <= size").unwrap(), form.clone()),
+            Form::or(vec![form, leaf.clone()]),
+        ]);
+    }
+    form
+}
+
+fn terms(c: &mut Criterion) {
+    let tree = vc_like(8);
+    let shared = share(&tree);
+    println!("\nterm-construction benchmark: {} tree nodes", tree.size());
+
+    let mut group = c.benchmark_group("terms");
+    group.sample_size(30);
+    group.bench_function("clone-shared", |b| {
+        b.iter(|| black_box(black_box(&shared).clone()))
+    });
+    group.bench_function("clone-deep", |b| {
+        b.iter(|| black_box(deep_clone(black_box(&tree))))
+    });
+
+    let mut map = HashMap::new();
+    map.insert("size".to_string(), Form::var("size#1"));
+    group.bench_function("subst-shared", |b| {
+        b.iter(|| black_box(substitute(black_box(&shared), &map)))
+    });
+    group.bench_function("subst-tree", |b| {
+        b.iter(|| black_box(substitute(black_box(&tree), &map)))
+    });
+
+    group.bench_function("intern", |b| b.iter(|| black_box(share(black_box(&tree)))));
+    group.bench_function("eq-shared", |b| {
+        // Pointer-identity fast path: both sides intern to the same root.
+        let other = share(&tree);
+        b.iter(|| black_box(black_box(&shared) == black_box(&other)))
+    });
+    group.finish();
+
+    // Sanity: sharing must not change structure.
+    assert_eq!(shared, tree);
+}
+
+criterion_group!(benches, terms);
+criterion_main!(benches);

@@ -17,10 +17,15 @@
 
 use ipl_core::VerifyOptions;
 
-/// The verification options used by the benchmark harnesses.
+/// The verification options used by the benchmark harnesses.  The proof
+/// cache is disabled: criterion repeats each verification many times, and a
+/// cache hit on iteration two would measure replay instead of prover work.
 pub fn bench_options() -> VerifyOptions {
     VerifyOptions {
-        config: ipl_suite::suite_config(),
+        config: ipl_provers::ProverConfig {
+            use_cache: false,
+            ..ipl_suite::suite_config()
+        },
         record_sequents: false,
         ..VerifyOptions::default()
     }

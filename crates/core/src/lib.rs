@@ -16,6 +16,20 @@
 //! [`verify_source`] (on source text).  [`VerifyOptions::without_proof_constructs`]
 //! reproduces the "Without Proof Language Constructs" configuration of
 //! Table 2 by stripping every proof statement before verification.
+//!
+//! ## The parallel scheduler
+//!
+//! Sequent proving is embarrassingly parallel: every sequent is an
+//! independent query against a `Send + Sync` cascade over `Arc`-shared terms.
+//! [`verify_module`] therefore runs a small hand-rolled worker pool
+//! ([`VerifyOptions::jobs`] threads, default = available parallelism) in two
+//! waves: first the per-method pipeline front-end (translate → wlp → split →
+//! hash-consing of the sequent terms), then one flat work list of every
+//! non-trivial sequent in the module.  Workers pull indices from a shared
+//! atomic cursor and write results into per-slot cells, so reports are
+//! assembled **in input order and deterministically** regardless of thread
+//! count — `jobs = 1` and `jobs = N` produce identical reports (timings
+//! aside; see [`ModuleReport::normalized`]).
 
 pub mod report;
 
@@ -24,8 +38,11 @@ use ipl_gcl::translate::{translate_ext, TranslateCtx};
 use ipl_gcl::wlp::vc_of;
 use ipl_lang::lower::{lower_module, LoweredMethod};
 use ipl_lang::Module;
-use ipl_provers::{Cascade, Outcome, ProverConfig, Query};
+use ipl_logic::Labeled;
+use ipl_provers::{Cascade, Outcome, ProverAnswer, ProverConfig, Query};
 pub use report::{MethodReport, ModuleReport, SequentReport};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Options controlling a verification run.
@@ -42,6 +59,9 @@ pub struct VerifyOptions {
     /// Record one [`SequentReport`] per sequent (disable to save memory in
     /// benchmarks).
     pub record_sequents: bool,
+    /// Worker threads proving sequents concurrently; `0` (the default) uses
+    /// the machine's available parallelism, `1` forces the sequential path.
+    pub jobs: usize,
 }
 
 impl Default for VerifyOptions {
@@ -51,6 +71,7 @@ impl Default for VerifyOptions {
             use_proof_constructs: true,
             use_from_clauses: true,
             record_sequents: true,
+            jobs: 0,
         }
     }
 }
@@ -71,6 +92,18 @@ impl VerifyOptions {
             ..Self::default()
         }
     }
+
+    /// The worker count actually used: `jobs`, or the machine's available
+    /// parallelism when `jobs` is `0`.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        }
+    }
 }
 
 /// Verifies a module from source text.
@@ -83,7 +116,8 @@ pub fn verify_source(source: &str, options: &VerifyOptions) -> Result<ModuleRepo
     verify_module(&module, options)
 }
 
-/// Verifies a parsed module.
+/// Verifies a parsed module, proving the sequents of all its methods on the
+/// configured worker pool.
 ///
 /// # Errors
 ///
@@ -91,39 +125,123 @@ pub fn verify_source(source: &str, options: &VerifyOptions) -> Result<ModuleRepo
 pub fn verify_module(module: &Module, options: &VerifyOptions) -> Result<ModuleReport, String> {
     let lowered = lower_module(module).map_err(|e| e.to_string())?;
     let cascade = Cascade::standard(options.config);
+    let jobs = options.effective_jobs();
     let mut report = ModuleReport::new(&lowered.name, module);
-    for method in &lowered.methods {
-        report
-            .methods
-            .push(verify_method(method, &cascade, options));
+    report.jobs = jobs;
+
+    // Wave 1: the pipeline front-end, one work item per method.
+    let prepared = parallel_map(jobs, &lowered.methods, |method| prepare(method, options));
+
+    // Wave 2: one flat work list of every non-trivial sequent in the module,
+    // so a single proof-heavy method cannot serialise the pool.
+    let mut work: Vec<(usize, usize)> = Vec::new();
+    for (method_index, p) in prepared.iter().enumerate() {
+        for (sequent_index, sequent) in p.sequents.iter().enumerate() {
+            if !sequent.is_trivially_valid() {
+                work.push((method_index, sequent_index));
+            }
+        }
+    }
+    let answers = parallel_map(jobs, &work, |&(method_index, sequent_index)| {
+        let p = &prepared[method_index];
+        cascade.prove(&sequent_query(
+            &p.sequents[sequent_index],
+            &p.method.env,
+            options,
+        ))
+    });
+
+    // Deterministic assembly in input order.
+    let mut per_method: Vec<Vec<(usize, ProverAnswer)>> = vec![Vec::new(); prepared.len()];
+    for (&(method_index, sequent_index), answer) in work.iter().zip(answers) {
+        per_method[method_index].push((sequent_index, answer));
+    }
+    for (p, answers) in prepared.into_iter().zip(per_method) {
+        report.methods.push(assemble(p, answers, options));
     }
     Ok(report)
 }
 
-/// Verifies one lowered method.
+/// Verifies one lowered method (the standalone entry point used by tests and
+/// ablations); its sequents are proved on the configured worker pool.
 pub fn verify_method(
     method: &LoweredMethod,
     cascade: &Cascade,
     options: &VerifyOptions,
 ) -> MethodReport {
+    let prepared = prepare(method, options);
+    let work: Vec<usize> = (0..prepared.sequents.len())
+        .filter(|&i| !prepared.sequents[i].is_trivially_valid())
+        .collect();
+    let answers = parallel_map(options.effective_jobs(), &work, |&sequent_index| {
+        cascade.prove(&sequent_query(
+            &prepared.sequents[sequent_index],
+            &prepared.method.env,
+            options,
+        ))
+    });
+    let answers = work.into_iter().zip(answers).collect();
+    assemble(prepared, answers, options)
+}
+
+/// The pipeline front-end output for one method: its split, hash-consed
+/// sequents, the proof-construct counts of the command that was verified,
+/// and the front-end wall-clock.
+struct Prepared<'a> {
+    method: &'a LoweredMethod,
+    sequents: Vec<Sequent>,
+    counts: ipl_gcl::cmd::ConstructCounts,
+    front_end: std::time::Duration,
+}
+
+/// Runs translate → wlp → split for one method and interns every sequent
+/// formula so that structurally equal subterms — within the method, across
+/// methods and across modules — share one allocation (pointer-equality fast
+/// paths, memoised substitution, deduplicated memory).
+fn prepare<'a>(method: &'a LoweredMethod, options: &VerifyOptions) -> Prepared<'a> {
     let start = Instant::now();
     let command = if options.use_proof_constructs {
         method.command.clone()
     } else {
         method.command.strip_proofs()
     };
-    let mut ctx = TranslateCtx::new();
-    let simple = translate_ext(&command, &mut ctx);
-    let vc = vc_of(&simple);
-    let sequents = split_all(&vc);
-
-    let mut report = MethodReport::new(&method.name);
-    report.counts = if options.use_proof_constructs {
+    let counts = if options.use_proof_constructs {
         method.counts
     } else {
         command.count_constructs()
     };
-    for sequent in &sequents {
+    let mut ctx = TranslateCtx::new();
+    let simple = translate_ext(&command, &mut ctx);
+    let vc = vc_of(&simple);
+    let mut sequents = split_all(&vc);
+    for sequent in &mut sequents {
+        sequent.goal = ipl_logic::intern::share(&sequent.goal);
+        for assumption in &mut sequent.assumptions {
+            assumption.form = ipl_logic::intern::share(&assumption.form);
+        }
+    }
+    Prepared {
+        method,
+        sequents,
+        counts,
+        front_end: start.elapsed(),
+    }
+}
+
+/// Folds the per-sequent answers (indexed by position in
+/// `prepared.sequents`) into the method report, in sequent order.
+fn assemble(
+    prepared: Prepared<'_>,
+    mut answers: Vec<(usize, ProverAnswer)>,
+    options: &VerifyOptions,
+) -> MethodReport {
+    answers.sort_by_key(|(sequent_index, _)| *sequent_index);
+    let mut answers = answers.into_iter().peekable();
+
+    let mut report = MethodReport::new(&prepared.method.name);
+    report.counts = prepared.counts;
+    let mut duration = prepared.front_end;
+    for (sequent_index, sequent) in prepared.sequents.iter().enumerate() {
         if sequent.is_trivially_valid() {
             report.trivial_sequents += 1;
             report.proved_sequents += 1;
@@ -135,19 +253,26 @@ pub fn verify_method(
             continue;
         }
         report.total_sequents += 1;
-        let answer = cascade.prove(&sequent_query(sequent, method, options));
+        let answer = match answers.next() {
+            Some((index, answer)) if index == sequent_index => answer,
+            _ => unreachable!("every non-trivial sequent has exactly one answer"),
+        };
         if answer.outcome == Outcome::Proved {
             report.proved_sequents += 1;
             if let Some(prover) = &answer.prover {
                 *report.prover_counts.entry(prover.clone()).or_insert(0) += 1;
             }
         }
-        for (stage, duration) in &answer.stage_durations {
+        if answer.cached {
+            report.cache_hits += 1;
+        }
+        for (stage, stage_duration) in &answer.stage_durations {
             *report
                 .stage_durations
                 .entry(stage.clone())
-                .or_insert(std::time::Duration::ZERO) += *duration;
+                .or_insert(std::time::Duration::ZERO) += *stage_duration;
         }
+        duration += answer.duration;
         if options.record_sequents {
             report.sequents.push(SequentReport {
                 name: sequent.name.clone(),
@@ -158,14 +283,17 @@ pub fn verify_method(
             });
         }
     }
-    report.duration = start.elapsed();
+    // With sequents proved concurrently, per-method wall-clock is not well
+    // defined; the report carries front-end time plus summed prover time,
+    // which is comparable across worker counts.
+    report.duration = duration;
     report
 }
 
 /// Builds the prover query for one sequent, applying the `from`-clause
 /// assumption selection.
-fn sequent_query(sequent: &Sequent, method: &LoweredMethod, options: &VerifyOptions) -> Query {
-    let assumptions = if options.use_from_clauses {
+fn sequent_query(sequent: &Sequent, env: &ipl_logic::SortEnv, options: &VerifyOptions) -> Query {
+    let assumptions: Vec<Labeled> = if options.use_from_clauses {
         sequent
             .selected_assumptions()
             .into_iter()
@@ -174,7 +302,45 @@ fn sequent_query(sequent: &Sequent, method: &LoweredMethod, options: &VerifyOpti
     } else {
         sequent.assumptions.clone()
     };
-    Query::new(assumptions, sequent.goal.clone(), method.env.clone())
+    Query::new(assumptions, sequent.goal.clone(), env.clone())
+}
+
+/// Maps `f` over `items` on a scoped worker pool of at most `jobs` threads.
+///
+/// Workers claim indices from a shared atomic cursor and write each result
+/// into its own slot, so the output order equals the input order no matter
+/// how the items were scheduled.  `jobs <= 1` (or a single item) runs inline
+/// without spawning.
+fn parallel_map<'a, T: Sync, R: Send>(
+    jobs: usize,
+    items: &'a [T],
+    f: impl Fn(&'a T) -> R + Sync,
+) -> Vec<R> {
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(items.len()) {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(index) else {
+                    break;
+                };
+                let result = f(item);
+                *slots[index].lock().expect("worker slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker slot poisoned")
+                .expect("every slot filled")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -228,6 +394,7 @@ mod tests {
         }
         assert!(report.fully_proved());
         assert!(report.total_sequents() >= report.methods.len());
+        assert!(report.jobs >= 1);
     }
 
     #[test]
@@ -274,5 +441,43 @@ mod tests {
         assert!(without.methods[0].counts.note == 0);
         assert!(with.methods[0].total_sequents > without.methods[0].total_sequents);
         assert!(without.fully_proved());
+    }
+
+    #[test]
+    fn job_counts_do_not_change_results() {
+        // Cache off so the 4-thread run drives the provers concurrently
+        // rather than replaying the sequential run's cached answers.
+        let uncached = ProverConfig {
+            use_cache: false,
+            ..ProverConfig::default()
+        };
+        let sequential = verify_source(
+            COUNTER,
+            &VerifyOptions {
+                config: uncached,
+                jobs: 1,
+                ..VerifyOptions::default()
+            },
+        )
+        .unwrap();
+        let parallel = verify_source(
+            COUNTER,
+            &VerifyOptions {
+                config: uncached,
+                jobs: 4,
+                ..VerifyOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(sequential.normalized(), parallel.normalized());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = parallel_map(7, &items, |&x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        let inline = parallel_map(1, &items, |&x| x * 2);
+        assert_eq!(doubled, inline);
     }
 }

@@ -42,6 +42,10 @@ pub struct MethodReport {
     /// Wall-clock spent per cascade stage across all sequents of the method
     /// (prover name -> total), including stages that failed to prove.
     pub stage_durations: BTreeMap<String, Duration>,
+    /// Sequents answered from the content-addressed proof cache instead of a
+    /// prover run (each still counts toward `proved_sequents`, attributed to
+    /// the prover that originally discharged it).
+    pub cache_hits: usize,
     /// Per-sequent details (when recording is enabled).
     pub sequents: Vec<SequentReport>,
 }
@@ -79,6 +83,8 @@ pub struct ModuleReport {
     pub specvar_count: usize,
     /// Number of class invariants (Table 1).
     pub invariant_count: usize,
+    /// Worker threads the verification driver used.
+    pub jobs: usize,
     /// Per-method reports.
     pub methods: Vec<MethodReport>,
 }
@@ -92,6 +98,7 @@ impl ModuleReport {
             statement_count: module.statement_count(),
             specvar_count: module.specvars.len(),
             invariant_count: module.invariants.len(),
+            jobs: 1,
             methods: Vec::new(),
         }
     }
@@ -119,6 +126,53 @@ impl ModuleReport {
     /// Total verification time.
     pub fn total_duration(&self) -> Duration {
         self.methods.iter().map(|m| m.duration).sum()
+    }
+
+    /// Total proof-cache hits across all methods.
+    pub fn cache_hits(&self) -> usize {
+        self.methods.iter().map(|m| m.cache_hits).sum()
+    }
+
+    /// A canonical rendering of everything *semantic* in the report — module
+    /// statistics, per-method sequent outcomes, per-sequent prover
+    /// attribution — excluding wall-clock timings and cache-hit counters
+    /// (which legitimately vary between runs and worker counts).  Two runs of
+    /// the same module under the same budgets must produce byte-identical
+    /// normalized reports regardless of `jobs`; the determinism suite
+    /// asserts exactly that.
+    pub fn normalized(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "module {} methods={} statements={} specvars={} invariants={}\n",
+            self.module_name,
+            self.method_count,
+            self.statement_count,
+            self.specvar_count,
+            self.invariant_count,
+        ));
+        for method in &self.methods {
+            out.push_str(&format!(
+                "method {} total={} proved={} trivial={} counts={:?}\n",
+                method.name,
+                method.total_sequents,
+                method.proved_sequents,
+                method.trivial_sequents,
+                method.counts,
+            ));
+            for (prover, count) in &method.prover_counts {
+                out.push_str(&format!("  prover {prover} {count}\n"));
+            }
+            for sequent in &method.sequents {
+                out.push_str(&format!(
+                    "  sequent {} [{}] proved={} by={}\n",
+                    sequent.name,
+                    sequent.goal_label,
+                    sequent.proved,
+                    sequent.prover.as_deref().unwrap_or("-"),
+                ));
+            }
+        }
+        out
     }
 
     /// Sequents discharged per cascade stage, aggregated over all methods.

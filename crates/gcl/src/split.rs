@@ -162,10 +162,14 @@ fn split_goal(
             }
         }
         Form::Implies(antecedent, consequent) => {
-            for (i, hyp) in antecedent.into_conjuncts().into_iter().enumerate() {
+            for (i, hyp) in Form::take(antecedent)
+                .into_conjuncts()
+                .into_iter()
+                .enumerate()
+            {
                 assumptions.push(Labeled::new(format!("{label}_hyp_{}", i + 1), hyp));
             }
-            split_goal(*consequent, label, from, assumptions, splitter);
+            split_goal(Form::take(consequent), label, from, assumptions, splitter);
         }
         Form::Forall(bindings, body) => {
             let mut renaming = HashMap::new();

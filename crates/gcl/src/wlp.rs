@@ -10,6 +10,7 @@
 use crate::cmd::{FromClause, Simple};
 use ipl_logic::{Form, Labeled, Sort};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A labelled verification condition.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,15 +31,19 @@ pub enum Vc {
     Implies {
         /// The labelled hypothesis.
         hyp: Labeled,
-        /// The rest of the verification condition.
-        rest: Box<Vc>,
+        /// The rest of the verification condition (`Arc`-shared: `wlp` of a
+        /// choice duplicates its postcondition, and with hundreds of nested
+        /// branches per method a boxed spine made that duplication the
+        /// dominant clone hotspot of the front-end).
+        rest: Arc<Vc>,
     },
     /// `forall vars. rest` — produced by `havoc`.
     ForallVars {
         /// The havocked variables.
         vars: Vec<String>,
-        /// The rest of the verification condition.
-        rest: Box<Vc>,
+        /// The rest of the verification condition (see [`Vc::Implies::rest`]
+        /// for why this is shared).
+        rest: Arc<Vc>,
     },
     /// Conjunction of verification conditions.
     And(Vec<Vc>),
@@ -108,7 +113,7 @@ pub fn wlp(cmd: &Simple, post: Vc) -> Vc {
             } else {
                 Vc::Implies {
                     hyp: hyp.clone(),
-                    rest: Box::new(post),
+                    rest: Arc::new(post),
                 }
             }
         }
@@ -126,7 +131,7 @@ pub fn wlp(cmd: &Simple, post: Vc) -> Vc {
             } else {
                 Vc::ForallVars {
                     vars: vars.clone(),
-                    rest: Box::new(post),
+                    rest: Arc::new(post),
                 }
             }
         }

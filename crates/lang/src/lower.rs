@@ -251,8 +251,8 @@ impl<'a> Lowerer<'a> {
                 let alloc_update = Ext::Assign(
                     "alloc".to_string(),
                     Form::Union(
-                        Box::new(Form::var("alloc")),
-                        Box::new(Form::FiniteSet(vec![Form::var(target.clone())])),
+                        std::sync::Arc::new(Form::var("alloc")),
+                        std::sync::Arc::new(Form::FiniteSet(vec![Form::var(target.clone())])),
                     ),
                 );
                 let mut cmds = vec![
@@ -444,8 +444,8 @@ impl<'a> Lowerer<'a> {
                 match fixed {
                     Form::Implies(hyp, concl) => Proof::Mp {
                         label: label.clone(),
-                        hyp: *hyp,
-                        concl: *concl,
+                        hyp: Form::take(hyp),
+                        concl: Form::take(concl),
                     },
                     other => {
                         return Err(LowerError {

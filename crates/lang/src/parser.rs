@@ -557,17 +557,17 @@ impl P {
         self.expect_punct(";")?;
         match lhs {
             Form::Var(name) => Ok(Stmt::Assign(name, rhs)),
-            Form::FieldRead(field, object) => match *field {
+            Form::FieldRead(field, object) => match Form::take(field) {
                 Form::Var(field) => Ok(Stmt::FieldAssign {
                     field,
-                    object: *object,
+                    object: Form::take(object),
                     value: rhs,
                 }),
                 other => Err(self.err(format!("invalid field in assignment: {other}"))),
             },
             Form::ArrayRead(_, array, index) => Ok(Stmt::ArrayAssign {
-                array: *array,
-                index: *index,
+                array: Form::take(array),
+                index: Form::take(index),
                 value: rhs,
             }),
             other => Err(self.err(format!("invalid assignment target {other}"))),
@@ -939,7 +939,7 @@ impl P {
             let inner = self.unary_expr()?;
             return Ok(match inner {
                 Form::Int(value) => Form::Int(-value),
-                other => Form::Neg(Box::new(other)),
+                other => Form::Neg(std::sync::Arc::new(other)),
             });
         }
         self.postfix_expr()

@@ -5,9 +5,19 @@
 //! expressions), mirroring the higher-order-logic style of Jahob
 //! specifications.  Smart constructors perform lightweight simplification so
 //! that the verification-condition generator produces compact formulas.
+//!
+//! Recursive positions are [`Arc`]-shared: cloning a formula copies pointers,
+//! never subtrees, which makes `Form` cheap to clone, `Send + Sync` for the
+//! parallel verification driver, and amenable to hash-consing (see
+//! [`crate::intern`]).  Structural equality gets a pointer-identity fast path
+//! for free: the standard library compares `Arc<T: Eq>` by allocation first.
+//! N-ary children (`And`, `Or`, argument lists) stay in a `Vec` because the
+//! smart constructors consume and flatten them; their elements still share
+//! everything below the first level.
 
 use crate::sort::Sort;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A bound variable together with its sort.
 pub type Binding = (String, Sort);
@@ -34,39 +44,39 @@ pub enum Form {
 
     // ----- propositional structure -----
     /// Negation.
-    Not(Box<Form>),
+    Not(Arc<Form>),
     /// N-ary conjunction (flattened).
     And(Vec<Form>),
     /// N-ary disjunction (flattened).
     Or(Vec<Form>),
     /// Implication `lhs --> rhs`.
-    Implies(Box<Form>, Box<Form>),
+    Implies(Arc<Form>, Arc<Form>),
     /// Bi-implication `lhs <-> rhs`.
-    Iff(Box<Form>, Box<Form>),
+    Iff(Arc<Form>, Arc<Form>),
     /// If-then-else on terms or formulas.
-    Ite(Box<Form>, Box<Form>, Box<Form>),
+    Ite(Arc<Form>, Arc<Form>, Arc<Form>),
 
     // ----- equality and arithmetic -----
     /// Equality at any sort.
-    Eq(Box<Form>, Box<Form>),
+    Eq(Arc<Form>, Arc<Form>),
     /// Strict less-than on integers.
-    Lt(Box<Form>, Box<Form>),
+    Lt(Arc<Form>, Arc<Form>),
     /// Less-or-equal on integers.
-    Le(Box<Form>, Box<Form>),
+    Le(Arc<Form>, Arc<Form>),
     /// Integer addition.
-    Add(Box<Form>, Box<Form>),
+    Add(Arc<Form>, Arc<Form>),
     /// Integer subtraction.
-    Sub(Box<Form>, Box<Form>),
+    Sub(Arc<Form>, Arc<Form>),
     /// Integer multiplication.
-    Mul(Box<Form>, Box<Form>),
+    Mul(Arc<Form>, Arc<Form>),
     /// Integer negation.
-    Neg(Box<Form>),
+    Neg(Arc<Form>),
 
     // ----- quantifiers -----
     /// Universal quantification.
-    Forall(Vec<Binding>, Box<Form>),
+    Forall(Vec<Binding>, Arc<Form>),
     /// Existential quantification.
-    Exists(Vec<Binding>, Box<Form>),
+    Exists(Vec<Binding>, Arc<Form>),
 
     // ----- applications, fields and arrays -----
     /// Application of a named (uninterpreted or interpreted) function or
@@ -74,38 +84,38 @@ pub enum Form {
     App(String, Vec<Form>),
     /// Application of a function-valued term (typically a field variable) to
     /// an argument: `x.next` is `FieldRead(Var "next", Var "x")`.
-    FieldRead(Box<Form>, Box<Form>),
+    FieldRead(Arc<Form>, Arc<Form>),
     /// Function update `f[at := val]`, the image of a field after assignment.
-    FieldWrite(Box<Form>, Box<Form>, Box<Form>),
+    FieldWrite(Arc<Form>, Arc<Form>, Arc<Form>),
     /// Read from the global array state: `arr[i]` is
     /// `ArrayRead(Var "arrayState", arr, i)`.
-    ArrayRead(Box<Form>, Box<Form>, Box<Form>),
+    ArrayRead(Arc<Form>, Arc<Form>, Arc<Form>),
     /// Array-state update: `arrayState[(arr, i) := v]`.
-    ArrayWrite(Box<Form>, Box<Form>, Box<Form>, Box<Form>),
+    ArrayWrite(Arc<Form>, Arc<Form>, Arc<Form>, Arc<Form>),
 
     // ----- sets and tuples -----
     /// Element membership `elem in set`.
-    Elem(Box<Form>, Box<Form>),
+    Elem(Arc<Form>, Arc<Form>),
     /// Finite set literal `{a, b, c}`.
     FiniteSet(Vec<Form>),
     /// Set union.
-    Union(Box<Form>, Box<Form>),
+    Union(Arc<Form>, Arc<Form>),
     /// Set intersection.
-    Inter(Box<Form>, Box<Form>),
+    Inter(Arc<Form>, Arc<Form>),
     /// Set difference.
-    Diff(Box<Form>, Box<Form>),
+    Diff(Arc<Form>, Arc<Form>),
     /// Subset-or-equal.
-    Subseteq(Box<Form>, Box<Form>),
+    Subseteq(Arc<Form>, Arc<Form>),
     /// Set comprehension `{(x, y) | P}`.
-    Compr(Vec<Binding>, Box<Form>),
+    Compr(Vec<Binding>, Arc<Form>),
     /// Set cardinality `card(S)`.
-    Card(Box<Form>),
+    Card(Arc<Form>),
     /// Tuple construction `(a, b)`.
     Tuple(Vec<Form>),
 
     /// Reference to the pre-state value of an expression (`old e`).  This is
     /// a surface-level construct eliminated during lowering.
-    Old(Box<Form>),
+    Old(Arc<Form>),
 }
 
 impl Form {
@@ -124,6 +134,17 @@ impl Form {
         Form::Int(value)
     }
 
+    /// Unwraps a shared sub-formula, cloning (shallowly) only when the
+    /// allocation is still shared.
+    pub fn take(ptr: Arc<Form>) -> Form {
+        Arc::try_unwrap(ptr).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Wraps a formula for use in a recursive position.
+    pub fn ptr(form: Form) -> Arc<Form> {
+        Arc::new(form)
+    }
+
     /// Smart negation: collapses double negation and boolean literals.
     // Associated smart constructor named after the connective, not an operator
     // on self; implementing the std::ops trait would change every call site.
@@ -131,8 +152,8 @@ impl Form {
     pub fn not(form: Form) -> Form {
         match form {
             Form::Bool(b) => Form::Bool(!b),
-            Form::Not(inner) => *inner,
-            other => Form::Not(Box::new(other)),
+            Form::Not(inner) => Form::take(inner),
+            other => Form::Not(Arc::new(other)),
         }
     }
 
@@ -180,7 +201,7 @@ impl Form {
             (Form::Bool(false), _) => Form::TRUE,
             (_, Form::Bool(true)) => Form::TRUE,
             (_, Form::Bool(false)) => Form::not(lhs),
-            _ => Form::Implies(Box::new(lhs), Box::new(rhs)),
+            _ => Form::Implies(Arc::new(lhs), Arc::new(rhs)),
         }
     }
 
@@ -192,7 +213,7 @@ impl Form {
             (Form::Bool(false), _) => Form::not(rhs),
             (_, Form::Bool(false)) => Form::not(lhs),
             _ if lhs == rhs => Form::TRUE,
-            _ => Form::Iff(Box::new(lhs), Box::new(rhs)),
+            _ => Form::Iff(Arc::new(lhs), Arc::new(rhs)),
         }
     }
 
@@ -201,7 +222,7 @@ impl Form {
         if lhs == rhs {
             Form::TRUE
         } else {
-            Form::Eq(Box::new(lhs), Box::new(rhs))
+            Form::Eq(Arc::new(lhs), Arc::new(rhs))
         }
     }
 
@@ -214,7 +235,7 @@ impl Form {
     pub fn lt(lhs: Form, rhs: Form) -> Form {
         match (&lhs, &rhs) {
             (Form::Int(a), Form::Int(b)) => Form::Bool(a < b),
-            _ => Form::Lt(Box::new(lhs), Box::new(rhs)),
+            _ => Form::Lt(Arc::new(lhs), Arc::new(rhs)),
         }
     }
 
@@ -222,7 +243,7 @@ impl Form {
     pub fn le(lhs: Form, rhs: Form) -> Form {
         match (&lhs, &rhs) {
             (Form::Int(a), Form::Int(b)) => Form::Bool(a <= b),
-            _ => Form::Le(Box::new(lhs), Box::new(rhs)),
+            _ => Form::Le(Arc::new(lhs), Arc::new(rhs)),
         }
     }
 
@@ -235,7 +256,7 @@ impl Form {
             (Form::Int(a), Form::Int(b)) => Form::Int(a + b),
             (Form::Int(0), _) => rhs,
             (_, Form::Int(0)) => lhs,
-            _ => Form::Add(Box::new(lhs), Box::new(rhs)),
+            _ => Form::Add(Arc::new(lhs), Arc::new(rhs)),
         }
     }
 
@@ -247,7 +268,7 @@ impl Form {
         match (&lhs, &rhs) {
             (Form::Int(a), Form::Int(b)) => Form::Int(a - b),
             (_, Form::Int(0)) => lhs,
-            _ => Form::Sub(Box::new(lhs), Box::new(rhs)),
+            _ => Form::Sub(Arc::new(lhs), Arc::new(rhs)),
         }
     }
 
@@ -261,7 +282,7 @@ impl Form {
             (Form::Int(1), _) => rhs,
             (_, Form::Int(1)) => lhs,
             (Form::Int(0), _) | (_, Form::Int(0)) => Form::Int(0),
-            _ => Form::Mul(Box::new(lhs), Box::new(rhs)),
+            _ => Form::Mul(Arc::new(lhs), Arc::new(rhs)),
         }
     }
 
@@ -270,7 +291,7 @@ impl Form {
         if bindings.is_empty() || matches!(body, Form::Bool(_)) {
             body
         } else {
-            Form::Forall(bindings, Box::new(body))
+            Form::Forall(bindings, Arc::new(body))
         }
     }
 
@@ -279,7 +300,7 @@ impl Form {
         if bindings.is_empty() || matches!(body, Form::Bool(_)) {
             body
         } else {
-            Form::Exists(bindings, Box::new(body))
+            Form::Exists(bindings, Arc::new(body))
         }
     }
 
@@ -287,32 +308,32 @@ impl Form {
     pub fn elem(elem: Form, set: Form) -> Form {
         match set {
             Form::EmptySet => Form::FALSE,
-            _ => Form::Elem(Box::new(elem), Box::new(set)),
+            _ => Form::Elem(Arc::new(elem), Arc::new(set)),
         }
     }
 
     /// Field read `obj.field` where `field` is a function-valued term.
     pub fn field_read(field: Form, obj: Form) -> Form {
-        Form::FieldRead(Box::new(field), Box::new(obj))
+        Form::FieldRead(Arc::new(field), Arc::new(obj))
     }
 
     /// Field update `field[obj := value]`.
     pub fn field_write(field: Form, obj: Form, value: Form) -> Form {
-        Form::FieldWrite(Box::new(field), Box::new(obj), Box::new(value))
+        Form::FieldWrite(Arc::new(field), Arc::new(obj), Arc::new(value))
     }
 
     /// Array read `arr[idx]` through the given array state.
     pub fn array_read(state: Form, arr: Form, idx: Form) -> Form {
-        Form::ArrayRead(Box::new(state), Box::new(arr), Box::new(idx))
+        Form::ArrayRead(Arc::new(state), Arc::new(arr), Arc::new(idx))
     }
 
     /// Array update `state[(arr, idx) := value]`.
     pub fn array_write(state: Form, arr: Form, idx: Form, value: Form) -> Form {
         Form::ArrayWrite(
-            Box::new(state),
-            Box::new(arr),
-            Box::new(idx),
-            Box::new(value),
+            Arc::new(state),
+            Arc::new(arr),
+            Arc::new(idx),
+            Arc::new(value),
         )
     }
 
@@ -323,7 +344,7 @@ impl Form {
 
     /// `old e` — pre-state reference (eliminated during lowering).
     pub fn old(inner: Form) -> Form {
-        Form::Old(Box::new(inner))
+        Form::Old(Arc::new(inner))
     }
 
     /// Returns `true` if this formula is the literal `true`.
@@ -421,45 +442,45 @@ impl Form {
             Form::Var(_) | Form::Int(_) | Form::Bool(_) | Form::Null | Form::EmptySet => {
                 self.clone()
             }
-            Form::Not(a) => Form::Not(Box::new(f(a))),
-            Form::Neg(a) => Form::Neg(Box::new(f(a))),
-            Form::Card(a) => Form::Card(Box::new(f(a))),
-            Form::Old(a) => Form::Old(Box::new(f(a))),
+            Form::Not(a) => Form::Not(Arc::new(f(a))),
+            Form::Neg(a) => Form::Neg(Arc::new(f(a))),
+            Form::Card(a) => Form::Card(Arc::new(f(a))),
+            Form::Old(a) => Form::Old(Arc::new(f(a))),
             Form::And(xs) => Form::And(xs.iter().map(&mut f).collect()),
             Form::Or(xs) => Form::Or(xs.iter().map(&mut f).collect()),
             Form::FiniteSet(xs) => Form::FiniteSet(xs.iter().map(&mut f).collect()),
             Form::Tuple(xs) => Form::Tuple(xs.iter().map(&mut f).collect()),
             Form::App(name, xs) => Form::App(name.clone(), xs.iter().map(&mut f).collect()),
-            Form::Implies(a, b) => Form::Implies(Box::new(f(a)), Box::new(f(b))),
-            Form::Iff(a, b) => Form::Iff(Box::new(f(a)), Box::new(f(b))),
-            Form::Eq(a, b) => Form::Eq(Box::new(f(a)), Box::new(f(b))),
-            Form::Lt(a, b) => Form::Lt(Box::new(f(a)), Box::new(f(b))),
-            Form::Le(a, b) => Form::Le(Box::new(f(a)), Box::new(f(b))),
-            Form::Add(a, b) => Form::Add(Box::new(f(a)), Box::new(f(b))),
-            Form::Sub(a, b) => Form::Sub(Box::new(f(a)), Box::new(f(b))),
-            Form::Mul(a, b) => Form::Mul(Box::new(f(a)), Box::new(f(b))),
-            Form::FieldRead(a, b) => Form::FieldRead(Box::new(f(a)), Box::new(f(b))),
-            Form::Elem(a, b) => Form::Elem(Box::new(f(a)), Box::new(f(b))),
-            Form::Union(a, b) => Form::Union(Box::new(f(a)), Box::new(f(b))),
-            Form::Inter(a, b) => Form::Inter(Box::new(f(a)), Box::new(f(b))),
-            Form::Diff(a, b) => Form::Diff(Box::new(f(a)), Box::new(f(b))),
-            Form::Subseteq(a, b) => Form::Subseteq(Box::new(f(a)), Box::new(f(b))),
-            Form::Ite(a, b, c) => Form::Ite(Box::new(f(a)), Box::new(f(b)), Box::new(f(c))),
+            Form::Implies(a, b) => Form::Implies(Arc::new(f(a)), Arc::new(f(b))),
+            Form::Iff(a, b) => Form::Iff(Arc::new(f(a)), Arc::new(f(b))),
+            Form::Eq(a, b) => Form::Eq(Arc::new(f(a)), Arc::new(f(b))),
+            Form::Lt(a, b) => Form::Lt(Arc::new(f(a)), Arc::new(f(b))),
+            Form::Le(a, b) => Form::Le(Arc::new(f(a)), Arc::new(f(b))),
+            Form::Add(a, b) => Form::Add(Arc::new(f(a)), Arc::new(f(b))),
+            Form::Sub(a, b) => Form::Sub(Arc::new(f(a)), Arc::new(f(b))),
+            Form::Mul(a, b) => Form::Mul(Arc::new(f(a)), Arc::new(f(b))),
+            Form::FieldRead(a, b) => Form::FieldRead(Arc::new(f(a)), Arc::new(f(b))),
+            Form::Elem(a, b) => Form::Elem(Arc::new(f(a)), Arc::new(f(b))),
+            Form::Union(a, b) => Form::Union(Arc::new(f(a)), Arc::new(f(b))),
+            Form::Inter(a, b) => Form::Inter(Arc::new(f(a)), Arc::new(f(b))),
+            Form::Diff(a, b) => Form::Diff(Arc::new(f(a)), Arc::new(f(b))),
+            Form::Subseteq(a, b) => Form::Subseteq(Arc::new(f(a)), Arc::new(f(b))),
+            Form::Ite(a, b, c) => Form::Ite(Arc::new(f(a)), Arc::new(f(b)), Arc::new(f(c))),
             Form::FieldWrite(a, b, c) => {
-                Form::FieldWrite(Box::new(f(a)), Box::new(f(b)), Box::new(f(c)))
+                Form::FieldWrite(Arc::new(f(a)), Arc::new(f(b)), Arc::new(f(c)))
             }
             Form::ArrayRead(a, b, c) => {
-                Form::ArrayRead(Box::new(f(a)), Box::new(f(b)), Box::new(f(c)))
+                Form::ArrayRead(Arc::new(f(a)), Arc::new(f(b)), Arc::new(f(c)))
             }
             Form::ArrayWrite(a, b, c, d) => Form::ArrayWrite(
-                Box::new(f(a)),
-                Box::new(f(b)),
-                Box::new(f(c)),
-                Box::new(f(d)),
+                Arc::new(f(a)),
+                Arc::new(f(b)),
+                Arc::new(f(c)),
+                Arc::new(f(d)),
             ),
-            Form::Forall(bs, b) => Form::Forall(bs.clone(), Box::new(f(b))),
-            Form::Exists(bs, b) => Form::Exists(bs.clone(), Box::new(f(b))),
-            Form::Compr(bs, b) => Form::Compr(bs.clone(), Box::new(f(b))),
+            Form::Forall(bs, b) => Form::Forall(bs.clone(), Arc::new(f(b))),
+            Form::Exists(bs, b) => Form::Exists(bs.clone(), Arc::new(f(b))),
+            Form::Compr(bs, b) => Form::Compr(bs.clone(), Arc::new(f(b))),
         }
     }
 }
@@ -505,7 +526,7 @@ mod tests {
         assert_eq!(Form::implies(Form::var("a"), Form::TRUE), Form::TRUE);
         assert_eq!(
             Form::implies(Form::var("a"), Form::FALSE),
-            Form::Not(Box::new(Form::var("a")))
+            Form::Not(Arc::new(Form::var("a")))
         );
     }
 

@@ -1,0 +1,302 @@
+//! Hash-consing of formulas: a global, sharded intern table that maps every
+//! structurally distinct sub-formula to one canonical [`Arc<Form>`]
+//! allocation.
+//!
+//! [`share`] rebuilds a formula bottom-up, replacing every recursive position
+//! by the canonical allocation for that subtree.  Afterwards, structurally
+//! equal subtrees — within one sequent, across the sequents of a method, and
+//! across methods and modules — are pointer-identical, so
+//!
+//! * equality checks hit the `Arc<T: Eq>` pointer fast path of the standard
+//!   library,
+//! * clones are pointer bumps (already true of any `Form`, but interned terms
+//!   additionally *deduplicate* memory), and
+//! * pointer-keyed memo tables (see [`crate::subst::substitute`]) get maximal
+//!   hit rates.
+//!
+//! The table is sharded by hash so that the parallel verification driver's
+//! workers intern concurrently without contending on one lock.  Entries are
+//! held strongly and live until [`clear`] is called: the suite's working set
+//! of distinct subterms is small (tens of thousands of nodes), and a stable
+//! address space means pointers can be used as memo keys without
+//! use-after-free aliasing hazards.  Long-running servers should call
+//! [`clear`] between independent workloads.
+//!
+//! Hashing is structural but computed *per node* from the already-computed
+//! hashes of the interned children, so one [`share`] call is linear in the
+//! number of distinct nodes (the DAG size), not in the tree unfolding.
+
+use crate::form::Form;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+const SHARD_COUNT: usize = 16;
+
+/// The global intern table.
+struct Interner {
+    shards: Vec<Mutex<HashMap<u64, Vec<Arc<Form>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Counters describing the state of the intern table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InternStats {
+    /// Number of canonical allocations currently interned.
+    pub entries: usize,
+    /// Lookups that found an existing allocation.
+    pub hits: u64,
+    /// Lookups that created a new allocation.
+    pub misses: u64,
+}
+
+fn interner() -> &'static Interner {
+    static TABLE: OnceLock<Interner> = OnceLock::new();
+    TABLE.get_or_init(|| Interner {
+        shards: (0..SHARD_COUNT)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect(),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+    })
+}
+
+/// Returns the canonical allocation for `node`, whose recursive positions
+/// must already be canonical (so the structural comparison against bucket
+/// candidates short-circuits on pointer identity one level down).
+fn intern_node(node: Form, hash: u64) -> Arc<Form> {
+    let table = interner();
+    let shard = &table.shards[(hash as usize) % SHARD_COUNT];
+    let mut bucket = shard.lock().expect("intern shard poisoned");
+    let candidates = bucket.entry(hash).or_default();
+    for candidate in candidates.iter() {
+        if **candidate == node {
+            table.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(candidate);
+        }
+    }
+    table.misses.fetch_add(1, Ordering::Relaxed);
+    let canonical = Arc::new(node);
+    candidates.push(Arc::clone(&canonical));
+    canonical
+}
+
+/// Statistics of the global intern table.
+pub fn stats() -> InternStats {
+    let table = interner();
+    let entries = table
+        .shards
+        .iter()
+        .map(|s| {
+            s.lock()
+                .expect("intern shard poisoned")
+                .values()
+                .map(Vec::len)
+                .sum::<usize>()
+        })
+        .sum();
+    InternStats {
+        entries,
+        hits: table.hits.load(Ordering::Relaxed),
+        misses: table.misses.load(Ordering::Relaxed),
+    }
+}
+
+/// Empties the intern table (outstanding `Arc`s stay valid; future [`share`]
+/// calls start from an empty table).  Intended for tests and long-running
+/// processes that switch workloads.
+pub fn clear() {
+    for shard in &interner().shards {
+        shard.lock().expect("intern shard poisoned").clear();
+    }
+}
+
+/// Returns a maximally-shared formula structurally equal to `form`: every
+/// recursive position holds the canonical allocation of its subtree.
+pub fn share(form: &Form) -> Form {
+    let mut memo = HashMap::new();
+    share_rec(form, &mut memo).0
+}
+
+/// Interns a formula and returns the canonical allocation of the whole tree
+/// (useful when the caller stores the root behind an `Arc` as well).
+pub fn share_arc(form: &Form) -> Arc<Form> {
+    let mut memo = HashMap::new();
+    let (shared, hash) = share_rec(form, &mut memo);
+    intern_node(shared, hash)
+}
+
+type Memo = HashMap<usize, (Form, u64)>;
+
+/// Hash of a *node* given its payload and the hashes of its children; the
+/// recursion is unrolled through the per-call memo so each distinct node is
+/// visited once.
+fn share_rec(form: &Form, memo: &mut Memo) -> (Form, u64) {
+    let key = form as *const Form as usize;
+    if let Some((shared, hash)) = memo.get(&key) {
+        return (shared.clone(), *hash);
+    }
+
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    std::mem::discriminant(form).hash(&mut hasher);
+
+    // Rebuild each child canonically, feeding the child hashes into this
+    // node's hash.  `child` interns through the global table; `inline` keeps
+    // Vec elements inline (they are full `Form`s, not pointers) but still
+    // rebuilds them with canonical recursive positions.
+    type H = std::collections::hash_map::DefaultHasher;
+    fn child(c: &Form, hasher: &mut H, memo: &mut Memo) -> Arc<Form> {
+        let (shared, h) = share_rec(c, memo);
+        h.hash(hasher);
+        intern_node(shared, h)
+    }
+    fn inline(c: &Form, hasher: &mut H, memo: &mut Memo) -> Form {
+        let (shared, h) = share_rec(c, memo);
+        h.hash(hasher);
+        shared
+    }
+
+    let rebuilt = match form {
+        Form::Var(name) => {
+            name.hash(&mut hasher);
+            form.clone()
+        }
+        Form::Int(value) => {
+            value.hash(&mut hasher);
+            form.clone()
+        }
+        Form::Bool(value) => {
+            value.hash(&mut hasher);
+            form.clone()
+        }
+        Form::Null | Form::EmptySet => form.clone(),
+        Form::Not(a) => Form::Not(child(a, &mut hasher, memo)),
+        Form::Neg(a) => Form::Neg(child(a, &mut hasher, memo)),
+        Form::Card(a) => Form::Card(child(a, &mut hasher, memo)),
+        Form::Old(a) => Form::Old(child(a, &mut hasher, memo)),
+        Form::And(xs) => Form::And(xs.iter().map(|x| inline(x, &mut hasher, memo)).collect()),
+        Form::Or(xs) => Form::Or(xs.iter().map(|x| inline(x, &mut hasher, memo)).collect()),
+        Form::FiniteSet(xs) => {
+            Form::FiniteSet(xs.iter().map(|x| inline(x, &mut hasher, memo)).collect())
+        }
+        Form::Tuple(xs) => Form::Tuple(xs.iter().map(|x| inline(x, &mut hasher, memo)).collect()),
+        Form::App(name, xs) => {
+            name.hash(&mut hasher);
+            Form::App(
+                name.clone(),
+                xs.iter().map(|x| inline(x, &mut hasher, memo)).collect(),
+            )
+        }
+        Form::Implies(a, b) => {
+            Form::Implies(child(a, &mut hasher, memo), child(b, &mut hasher, memo))
+        }
+        Form::Iff(a, b) => Form::Iff(child(a, &mut hasher, memo), child(b, &mut hasher, memo)),
+        Form::Eq(a, b) => Form::Eq(child(a, &mut hasher, memo), child(b, &mut hasher, memo)),
+        Form::Lt(a, b) => Form::Lt(child(a, &mut hasher, memo), child(b, &mut hasher, memo)),
+        Form::Le(a, b) => Form::Le(child(a, &mut hasher, memo), child(b, &mut hasher, memo)),
+        Form::Add(a, b) => Form::Add(child(a, &mut hasher, memo), child(b, &mut hasher, memo)),
+        Form::Sub(a, b) => Form::Sub(child(a, &mut hasher, memo), child(b, &mut hasher, memo)),
+        Form::Mul(a, b) => Form::Mul(child(a, &mut hasher, memo), child(b, &mut hasher, memo)),
+        Form::FieldRead(a, b) => {
+            Form::FieldRead(child(a, &mut hasher, memo), child(b, &mut hasher, memo))
+        }
+        Form::Elem(a, b) => Form::Elem(child(a, &mut hasher, memo), child(b, &mut hasher, memo)),
+        Form::Union(a, b) => Form::Union(child(a, &mut hasher, memo), child(b, &mut hasher, memo)),
+        Form::Inter(a, b) => Form::Inter(child(a, &mut hasher, memo), child(b, &mut hasher, memo)),
+        Form::Diff(a, b) => Form::Diff(child(a, &mut hasher, memo), child(b, &mut hasher, memo)),
+        Form::Subseteq(a, b) => {
+            Form::Subseteq(child(a, &mut hasher, memo), child(b, &mut hasher, memo))
+        }
+        Form::Ite(a, b, c) => Form::Ite(
+            child(a, &mut hasher, memo),
+            child(b, &mut hasher, memo),
+            child(c, &mut hasher, memo),
+        ),
+        Form::FieldWrite(a, b, c) => Form::FieldWrite(
+            child(a, &mut hasher, memo),
+            child(b, &mut hasher, memo),
+            child(c, &mut hasher, memo),
+        ),
+        Form::ArrayRead(a, b, c) => Form::ArrayRead(
+            child(a, &mut hasher, memo),
+            child(b, &mut hasher, memo),
+            child(c, &mut hasher, memo),
+        ),
+        Form::ArrayWrite(a, b, c, d) => Form::ArrayWrite(
+            child(a, &mut hasher, memo),
+            child(b, &mut hasher, memo),
+            child(c, &mut hasher, memo),
+            child(d, &mut hasher, memo),
+        ),
+        Form::Forall(bs, body) => {
+            bs.hash(&mut hasher);
+            Form::Forall(bs.clone(), child(body, &mut hasher, memo))
+        }
+        Form::Exists(bs, body) => {
+            bs.hash(&mut hasher);
+            Form::Exists(bs.clone(), child(body, &mut hasher, memo))
+        }
+        Form::Compr(bs, body) => {
+            bs.hash(&mut hasher);
+            Form::Compr(bs.clone(), child(body, &mut hasher, memo))
+        }
+    };
+    let hash = hasher.finish();
+    memo.insert(key, (rebuilt.clone(), hash));
+    (rebuilt, hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_form;
+
+    #[test]
+    fn share_preserves_structural_equality() {
+        let f = parse_form("forall i:int. 0 <= i & i < size --> elements[i] ~= null").unwrap();
+        let shared = share(&f);
+        assert_eq!(shared, f);
+    }
+
+    #[test]
+    fn equal_subtrees_become_pointer_identical() {
+        let f = parse_form("f(x + 1) = g(x + 1)").unwrap();
+        let shared = share(&f);
+        let Form::Eq(lhs, rhs) = &shared else {
+            panic!("expected equality, got {shared:?}");
+        };
+        let (Form::App(_, largs), Form::App(_, rargs)) = (lhs.as_ref(), rhs.as_ref()) else {
+            panic!("expected applications");
+        };
+        let (Form::Add(la, lb), Form::Add(ra, rb)) = (&largs[0], &rargs[0]) else {
+            panic!("expected additions");
+        };
+        assert!(Arc::ptr_eq(la, ra), "shared `x` argument");
+        assert!(Arc::ptr_eq(lb, rb), "shared `1` argument");
+    }
+
+    #[test]
+    fn sharing_is_global_across_calls() {
+        let a = share(&parse_form("p(n) --> q(n)").unwrap());
+        let b = share(&parse_form("p(n) --> q(n)").unwrap());
+        let (Form::Implies(ax, _), Form::Implies(bx, _)) = (&a, &b) else {
+            panic!("expected implications");
+        };
+        assert!(Arc::ptr_eq(ax, bx), "canonical allocation reused");
+    }
+
+    #[test]
+    fn stats_count_entries() {
+        let before = stats();
+        // A formula with fresh, never-before-interned leaves.
+        let f = parse_form("zz_intern_stats_1 = zz_intern_stats_2").unwrap();
+        share(&f);
+        let after = stats();
+        assert!(after.entries > before.entries);
+        assert!(after.misses > before.misses);
+        share(&f);
+        assert!(stats().hits > after.hits);
+    }
+}

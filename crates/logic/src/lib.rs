@@ -23,8 +23,11 @@
 //!   comprehension beta-reduction, set-operation expansion, negation normal
 //!   form, skolemisation and old-state elimination.
 //! * [`simplify`] — structural simplification (constant folding, unit laws).
-//! * [`hashed`] — formulas with cached structural hash and size, used by the
-//!   provers' term indexes and instance-deduplication sets.
+//! * [`hashed`] — formulas with cached structural hash, size and free-variable
+//!   set, used by the provers' term indexes and instance-deduplication sets.
+//! * [`intern`] — hash-consing: a global sharded intern table giving
+//!   structurally equal subtrees one canonical `Arc` allocation, so equality
+//!   is pointer identity and memo tables key on addresses.
 //!
 //! # Example
 //!
@@ -39,6 +42,7 @@
 
 pub mod form;
 pub mod hashed;
+pub mod intern;
 pub mod normal;
 pub mod parser;
 pub mod print;
@@ -49,6 +53,7 @@ pub mod subst;
 
 pub use form::Form;
 pub use hashed::Hashed;
+pub use intern::{share, share_arc};
 pub use sort::Sort;
 pub use sorts::SortEnv;
 pub use subst::{free_vars, substitute, FreshNames};

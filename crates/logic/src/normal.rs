@@ -16,6 +16,7 @@ use crate::sort::Sort;
 use crate::sorts::SortEnv;
 use crate::subst::{substitute, FreshNames};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Replaces every `old e` sub-term by `e` with its free variables renamed
 /// through `rename` (typically `v ↦ v_old`).  Nested `old` is idempotent.
@@ -170,8 +171,8 @@ fn expand_membership(elem: &Form, set: &Form, env: &SortEnv, fresh: &mut FreshNa
         }
         Form::Ite(c, t, e) => Form::Ite(
             c.clone(),
-            Box::new(expand_membership(elem, t, env, fresh)),
-            Box::new(expand_membership(elem, e, env, fresh)),
+            Arc::new(expand_membership(elem, t, env, fresh)),
+            Arc::new(expand_membership(elem, e, env, fresh)),
         ),
         _ => Form::elem(elem.clone(), set.clone()),
     }

@@ -19,6 +19,7 @@
 use crate::form::{Binding, Form};
 use crate::sort::Sort;
 use std::fmt;
+use std::sync::Arc;
 
 /// The error type returned by the formula parser.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -383,7 +384,7 @@ impl Parser {
             ">" => Form::lt(rhs, lhs),
             ">=" => Form::le(rhs, lhs),
             "in" => Form::elem(lhs, rhs),
-            "subseteq" => Form::Subseteq(Box::new(lhs), Box::new(rhs)),
+            "subseteq" => Form::Subseteq(Arc::new(lhs), Arc::new(rhs)),
             _ => unreachable!("operator list above"),
         })
     }
@@ -393,13 +394,13 @@ impl Parser {
         loop {
             if self.eat_ident("union") {
                 let rhs = self.parse_add()?;
-                lhs = Form::Union(Box::new(lhs), Box::new(rhs));
+                lhs = Form::Union(Arc::new(lhs), Arc::new(rhs));
             } else if self.eat_ident("inter") {
                 let rhs = self.parse_add()?;
-                lhs = Form::Inter(Box::new(lhs), Box::new(rhs));
+                lhs = Form::Inter(Arc::new(lhs), Arc::new(rhs));
             } else if self.eat_ident("minus") {
                 let rhs = self.parse_add()?;
-                lhs = Form::Diff(Box::new(lhs), Box::new(rhs));
+                lhs = Form::Diff(Arc::new(lhs), Arc::new(rhs));
             } else {
                 return Ok(lhs);
             }
@@ -435,7 +436,7 @@ impl Parser {
             let inner = self.parse_unary()?;
             return Ok(match inner {
                 Form::Int(value) => Form::Int(-value),
-                other => Form::Neg(Box::new(other)),
+                other => Form::Neg(Arc::new(other)),
             });
         }
         self.parse_postfix()
@@ -488,7 +489,7 @@ impl Parser {
                     self.expect_punct("(")?;
                     let inner = self.parse_form()?;
                     self.expect_punct(")")?;
-                    Ok(Form::Card(Box::new(inner)))
+                    Ok(Form::Card(Arc::new(inner)))
                 }
                 "if" => {
                     let cond = self.parse_form()?;
@@ -500,7 +501,7 @@ impl Parser {
                         return Err(self.error("expected `else`".to_string()));
                     }
                     let els = self.parse_form()?;
-                    Ok(Form::Ite(Box::new(cond), Box::new(then), Box::new(els)))
+                    Ok(Form::Ite(Arc::new(cond), Arc::new(then), Arc::new(els)))
                 }
                 _ => {
                     if self.eat_punct("(") {
@@ -571,7 +572,7 @@ impl Parser {
                 }
             };
             let bindings = names.into_iter().zip(sorts).collect();
-            return Ok(Form::Compr(bindings, Box::new(body)));
+            return Ok(Form::Compr(bindings, Arc::new(body)));
         }
         if self.eat_punct("|") {
             // `{x | body}` — comprehension with unknown sort.
@@ -580,7 +581,7 @@ impl Parser {
             let body = self.parse_form()?;
             self.expect_punct("}")?;
             let bindings = names.into_iter().map(|n| (n, Sort::Unknown)).collect();
-            return Ok(Form::Compr(bindings, Box::new(body)));
+            return Ok(Form::Compr(bindings, Arc::new(body)));
         }
         // Finite set literal.
         let mut elems = vec![first];

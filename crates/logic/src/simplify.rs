@@ -13,31 +13,31 @@ use crate::form::Form;
 pub fn simplify(form: &Form) -> Form {
     let form = form.map_children(simplify);
     match form {
-        Form::Not(inner) => Form::not(*inner),
+        Form::Not(inner) => Form::not(Form::take(inner)),
         Form::And(parts) => Form::and(parts),
         Form::Or(parts) => Form::or(parts),
-        Form::Implies(a, b) => simplify_implies(*a, *b),
-        Form::Iff(a, b) => Form::iff(*a, *b),
-        Form::Eq(a, b) => Form::eq(*a, *b),
-        Form::Lt(a, b) => Form::lt(*a, *b),
-        Form::Le(a, b) => Form::le(*a, *b),
-        Form::Add(a, b) => Form::add(*a, *b),
-        Form::Sub(a, b) => Form::sub(*a, *b),
-        Form::Mul(a, b) => Form::mul(*a, *b),
-        Form::Ite(c, t, e) => match *c {
-            Form::Bool(true) => *t,
-            Form::Bool(false) => *e,
-            c => {
+        Form::Implies(a, b) => simplify_implies(Form::take(a), Form::take(b)),
+        Form::Iff(a, b) => Form::iff(Form::take(a), Form::take(b)),
+        Form::Eq(a, b) => Form::eq(Form::take(a), Form::take(b)),
+        Form::Lt(a, b) => Form::lt(Form::take(a), Form::take(b)),
+        Form::Le(a, b) => Form::le(Form::take(a), Form::take(b)),
+        Form::Add(a, b) => Form::add(Form::take(a), Form::take(b)),
+        Form::Sub(a, b) => Form::sub(Form::take(a), Form::take(b)),
+        Form::Mul(a, b) => Form::mul(Form::take(a), Form::take(b)),
+        Form::Ite(c, t, e) => match c.as_ref() {
+            Form::Bool(true) => Form::take(t),
+            Form::Bool(false) => Form::take(e),
+            _ => {
                 if t == e {
-                    *t
+                    Form::take(t)
                 } else {
-                    Form::Ite(Box::new(c), t, e)
+                    Form::Ite(c, t, e)
                 }
             }
         },
-        Form::Forall(bs, body) => Form::forall(bs, *body),
-        Form::Exists(bs, body) => Form::exists(bs, *body),
-        Form::Elem(e, s) => Form::elem(*e, *s),
+        Form::Forall(bs, body) => Form::forall(bs, Form::take(body)),
+        Form::Exists(bs, body) => Form::exists(bs, Form::take(body)),
+        Form::Elem(e, s) => Form::elem(Form::take(e), Form::take(s)),
         other => other,
     }
 }

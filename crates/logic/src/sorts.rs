@@ -9,6 +9,7 @@
 use crate::form::Form;
 use crate::sort::Sort;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A sort environment: sorts of variables and signatures of named symbols.
 #[derive(Debug, Clone, Default)]
@@ -179,17 +180,17 @@ impl SortEnv {
             Form::Forall(bs, body) => {
                 let body2 = self.annotate_binders(body);
                 let bs2 = self.resolve_bindings(bs, &body2);
-                Form::Forall(bs2, Box::new(body2))
+                Form::Forall(bs2, Arc::new(body2))
             }
             Form::Exists(bs, body) => {
                 let body2 = self.annotate_binders(body);
                 let bs2 = self.resolve_bindings(bs, &body2);
-                Form::Exists(bs2, Box::new(body2))
+                Form::Exists(bs2, Arc::new(body2))
             }
             Form::Compr(bs, body) => {
                 let body2 = self.annotate_binders(body);
                 let bs2 = self.resolve_bindings(bs, &body2);
-                Form::Compr(bs2, Box::new(body2))
+                Form::Compr(bs2, Arc::new(body2))
             }
             other => other.map_children(|c| self.annotate_binders(c)),
         }

@@ -2,6 +2,7 @@
 
 use crate::form::{Binding, Form};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Returns the set of free variable names of a formula.
 pub fn free_vars(form: &Form) -> BTreeSet<String> {
@@ -75,6 +76,12 @@ impl FreshNames {
 /// Every free occurrence of a key of `map` in `form` is replaced by the
 /// corresponding term; bound variables are renamed as necessary to avoid
 /// capturing free variables of the replacement terms.
+///
+/// Substitution results are memoised per shared subtree (keyed by node
+/// address) for the duration of one call: on hash-consed formulas (see
+/// [`crate::intern`]) a subtree that occurs many times is rewritten once and
+/// the result's `Arc`s are reused, making the pass linear in the DAG size
+/// rather than the tree unfolding.
 pub fn substitute(form: &Form, map: &HashMap<String, Form>) -> Form {
     if map.is_empty() {
         return form.clone();
@@ -85,39 +92,83 @@ pub fn substitute(form: &Form, map: &HashMap<String, Form>) -> Form {
         avoid.extend(free_vars(v));
     }
     avoid.extend(map.keys().cloned());
-    subst_rec(form, map, &avoid)
+    subst_rec(form, map, &avoid, &mut HashMap::new())
 }
 
-fn subst_rec(form: &Form, map: &HashMap<String, Form>, avoid: &BTreeSet<String>) -> Form {
-    match form {
+/// Per-call memo: node address → substituted form.  Only valid for one
+/// (`map`, `avoid`) pair; binder cases that change the map recurse with a
+/// fresh memo.
+type SubstMemo = HashMap<usize, Form>;
+
+fn subst_rec(
+    form: &Form,
+    map: &HashMap<String, Form>,
+    avoid: &BTreeSet<String>,
+    memo: &mut SubstMemo,
+) -> Form {
+    let key = form as *const Form as usize;
+    if let Some(hit) = memo.get(&key) {
+        return hit.clone();
+    }
+    let out = match form {
         Form::Var(name) => match map.get(name) {
             Some(replacement) => replacement.clone(),
             None => form.clone(),
         },
         Form::Forall(bs, body) => {
-            let (bs2, body2, map2) = rebind(bs, body, map, avoid);
-            Form::Forall(bs2, Box::new(subst_rec(&body2, &map2, avoid)))
+            let (bs2, body2) = binder_body(bs, body, map, avoid, memo);
+            Form::Forall(bs2, Arc::new(body2))
         }
         Form::Exists(bs, body) => {
-            let (bs2, body2, map2) = rebind(bs, body, map, avoid);
-            Form::Exists(bs2, Box::new(subst_rec(&body2, &map2, avoid)))
+            let (bs2, body2) = binder_body(bs, body, map, avoid, memo);
+            Form::Exists(bs2, Arc::new(body2))
         }
         Form::Compr(bs, body) => {
-            let (bs2, body2, map2) = rebind(bs, body, map, avoid);
-            Form::Compr(bs2, Box::new(subst_rec(&body2, &map2, avoid)))
+            let (bs2, body2) = binder_body(bs, body, map, avoid, memo);
+            Form::Compr(bs2, Arc::new(body2))
         }
-        other => other.map_children(|c| subst_rec(c, map, avoid)),
-    }
+        other => other.map_children(|c| subst_rec(c, map, avoid, memo)),
+    };
+    memo.insert(key, out.clone());
+    out
+}
+
+/// Substitutes under a binder.  The shared memo may only ever key nodes
+/// reachable from the original root (their addresses are stable for the whole
+/// call): when the binder renames or shadows anything, the recursion works on
+/// a temporary body and a different map, so it runs with its own short-lived
+/// memo that is dropped before the temporary is.
+fn binder_body(
+    bindings: &[Binding],
+    body: &Form,
+    map: &HashMap<String, Form>,
+    avoid: &BTreeSet<String>,
+    memo: &mut SubstMemo,
+) -> (Vec<Binding>, Form) {
+    let (bs2, body2, map2) = rebind(bindings, body, map, avoid);
+    let substituted = match body2 {
+        // No binder was renamed and no key shadowed: recurse on the original
+        // (stable) body with the unchanged map and the shared memo.
+        None if map2.len() == map.len() => subst_rec(body, map, avoid, memo),
+        // Keys were shadowed: same stable body, but a different map — the
+        // shared memo entries do not apply.
+        None => subst_rec(body, &map2, avoid, &mut HashMap::new()),
+        // Binders were renamed: the body is a fresh temporary tree; its
+        // addresses must not outlive this scope inside any memo.
+        Some(renamed) => subst_rec(&renamed, &map2, avoid, &mut HashMap::new()),
+    };
+    (bs2, substituted)
 }
 
 /// Renames binders that clash with `avoid`, and removes shadowed keys from the
-/// substitution map for the scope of the binder.
+/// substitution map for the scope of the binder.  Returns `None` as the body
+/// when no binder had to be renamed (the original body applies unchanged).
 fn rebind(
     bindings: &[Binding],
     body: &Form,
     map: &HashMap<String, Form>,
     avoid: &BTreeSet<String>,
-) -> (Vec<Binding>, Form, HashMap<String, Form>) {
+) -> (Vec<Binding>, Option<Form>, HashMap<String, Form>) {
     let mut fresh = FreshNames::new();
     for a in avoid {
         fresh.reserve(a);
@@ -147,9 +198,9 @@ fn rebind(
         }
     }
     let new_body = if rename.is_empty() {
-        body.clone()
+        None
     } else {
-        substitute(body, &rename)
+        Some(substitute(body, &rename))
     };
     (new_bindings, new_body, scoped_map)
 }
@@ -276,7 +327,7 @@ mod tests {
         // {e | e = x}[x := e] must rename the comprehension's binder.
         let compr = Form::Compr(
             vec![("e".into(), Sort::Obj)],
-            Box::new(Form::eq(v("e"), v("x"))),
+            Arc::new(Form::eq(v("e"), v("x"))),
         );
         let g = substitute_one(&compr, "x", &v("e"));
         let Form::Compr(bindings, body) = &g else {
@@ -291,7 +342,7 @@ mod tests {
         // {(i, n) | n = x}[x := y]
         let compr = Form::Compr(
             vec![("i".into(), Sort::Int), ("n".into(), Sort::Obj)],
-            Box::new(Form::eq(v("n"), v("x"))),
+            Arc::new(Form::eq(v("n"), v("x"))),
         );
         let g = substitute_one(&compr, "x", &v("y"));
         if let Form::Compr(_, body) = g {

@@ -6,13 +6,14 @@
 //! succeeds wins; if all fail the sequent is reported unproved (in the paper
 //! this is the signal for the developer to add proof-language guidance).
 
+use crate::cache::ProofCache;
 use crate::ground::{refute, GroundResult};
 use crate::inst::refute_with_instantiation;
 use crate::preprocess::build_problem;
 use crate::syntactic::Syntactic;
-use crate::{Outcome, Prover, ProverConfig, Query};
+use crate::{Cancel, Outcome, Prover, ProverConfig, Query};
 use serde::{Deserialize, Serialize};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -21,13 +22,17 @@ use std::time::{Duration, Instant};
 pub struct ProverAnswer {
     /// Overall outcome.
     pub outcome: Outcome,
-    /// Name of the prover that discharged the query (when proved).
+    /// Name of the prover that discharged the query (when proved).  A proof
+    /// replayed from the cache reports the prover that originally found it.
     pub prover: Option<String>,
     /// Total time spent across the cascade.
     pub duration: Duration,
     /// Wall-clock spent in each attempted cascade stage, in dispatch order
     /// (the stage that proved the query is last).
     pub stage_durations: Vec<(String, Duration)>,
+    /// `true` when the answer was replayed from the proof cache without
+    /// running any prover.
+    pub cached: bool,
 }
 
 /// The ground SMT-lite prover (no quantifier instantiation).
@@ -39,9 +44,9 @@ impl Prover for GroundSmt {
         "smt-ground"
     }
 
-    fn prove(&self, query: &Query, config: &ProverConfig) -> Outcome {
+    fn prove(&self, query: &Query, config: &ProverConfig, cancel: &Cancel) -> Outcome {
         let problem = build_problem(&query.assumption_forms(), &query.goal, &query.env);
-        match refute(&problem.ground, &query.env, config) {
+        match refute(&problem.ground, &query.env, config, cancel) {
             GroundResult::Unsat => Outcome::Proved,
             GroundResult::Unknown => Outcome::Unknown,
         }
@@ -59,9 +64,15 @@ impl Prover for InstSmt {
         "smt-inst"
     }
 
-    fn prove(&self, query: &Query, config: &ProverConfig) -> Outcome {
+    fn prove(&self, query: &Query, config: &ProverConfig, cancel: &Cancel) -> Outcome {
         let problem = build_problem(&query.assumption_forms(), &query.goal, &query.env);
-        match refute_with_instantiation(&problem, &query.env, config, query.assumptions.len()) {
+        match refute_with_instantiation(
+            &problem,
+            &query.env,
+            config,
+            query.assumptions.len(),
+            cancel,
+        ) {
             GroundResult::Unsat => Outcome::Proved,
             GroundResult::Unknown => Outcome::Unknown,
         }
@@ -77,13 +88,16 @@ impl Prover for BapaProver {
         "bapa"
     }
 
-    fn prove(&self, query: &Query, _config: &ProverConfig) -> Outcome {
+    fn prove(&self, query: &Query, _config: &ProverConfig, cancel: &Cancel) -> Outcome {
         // BAPA is only worth invoking when the goal involves cardinalities or
         // set algebra; other goals are left to the general provers.
         if !mentions_cardinality(&query.goal) {
             return Outcome::Unknown;
         }
-        let limits = ipl_bapa::BapaLimits::default();
+        let limits = ipl_bapa::BapaLimits {
+            deadline: cancel.deadline(),
+            ..ipl_bapa::BapaLimits::default()
+        };
         match ipl_bapa::prove_valid(&query.assumption_forms(), &query.goal, &limits) {
             ipl_bapa::BapaOutcome::Valid => Outcome::Proved,
             ipl_bapa::BapaOutcome::Unknown => Outcome::Unknown,
@@ -116,11 +130,17 @@ impl Prover for ShapeProver {
         "shape"
     }
 
-    fn prove(&self, query: &Query, _config: &ProverConfig) -> Outcome {
-        if !mentions_reach(&query.goal) && !query.assumption_forms().iter().any(mentions_reach) {
+    fn prove(&self, query: &Query, _config: &ProverConfig, cancel: &Cancel) -> Outcome {
+        if cancel.is_cancelled()
+            || (!mentions_reach(&query.goal)
+                && !query.assumption_forms().iter().any(mentions_reach))
+        {
             return Outcome::Unknown;
         }
-        let limits = ipl_shape::ShapeLimits::default();
+        let limits = ipl_shape::ShapeLimits {
+            deadline: cancel.deadline(),
+            ..ipl_shape::ShapeLimits::default()
+        };
         match ipl_shape::prove_valid(&query.assumption_forms(), &query.goal, &limits) {
             ipl_shape::ShapeOutcome::Valid => Outcome::Proved,
             ipl_shape::ShapeOutcome::Unknown => Outcome::Unknown,
@@ -198,24 +218,48 @@ impl Cascade {
     }
 
     /// Runs the cascade on a query.
+    ///
+    /// When the proof cache is enabled ([`ProverConfig::use_cache`]) the
+    /// query's content fingerprint is consulted first: a hit replays the
+    /// recorded `Proved` outcome (attributed to the prover that originally
+    /// found it) without running any stage.
     pub fn prove(&self, query: &Query) -> ProverAnswer {
         let start = Instant::now();
+        let fingerprint = self
+            .config
+            .use_cache
+            .then(|| ProofCache::fingerprint(query, &self.config, &self.prover_names()));
+        if let Some(fp) = fingerprint {
+            if let Some(prover) = ProofCache::global().lookup(fp) {
+                return ProverAnswer {
+                    outcome: Outcome::Proved,
+                    prover: Some(prover),
+                    duration: start.elapsed(),
+                    stage_durations: Vec::new(),
+                    cached: true,
+                };
+            }
+        }
         let mut stage_durations = Vec::with_capacity(self.provers.len());
         for prover in &self.provers {
             let stage_start = Instant::now();
             let outcome = run_with_timeout(
-                Arc::clone(prover),
-                query.clone(),
-                self.config,
+                prover.as_ref(),
+                query,
+                &self.config,
                 Duration::from_millis(self.config.per_prover_timeout_ms),
             );
             stage_durations.push((prover.name().to_string(), stage_start.elapsed()));
             if outcome == Outcome::Proved {
+                if let Some(fp) = fingerprint {
+                    ProofCache::global().record(fp, prover.name());
+                }
                 return ProverAnswer {
                     outcome: Outcome::Proved,
                     prover: Some(prover.name().to_string()),
                     duration: start.elapsed(),
                     stage_durations,
+                    cached: false,
                 };
             }
         }
@@ -224,29 +268,40 @@ impl Cascade {
             prover: None,
             duration: start.elapsed(),
             stage_durations,
+            cached: false,
         }
     }
 }
 
-/// Runs one prover in a worker thread and abandons it when the per-prover
-/// timeout expires (mirroring the paper's "each prover runs with a timeout —
-/// if the prover fails to prove the sequent within the timeout, Jahob
-/// terminates it and moves on to the next prover").
+/// Number of prover invocations currently executing.  With cooperative
+/// cancellation every prover runs on its caller's thread, so this is `0`
+/// whenever no `Cascade::prove` call is in flight — the regression test for
+/// the abandoned-worker leak asserts exactly that after a timed-out cascade.
+pub fn live_workers() -> usize {
+    LIVE_WORKERS.load(Ordering::Relaxed)
+}
+
+static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Runs one prover *on the calling thread* under a cooperative deadline
+/// (mirroring the paper's "each prover runs with a timeout — if the prover
+/// fails to prove the sequent within the timeout, Jahob terminates it and
+/// moves on to the next prover").  The previous implementation spawned a
+/// worker thread and abandoned it on timeout; the worker kept consuming CPU
+/// until its search ran dry, which leaked threads under parallel load.
+/// Provers now poll the [`Cancel`] token inside their loops and return
+/// promptly once the deadline passes.
 fn run_with_timeout(
-    prover: Arc<dyn Prover>,
-    query: Query,
-    config: ProverConfig,
+    prover: &dyn Prover,
+    query: &Query,
+    config: &ProverConfig,
     timeout: Duration,
 ) -> Outcome {
-    let (tx, rx) = mpsc::channel();
-    std::thread::spawn(move || {
-        let outcome = prover.prove(&query, &config);
-        let _ = tx.send(outcome);
-    });
-    match rx.recv_timeout(timeout) {
-        Ok(outcome) => outcome,
-        Err(_) => Outcome::Unknown,
-    }
+    let cancel = Cancel::with_timeout(timeout);
+    LIVE_WORKERS.fetch_add(1, Ordering::Relaxed);
+    let outcome = prover.prove(query, config, &cancel);
+    LIVE_WORKERS.fetch_sub(1, Ordering::Relaxed);
+    outcome
 }
 
 #[cfg(test)]
@@ -353,6 +408,107 @@ mod tests {
         let answer = cascade.prove(&query(&["0 <= x"], "x < 0"));
         assert_eq!(answer.outcome, Outcome::Unknown);
         assert_eq!(answer.prover, None);
+    }
+
+    /// A prover that would spin forever if cancellation never fired: the
+    /// regression scenario for the abandoned-worker leak.
+    #[derive(Debug)]
+    struct Spinner {
+        observed_cancel: Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl Prover for Spinner {
+        fn name(&self) -> &'static str {
+            "spinner"
+        }
+
+        fn prove(&self, _query: &Query, _config: &ProverConfig, cancel: &Cancel) -> Outcome {
+            while !cancel.is_cancelled() {
+                std::hint::spin_loop();
+            }
+            self.observed_cancel
+                .store(true, std::sync::atomic::Ordering::SeqCst);
+            Outcome::Unknown
+        }
+    }
+
+    #[test]
+    fn timed_out_cascade_leaves_no_live_workers() {
+        let observed_cancel = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let cascade = Cascade::with_provers(
+            vec![Arc::new(Spinner {
+                observed_cancel: Arc::clone(&observed_cancel),
+            })],
+            ProverConfig {
+                per_prover_timeout_ms: 30,
+                use_cache: false,
+                ..ProverConfig::default()
+            },
+        );
+        let start = Instant::now();
+        let answer = cascade.prove(&query(&["0 <= x"], "x < 0"));
+        assert_eq!(answer.outcome, Outcome::Unknown);
+        assert!(
+            observed_cancel.load(std::sync::atomic::Ordering::SeqCst),
+            "the spinner must observe cooperative cancellation"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "cancellation must fire near the 30 ms deadline"
+        );
+        // Other tests in this binary may be mid-cascade on their own threads,
+        // so poll instead of asserting an instantaneous zero; an *abandoned*
+        // worker never finishes and would keep the counter pinned.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while live_workers() != 0 {
+            assert!(
+                Instant::now() < deadline,
+                "prover execution outlived the cascade call"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn proved_outcomes_are_replayed_from_the_cache() {
+        let cascade = Cascade::default();
+        let mut env = env();
+        for v in ["zz_cache_a", "zz_cache_b", "zz_cache_c"] {
+            env.declare_var(v, Sort::Obj);
+        }
+        let q = Query::new(
+            vec![
+                Labeled::new("A", parse_form("zz_cache_a = zz_cache_b").unwrap()),
+                Labeled::new("B", parse_form("zz_cache_b = zz_cache_c").unwrap()),
+            ],
+            parse_form("zz_cache_a = zz_cache_c").unwrap(),
+            env,
+        );
+        let first = cascade.prove(&q);
+        assert_eq!(first.outcome, Outcome::Proved);
+        assert!(!first.cached);
+        let second = cascade.prove(&q);
+        assert_eq!(second.outcome, Outcome::Proved);
+        assert!(second.cached, "identical query must hit the proof cache");
+        assert_eq!(
+            second.prover, first.prover,
+            "hit reports the original prover"
+        );
+    }
+
+    #[test]
+    fn cache_respects_differing_budgets() {
+        let q = query(&["p"], "p");
+        let default_answer = Cascade::default().prove(&q);
+        assert_eq!(default_answer.outcome, Outcome::Proved);
+        // A different configuration fingerprint must not see the entry.
+        let quick = Cascade::standard(ProverConfig::quick());
+        let quick_answer = quick.prove(&q);
+        assert_eq!(quick_answer.outcome, Outcome::Proved);
+        assert!(
+            !quick_answer.cached,
+            "budgets are part of the fingerprint; quick() must re-prove"
+        );
     }
 
     #[test]

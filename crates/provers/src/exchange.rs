@@ -26,6 +26,7 @@ use crate::cc::Congruence;
 use ipl_bapa::incremental::{BapaCheck, IncrementalBapa};
 use ipl_bapa::BapaLimits;
 use ipl_logic::Form;
+use std::sync::Arc;
 
 /// Per-search budgets for the exchange loop, decremented as they are spent.
 #[derive(Debug, Clone, Copy)]
@@ -202,7 +203,7 @@ impl TheoryExchange for BapaExchange {
         for s in &set_list {
             // Singleton facts feed the arithmetic side through the card term.
             candidates.push(Form::eq(
-                Form::Card(Box::new(Form::var(s.clone()))),
+                Form::Card(Arc::new(Form::var(s.clone()))),
                 Form::int(1),
             ));
         }

@@ -18,7 +18,7 @@
 
 use crate::cc::Congruence;
 use crate::exchange::{BapaExchange, ExchangeBudget, TheoryExchange, TheoryResult};
-use crate::ProverConfig;
+use crate::{Cancel, ProverConfig};
 use ipl_bapa::presburger::{fm_unsatisfiable, LinExpr, PForm};
 use ipl_logic::normal::nnf;
 use ipl_logic::{Form, Sort, SortEnv};
@@ -34,8 +34,13 @@ pub enum GroundResult {
 }
 
 /// Attempts to refute the conjunction of the given ground formulas.
-pub fn refute(forms: &[Form], env: &SortEnv, config: &ProverConfig) -> GroundResult {
-    let mut tableau = Tableau::new(env, config);
+pub fn refute(
+    forms: &[Form],
+    env: &SortEnv,
+    config: &ProverConfig,
+    cancel: &Cancel,
+) -> GroundResult {
+    let mut tableau = Tableau::new(env, config, cancel);
     if tableau.search(forms.to_vec()) {
         GroundResult::Unsat
     } else {
@@ -48,6 +53,8 @@ pub fn refute(forms: &[Form], env: &SortEnv, config: &ProverConfig) -> GroundRes
 struct Tableau<'a> {
     env: &'a SortEnv,
     budget: usize,
+    /// Cooperative cancellation, polled once per explored branch node.
+    cancel: &'a Cancel,
     /// The assertion stack: literals of the current branch, in order.
     literals: Vec<Form>,
     /// Hash index over [`Tableau::literals`] for O(1) membership tests.
@@ -72,7 +79,7 @@ enum Asserted {
 }
 
 impl<'a> Tableau<'a> {
-    fn new(env: &'a SortEnv, config: &ProverConfig) -> Self {
+    fn new(env: &'a SortEnv, config: &ProverConfig, cancel: &'a Cancel) -> Self {
         let theories: Vec<Box<dyn TheoryExchange>> = if config.exchange.enabled {
             vec![Box::new(BapaExchange::default())]
         } else {
@@ -81,6 +88,7 @@ impl<'a> Tableau<'a> {
         Tableau {
             env,
             budget: config.max_branch_nodes,
+            cancel,
             literals: Vec::new(),
             literal_set: HashSet::new(),
             cc: Congruence::new(),
@@ -100,6 +108,13 @@ impl<'a> Tableau<'a> {
             return false;
         }
         self.budget -= 1;
+        // Poll the deadline once every 64 explored nodes: cheap enough to
+        // leave the node loop unaffected, frequent enough that a timed-out
+        // search unwinds within microseconds.
+        if self.budget.is_multiple_of(64) && self.cancel.is_cancelled() {
+            self.budget = 0;
+            return false;
+        }
 
         let mut disjunctions: Vec<Vec<Form>> = Vec::new();
         while let Some(form) = pending.pop() {
@@ -441,7 +456,12 @@ mod tests {
         let goal = parse_form(goal).unwrap();
         let problem = build_problem(&assumptions, &goal, &env);
         // Ground solver only: ignore quantified assumptions.
-        refute(&problem.ground, &env, &ProverConfig::default()) == GroundResult::Unsat
+        refute(
+            &problem.ground,
+            &env,
+            &ProverConfig::default(),
+            &Cancel::never(),
+        ) == GroundResult::Unsat
     }
 
     #[test]
@@ -525,7 +545,12 @@ mod tests {
             &env,
         );
         assert_eq!(
-            refute(&problem.ground, &env, &ProverConfig::default()),
+            refute(
+                &problem.ground,
+                &env,
+                &ProverConfig::default(),
+                &Cancel::never()
+            ),
             GroundResult::Unsat
         );
         // Hit case.
@@ -539,7 +564,12 @@ mod tests {
         );
         let problem = build_problem(&[assumption], &goal_hit, &env);
         assert_eq!(
-            refute(&problem.ground, &env, &ProverConfig::default()),
+            refute(
+                &problem.ground,
+                &env,
+                &ProverConfig::default(),
+                &Cancel::never()
+            ),
             GroundResult::Unsat
         );
     }
@@ -565,7 +595,7 @@ mod tests {
         let goal = parse_form("q | r").unwrap();
         let problem = build_problem(&assumptions, &goal, &env);
         assert_eq!(
-            refute(&problem.ground, &env, &config),
+            refute(&problem.ground, &env, &config, &Cancel::never()),
             GroundResult::Unknown
         );
     }
@@ -585,7 +615,7 @@ mod tests {
     /// preprocessing, so the literal set is exactly what the tableau sees).
     fn refute_literals(literals: &[&str], config: &ProverConfig) -> GroundResult {
         let forms: Vec<Form> = literals.iter().map(|s| parse_form(s).unwrap()).collect();
-        refute(&forms, &env(), config)
+        refute(&forms, &env(), config, &Cancel::never())
     }
 
     #[test]

@@ -31,7 +31,7 @@
 use crate::cc::Congruence;
 use crate::ground::{refute, GroundResult};
 use crate::preprocess::{axioms_for, Accesses, Problem};
-use crate::{ProverConfig, TriggerConfig};
+use crate::{Cancel, ProverConfig, TriggerConfig};
 use ipl_logic::hashed::Hashed;
 use ipl_logic::simplify::simplify;
 use ipl_logic::subst::substitute;
@@ -46,6 +46,7 @@ pub fn refute_with_instantiation(
     env: &SortEnv,
     config: &ProverConfig,
     assumption_count: usize,
+    cancel: &Cancel,
 ) -> GroundResult {
     // Extend the environment with the skolem symbols introduced during
     // preprocessing so they can serve as instantiation candidates.
@@ -87,10 +88,10 @@ pub fn refute_with_instantiation(
     let mut ground_scanned = ground.len();
 
     for round in 0..=config.instantiation_rounds {
-        if refute(&ground, env, config) == GroundResult::Unsat {
+        if refute(&ground, env, config, cancel) == GroundResult::Unsat {
             return GroundResult::Unsat;
         }
-        if round == config.instantiation_rounds {
+        if round == config.instantiation_rounds || cancel.is_cancelled() {
             break;
         }
         // The sort pool is only needed for quantifiers without usable
@@ -136,6 +137,9 @@ pub fn refute_with_instantiation(
                     term_pool(ground.iter().chain(quantifier_forms.iter()), env)
                 });
                 instances.extend(instantiate_from_pool(quantifier, pool, config));
+            }
+            if cancel.is_cancelled() {
+                break 'quantifiers;
             }
             for instance in instances {
                 if total_instances >= instance_budget {
@@ -881,7 +885,8 @@ mod tests {
         let goal = parse_form(goal).unwrap();
         let count = assumptions.len();
         let problem = build_problem(&assumptions, &goal, &env);
-        refute_with_instantiation(&problem, &env, config, count) == GroundResult::Unsat
+        refute_with_instantiation(&problem, &env, config, count, &Cancel::never())
+            == GroundResult::Unsat
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! statements and `from` clauses shrink the search space so that these
 //! bounded provers succeed, exactly as described in the paper.
 
+pub mod cache;
 pub mod cascade;
 pub mod cc;
 pub mod exchange;
@@ -37,8 +38,68 @@ pub mod syntactic;
 
 use ipl_logic::{Form, Labeled, SortEnv};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 pub use cascade::{Cascade, ProverAnswer};
+
+/// Cooperative cancellation token handed to every prover.
+///
+/// The cascade used to run each prover on a freshly spawned worker thread and
+/// *abandon* it when the per-prover timeout expired — the worker kept burning
+/// CPU (and memory) in the background, which under the parallel verification
+/// driver multiplied into a stampede of zombie searches.  Provers now run on
+/// the calling thread and poll this token inside their main loops (tableau
+/// node expansion, instantiation rounds, Venn region enumeration); when the
+/// deadline passes or the flag is raised they unwind promptly and report
+/// [`Outcome::Unknown`].
+#[derive(Debug, Clone, Default)]
+pub struct Cancel {
+    deadline: Option<Instant>,
+    flag: Option<Arc<AtomicBool>>,
+}
+
+impl Cancel {
+    /// A token that never cancels (tests and one-shot callers).
+    pub fn never() -> Self {
+        Cancel::default()
+    }
+
+    /// A token that cancels once `timeout` has elapsed from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Cancel {
+            deadline: Instant::now().checked_add(timeout),
+            flag: None,
+        }
+    }
+
+    /// A token cancelled externally through the shared flag (and optionally
+    /// by deadline as well).
+    pub fn with_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.flag = Some(flag);
+        self
+    }
+
+    /// The deadline of this token, for handing down to sub-solvers with
+    /// their own limit structures (e.g. `BapaLimits::deadline`).
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Returns `true` once the deadline has passed or the flag was raised.
+    pub fn is_cancelled(&self) -> bool {
+        if let Some(flag) = &self.flag {
+            if flag.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        match self.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+}
 
 /// A proof query: prove `goal` from `assumptions` under the sort environment
 /// `env`.
@@ -78,7 +139,7 @@ pub enum Outcome {
 }
 
 /// Knobs of the trigger-driven E-matching instantiation engine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TriggerConfig {
     /// Master switch: when `false`, every quantifier falls back to the
     /// sort-pool cross-product instantiator (the pre-E-matching behaviour,
@@ -122,7 +183,7 @@ impl TriggerConfig {
 /// Knobs of the Nelson–Oppen equality-exchange loop that runs the BAPA
 /// cardinality procedure (and future theories) inside the ground tableau
 /// (see [`exchange`]).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ExchangeConfig {
     /// Master switch: when `false`, theories run only as standalone cascade
     /// stages (the pre-combination behaviour, kept for ablations).
@@ -158,7 +219,10 @@ impl ExchangeConfig {
 
 /// Resource budgets controlling the bounded search.  These are the knobs the
 /// Table 2 experiment and the ablation benchmarks turn.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// The whole configuration hashes into the proof-cache fingerprint (see
+/// [`cache`]), so runs under different budgets never share cached proofs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ProverConfig {
     /// Maximum number of branch nodes explored by the ground tableau.
     pub max_branch_nodes: usize,
@@ -178,6 +242,9 @@ pub struct ProverConfig {
     pub triggers: TriggerConfig,
     /// Theory-combination (BAPA⇄ground exchange) budgets.
     pub exchange: ExchangeConfig,
+    /// When `true`, the cascade consults the content-addressed proof cache
+    /// before dispatching and records every `Proved` outcome (see [`cache`]).
+    pub use_cache: bool,
 }
 
 impl Default for ProverConfig {
@@ -191,6 +258,7 @@ impl Default for ProverConfig {
             assumption_penalty_threshold: 28,
             triggers: TriggerConfig::default(),
             exchange: ExchangeConfig::default(),
+            use_cache: true,
         }
     }
 }
@@ -208,6 +276,7 @@ impl ProverConfig {
             assumption_penalty_threshold: 20,
             triggers: TriggerConfig::default(),
             exchange: ExchangeConfig::default(),
+            use_cache: true,
         }
     }
 
@@ -229,6 +298,15 @@ impl ProverConfig {
         }
     }
 
+    /// The default budgets with the proof cache disabled (benchmarks that
+    /// must measure raw prover time).
+    pub fn without_cache() -> Self {
+        ProverConfig {
+            use_cache: false,
+            ..Self::default()
+        }
+    }
+
     /// The effective instantiation budget for a query, reduced when the
     /// assumption base is large (the phenomenon the `from` clause exists to
     /// counteract).
@@ -246,8 +324,10 @@ pub trait Prover: Send + Sync {
     /// Short name used in reports (e.g. `"smt-lite"`, `"bapa"`).
     fn name(&self) -> &'static str;
 
-    /// Attempts to prove the query within the given budgets.
-    fn prove(&self, query: &Query, config: &ProverConfig) -> Outcome;
+    /// Attempts to prove the query within the given budgets, polling
+    /// `cancel` cooperatively (a cancelled prover returns
+    /// [`Outcome::Unknown`] promptly instead of running to completion).
+    fn prove(&self, query: &Query, config: &ProverConfig, cancel: &Cancel) -> Outcome;
 }
 
 #[cfg(test)]

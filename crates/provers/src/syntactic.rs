@@ -3,7 +3,7 @@
 //! those whose goal occurs as one of the assumptions, or those whose
 //! assumptions contain false").
 
-use crate::{Outcome, Prover, ProverConfig, Query};
+use crate::{Cancel, Outcome, Prover, ProverConfig, Query};
 use ipl_logic::simplify::simplify;
 use ipl_logic::Form;
 
@@ -16,7 +16,7 @@ impl Prover for Syntactic {
         "syntactic"
     }
 
-    fn prove(&self, query: &Query, _config: &ProverConfig) -> Outcome {
+    fn prove(&self, query: &Query, _config: &ProverConfig, _cancel: &Cancel) -> Outcome {
         let goal = simplify(&query.goal);
         if goal.is_true() {
             return Outcome::Proved;
@@ -64,15 +64,27 @@ mod tests {
     #[test]
     fn true_goals_are_trivial() {
         assert_eq!(
-            Syntactic.prove(&query(&[], "true"), &ProverConfig::default()),
+            Syntactic.prove(
+                &query(&[], "true"),
+                &ProverConfig::default(),
+                &Cancel::never()
+            ),
             Outcome::Proved
         );
         assert_eq!(
-            Syntactic.prove(&query(&[], "x = x"), &ProverConfig::default()),
+            Syntactic.prove(
+                &query(&[], "x = x"),
+                &ProverConfig::default(),
+                &Cancel::never()
+            ),
             Outcome::Proved
         );
         assert_eq!(
-            Syntactic.prove(&query(&[], "1 + 1 = 2"), &ProverConfig::default()),
+            Syntactic.prove(
+                &query(&[], "1 + 1 = 2"),
+                &ProverConfig::default(),
+                &Cancel::never()
+            ),
             Outcome::Proved
         );
     }
@@ -80,11 +92,19 @@ mod tests {
     #[test]
     fn goal_among_assumptions() {
         assert_eq!(
-            Syntactic.prove(&query(&["p & q"], "p"), &ProverConfig::default()),
+            Syntactic.prove(
+                &query(&["p & q"], "p"),
+                &ProverConfig::default(),
+                &Cancel::never()
+            ),
             Outcome::Proved
         );
         assert_eq!(
-            Syntactic.prove(&query(&["p"], "q"), &ProverConfig::default()),
+            Syntactic.prove(
+                &query(&["p"], "q"),
+                &ProverConfig::default(),
+                &Cancel::never()
+            ),
             Outcome::Unknown
         );
     }
@@ -92,13 +112,18 @@ mod tests {
     #[test]
     fn false_assumption_discharges_anything() {
         assert_eq!(
-            Syntactic.prove(&query(&["false"], "q"), &ProverConfig::default()),
+            Syntactic.prove(
+                &query(&["false"], "q"),
+                &ProverConfig::default(),
+                &Cancel::never()
+            ),
             Outcome::Proved
         );
         assert_eq!(
             Syntactic.prove(
                 &query(&["x < x + 0 - 0 & false"], "q"),
-                &ProverConfig::default()
+                &ProverConfig::default(),
+                &Cancel::never()
             ),
             Outcome::Proved
         );

@@ -47,6 +47,9 @@ pub struct ShapeLimits {
     pub max_rounds: usize,
     /// Maximum number of derived reachability facts.
     pub max_facts: usize,
+    /// Cooperative deadline: the saturation loop polls it between rounds and
+    /// gives up (reporting `Unknown`) once it passes.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for ShapeLimits {
@@ -54,7 +57,15 @@ impl Default for ShapeLimits {
         ShapeLimits {
             max_rounds: 64,
             max_facts: 50_000,
+            deadline: None,
         }
+    }
+}
+
+impl ShapeLimits {
+    /// Returns `true` once the deadline (if any) has passed.
+    pub fn expired(&self) -> bool {
+        matches!(self.deadline, Some(deadline) if std::time::Instant::now() >= deadline)
     }
 }
 
@@ -376,6 +387,9 @@ pub fn prove_valid(assumptions: &[Form], goal: &Form, limits: &ShapeLimits) -> S
 
     // Saturate.
     for _ in 0..limits.max_rounds {
+        if limits.expired() {
+            return ShapeOutcome::Unknown;
+        }
         // Apply pending equalities.
         let unions = std::mem::take(&mut state.pending_unions);
         for (a, b) in unions {

@@ -357,6 +357,7 @@ mod tests {
             sequents_proved: 20,
             prover_counts: Default::default(),
             stage_ms: Default::default(),
+            cache_hits: 0,
         }
     }
 
@@ -380,9 +381,17 @@ mod tests {
     fn parser_round_trips_the_bench_document() {
         let json = crate::table1::to_bench_json(
             &[row("Linked List", 6), row("Hash Table", 5)],
-            900,
-            Some(3506),
+            &crate::table1::BenchMeta {
+                total_wall_ms: 900,
+                baseline_total_wall_ms: Some(3506),
+                jobs: 8,
+                cache_hits: 123,
+                sequential_wall_ms: Some(1800),
+            },
         );
+        // The gate only consumes total_wall_ms and the per-benchmark method
+        // counts; the scheduler/cache telemetry fields added alongside them
+        // must parse cleanly and be ignored.
         let parsed = parse_baseline(&json).unwrap();
         assert_eq!(parsed.total_wall_ms, 900);
         assert_eq!(parsed.benchmarks.len(), 2);

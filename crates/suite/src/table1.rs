@@ -39,6 +39,8 @@ pub struct Table1Row {
     /// Wall-clock spent per cascade stage, milliseconds (includes stages
     /// that were attempted and failed).
     pub stage_ms: BTreeMap<String, u128>,
+    /// Sequents answered from the content-addressed proof cache.
+    pub cache_hits: usize,
 }
 
 /// Generates Table 1 by verifying every benchmark with its proof constructs.
@@ -62,6 +64,7 @@ pub fn row(benchmark: &Benchmark, options: &VerifyOptions) -> Table1Row {
         sequents_total: report.total_sequents(),
         sequents_proved: report.proved_sequents(),
         prover_counts: report.prover_counts(),
+        cache_hits: report.cache_hits(),
         stage_ms: report
             .stage_durations()
             .into_iter()
@@ -70,19 +73,37 @@ pub fn row(benchmark: &Benchmark, options: &VerifyOptions) -> Table1Row {
     }
 }
 
+/// Run-level facts accompanying the per-benchmark rows in
+/// `BENCH_table1.json`: total wall-clock, the historical comparison point,
+/// and the new scheduler/cache telemetry.
+#[derive(Debug, Clone, Default)]
+pub struct BenchMeta {
+    /// Wall-clock of the whole run, milliseconds.
+    pub total_wall_ms: u128,
+    /// The pre-optimisation measurement the run is compared against.
+    pub baseline_total_wall_ms: Option<u128>,
+    /// Worker threads used by the verification driver.
+    pub jobs: usize,
+    /// Proof-cache hits across the run.
+    pub cache_hits: usize,
+    /// Wall-clock of the control run with `--jobs 1` and the proof cache
+    /// disabled, when `--compare-sequential` was requested.
+    pub sequential_wall_ms: Option<u128>,
+}
+
 /// Serialises the rows as the machine-readable `BENCH_table1.json` document
-/// consumed by the CI perf-trajectory artifact.  `baseline_total_wall_ms`
-/// records the pre-optimisation measurement the current run is compared
-/// against.  (Hand-rolled JSON: the vendored `serde` is a no-op stub.)
-pub fn to_bench_json(
-    rows: &[Table1Row],
-    total_wall_ms: u128,
-    baseline_total_wall_ms: Option<u128>,
-) -> String {
+/// consumed by the CI perf-trajectory artifact and the regression gate.
+/// (Hand-rolled JSON: the vendored `serde` is a no-op stub.)
+pub fn to_bench_json(rows: &[Table1Row], meta: &BenchMeta) -> String {
     let mut out = String::from("{\n");
-    out.push_str(&format!("  \"total_wall_ms\": {total_wall_ms},\n"));
-    if let Some(baseline) = baseline_total_wall_ms {
+    out.push_str(&format!("  \"total_wall_ms\": {},\n", meta.total_wall_ms));
+    if let Some(baseline) = meta.baseline_total_wall_ms {
         out.push_str(&format!("  \"baseline_total_wall_ms\": {baseline},\n"));
+    }
+    out.push_str(&format!("  \"jobs\": {},\n", meta.jobs));
+    out.push_str(&format!("  \"cache_hits\": {},\n", meta.cache_hits));
+    if let Some(sequential) = meta.sequential_wall_ms {
+        out.push_str(&format!("  \"sequential_wall_ms\": {sequential},\n"));
     }
     out.push_str("  \"benchmarks\": [\n");
     for (i, row) in rows.iter().enumerate() {
@@ -108,13 +129,14 @@ pub fn to_bench_json(
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"methods\": {}, \"methods_verified\": {}, \
              \"sequents_total\": {}, \"sequents_proved\": {}, \"wall_ms\": {}, \
-             \"provers\": {}, \"stage_ms\": {}}}{}\n",
+             \"cache_hits\": {}, \"provers\": {}, \"stage_ms\": {}}}{}\n",
             row.name,
             row.methods,
             row.methods_verified,
             row.sequents_total,
             row.sequents_proved,
             row.time.as_millis(),
+            row.cache_hits,
             provers,
             stages,
             if i + 1 < rows.len() { "," } else { "" },
@@ -128,11 +150,7 @@ pub fn to_bench_json(
 /// summary), including the prover that discharged each sequent and the
 /// per-stage cost, so reviewers see the Table-1 delta without downloading
 /// the artifact.
-pub fn render_markdown(
-    rows: &[Table1Row],
-    total_wall_ms: u128,
-    baseline_total_wall_ms: Option<u128>,
-) -> String {
+pub fn render_markdown(rows: &[Table1Row], meta: &BenchMeta) -> String {
     let mut out = String::from("## Table 1 benchmark results\n\n");
     out.push_str(
         "| Benchmark | Methods | Sequents | Wall (ms) | Discharged by | Stage cost (ms) |\n",
@@ -174,10 +192,27 @@ pub fn render_markdown(
     let methods_verified: usize = rows.iter().map(|r| r.methods_verified).sum();
     let methods: usize = rows.iter().map(|r| r.methods).sum();
     out.push_str(&format!(
-        "\n**{methods_verified}/{methods} methods verified, total wall-clock {total_wall_ms} ms**"
+        "\n**{methods_verified}/{methods} methods verified, total wall-clock {} ms**",
+        meta.total_wall_ms
     ));
-    if let Some(baseline) = baseline_total_wall_ms {
+    if let Some(baseline) = meta.baseline_total_wall_ms {
         out.push_str(&format!(" (pre-E-matching baseline: {baseline} ms)"));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "\nScheduler: {} worker thread{}, {} proof-cache hit{}",
+        meta.jobs,
+        if meta.jobs == 1 { "" } else { "s" },
+        meta.cache_hits,
+        if meta.cache_hits == 1 { "" } else { "s" },
+    ));
+    if let Some(sequential) = meta.sequential_wall_ms {
+        out.push_str(&format!(
+            "; parallel {} ms vs sequential/uncached {} ms ({:.2}x)",
+            meta.total_wall_ms,
+            sequential,
+            sequential as f64 / (meta.total_wall_ms.max(1)) as f64,
+        ));
     }
     out.push('\n');
     out
@@ -274,6 +309,7 @@ mod tests {
                     sequents_proved: 0,
                     prover_counts: Default::default(),
                     stage_ms: Default::default(),
+                    cache_hits: 0,
                 }
             })
             .collect();
@@ -305,10 +341,21 @@ mod tests {
             ]
             .into_iter()
             .collect(),
+            cache_hits: 7,
         };
-        let json = to_bench_json(&[row], 1234, Some(3456));
+        let meta = BenchMeta {
+            total_wall_ms: 1234,
+            baseline_total_wall_ms: Some(3456),
+            jobs: 4,
+            cache_hits: 7,
+            sequential_wall_ms: Some(2500),
+        };
+        let json = to_bench_json(&[row], &meta);
         assert!(json.contains("\"total_wall_ms\": 1234"));
         assert!(json.contains("\"baseline_total_wall_ms\": 3456"));
+        assert!(json.contains("\"jobs\": 4"));
+        assert!(json.contains("\"cache_hits\": 7"));
+        assert!(json.contains("\"sequential_wall_ms\": 2500"));
         assert!(json.contains("\"name\": \"Linked List\""));
         assert!(json.contains("\"methods_verified\": 6"));
         assert!(json.contains("\"wall_ms\": 12"));

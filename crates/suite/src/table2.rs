@@ -36,9 +36,8 @@ pub fn generate(options: &VerifyOptions) -> Vec<Table2Row> {
 pub fn row(benchmark: &Benchmark, options: &VerifyOptions) -> Table2Row {
     let without_options = VerifyOptions {
         use_proof_constructs: false,
-        config: options.config,
-        use_from_clauses: options.use_from_clauses,
         record_sequents: false,
+        ..options.clone()
     };
     let with_options = VerifyOptions {
         record_sequents: false,
@@ -58,6 +57,43 @@ pub fn row(benchmark: &Benchmark, options: &VerifyOptions) -> Table2Row {
         sequents_with: with.proved_sequents(),
         sequents_total_with: with.total_sequents(),
     }
+}
+
+/// Serialises the rows as the machine-readable `BENCH_table2.json` document
+/// (CI artifact; hand-rolled JSON — the vendored `serde` is a no-op stub).
+/// `cache_hits` records how many sequents of the double run were answered
+/// from the proof cache: the "with" pass re-proves every obligation it
+/// shares with the "without" pass for free, which is the cache's headline
+/// win on this table.
+pub fn to_bench_json(
+    rows: &[Table2Row],
+    total_wall_ms: u128,
+    jobs: usize,
+    cache_hits: usize,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"total_wall_ms\": {total_wall_ms},\n"));
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!("  \"cache_hits\": {cache_hits},\n"));
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"methods_total\": {}, \
+             \"methods_without\": {}, \"sequents_without\": {}, \"sequents_total_without\": {}, \
+             \"methods_with\": {}, \"sequents_with\": {}, \"sequents_total_with\": {}}}{}\n",
+            row.name,
+            row.methods_total,
+            row.methods_without,
+            row.sequents_without,
+            row.sequents_total_without,
+            row.methods_with,
+            row.sequents_with,
+            row.sequents_total_with,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Renders the table in the layout of the paper.
@@ -103,5 +139,26 @@ mod tests {
         let text = render(&rows);
         assert!(text.contains("Linked List"));
         assert!(text.contains("6 of 6"));
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let rows = vec![Table2Row {
+            name: "Linked List".into(),
+            methods_without: 5,
+            sequents_without: 40,
+            sequents_total_without: 44,
+            methods_with: 6,
+            methods_total: 6,
+            sequents_with: 48,
+            sequents_total_with: 48,
+        }];
+        let json = to_bench_json(&rows, 777, 4, 31);
+        assert!(json.contains("\"total_wall_ms\": 777"));
+        assert!(json.contains("\"jobs\": 4"));
+        assert!(json.contains("\"cache_hits\": 31"));
+        assert!(json.contains("\"methods_with\": 6"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(crate::baseline::parse_json(&json).is_ok());
     }
 }

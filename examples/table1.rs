@@ -1,24 +1,32 @@
 //! Regenerates **Table 1** of the paper: construct counts and verification
 //! time for every benchmark data structure.
 //!
-//! Run with `cargo run --release --example table1`.  Pass `--quick` to
-//! regenerate only a three-structure subset (the CI smoke configuration).
+//! Run with `cargo run --release --example table1`.  Flags:
+//!
+//! * `--quick` — regenerate only a three-structure subset (the CI smoke
+//!   configuration).
+//! * `--jobs N` — worker threads for the parallel verification driver
+//!   (default `0` = the machine's available parallelism; `1` forces the
+//!   sequential path).
+//! * `--compare-sequential` — after the measured run, verify the suite again
+//!   with one thread and the proof cache disabled, and report the speedup.
+//! * `--check-baseline <path>` — turn the run into the CI regression gate:
+//!   the fresh results are compared against the committed baseline document
+//!   and the process exits non-zero when any benchmark verifies fewer
+//!   methods than the baseline or total wall-clock regresses more than 25%.
 //!
 //! Besides the human-readable table, the run writes `BENCH_table1.json`
 //! (override the path with the `BENCH_TABLE1_OUT` environment variable):
-//! per-benchmark methods proved, sequent counts, wall-clock milliseconds and
-//! per-cascade-stage cost, plus the pre-E-matching baseline total, so that
-//! successive perf PRs have a trajectory to compare against.
-//!
-//! Pass `--check-baseline <path>` to turn the run into the CI regression
-//! gate: the fresh results are compared against the committed baseline
-//! document and the process exits non-zero when any benchmark verifies fewer
-//! methods than the baseline or total wall-clock regresses more than 25%.
+//! per-benchmark methods proved, sequent counts, wall-clock milliseconds,
+//! per-cascade-stage cost and proof-cache hits, plus the worker-thread count
+//! and the pre-E-matching baseline total, so that successive perf PRs have a
+//! trajectory to compare against.
 //!
 //! When `GITHUB_STEP_SUMMARY` is set (as it is inside GitHub Actions), a
-//! markdown summary table — methods, sequents, wall-clock and which prover
-//! discharged each sequent — is appended to it so reviewers see the Table-1
-//! delta without downloading the artifact.
+//! markdown summary table — methods, sequents, wall-clock, prover
+//! attribution, threads used, cache hits and (with `--compare-sequential`)
+//! the parallel-vs-sequential wall-clock — is appended to it so reviewers
+//! see the Table-1 delta without downloading the artifact.
 
 use std::io::Write;
 use std::time::Instant;
@@ -31,6 +39,19 @@ const PRE_EMATCHING_BASELINE_MS: u128 = 3506;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let compare_sequential = args.iter().any(|a| a == "--compare-sequential");
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--jobs requires a number");
+                    std::process::exit(2);
+                })
+        })
+        .unwrap_or(0);
     let baseline_path = args.iter().position(|a| a == "--check-baseline").map(|i| {
         args.get(i + 1).cloned().unwrap_or_else(|| {
             eprintln!("--check-baseline requires a path argument");
@@ -58,21 +79,43 @@ fn main() {
     let options = ipl::core::VerifyOptions {
         config: ipl::suite::suite_config(),
         record_sequents: false,
+        jobs,
         ..ipl::core::VerifyOptions::default()
     };
-    let start = Instant::now();
-    let rows = if quick {
-        ["Linked List", "Cursor List", "Association List"]
-            .iter()
-            .map(|name| {
-                let benchmark = ipl::suite::by_name(name).expect("benchmark exists");
-                ipl::suite::table1::row(&benchmark, &options)
-            })
-            .collect()
-    } else {
-        ipl::suite::table1::generate(&options)
+    let run = |options: &ipl::core::VerifyOptions| {
+        if quick {
+            ["Linked List", "Cursor List", "Association List"]
+                .iter()
+                .map(|name| {
+                    let benchmark = ipl::suite::by_name(name).expect("benchmark exists");
+                    ipl::suite::table1::row(&benchmark, options)
+                })
+                .collect()
+        } else {
+            ipl::suite::table1::generate(options)
+        }
     };
+    let start = Instant::now();
+    let rows: Vec<ipl::suite::table1::Table1Row> = run(&options);
     let total_wall_ms = start.elapsed().as_millis();
+
+    // The control run: one worker, no proof cache — the pre-parallelism
+    // behaviour, so the summary can report the actual speedup.
+    let sequential_wall_ms = compare_sequential.then(|| {
+        let control_options = ipl::core::VerifyOptions {
+            config: ipl::provers::ProverConfig {
+                use_cache: false,
+                ..ipl::suite::suite_config()
+            },
+            record_sequents: false,
+            jobs: 1,
+            ..ipl::core::VerifyOptions::default()
+        };
+        let control_start = Instant::now();
+        let _ = run(&control_options);
+        control_start.elapsed().as_millis()
+    });
+
     println!("{}", ipl::suite::table1::render(&rows));
     for row in &rows {
         println!(
@@ -80,11 +123,27 @@ fn main() {
             row.name, row.methods_verified, row.methods
         );
     }
+    let meta = ipl::suite::table1::BenchMeta {
+        total_wall_ms,
+        // The historical comparison is only meaningful for the full run.
+        baseline_total_wall_ms: (!quick).then_some(PRE_EMATCHING_BASELINE_MS),
+        jobs: options.effective_jobs(),
+        cache_hits: rows.iter().map(|r| r.cache_hits).sum(),
+        sequential_wall_ms,
+    };
     println!("\n  total wall-clock: {total_wall_ms} ms");
+    println!(
+        "  threads: {}, proof-cache hits: {}",
+        meta.jobs, meta.cache_hits
+    );
+    if let Some(sequential) = sequential_wall_ms {
+        println!(
+            "  sequential/uncached control: {sequential} ms ({:.2}x speedup)",
+            sequential as f64 / (total_wall_ms.max(1)) as f64
+        );
+    }
 
-    // The baseline is only meaningful for the full run.
-    let pre_ematching = (!quick).then_some(PRE_EMATCHING_BASELINE_MS);
-    let json = ipl::suite::table1::to_bench_json(&rows, total_wall_ms, pre_ematching);
+    let json = ipl::suite::table1::to_bench_json(&rows, &meta);
     let out_path = std::env::var("BENCH_TABLE1_OUT").unwrap_or_else(|_| "BENCH_table1.json".into());
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("  wrote {out_path}"),
@@ -93,7 +152,7 @@ fn main() {
 
     // CI job summary.
     if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
-        let markdown = ipl::suite::table1::render_markdown(&rows, total_wall_ms, pre_ematching);
+        let markdown = ipl::suite::table1::render_markdown(&rows, &meta);
         match std::fs::OpenOptions::new()
             .create(true)
             .append(true)

@@ -24,6 +24,7 @@ use ipl_bapa::presburger::{cooper_decide, fm_unsatisfiable, LinExpr, PForm};
 use ipl_bapa::{venn, BapaLimits};
 use proptest::prelude::*;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 const VARS: [&str; 4] = ["a", "b", "c", "d"];
 
@@ -35,8 +36,8 @@ fn int_term() -> impl Strategy<Value = Form> {
     ];
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| Form::Add(Box::new(x), Box::new(y))),
-            (inner.clone(), inner).prop_map(|(x, y)| Form::Sub(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Form::Add(Arc::new(x), Arc::new(y))),
+            (inner.clone(), inner).prop_map(|(x, y)| Form::Sub(Arc::new(x), Arc::new(y))),
         ]
     })
 }
@@ -46,16 +47,16 @@ fn formula() -> impl Strategy<Value = Form> {
     let atom = prop_oneof![
         Just(Form::TRUE),
         Just(Form::FALSE),
-        (int_term(), int_term()).prop_map(|(x, y)| Form::Lt(Box::new(x), Box::new(y))),
-        (int_term(), int_term()).prop_map(|(x, y)| Form::Le(Box::new(x), Box::new(y))),
-        (int_term(), int_term()).prop_map(|(x, y)| Form::Eq(Box::new(x), Box::new(y))),
+        (int_term(), int_term()).prop_map(|(x, y)| Form::Lt(Arc::new(x), Arc::new(y))),
+        (int_term(), int_term()).prop_map(|(x, y)| Form::Le(Arc::new(x), Arc::new(y))),
+        (int_term(), int_term()).prop_map(|(x, y)| Form::Eq(Arc::new(x), Arc::new(y))),
     ];
     atom.prop_recursive(3, 48, 3, |inner| {
         prop_oneof![
-            inner.clone().prop_map(|f| Form::Not(Box::new(f))),
+            inner.clone().prop_map(|f| Form::Not(Arc::new(f))),
             prop::collection::vec(inner.clone(), 2..4).prop_map(Form::And),
             prop::collection::vec(inner.clone(), 2..4).prop_map(Form::Or),
-            (inner.clone(), inner).prop_map(|(x, y)| Form::Implies(Box::new(x), Box::new(y))),
+            (inner.clone(), inner).prop_map(|(x, y)| Form::Implies(Arc::new(x), Arc::new(y))),
         ]
     })
 }
@@ -72,9 +73,9 @@ fn set_term() -> impl Strategy<Value = Form> {
     ];
     leaf.prop_recursive(2, 12, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::Union(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::Inter(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| Form::Diff(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::Union(Arc::new(a), Arc::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::Inter(Arc::new(a), Arc::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Form::Diff(Arc::new(a), Arc::new(b))),
         ]
     })
 }
@@ -82,11 +83,11 @@ fn set_term() -> impl Strategy<Value = Form> {
 /// Strategy for (possibly negated) atoms of the BAPA fragment.
 fn bapa_atom() -> impl Strategy<Value = Form> {
     let positive = prop_oneof![
-        (set_term(), -3i64..4).prop_map(|(s, k)| Form::eq(Form::Card(Box::new(s)), Form::int(k))),
+        (set_term(), -3i64..4).prop_map(|(s, k)| Form::eq(Form::Card(Arc::new(s)), Form::int(k))),
         (set_term(), set_term())
-            .prop_map(|(a, b)| Form::le(Form::Card(Box::new(a)), Form::Card(Box::new(b)))),
+            .prop_map(|(a, b)| Form::le(Form::Card(Arc::new(a)), Form::Card(Arc::new(b)))),
         (set_term(), set_term()).prop_map(|(a, b)| Form::eq(a, b)),
-        (set_term(), set_term()).prop_map(|(a, b)| Form::Subseteq(Box::new(a), Box::new(b))),
+        (set_term(), set_term()).prop_map(|(a, b)| Form::Subseteq(Arc::new(a), Arc::new(b))),
         (0usize..ELEM_VARS.len(), set_term())
             .prop_map(|(i, s)| Form::elem(Form::var(ELEM_VARS[i]), s)),
     ];
@@ -152,6 +153,50 @@ proptest! {
     fn nnf_preserves_meaning(form in formula(), env in assignment()) {
         let converted = nnf(&form);
         prop_assert_eq!(eval_bool(&form, &env), eval_bool(&converted, &env));
+    }
+
+    #[test]
+    fn interning_preserves_equality_and_meaning(form in formula(), env in assignment()) {
+        let shared = ipl::logic::share(&form);
+        prop_assert_eq!(&shared, &form);
+        prop_assert_eq!(eval_bool(&shared, &env), eval_bool(&form, &env));
+        // Interning twice is stable (canonical allocations are reused).
+        prop_assert_eq!(ipl::logic::share(&shared), shared);
+    }
+
+    #[test]
+    fn interning_commutes_with_substitution(form in formula(), env in assignment()) {
+        // Substituting into the hash-consed formula (exercising the
+        // pointer-keyed memo over shared subtrees) must agree with
+        // substituting into the plain tree.
+        let shared = ipl::logic::share(&form);
+        let plain = substitute_one(&form, "a", &Form::int(7));
+        let memoised = substitute_one(&shared, "a", &Form::int(7));
+        prop_assert_eq!(&memoised, &plain);
+        let mut env = env.clone();
+        env.insert("a".to_string(), 7);
+        prop_assert_eq!(eval_bool(&memoised, &env), eval_bool(&plain, &env));
+    }
+
+    #[test]
+    fn interning_commutes_with_normalisation(form in formula()) {
+        let shared = ipl::logic::share(&form);
+        prop_assert_eq!(nnf(&shared), nnf(&form));
+        prop_assert_eq!(simplify(&shared), simplify(&form));
+    }
+
+    #[test]
+    fn subst_nnf_round_trip_on_shared_terms(form in formula(), env in assignment()) {
+        // share -> substitute -> nnf -> share: every pass preserves both
+        // structure-level equality with the unshared pipeline and meaning.
+        let substituted = substitute_one(&ipl::logic::share(&form), "b", &Form::var("c"));
+        let normalised = nnf(&substituted);
+        let reshared = ipl::logic::share(&normalised);
+        prop_assert_eq!(&reshared, &normalised);
+        let mut env2 = env.clone();
+        let c = *env2.get("c").unwrap_or(&0);
+        env2.insert("b".to_string(), c);
+        prop_assert_eq!(eval_bool(&reshared, &env2), eval_bool(&form, &env2));
     }
 
     #[test]
