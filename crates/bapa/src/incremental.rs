@@ -49,6 +49,14 @@ pub struct IncrementalBapa {
     extracted: Option<(u64, Vec<BapaForm>)>,
     /// Memoised result of [`IncrementalBapa::check`].
     checked: Option<(u64, BapaCheck)>,
+    /// Content-addressed verdicts of shared-variable components.  Across the
+    /// leaves of one tableau search most components are identical (only the
+    /// branch-local atoms change), and a component's verdict depends on its
+    /// content alone, so entries stay valid across `pop` — each Venn
+    /// translation is paid once per *distinct* component, not once per leaf.
+    /// Keyed on a 128-bit content fingerprint (two seeded hashes, like the
+    /// proof cache), so probes neither clone nor format anything.
+    component_cache: std::collections::HashMap<(u64, u64), bool>,
 }
 
 impl IncrementalBapa {
@@ -62,7 +70,41 @@ impl IncrementalBapa {
             revision: 0,
             extracted: None,
             checked: None,
+            component_cache: std::collections::HashMap::new(),
         }
+    }
+
+    /// [`venn::conjunction_unsatisfiable`] with the per-component verdicts
+    /// served from (and recorded in) the content-addressed cache.
+    fn conjunction_unsatisfiable_cached(&mut self, atoms: &[BapaForm]) -> bool {
+        let limits = self.limits;
+        for component in venn::components(atoms) {
+            if limits.expired() {
+                return false;
+            }
+            use std::hash::{DefaultHasher, Hash, Hasher};
+            let mut h1 = DefaultHasher::new();
+            let mut h2 = DefaultHasher::new();
+            0x9e37_79b9_7f4a_7c15u64.hash(&mut h1);
+            0x85eb_ca6b_27d4_eb4fu64.hash(&mut h2);
+            for &i in &component {
+                atoms[i].hash(&mut h1);
+                atoms[i].hash(&mut h2);
+            }
+            let key = (h1.finish(), h2.finish());
+            let unsat = match self.component_cache.get(&key) {
+                Some(&cached) => cached,
+                None => {
+                    let fresh = venn::component_unsatisfiable(atoms, &component, &limits);
+                    self.component_cache.insert(key, fresh);
+                    fresh
+                }
+            };
+            if unsat {
+                return true;
+            }
+        }
+        false
     }
 
     /// Opens a backtracking scope.
@@ -74,6 +116,22 @@ impl IncrementalBapa {
     /// matching [`IncrementalBapa::push`].
     pub fn pop(&mut self) {
         let mark = self.scopes.pop().expect("pop without matching push");
+        if self.forms.len() != mark {
+            self.forms.truncate(mark);
+            self.card_flags.truncate(mark);
+            self.revision += 1;
+        }
+    }
+
+    /// Pops scopes until the depth is `depth` (a no-op when already there).
+    /// Unlike a pop loop this truncates the assertion stack once and bumps
+    /// the revision once, so a deep backjump costs one memo invalidation.
+    pub fn pop_to(&mut self, depth: usize) {
+        if self.scopes.len() <= depth {
+            return;
+        }
+        let mark = self.scopes[depth];
+        self.scopes.truncate(depth);
         if self.forms.len() != mark {
             self.forms.truncate(mark);
             self.card_flags.truncate(mark);
@@ -160,9 +218,8 @@ impl IncrementalBapa {
                 return result;
             }
         }
-        let limits = self.limits;
         let atoms = self.atoms().to_vec();
-        let result = if venn::conjunction_unsatisfiable(&atoms, &limits) {
+        let result = if self.conjunction_unsatisfiable_cached(&atoms) {
             BapaCheck::Unsat
         } else {
             BapaCheck::Unknown
@@ -193,7 +250,7 @@ impl IncrementalBapa {
             }
         }
         parts.push(BapaForm::Not(Box::new(extracted_fact)));
-        venn::conjunction_unsatisfiable(&parts, &self.limits)
+        self.conjunction_unsatisfiable_cached(&parts)
     }
 }
 
@@ -261,6 +318,24 @@ mod tests {
         assert_eq!(bapa.check(), BapaCheck::Unknown);
         bapa.pop();
         assert_eq!(bapa.depth(), 0);
+    }
+
+    #[test]
+    fn pop_to_unwinds_multiple_scopes_at_once() {
+        let mut bapa = IncrementalBapa::default();
+        bapa.assert_form(&f("x in s"));
+        bapa.push();
+        bapa.assert_form(&f("card(s) <= 3"));
+        bapa.push();
+        bapa.assert_form(&f("card(s) = 0"));
+        assert_eq!(bapa.check(), BapaCheck::Unsat);
+        bapa.pop_to(0);
+        assert_eq!(bapa.depth(), 0);
+        assert_eq!(bapa.atom_count(), 1);
+        assert_eq!(bapa.check(), BapaCheck::Unknown);
+        // A no-op pop_to leaves the revision memo intact.
+        bapa.pop_to(0);
+        assert_eq!(bapa.atom_count(), 1);
     }
 
     #[test]

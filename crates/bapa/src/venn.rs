@@ -214,14 +214,26 @@ pub fn conjunction_unsatisfiable(parts: &[BapaForm], limits: &BapaLimits) -> boo
         if limits.expired() {
             return false;
         }
-        let formula = BapaForm::and(component.iter().map(|&i| parts[i].clone()).collect());
-        if let Some(sentence) = to_presburger(&formula, limits) {
-            if crate::presburger::unsatisfiable(&sentence, limits) {
-                return true;
-            }
+        if component_unsatisfiable(parts, &component, limits) {
+            return true;
         }
     }
     false
+}
+
+/// Decides one shared-variable component (given as indices into `parts`).
+/// Shared by the uncached path above and the verdict-caching wrapper in
+/// `crate::incremental`, so the component solving logic cannot drift.
+pub fn component_unsatisfiable(
+    parts: &[BapaForm],
+    component: &[usize],
+    limits: &BapaLimits,
+) -> bool {
+    let formula = BapaForm::and(component.iter().map(|&i| parts[i].clone()).collect());
+    match to_presburger(&formula, limits) {
+        Some(sentence) => crate::presburger::unsatisfiable(&sentence, limits),
+        None => false,
+    }
 }
 
 /// Translates a BAPA formula into an existentially closed Presburger sentence

@@ -13,17 +13,32 @@
 //! tableau thread one persistent engine through its branch exploration
 //! instead of rebuilding the closure at every leaf.
 //!
+//! The engine is also **explaining**: external assertions carry an opaque
+//! [`Tag`] (the CDCL core passes its literal ids), every merge records a
+//! *proof-forest* edge labelled with its reason (the tagged assertion, or
+//! congruence), and [`Congruence::explain_terms`] recovers the set of tags
+//! whose assertions entail a given equality — congruence edges recurse into
+//! the child pairs, in the style of Nieuwenhuis–Oliveras.  This is what turns
+//! a "branch closed" boolean into a learnable conflict clause.
+//!
 //! Conflicts are detected eagerly while merging:
 //!
 //! * a disequality whose two sides end up in the same class,
 //! * two distinct integer literals (or distinct boolean literals) in one
 //!   class.
+//!
+//! The cause of the first conflict is recorded so that
+//! [`Congruence::explain_conflict`] can name the responsible assertions.
 
 use ipl_logic::Form;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Identifier of an interned term.
 pub type TermId = usize;
+
+/// Opaque label attached to an external assertion (the CDCL core passes its
+/// literal ids).  Explanations are sets of tags.
+pub type Tag = u32;
 
 /// Identifier of an interned head symbol or opaque leaf.
 type SymId = u32;
@@ -80,6 +95,40 @@ enum Key {
 /// children.
 type Sig = (Head, Vec<TermId>);
 
+/// Why two terms were merged: the label of a proof-forest edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MergeReason {
+    /// An external assertion carrying an explanation tag.
+    Assert(Tag),
+    /// An external assertion without a tag (legacy callers): the merge is
+    /// real but unexplainable, so explanations crossing it return `None`.
+    Untagged,
+    /// A congruence-derived merge of two applications; explained by
+    /// recursively explaining the child pairs.
+    Congruence,
+}
+
+/// The cause of the first detected conflict, for explanation.
+#[derive(Debug, Clone, Copy)]
+enum ConflictCause {
+    /// The two sides of this asserted disequality were merged.
+    Diseq(TermId, TermId, Option<Tag>),
+    /// Two distinct constants (int or bool literals) ended up congruent.
+    Constants(TermId, TermId),
+}
+
+/// An asserted disequality, recorded in the lists of both end roots.
+#[derive(Debug, Clone, Copy)]
+struct DiseqEntry {
+    /// The partner term (the *other* end, from this root's point of view).
+    other: TermId,
+    /// The originally asserted pair, for explanation.
+    a: TermId,
+    b: TermId,
+    /// The assertion's tag, if any.
+    tag: Option<Tag>,
+}
+
 /// One undoable step on the trail.
 #[derive(Debug)]
 enum Undo {
@@ -90,8 +139,8 @@ enum Undo {
         survivor: TermId,
         survivor_uses_len: usize,
         survivor_diseqs_len: usize,
-        survivor_int: Option<i64>,
-        survivor_bool: Option<bool>,
+        survivor_int: Option<(i64, TermId)>,
+        survivor_bool: Option<(bool, TermId)>,
     },
     /// A use-list entry was appended to `root`.
     UsePush(TermId),
@@ -99,6 +148,12 @@ enum Undo {
     DiseqPush(TermId),
     /// A fresh signature was inserted.
     SigInsert(Sig),
+    /// A proof-forest edge of `node` was overwritten; restore it.
+    Proof {
+        node: TermId,
+        parent: TermId,
+        reason: Option<MergeReason>,
+    },
 }
 
 /// Marks the state at a `push`.
@@ -107,6 +162,7 @@ struct Scope {
     trail_len: usize,
     terms_len: usize,
     conflict: bool,
+    cause: Option<ConflictCause>,
 }
 
 /// The incremental congruence-closure engine.
@@ -124,20 +180,32 @@ pub struct Congruence {
     parent: Vec<TermId>,
     /// Class sizes, valid at roots.
     size: Vec<u32>,
-    /// Known integer value of the class, valid at roots.
-    class_int: Vec<Option<i64>>,
-    /// Known boolean value of the class, valid at roots.
-    class_bool: Vec<Option<bool>>,
+    /// Known integer value of the class and the literal term carrying it,
+    /// valid at roots.
+    class_int: Vec<Option<(i64, TermId)>>,
+    /// Known boolean value of the class and the literal term carrying it,
+    /// valid at roots.
+    class_bool: Vec<Option<(bool, TermId)>>,
     /// Application parents of each class, valid at roots.
     uses: Vec<Vec<TermId>>,
     /// Disequal partner terms of each class, valid at roots.
-    diseqs: Vec<Vec<TermId>>,
+    diseqs: Vec<Vec<DiseqEntry>>,
+    /// Proof forest: the explanation tree of each class (edge to parent).
+    proof_parent: Vec<TermId>,
+    /// Reason labelling the edge `node -> proof_parent[node]`.
+    proof_reason: Vec<Option<MergeReason>>,
     /// Signature table for congruence detection.
     sigs: HashMap<Sig, TermId>,
-    /// Queued merges not yet propagated.
-    pending: Vec<(TermId, TermId)>,
+    /// Queued merges not yet propagated, with their reasons.
+    pending: Vec<(TermId, TermId, MergeReason)>,
     /// Sticky conflict flag (until the enclosing scope is popped).
     conflict: bool,
+    /// Cause of the first conflict, for explanation.
+    cause: Option<ConflictCause>,
+    /// Monotone-per-scope state counter: bumped on every union and every
+    /// `pop`, so callers can memoise derived results (the arithmetic stack
+    /// keys its Fourier–Motzkin re-checks on this).
+    generation: u64,
     /// Undo trail.
     trail: Vec<Undo>,
     /// Open backtracking scopes.
@@ -233,11 +301,11 @@ impl Congruence {
         }
         let id = self.terms.len();
         let int_value = match term {
-            Form::Int(value) => Some(*value),
+            Form::Int(value) => Some((*value, id)),
             _ => None,
         };
         let bool_value = match term {
-            Form::Bool(value) => Some(*value),
+            Form::Bool(value) => Some((*value, id)),
             _ => None,
         };
         self.terms.push(key.clone());
@@ -248,6 +316,8 @@ impl Congruence {
         self.class_bool.push(bool_value);
         self.uses.push(Vec::new());
         self.diseqs.push(Vec::new());
+        self.proof_parent.push(id);
+        self.proof_reason.push(None);
         // Register the application in its children's use-lists and in the
         // signature table; a signature collision merges the new term into the
         // existing congruent class.
@@ -259,7 +329,7 @@ impl Congruence {
             }
             let sig = (head, sig);
             match self.sigs.get(&sig) {
-                Some(&existing) => self.pending.push((id, existing)),
+                Some(&existing) => self.pending.push((id, existing, MergeReason::Congruence)),
                 None => {
                     self.sigs.insert(sig.clone(), id);
                     self.trail.push(Undo::SigInsert(sig));
@@ -278,24 +348,54 @@ impl Congruence {
         id
     }
 
-    /// Asserts an equality between two terms.
+    /// Asserts an equality between two terms (unexplainable; see
+    /// [`Congruence::assert_eq_tagged`]).
     pub fn assert_eq(&mut self, a: &Form, b: &Form) {
         let (ia, ib) = (self.intern(a), self.intern(b));
-        self.pending.push((ia, ib));
+        self.pending.push((ia, ib, MergeReason::Untagged));
     }
 
-    /// Asserts a disequality between two terms.
+    /// Asserts an equality between two terms, labelled with an explanation
+    /// tag.  Conflicts and equalities entailed (transitively, congruently)
+    /// by tagged assertions can be explained as sets of tags.
+    pub fn assert_eq_tagged(&mut self, a: &Form, b: &Form, tag: Tag) {
+        let (ia, ib) = (self.intern(a), self.intern(b));
+        self.pending.push((ia, ib, MergeReason::Assert(tag)));
+    }
+
+    /// Asserts a disequality between two terms (unexplainable).
     pub fn assert_neq(&mut self, a: &Form, b: &Form) {
+        self.assert_neq_inner(a, b, None);
+    }
+
+    /// Asserts a disequality between two terms, labelled with a tag.
+    pub fn assert_neq_tagged(&mut self, a: &Form, b: &Form, tag: Tag) {
+        self.assert_neq_inner(a, b, Some(tag));
+    }
+
+    fn assert_neq_inner(&mut self, a: &Form, b: &Form, tag: Option<Tag>) {
         let (ia, ib) = (self.intern(a), self.intern(b));
         self.close();
         let (ra, rb) = (self.find(ia), self.find(ib));
         if ra == rb {
-            self.conflict = true;
+            self.set_conflict(ConflictCause::Diseq(ia, ib, tag));
             return;
         }
-        self.diseqs[ra].push(ib);
+        let entry = DiseqEntry {
+            other: ib,
+            a: ia,
+            b: ib,
+            tag,
+        };
+        self.diseqs[ra].push(entry);
         self.trail.push(Undo::DiseqPush(ra));
-        self.diseqs[rb].push(ia);
+        let entry = DiseqEntry {
+            other: ia,
+            a: ia,
+            b: ib,
+            tag,
+        };
+        self.diseqs[rb].push(entry);
         self.trail.push(Undo::DiseqPush(rb));
     }
 
@@ -316,7 +416,7 @@ impl Congruence {
             return false;
         }
         // Distinct known constants are disequal even without an assertion.
-        if let (Some(x), Some(y)) = (self.class_int[ra], self.class_int[rb]) {
+        if let (Some((x, _)), Some((y, _))) = (self.class_int[ra], self.class_int[rb]) {
             if x != y {
                 return true;
             }
@@ -327,7 +427,7 @@ impl Congruence {
             (rb, ra)
         };
         for i in 0..self.diseqs[small].len() {
-            let partner = self.diseqs[small][i];
+            let partner = self.diseqs[small][i].other;
             if self.find(partner) == large {
                 return true;
             }
@@ -338,18 +438,57 @@ impl Congruence {
     /// Propagates all pending merges and congruence to a fixpoint, detecting
     /// conflicts along the way.
     pub fn close(&mut self) {
-        while let Some((a, b)) = self.pending.pop() {
+        while let Some((a, b, reason)) = self.pending.pop() {
             if self.conflict {
                 self.pending.clear();
                 return;
             }
-            self.merge(a, b);
+            self.merge(a, b, reason);
         }
+    }
+
+    fn set_conflict(&mut self, cause: ConflictCause) {
+        self.conflict = true;
+        if self.cause.is_none() {
+            self.cause = Some(cause);
+        }
+    }
+
+    /// Makes `node` the root of its proof-forest tree by reversing the path
+    /// above it, recording every overwritten edge on the undo trail.
+    fn reroot_proof(&mut self, node: TermId) {
+        let mut chain = vec![node];
+        let mut cur = node;
+        while self.proof_parent[cur] != cur {
+            cur = self.proof_parent[cur];
+            chain.push(cur);
+        }
+        // Flip every edge on the path: `chain[i] -> chain[i+1]` becomes
+        // `chain[i+1] -> chain[i]`, keeping its reason (the reason explains
+        // the equality of the two endpoints, which is symmetric).
+        for i in (0..chain.len() - 1).rev() {
+            let child = chain[i];
+            let parent = chain[i + 1];
+            self.trail.push(Undo::Proof {
+                node: parent,
+                parent: self.proof_parent[parent],
+                reason: self.proof_reason[parent],
+            });
+            self.proof_parent[parent] = child;
+            self.proof_reason[parent] = self.proof_reason[child];
+        }
+        self.trail.push(Undo::Proof {
+            node,
+            parent: self.proof_parent[node],
+            reason: self.proof_reason[node],
+        });
+        self.proof_parent[node] = node;
+        self.proof_reason[node] = None;
     }
 
     /// Merges the classes of `a` and `b`, propagating congruence through the
     /// use-lists of the absorbed class.
-    fn merge(&mut self, a: TermId, b: TermId) {
+    fn merge(&mut self, a: TermId, b: TermId, reason: MergeReason) {
         let (ra, rb) = (self.find(a), self.find(b));
         if ra == rb {
             return;
@@ -360,22 +499,6 @@ impl Congruence {
         } else {
             (rb, ra)
         };
-        // Disequality check: does any partner of the child live in the
-        // survivor's class (or vice versa)?  Checking the smaller list keeps
-        // this linear overall.
-        let (small, large) = if self.diseqs[child].len() <= self.diseqs[survivor].len() {
-            (child, survivor)
-        } else {
-            (survivor, child)
-        };
-        for i in 0..self.diseqs[small].len() {
-            let partner = self.diseqs[small][i];
-            let rp = self.find(partner);
-            if rp == large || rp == small {
-                self.conflict = true;
-                return;
-            }
-        }
         self.trail.push(Undo::Union {
             child,
             survivor,
@@ -386,28 +509,57 @@ impl Congruence {
         });
         self.parent[child] = survivor;
         self.size[survivor] += self.size[child];
+        self.generation += 1;
+        // Proof forest: add the edge `a -> b` labelled with the reason (the
+        // *original* endpoints, not the roots — explanations recurse through
+        // them).  `a` is rerooted first so its tree hangs off the new edge.
+        self.reroot_proof(a);
+        self.trail.push(Undo::Proof {
+            node: a,
+            parent: self.proof_parent[a],
+            reason: self.proof_reason[a],
+        });
+        self.proof_parent[a] = b;
+        self.proof_reason[a] = Some(reason);
         // Merge known constants; a clash is a conflict.
         match (self.class_int[survivor], self.class_int[child]) {
-            (Some(x), Some(y)) if x != y => {
-                self.conflict = true;
+            (Some((x, tx)), Some((y, ty))) if x != y => {
+                self.set_conflict(ConflictCause::Constants(tx, ty));
                 return;
             }
             (None, Some(y)) => self.class_int[survivor] = Some(y),
             _ => {}
         }
         match (self.class_bool[survivor], self.class_bool[child]) {
-            (Some(x), Some(y)) if x != y => {
-                self.conflict = true;
+            (Some((x, tx)), Some((y, ty))) if x != y => {
+                self.set_conflict(ConflictCause::Constants(tx, ty));
                 return;
             }
             (None, Some(y)) => self.class_bool[survivor] = Some(y),
             _ => {}
         }
+        // Disequality check (after the union, so a violated entry explains
+        // through the new edge): does any partner recorded on either side now
+        // live in the merged class?  Checking the smaller list suffices — a
+        // disequality between the two classes has a mirror entry in each.
+        let (small, large) = if self.diseqs[child].len() <= self.diseqs[survivor].len() {
+            (child, survivor)
+        } else {
+            (survivor, child)
+        };
+        for i in 0..self.diseqs[small].len() {
+            let entry = self.diseqs[small][i];
+            let rp = self.find(entry.other);
+            if rp == large || rp == small {
+                self.set_conflict(ConflictCause::Diseq(entry.a, entry.b, entry.tag));
+                return;
+            }
+        }
         // Move the child's disequalities and uses onto the survivor (by
         // appending copies; `pop` truncates the survivor's lists back).
         for i in 0..self.diseqs[child].len() {
-            let partner = self.diseqs[child][i];
-            self.diseqs[survivor].push(partner);
+            let entry = self.diseqs[child][i];
+            self.diseqs[survivor].push(entry);
         }
         // Congruence: re-sign every application that had the child's class as
         // a child; a signature collision queues a merge.
@@ -422,7 +574,8 @@ impl Congruence {
                 match self.sigs.get(&sig) {
                     Some(&other) => {
                         if self.find(other) != self.find(parent_term) {
-                            self.pending.push((other, parent_term));
+                            self.pending
+                                .push((other, parent_term, MergeReason::Congruence));
                         }
                     }
                     None => {
@@ -448,6 +601,90 @@ impl Congruence {
         self.find(id)
     }
 
+    /// Explains why the two (currently equal) terms are equal: the set of
+    /// tags of the external assertions entailing the equality, recursing
+    /// through congruence edges.  Returns `None` when an untagged assertion
+    /// is involved (or the terms are not actually equal).
+    pub fn explain_terms(&self, a: TermId, b: TermId) -> Option<Vec<Tag>> {
+        let mut tags: BTreeSet<Tag> = BTreeSet::new();
+        let mut queue: Vec<(TermId, TermId)> = vec![(a, b)];
+        let mut seen: HashSet<(TermId, TermId)> = HashSet::new();
+        while let Some((a, b)) = queue.pop() {
+            if a == b || !seen.insert((a.min(b), a.max(b))) {
+                continue;
+            }
+            let apath = self.proof_path(a);
+            let bpath = self.proof_path(b);
+            if apath.last() != bpath.last() {
+                return None; // different proof trees: not equal
+            }
+            // Trim the shared suffix down to the nearest common ancestor.
+            let (mut i, mut j) = (apath.len(), bpath.len());
+            while i > 1 && j > 1 && apath[i - 2] == bpath[j - 2] {
+                i -= 1;
+                j -= 1;
+            }
+            for path in [&apath[..i], &bpath[..j]] {
+                for k in 0..path.len().saturating_sub(1) {
+                    match self.proof_reason[path[k]] {
+                        Some(MergeReason::Assert(tag)) => {
+                            tags.insert(tag);
+                        }
+                        Some(MergeReason::Untagged) | None => return None,
+                        Some(MergeReason::Congruence) => {
+                            let (u, v) = (path[k], path[k + 1]);
+                            let (Key::App(hu, cu), Key::App(hv, cv)) =
+                                (&self.terms[u], &self.terms[v])
+                            else {
+                                return None;
+                            };
+                            if hu != hv || cu.len() != cv.len() {
+                                return None;
+                            }
+                            for (&x, &y) in cu.iter().zip(cv.iter()) {
+                                queue.push((x, y));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Some(tags.into_iter().collect())
+    }
+
+    /// The proof-forest path from a node to its tree root, inclusive.
+    fn proof_path(&self, mut node: TermId) -> Vec<TermId> {
+        let mut path = vec![node];
+        while self.proof_parent[node] != node {
+            node = self.proof_parent[node];
+            path.push(node);
+        }
+        path
+    }
+
+    /// Explains the current conflict as a set of assertion tags, or `None`
+    /// when no conflict is recorded or an untagged assertion is involved.
+    pub fn explain_conflict(&self) -> Option<Vec<Tag>> {
+        match self.cause? {
+            ConflictCause::Diseq(a, b, tag) => {
+                let mut tags = self.explain_terms(a, b)?;
+                let tag = tag?;
+                if !tags.contains(&tag) {
+                    tags.push(tag);
+                }
+                Some(tags)
+            }
+            ConflictCause::Constants(a, b) => self.explain_terms(a, b),
+        }
+    }
+
+    /// Monotone-per-scope state counter: bumped on every union and every
+    /// [`Congruence::pop`].  Two equal generations within one scope imply the
+    /// class structure has not changed.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Opens a backtracking scope.  All interning, merges and disequalities
     /// performed afterwards are undone by the matching [`Congruence::pop`].
     pub fn push(&mut self) {
@@ -456,6 +693,7 @@ impl Congruence {
             trail_len: self.trail.len(),
             terms_len: self.terms.len(),
             conflict: self.conflict,
+            cause: self.cause,
         });
     }
 
@@ -464,6 +702,7 @@ impl Congruence {
     pub fn pop(&mut self) {
         let scope = self.scopes.pop().expect("pop without matching push");
         self.pending.clear();
+        self.generation += 1;
         while self.trail.len() > scope.trail_len {
             match self.trail.pop().expect("len checked") {
                 Undo::Union {
@@ -490,6 +729,14 @@ impl Congruence {
                 Undo::SigInsert(sig) => {
                     self.sigs.remove(&sig);
                 }
+                Undo::Proof {
+                    node,
+                    parent,
+                    reason,
+                } => {
+                    self.proof_parent[node] = parent;
+                    self.proof_reason[node] = reason;
+                }
             }
         }
         for id in scope.terms_len..self.terms.len() {
@@ -503,7 +750,18 @@ impl Congruence {
         self.class_bool.truncate(scope.terms_len);
         self.uses.truncate(scope.terms_len);
         self.diseqs.truncate(scope.terms_len);
+        self.proof_parent.truncate(scope.terms_len);
+        self.proof_reason.truncate(scope.terms_len);
         self.conflict = scope.conflict;
+        self.cause = scope.cause;
+    }
+
+    /// Pops scopes until the depth is `depth` (a no-op when already there).
+    /// The backjumping CDCL core unwinds several decision levels at once.
+    pub fn pop_to(&mut self, depth: usize) {
+        while self.scopes.len() > depth {
+            self.pop();
+        }
     }
 
     /// Number of interned terms (diagnostics and tests).
@@ -661,5 +919,120 @@ mod tests {
         // g(a) is interned only now; its signature collides with g(b)'s.
         cc.assert_eq(&f("g(b)"), &f("c"));
         assert!(cc.are_equal(&f("g(a)"), &f("c")));
+    }
+
+    // ----- explanations -----
+
+    #[test]
+    fn explains_a_transitive_chain() {
+        let mut cc = Congruence::new();
+        cc.assert_eq_tagged(&f("a"), &f("b"), 1);
+        cc.assert_eq_tagged(&f("b"), &f("c"), 2);
+        cc.assert_eq_tagged(&f("x"), &f("y"), 3); // unrelated
+        assert!(cc.are_equal(&f("a"), &f("c")));
+        let (ia, ic) = (cc.intern(&f("a")), cc.intern(&f("c")));
+        let tags = cc.explain_terms(ia, ic).unwrap();
+        assert_eq!(tags, vec![1, 2], "only the chain's assertions appear");
+    }
+
+    #[test]
+    fn explains_through_congruence_edges() {
+        let mut cc = Congruence::new();
+        cc.assert_eq_tagged(&f("a"), &f("b"), 1);
+        cc.assert_eq_tagged(&f("g(a)"), &f("c"), 2);
+        cc.assert_eq_tagged(&f("g(b)"), &f("d"), 3);
+        assert!(cc.are_equal(&f("c"), &f("d")));
+        let (ic, id) = (cc.intern(&f("c")), cc.intern(&f("d")));
+        let tags = cc.explain_terms(ic, id).unwrap();
+        assert_eq!(tags, vec![1, 2, 3], "congruence recurses into a = b");
+    }
+
+    #[test]
+    fn explains_disequality_conflicts() {
+        let mut cc = Congruence::new();
+        cc.assert_neq_tagged(&f("a"), &f("c"), 7);
+        cc.assert_eq_tagged(&f("a"), &f("b"), 8);
+        cc.assert_eq_tagged(&f("b"), &f("c"), 9);
+        assert!(cc.has_conflict());
+        let mut tags = cc.explain_conflict().unwrap();
+        tags.sort_unstable();
+        assert_eq!(tags, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn explains_constant_clashes() {
+        let mut cc = Congruence::new();
+        cc.assert_eq_tagged(&f("x"), &f("1"), 4);
+        cc.assert_eq_tagged(&f("y"), &f("2"), 5);
+        cc.assert_eq_tagged(&f("x"), &f("y"), 6);
+        assert!(cc.has_conflict());
+        let mut tags = cc.explain_conflict().unwrap();
+        tags.sort_unstable();
+        assert_eq!(tags, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn untagged_assertions_make_explanations_unavailable() {
+        let mut cc = Congruence::new();
+        cc.assert_eq(&f("a"), &f("b")); // untagged
+        cc.assert_eq_tagged(&f("b"), &f("c"), 2);
+        assert!(cc.are_equal(&f("a"), &f("c")));
+        let (ia, ic) = (cc.intern(&f("a")), cc.intern(&f("c")));
+        assert_eq!(cc.explain_terms(ia, ic), None);
+        // But a chain not crossing the untagged edge still explains.
+        let (ib, ic) = (cc.intern(&f("b")), cc.intern(&f("c")));
+        assert_eq!(cc.explain_terms(ib, ic), Some(vec![2]));
+    }
+
+    #[test]
+    fn explanations_survive_push_pop() {
+        let mut cc = Congruence::new();
+        cc.assert_eq_tagged(&f("a"), &f("b"), 1);
+        cc.close();
+        cc.push();
+        cc.assert_eq_tagged(&f("b"), &f("c"), 2);
+        let (ia, ic) = (cc.intern(&f("a")), cc.intern(&f("c")));
+        cc.close();
+        assert_eq!(cc.explain_terms(ia, ic), Some(vec![1, 2]));
+        cc.pop();
+        let (ia, ib) = (cc.intern(&f("a")), cc.intern(&f("b")));
+        assert_eq!(cc.explain_terms(ia, ib), Some(vec![1]));
+        // The popped scope's edge is gone: a and c are no longer connected.
+        let ic = cc.intern(&f("c"));
+        cc.close();
+        assert_eq!(cc.explain_terms(ia, ic), None);
+    }
+
+    #[test]
+    fn generation_advances_on_merge_and_pop() {
+        let mut cc = Congruence::new();
+        let g0 = cc.generation();
+        cc.assert_eq(&f("a"), &f("b"));
+        cc.close();
+        let g1 = cc.generation();
+        assert!(g1 > g0, "a union bumps the generation");
+        cc.push();
+        cc.assert_eq(&f("b"), &f("c"));
+        cc.close();
+        cc.pop();
+        assert!(cc.generation() > g1, "a pop bumps the generation");
+    }
+
+    #[test]
+    fn pop_to_unwinds_multiple_scopes() {
+        let mut cc = Congruence::new();
+        cc.push();
+        cc.assert_eq(&f("a"), &f("b"));
+        cc.push();
+        cc.assert_eq(&f("b"), &f("c"));
+        cc.push();
+        cc.assert_eq(&f("c"), &f("d"));
+        assert_eq!(cc.depth(), 3);
+        cc.pop_to(1);
+        assert_eq!(cc.depth(), 1);
+        assert!(cc.are_equal(&f("a"), &f("b")));
+        assert!(!cc.are_equal(&f("b"), &f("c")));
+        cc.pop_to(0);
+        assert!(!cc.are_equal(&f("a"), &f("b")));
     }
 }

@@ -58,7 +58,22 @@ pub trait TheoryExchange: std::fmt::Debug {
     /// Closes the innermost scope, mirroring `Congruence::pop`.
     fn pop(&mut self);
 
-    /// Offers one branch literal.  Returns `true` if the theory recorded it.
+    /// Pops scopes until the depth is `depth` (the CDCL core backjumps over
+    /// several decision levels at once).  Implementations with cheaper bulk
+    /// unwinding should override the default pop loop.
+    fn pop_to(&mut self, depth: usize) {
+        while self.depth() > depth {
+            self.pop();
+        }
+    }
+
+    /// Current scope depth.
+    fn depth(&self) -> usize;
+
+    /// Offers one branch literal.  Returns `true` if the theory knows it
+    /// (newly recorded or already present); `false` when the literal lies
+    /// outside the theory's fragment — callers may cache that verdict and
+    /// skip re-offering the literal on later branches.
     fn assert_literal(&mut self, literal: &Form) -> bool;
 
     /// Cheap activation probe: would [`TheoryExchange::check`] do any work
@@ -89,9 +104,10 @@ impl BapaExchange {
 
     /// Asserts a formula into the underlying engine unless it is already
     /// present (keeps re-imported facts from growing the assertion stack).
+    /// Returns `false` only for out-of-fragment formulas.
     fn assert_once(&mut self, form: &Form) -> bool {
         if self.bapa.contains(form) {
-            return false;
+            return true;
         }
         self.bapa.assert_form(form)
     }
@@ -120,6 +136,14 @@ impl TheoryExchange for BapaExchange {
 
     fn pop(&mut self) {
         self.bapa.pop();
+    }
+
+    fn pop_to(&mut self, depth: usize) {
+        self.bapa.pop_to(depth);
+    }
+
+    fn depth(&self) -> usize {
+        self.bapa.depth()
     }
 
     fn assert_literal(&mut self, literal: &Form) -> bool {

@@ -180,6 +180,45 @@ impl TriggerConfig {
     }
 }
 
+/// Knobs of the CDCL ground core (see [`ground`]): the iterative
+/// conflict-driven engine that replaced the recursive DPLL tableau.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GroundConfig {
+    /// Master switch for conflict-driven clause learning.  When `false` the
+    /// engine still propagates with watched literals and backtracks
+    /// chronologically, but records no learned clauses (the pre-CDCL search
+    /// shape, kept for the ablation benchmarks).
+    pub learning: bool,
+    /// Hard cap on the number of learned clauses kept per search; conflicts
+    /// past the cap still backjump but are not recorded.
+    pub max_learned_clauses: usize,
+    /// Conflicts between two halvings of the variable activities (the
+    /// integer stand-in for VSIDS decay; smaller = more aggressive focus on
+    /// recent conflicts).
+    pub activity_decay_interval: usize,
+}
+
+impl Default for GroundConfig {
+    fn default() -> Self {
+        GroundConfig {
+            learning: true,
+            max_learned_clauses: 10_000,
+            activity_decay_interval: 128,
+        }
+    }
+}
+
+impl GroundConfig {
+    /// The configuration with clause learning turned off (chronological
+    /// backtracking only); used by the ablation benchmarks.
+    pub fn without_learning() -> Self {
+        GroundConfig {
+            learning: false,
+            ..Self::default()
+        }
+    }
+}
+
 /// Knobs of the Nelson–Oppen equality-exchange loop that runs the BAPA
 /// cardinality procedure (and future theories) inside the ground tableau
 /// (see [`exchange`]).
@@ -242,6 +281,8 @@ pub struct ProverConfig {
     pub triggers: TriggerConfig,
     /// Theory-combination (BAPA⇄ground exchange) budgets.
     pub exchange: ExchangeConfig,
+    /// CDCL ground-core knobs (clause learning, learned-clause cap).
+    pub ground: GroundConfig,
     /// When `true`, the cascade consults the content-addressed proof cache
     /// before dispatching and records every `Proved` outcome (see [`cache`]).
     pub use_cache: bool,
@@ -258,6 +299,7 @@ impl Default for ProverConfig {
             assumption_penalty_threshold: 28,
             triggers: TriggerConfig::default(),
             exchange: ExchangeConfig::default(),
+            ground: GroundConfig::default(),
             use_cache: true,
         }
     }
@@ -276,7 +318,18 @@ impl ProverConfig {
             assumption_penalty_threshold: 20,
             triggers: TriggerConfig::default(),
             exchange: ExchangeConfig::default(),
+            ground: GroundConfig::default(),
             use_cache: true,
+        }
+    }
+
+    /// The default budgets with conflict-driven clause learning disabled in
+    /// the ground core (chronological backtracking only); used by the
+    /// ablation benchmarks.
+    pub fn without_learning() -> Self {
+        ProverConfig {
+            ground: GroundConfig::without_learning(),
+            ..Self::default()
         }
     }
 

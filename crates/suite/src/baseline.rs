@@ -358,6 +358,7 @@ mod tests {
             prover_counts: Default::default(),
             stage_ms: Default::default(),
             cache_hits: 0,
+            ground_stats: [("decisions".to_string(), 12u64)].into_iter().collect(),
         }
     }
 

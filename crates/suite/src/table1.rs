@@ -41,6 +41,9 @@ pub struct Table1Row {
     pub stage_ms: BTreeMap<String, u128>,
     /// Sequents answered from the content-addressed proof cache.
     pub cache_hits: usize,
+    /// CDCL ground-core search counters accumulated while verifying this
+    /// benchmark (decisions, propagations, conflicts, learned_clauses).
+    pub ground_stats: BTreeMap<String, u64>,
 }
 
 /// Generates Table 1 by verifying every benchmark with its proof constructs.
@@ -50,8 +53,10 @@ pub fn generate(options: &VerifyOptions) -> Vec<Table1Row> {
 
 /// Generates one row.
 pub fn row(benchmark: &Benchmark, options: &VerifyOptions) -> Table1Row {
+    let ground_before = ipl_provers::ground::stats_snapshot();
     let report = ipl_core::verify_source(benchmark.source, options)
         .unwrap_or_else(|e| panic!("{}: {e}", benchmark.name));
+    let ground = ipl_provers::ground::stats_snapshot().since(&ground_before);
     Table1Row {
         name: benchmark.name.to_string(),
         methods: report.method_count,
@@ -70,6 +75,14 @@ pub fn row(benchmark: &Benchmark, options: &VerifyOptions) -> Table1Row {
             .into_iter()
             .map(|(stage, duration)| (stage, duration.as_millis()))
             .collect(),
+        ground_stats: [
+            ("decisions".to_string(), ground.decisions),
+            ("propagations".to_string(), ground.propagations),
+            ("conflicts".to_string(), ground.conflicts),
+            ("learned_clauses".to_string(), ground.learned_clauses),
+        ]
+        .into_iter()
+        .collect(),
     }
 }
 
@@ -126,10 +139,17 @@ pub fn to_bench_json(rows: &[Table1Row], meta: &BenchMeta) -> String {
                 .map(|(k, v)| (k.clone(), v.to_string()))
                 .collect(),
         );
+        let ground = map_json(
+            row.ground_stats
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_string()))
+                .collect(),
+        );
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"methods\": {}, \"methods_verified\": {}, \
              \"sequents_total\": {}, \"sequents_proved\": {}, \"wall_ms\": {}, \
-             \"cache_hits\": {}, \"provers\": {}, \"stage_ms\": {}}}{}\n",
+             \"cache_hits\": {}, \"provers\": {}, \"stage_ms\": {}, \
+             \"ground_stats\": {}}}{}\n",
             row.name,
             row.methods,
             row.methods_verified,
@@ -139,6 +159,7 @@ pub fn to_bench_json(rows: &[Table1Row], meta: &BenchMeta) -> String {
             row.cache_hits,
             provers,
             stages,
+            ground,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -153,9 +174,10 @@ pub fn to_bench_json(rows: &[Table1Row], meta: &BenchMeta) -> String {
 pub fn render_markdown(rows: &[Table1Row], meta: &BenchMeta) -> String {
     let mut out = String::from("## Table 1 benchmark results\n\n");
     out.push_str(
-        "| Benchmark | Methods | Sequents | Wall (ms) | Discharged by | Stage cost (ms) |\n",
+        "| Benchmark | Methods | Sequents | Wall (ms) | Discharged by | Stage cost (ms) | \
+         Ground dec/prop/conf/learn |\n",
     );
-    out.push_str("|---|---|---|---|---|---|\n");
+    out.push_str("|---|---|---|---|---|---|---|\n");
     let fmt_map = |entries: Vec<String>| {
         if entries.is_empty() {
             "—".to_string()
@@ -177,8 +199,9 @@ pub fn render_markdown(rows: &[Table1Row], meta: &BenchMeta) -> String {
                 .map(|(stage, ms)| format!("{stage} {ms}"))
                 .collect(),
         );
+        let stat = |key: &str| row.ground_stats.get(key).copied().unwrap_or(0);
         out.push_str(&format!(
-            "| {} | {}/{} | {}/{} | {} | {} | {} |\n",
+            "| {} | {}/{} | {}/{} | {} | {} | {} | {}/{}/{}/{} |\n",
             row.name,
             row.methods_verified,
             row.methods,
@@ -187,6 +210,10 @@ pub fn render_markdown(rows: &[Table1Row], meta: &BenchMeta) -> String {
             row.time.as_millis(),
             provers,
             stages,
+            stat("decisions"),
+            stat("propagations"),
+            stat("conflicts"),
+            stat("learned_clauses"),
         ));
     }
     let methods_verified: usize = rows.iter().map(|r| r.methods_verified).sum();
@@ -199,6 +226,18 @@ pub fn render_markdown(rows: &[Table1Row], meta: &BenchMeta) -> String {
         out.push_str(&format!(" (pre-E-matching baseline: {baseline} ms)"));
     }
     out.push('\n');
+    let total_stat = |key: &str| -> u64 {
+        rows.iter()
+            .map(|r| r.ground_stats.get(key).copied().unwrap_or(0))
+            .sum()
+    };
+    out.push_str(&format!(
+        "\nGround CDCL core: {} decisions, {} propagations, {} conflicts, {} learned clauses\n",
+        total_stat("decisions"),
+        total_stat("propagations"),
+        total_stat("conflicts"),
+        total_stat("learned_clauses"),
+    ));
     out.push_str(&format!(
         "\nScheduler: {} worker thread{}, {} proof-cache hit{}",
         meta.jobs,
@@ -310,6 +349,7 @@ mod tests {
                     prover_counts: Default::default(),
                     stage_ms: Default::default(),
                     cache_hits: 0,
+                    ground_stats: Default::default(),
                 }
             })
             .collect();
@@ -342,6 +382,14 @@ mod tests {
             .into_iter()
             .collect(),
             cache_hits: 7,
+            ground_stats: [
+                ("decisions".to_string(), 63u64),
+                ("propagations".to_string(), 566u64),
+                ("conflicts".to_string(), 73u64),
+                ("learned_clauses".to_string(), 18u64),
+            ]
+            .into_iter()
+            .collect(),
         };
         let meta = BenchMeta {
             total_wall_ms: 1234,
@@ -351,6 +399,10 @@ mod tests {
             sequential_wall_ms: Some(2500),
         };
         let json = to_bench_json(&[row], &meta);
+        assert!(json.contains(
+            "\"ground_stats\": {\"conflicts\": 73, \"decisions\": 63, \
+             \"learned_clauses\": 18, \"propagations\": 566}"
+        ));
         assert!(json.contains("\"total_wall_ms\": 1234"));
         assert!(json.contains("\"baseline_total_wall_ms\": 3456"));
         assert!(json.contains("\"jobs\": 4"));

@@ -136,6 +136,18 @@ fn main() {
         "  threads: {}, proof-cache hits: {}",
         meta.jobs, meta.cache_hits
     );
+    let ground_total = |key: &str| -> u64 {
+        rows.iter()
+            .map(|r| r.ground_stats.get(key).copied().unwrap_or(0))
+            .sum()
+    };
+    println!(
+        "  ground CDCL: {} decisions, {} propagations, {} conflicts, {} learned clauses",
+        ground_total("decisions"),
+        ground_total("propagations"),
+        ground_total("conflicts"),
+        ground_total("learned_clauses"),
+    );
     if let Some(sequential) = sequential_wall_ms {
         println!(
             "  sequential/uncached control: {sequential} ms ({:.2}x speedup)",
