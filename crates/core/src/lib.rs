@@ -39,8 +39,12 @@ use ipl_gcl::wlp::vc_of;
 use ipl_lang::lower::{lower_module, LoweredMethod};
 use ipl_lang::Module;
 use ipl_logic::Labeled;
+use ipl_provers::cache::{Fingerprint, ProofCache};
+use ipl_provers::cache_store::CacheStore;
 use ipl_provers::{Cascade, Outcome, ProverAnswer, ProverConfig, Query};
 pub use report::{MethodReport, ModuleReport, SequentReport};
+use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -62,6 +66,13 @@ pub struct VerifyOptions {
     /// Worker threads proving sequents concurrently; `0` (the default) uses
     /// the machine's available parallelism, `1` forces the sequential path.
     pub jobs: usize,
+    /// Directory of the persistent proof store (see
+    /// [`ipl_provers::cache_store`]).  When set (and the in-memory cache is
+    /// enabled), previously persisted proofs are preloaded before dispatch
+    /// and every freshly proved sequent is appended after — so re-verifying
+    /// an unchanged module in a *new process* costs one fingerprint lookup
+    /// per sequent.  `None` (the default) keeps the cache process-local.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for VerifyOptions {
@@ -72,6 +83,7 @@ impl Default for VerifyOptions {
             use_from_clauses: true,
             record_sequents: true,
             jobs: 0,
+            cache_dir: None,
         }
     }
 }
@@ -116,6 +128,21 @@ pub fn verify_source(source: &str, options: &VerifyOptions) -> Result<ModuleRepo
     verify_module(&module, options)
 }
 
+/// Re-verifies a module from source text, replaying the unchanged sequents of
+/// a previous run (see [`verify_module_incremental`]).
+///
+/// # Errors
+///
+/// Returns an error string when parsing or lowering fails.
+pub fn verify_source_incremental(
+    source: &str,
+    previous: &ModuleReport,
+    options: &VerifyOptions,
+) -> Result<ModuleReport, String> {
+    let module = ipl_lang::parse_module(source).map_err(|e| e.to_string())?;
+    verify_module_incremental(&module, previous, options)
+}
+
 /// Verifies a parsed module, proving the sequents of all its methods on the
 /// configured worker pool.
 ///
@@ -123,11 +150,62 @@ pub fn verify_source(source: &str, options: &VerifyOptions) -> Result<ModuleRepo
 ///
 /// Returns an error string when lowering fails.
 pub fn verify_module(module: &Module, options: &VerifyOptions) -> Result<ModuleReport, String> {
+    verify_module_inner(module, options, None)
+}
+
+/// Re-verifies a module given the report of a previous run: a sequent whose
+/// content fingerprint is unchanged since `previous` replays its recorded
+/// outcome without dispatching the cascade (a previously proved sequent
+/// counts as a cache hit with its original prover attribution; a previously
+/// unproved one skips the expensive re-attempt, which is the steady-state
+/// saving after an edit).  Fingerprint-changed and new sequents are proved
+/// normally.
+///
+/// Replay requires `previous` to carry per-sequent fingerprints — i.e. it
+/// must come from a run with [`VerifyOptions::record_sequents`] and the
+/// proof cache enabled.  Sequents without a matching prior fingerprint
+/// degrade gracefully to a full cascade dispatch, so the result is always as
+/// if the module had been verified from scratch under the same store.
+///
+/// # Errors
+///
+/// Returns an error string when lowering fails.
+pub fn verify_module_incremental(
+    module: &Module,
+    previous: &ModuleReport,
+    options: &VerifyOptions,
+) -> Result<ModuleReport, String> {
+    verify_module_inner(module, options, Some(previous))
+}
+
+fn verify_module_inner(
+    module: &Module,
+    options: &VerifyOptions,
+    previous: Option<&ModuleReport>,
+) -> Result<ModuleReport, String> {
     let lowered = lower_module(module).map_err(|e| e.to_string())?;
     let cascade = Cascade::standard(options.config);
+    let prover_names = cascade.prover_names();
     let jobs = options.effective_jobs();
     let mut report = ModuleReport::new(&lowered.name, module);
     report.jobs = jobs;
+
+    // Per-run telemetry starts from zero: without this, a later run in the
+    // same process (Table 2's double run, `--compare-sequential`) inherits
+    // the previous run's hit/miss counters.  The *entries* stay, which is the
+    // point of the cache.
+    let cache = ProofCache::global();
+    cache.reset_stats();
+
+    // The persistent store, when configured: preload every proved fingerprint
+    // from disk so this process starts as warm as the last one ended.
+    let mut store = open_store(options, &prover_names);
+    if let Some(store) = &store {
+        store.preload(cache);
+    }
+
+    // The previous run's per-sequent fingerprints, for incremental replay.
+    let prior = previous.map(prior_index).unwrap_or_default();
 
     // Wave 1: the pipeline front-end, one work item per method.
     let prepared = parallel_map(jobs, &lowered.methods, |method| prepare(method, options));
@@ -144,12 +222,34 @@ pub fn verify_module(module: &Module, options: &VerifyOptions) -> Result<ModuleR
     }
     let answers = parallel_map(jobs, &work, |&(method_index, sequent_index)| {
         let p = &prepared[method_index];
-        cascade.prove(&sequent_query(
-            &p.sequents[sequent_index],
-            &p.method.env,
-            options,
-        ))
+        let sequent = &p.sequents[sequent_index];
+        let query = sequent_query(sequent, &p.method.env, options);
+        if options.config.use_cache && !prior.is_empty() {
+            let fingerprint = ProofCache::fingerprint(&query, &options.config, &prover_names);
+            if let Some(prev) = prior.get(&(p.method.name.as_str(), sequent.name.as_str())) {
+                if prev.fingerprint == Some(fingerprint.as_u128()) {
+                    return replay_answer(prev, fingerprint);
+                }
+            }
+        }
+        cascade.prove(&query)
     });
+
+    // Persist this run's freshly proved fingerprints before the answers are
+    // consumed (`append_new` skips everything already on disk).
+    if let Some(store) = &mut store {
+        let proved: Vec<(Fingerprint, String)> = answers
+            .iter()
+            .filter(|answer| answer.outcome == Outcome::Proved)
+            .filter_map(|answer| Some((answer.fingerprint?, answer.prover.clone()?)))
+            .collect();
+        if let Err(e) = store.append_new(&proved) {
+            eprintln!(
+                "warning: could not persist proofs to {}: {e}",
+                store.path().display()
+            );
+        }
+    }
 
     // Deterministic assembly in input order.
     let mut per_method: Vec<Vec<(usize, ProverAnswer)>> = vec![Vec::new(); prepared.len()];
@@ -160,6 +260,59 @@ pub fn verify_module(module: &Module, options: &VerifyOptions) -> Result<ModuleR
         report.methods.push(assemble(p, answers, options));
     }
     Ok(report)
+}
+
+/// Opens the persistent store when `cache_dir` is configured and the
+/// in-memory cache is on.  A store that cannot be opened (permissions, disk)
+/// degrades to cache-only verification with a warning — persistence is an
+/// accelerator, never a correctness dependency.
+fn open_store(options: &VerifyOptions, prover_names: &[&str]) -> Option<CacheStore> {
+    let dir = options.cache_dir.as_ref()?;
+    if !options.config.use_cache {
+        return None;
+    }
+    match CacheStore::open(dir, &options.config, prover_names) {
+        Ok(store) => Some(store),
+        Err(e) => {
+            eprintln!("warning: proof store in {} unavailable: {e}", dir.display());
+            None
+        }
+    }
+}
+
+/// Indexes a previous report's recorded sequents by `(method, sequent)` name
+/// for incremental replay.  Sequents recorded without a fingerprint (cache
+/// disabled, pre-store report) are skipped — they can only be re-proved.
+fn prior_index(previous: &ModuleReport) -> HashMap<(&str, &str), &SequentReport> {
+    let mut index = HashMap::new();
+    for method in &previous.methods {
+        for sequent in &method.sequents {
+            if sequent.fingerprint.is_some() {
+                index.insert((method.name.as_str(), sequent.name.as_str()), sequent);
+            }
+        }
+    }
+    index
+}
+
+/// The answer replayed for a sequent whose fingerprint is unchanged since the
+/// previous run: same outcome, same prover attribution, no cascade dispatch.
+/// Only proved replays count as cache hits (an unproved sequent was answered
+/// by the previous run's *absence* of a proof, not by the cache).
+fn replay_answer(previous: &SequentReport, fingerprint: Fingerprint) -> ProverAnswer {
+    let start = Instant::now();
+    ProverAnswer {
+        outcome: if previous.proved {
+            Outcome::Proved
+        } else {
+            Outcome::Unknown
+        },
+        prover: previous.prover.clone(),
+        duration: start.elapsed(),
+        stage_durations: Vec::new(),
+        cached: previous.proved,
+        fingerprint: Some(fingerprint),
+    }
 }
 
 /// Verifies one lowered method (the standalone entry point used by tests and
@@ -280,6 +433,7 @@ fn assemble(
                 proved: answer.outcome == Outcome::Proved,
                 prover: answer.prover.clone(),
                 duration: answer.duration,
+                fingerprint: answer.fingerprint.map(Fingerprint::as_u128),
             });
         }
     }

@@ -20,6 +20,12 @@ pub struct SequentReport {
     pub prover: Option<String>,
     /// Time spent on this sequent across the cascade.
     pub duration: Duration,
+    /// Raw 128-bit content fingerprint of the dispatched query (present when
+    /// the proof cache was enabled).  `verify_module_incremental` matches
+    /// this against the next run's fingerprints to decide which sequents can
+    /// replay; it is excluded from [`ModuleReport::normalized`] like every
+    /// other non-semantic field.
+    pub fingerprint: Option<u128>,
 }
 
 /// Outcome of one method.

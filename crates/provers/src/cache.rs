@@ -39,6 +39,20 @@ const SHARD_COUNT: usize = 16;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Fingerprint(u128);
 
+impl Fingerprint {
+    /// The raw 128-bit value (for on-disk persistence; see
+    /// [`crate::cache_store`]).
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+
+    /// Reconstructs a fingerprint from its raw value (when replaying a
+    /// persisted store entry).
+    pub fn from_u128(raw: u128) -> Fingerprint {
+        Fingerprint(raw)
+    }
+}
+
 /// Counters describing cache effectiveness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -129,6 +143,15 @@ impl ProofCache {
         for shard in &self.shards {
             shard.lock().expect("proof-cache shard poisoned").clear();
         }
+        self.reset_stats();
+    }
+
+    /// Resets the hit/miss counters while keeping every entry.  The driver
+    /// calls this at the start of each `verify_module` invocation so that
+    /// per-run telemetry (the bench harnesses' hit counts) never inherits a
+    /// previous run's counters — the entries themselves stay shared across
+    /// runs, which is the point of the cache.
+    pub fn reset_stats(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }

@@ -1,0 +1,563 @@
+//! The persistent proof store: an on-disk, append-only log of proved
+//! sequent fingerprints.
+//!
+//! The in-memory [`ProofCache`](crate::cache::ProofCache) answers repeat
+//! dispatches for free *within* one process; this module makes the cache
+//! outlive the process, so that a warm re-run of an unchanged module — a CI
+//! job on an untouched branch, the second keystroke in an editor session —
+//! costs only the front-end plus one hash lookup per sequent.  The design
+//! follows the prove-once/check-cheaply asymmetry: proving a sequent is
+//! expensive, replaying its 128-bit content fingerprint is a set probe.
+//!
+//! ## File format
+//!
+//! One store file per `(schema version, prover configuration)` pair, named
+//! `proofs-v{schema}-{config:016x}.iplstore` inside the cache directory.  The
+//! file is a 20-byte header followed by variable-length entries:
+//!
+//! ```text
+//! header:  magic "IPLPROOF" | schema version (u32 LE) | config hash (u64 LE)
+//! entry:   prover len (u16 LE) | fingerprint (u128 LE) | config hash (u64 LE)
+//!          | prover name bytes | checksum (u64 LE)
+//! ```
+//!
+//! The checksum covers every preceding byte of the entry, so a torn write
+//! (crash mid-append, disk full) invalidates exactly the tail entry.
+//!
+//! ## Crash safety and concurrency
+//!
+//! *Loading* walks the log from the front and stops at the first entry whose
+//! length or checksum does not add up; the corrupt tail is **truncated**,
+//! never replayed — every complete entry before it survives.  A file whose
+//! header does not match the expected magic, schema version and configuration
+//! hash is treated as poisoned: its contents are ignored wholesale and the
+//! file is rewritten fresh (its *name* claimed our schema, so its bytes are
+//! untrustworthy).
+//!
+//! *Concurrent processes* sharing one cache directory are safe: every load
+//! and every append happens under an OS advisory file lock
+//! ([`std::fs::File::lock`]), and appends are single `write` calls on a file
+//! opened in append mode, so entries from two processes interleave at entry
+//! granularity.  A store handle only indexes the entries it has seen; a
+//! fresh `open` picks up everything every process appended.
+//!
+//! Safety does **not** rest on the header alone: fingerprints themselves hash
+//! the full `ProverConfig` and the cascade line-up (see
+//! [`ProofCache::fingerprint`](crate::cache::ProofCache::fingerprint)), so
+//! even a store entry smuggled into the wrong file can never answer a query
+//! it was not proved under.  The header and per-entry config hash exist to
+//! keep files separated and corruption detectable, not as the soundness
+//! boundary.
+
+use crate::cache::{Fingerprint, ProofCache};
+use crate::ProverConfig;
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::hash::{Hash, Hasher};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Version of the on-disk layout *and* of the fingerprint function.  Bump it
+/// whenever either changes — old files are then ignored (their filename no
+/// longer matches), never misinterpreted.
+pub const SCHEMA_VERSION: u32 = 1;
+
+const MAGIC: [u8; 8] = *b"IPLPROOF";
+const HEADER_LEN: usize = 8 + 4 + 8;
+/// Longest admissible prover name; anything larger marks a corrupt entry.
+const MAX_PROVER_LEN: usize = 256;
+
+/// A persistent, append-only store of proved fingerprints backing the
+/// in-memory [`ProofCache`].
+pub struct CacheStore {
+    file: File,
+    path: PathBuf,
+    config_hash: u64,
+    /// Fingerprints known to be on disk (loaded or appended through this
+    /// handle); `append_new` skips them.
+    index: HashSet<u128>,
+    /// Entries read at open time, in log order.
+    loaded: Vec<(u128, String)>,
+    /// Bytes of corrupt/truncated tail discarded at open time.
+    recovered_bytes: u64,
+    /// `true` when the existing file had a foreign or damaged header and was
+    /// rewritten from scratch.
+    poisoned: bool,
+}
+
+impl std::fmt::Debug for CacheStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheStore")
+            .field("path", &self.path)
+            .field("entries", &self.index.len())
+            .field("recovered_bytes", &self.recovered_bytes)
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
+}
+
+impl CacheStore {
+    /// The configuration key a store file is segregated by: a deterministic
+    /// hash of the prover budgets and the cascade line-up.  (Deterministic
+    /// within one toolchain; the schema version in the filename guards
+    /// cross-version drift of the hasher itself.)
+    pub fn config_key(config: &ProverConfig, provers: &[&str]) -> u64 {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        0x5157_ab5e_u64.hash(&mut hasher);
+        config.hash(&mut hasher);
+        provers.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    /// The store file path for a configuration inside `dir`.
+    pub fn file_path(dir: &Path, config: &ProverConfig, provers: &[&str]) -> PathBuf {
+        let key = Self::config_key(config, provers);
+        dir.join(format!("proofs-v{SCHEMA_VERSION}-{key:016x}.iplstore"))
+    }
+
+    /// Opens (creating if necessary) the store for `config` in `dir`, loading
+    /// every complete entry under an exclusive advisory lock.  A corrupt tail
+    /// is truncated; a file with a foreign header is rewritten fresh.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (directory creation, locking, I/O).
+    pub fn open(dir: &Path, config: &ProverConfig, provers: &[&str]) -> io::Result<CacheStore> {
+        std::fs::create_dir_all(dir)?;
+        let path = Self::file_path(dir, config, provers);
+        let config_hash = Self::config_key(config, provers);
+        let file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)?;
+        file.lock()?;
+        let result = Self::load_locked(file, path, config_hash);
+        if let Ok(store) = &result {
+            store.file.unlock()?;
+        }
+        result
+    }
+
+    fn load_locked(mut file: File, path: PathBuf, config_hash: u64) -> io::Result<CacheStore> {
+        let mut bytes = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut bytes)?;
+
+        let mut store = CacheStore {
+            file,
+            path,
+            config_hash,
+            index: HashSet::new(),
+            loaded: Vec::new(),
+            recovered_bytes: 0,
+            poisoned: false,
+        };
+
+        if bytes.is_empty() {
+            store.write_header()?;
+            return Ok(store);
+        }
+        if !header_matches(&bytes, config_hash) {
+            // Poisoned: the name promised our schema and configuration but
+            // the header disagrees.  Nothing in the file can be trusted.
+            store.poisoned = true;
+            store.file.set_len(0)?;
+            store.write_header()?;
+            return Ok(store);
+        }
+
+        let mut pos = HEADER_LEN;
+        while pos < bytes.len() {
+            match decode_entry(&bytes[pos..], config_hash) {
+                Some((fingerprint, prover, consumed)) => {
+                    if store.index.insert(fingerprint) {
+                        store.loaded.push((fingerprint, prover));
+                    }
+                    pos += consumed;
+                }
+                None => break,
+            }
+        }
+        if pos < bytes.len() {
+            // Torn or corrupt tail: drop it so future appends stay readable.
+            store.recovered_bytes = (bytes.len() - pos) as u64;
+            store.file.set_len(pos as u64)?;
+        }
+        Ok(store)
+    }
+
+    fn write_header(&mut self) -> io::Result<()> {
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
+        header.extend_from_slice(&self.config_hash.to_le_bytes());
+        self.file.write_all(&header)
+    }
+
+    /// The store file backing this handle.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of distinct fingerprints this handle knows to be on disk.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` when no entry has been loaded or appended through this handle.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Entries read from disk when the store was opened, in log order.
+    pub fn loaded_entries(&self) -> &[(u128, String)] {
+        &self.loaded
+    }
+
+    /// Bytes of corrupt tail discarded when the store was opened.
+    pub fn recovered_bytes(&self) -> u64 {
+        self.recovered_bytes
+    }
+
+    /// `true` when the existing file had a foreign header and was ignored.
+    pub fn was_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Whether a fingerprint is known to be persisted.
+    pub fn contains(&self, fingerprint: Fingerprint) -> bool {
+        self.index.contains(&fingerprint.as_u128())
+    }
+
+    /// Replays every loaded entry into the in-memory cache (without touching
+    /// its hit/miss counters), returning how many were inserted.
+    pub fn preload(&self, cache: &ProofCache) -> usize {
+        for (fingerprint, prover) in &self.loaded {
+            cache.record(Fingerprint::from_u128(*fingerprint), prover);
+        }
+        self.loaded.len()
+    }
+
+    /// Appends the entries whose fingerprints this handle has not yet
+    /// persisted, as one locked, single-`write` batch.  Returns how many
+    /// entries were written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates locking and write errors; on error no entry is recorded in
+    /// the handle's index (the batch may be partially on disk, protected by
+    /// per-entry checksums).
+    pub fn append_new(&mut self, entries: &[(Fingerprint, String)]) -> io::Result<usize> {
+        let fresh: Vec<&(Fingerprint, String)> = entries
+            .iter()
+            .filter(|(fingerprint, _)| !self.index.contains(&fingerprint.as_u128()))
+            .collect();
+        if fresh.is_empty() {
+            return Ok(0);
+        }
+        let mut buffer = Vec::new();
+        for (fingerprint, prover) in &fresh {
+            encode_entry(&mut buffer, fingerprint.as_u128(), prover, self.config_hash);
+        }
+        self.file.lock()?;
+        let written = self
+            .file
+            .write_all(&buffer)
+            .and_then(|()| self.file.flush());
+        self.file.unlock()?;
+        written?;
+        let mut count = 0;
+        for (fingerprint, _) in &fresh {
+            if self.index.insert(fingerprint.as_u128()) {
+                count += 1;
+            }
+        }
+        Ok(count)
+    }
+}
+
+/// Summary of one store file, for `ipl cache` diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreInfo {
+    /// The store file.
+    pub path: PathBuf,
+    /// Schema version from the header (`None` when the header is foreign).
+    pub schema_version: Option<u32>,
+    /// Complete entries in the log.
+    pub entries: usize,
+    /// Bytes of corrupt tail that a load would discard.
+    pub corrupt_tail_bytes: u64,
+}
+
+/// Inspects a store file without locking or modifying it.
+///
+/// # Errors
+///
+/// Propagates read errors.
+pub fn inspect(path: &Path) -> io::Result<StoreInfo> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < HEADER_LEN || bytes[..8] != MAGIC {
+        return Ok(StoreInfo {
+            path: path.to_path_buf(),
+            schema_version: None,
+            entries: 0,
+            corrupt_tail_bytes: bytes.len() as u64,
+        });
+    }
+    let schema = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let config_hash = u64::from_le_bytes(bytes[12..HEADER_LEN].try_into().expect("8 bytes"));
+    let mut pos = HEADER_LEN;
+    let mut entries = 0;
+    while pos < bytes.len() {
+        match decode_entry(&bytes[pos..], config_hash) {
+            Some((_, _, consumed)) => {
+                entries += 1;
+                pos += consumed;
+            }
+            None => break,
+        }
+    }
+    Ok(StoreInfo {
+        path: path.to_path_buf(),
+        schema_version: Some(schema),
+        entries,
+        corrupt_tail_bytes: (bytes.len() - pos) as u64,
+    })
+}
+
+/// Lists every store file in a cache directory (any configuration).
+///
+/// # Errors
+///
+/// Propagates directory-read errors; a missing directory yields an empty
+/// list.
+pub fn scan_dir(dir: &Path) -> io::Result<Vec<StoreInfo>> {
+    let mut infos = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(infos),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("iplstore") {
+            infos.push(inspect(&path)?);
+        }
+    }
+    infos.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(infos)
+}
+
+fn header_matches(bytes: &[u8], config_hash: u64) -> bool {
+    bytes.len() >= HEADER_LEN
+        && bytes[..8] == MAGIC
+        && bytes[8..12] == SCHEMA_VERSION.to_le_bytes()
+        && bytes[12..HEADER_LEN] == config_hash.to_le_bytes()
+}
+
+fn encode_entry(out: &mut Vec<u8>, fingerprint: u128, prover: &str, config_hash: u64) {
+    let start = out.len();
+    out.extend_from_slice(&(prover.len() as u16).to_le_bytes());
+    out.extend_from_slice(&fingerprint.to_le_bytes());
+    out.extend_from_slice(&config_hash.to_le_bytes());
+    out.extend_from_slice(prover.as_bytes());
+    let checksum = entry_checksum(&out[start..]);
+    out.extend_from_slice(&checksum.to_le_bytes());
+}
+
+/// Decodes one entry from the front of `bytes`; returns the fingerprint, the
+/// prover name and the number of bytes consumed, or `None` when the entry is
+/// incomplete, fails its checksum, or was written under another
+/// configuration.
+fn decode_entry(bytes: &[u8], config_hash: u64) -> Option<(u128, String, usize)> {
+    if bytes.len() < 2 {
+        return None;
+    }
+    let prover_len = u16::from_le_bytes(bytes[..2].try_into().expect("2 bytes")) as usize;
+    if prover_len > MAX_PROVER_LEN {
+        return None;
+    }
+    let body_len = 2 + 16 + 8 + prover_len;
+    let total_len = body_len + 8;
+    if bytes.len() < total_len {
+        return None;
+    }
+    let stored_checksum = u64::from_le_bytes(bytes[body_len..total_len].try_into().expect("8"));
+    if entry_checksum(&bytes[..body_len]) != stored_checksum {
+        return None;
+    }
+    let fingerprint = u128::from_le_bytes(bytes[2..18].try_into().expect("16 bytes"));
+    let entry_config = u64::from_le_bytes(bytes[18..26].try_into().expect("8 bytes"));
+    if entry_config != config_hash {
+        return None;
+    }
+    let prover = std::str::from_utf8(&bytes[26..body_len]).ok()?.to_string();
+    Some((fingerprint, prover, total_len))
+}
+
+fn entry_checksum(bytes: &[u8]) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    0xc0a1_e5ce_u64.hash(&mut hasher);
+    bytes.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ipl-store-test-{}-{tag}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fp(raw: u128) -> Fingerprint {
+        Fingerprint::from_u128(raw)
+    }
+
+    #[test]
+    fn entries_survive_reopen() {
+        let dir = temp_dir("reopen");
+        let config = ProverConfig::default();
+        let provers = ["syntactic", "smt-ground"];
+        let mut store = CacheStore::open(&dir, &config, &provers).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(
+            store
+                .append_new(&[(fp(1), "smt-ground".into()), (fp(2), "bapa".into())])
+                .unwrap(),
+            2
+        );
+        // Appending the same fingerprints again is a no-op.
+        assert_eq!(
+            store.append_new(&[(fp(1), "smt-ground".into())]).unwrap(),
+            0
+        );
+
+        let reopened = CacheStore::open(&dir, &config, &provers).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert!(reopened.contains(fp(1)));
+        assert!(reopened.contains(fp(2)));
+        assert_eq!(reopened.recovered_bytes(), 0);
+        assert!(!reopened.was_poisoned());
+        let mut loaded = reopened.loaded_entries().to_vec();
+        loaded.sort();
+        assert_eq!(loaded, vec![(1, "smt-ground".into()), (2, "bapa".into())]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_configs_use_different_files() {
+        let dir = temp_dir("configs");
+        let provers = ["smt-ground"];
+        let mut default_store = CacheStore::open(&dir, &ProverConfig::default(), &provers).unwrap();
+        default_store
+            .append_new(&[(fp(7), "smt-ground".into())])
+            .unwrap();
+        let quick_store = CacheStore::open(&dir, &ProverConfig::quick(), &provers).unwrap();
+        assert_ne!(default_store.path(), quick_store.path());
+        assert!(quick_store.is_empty());
+        // The line-up is part of the key too.
+        assert_ne!(
+            CacheStore::file_path(&dir, &ProverConfig::default(), &provers),
+            CacheStore::file_path(&dir, &ProverConfig::default(), &["syntactic"])
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_and_store_stays_usable() {
+        let dir = temp_dir("truncate");
+        let config = ProverConfig::default();
+        let provers = ["smt-ground"];
+        let mut store = CacheStore::open(&dir, &config, &provers).unwrap();
+        store
+            .append_new(&[(fp(10), "a".into()), (fp(11), "b".into())])
+            .unwrap();
+        let path = store.path().to_path_buf();
+        drop(store);
+        // Chop the last 5 bytes: the second entry's checksum is torn.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let mut recovered = CacheStore::open(&dir, &config, &provers).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert!(recovered.contains(fp(10)));
+        assert!(!recovered.contains(fp(11)));
+        assert!(recovered.recovered_bytes() > 0);
+        // The file was truncated to the last good entry, so appends land on a
+        // clean boundary and survive the next load.
+        recovered.append_new(&[(fp(12), "c".into())]).unwrap();
+        let reopened = CacheStore::open(&dir, &config, &provers).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert!(reopened.contains(fp(12)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_header_is_ignored_not_replayed() {
+        let dir = temp_dir("poison");
+        let config = ProverConfig::default();
+        let provers = ["smt-ground"];
+        let mut store = CacheStore::open(&dir, &config, &provers).unwrap();
+        store.append_new(&[(fp(21), "a".into())]).unwrap();
+        let path = store.path().to_path_buf();
+        drop(store);
+        // Flip the schema version in the header: the file now claims a layout
+        // we do not understand.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] = bytes[8].wrapping_add(1);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let fresh = CacheStore::open(&dir, &config, &provers).unwrap();
+        assert!(fresh.was_poisoned());
+        assert!(fresh.is_empty(), "poisoned entries must not be replayed");
+        // And the rewritten file is sound again.
+        let reopened = CacheStore::open(&dir, &config, &provers).unwrap();
+        assert!(!reopened.was_poisoned());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn preload_feeds_the_memory_cache() {
+        let dir = temp_dir("preload");
+        let config = ProverConfig::default();
+        let provers = ["smt-ground"];
+        let raw = 0xdead_beef_dead_beef_dead_beef_dead_beefu128;
+        {
+            let mut store = CacheStore::open(&dir, &config, &provers).unwrap();
+            store.append_new(&[(fp(raw), "smt-ground".into())]).unwrap();
+        }
+        let store = CacheStore::open(&dir, &config, &provers).unwrap();
+        let cache = ProofCache::global();
+        assert_eq!(store.preload(cache), 1);
+        assert_eq!(cache.lookup(fp(raw)).as_deref(), Some("smt-ground"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inspect_reports_header_and_entry_counts() {
+        let dir = temp_dir("inspect");
+        let config = ProverConfig::default();
+        let provers = ["smt-ground"];
+        let mut store = CacheStore::open(&dir, &config, &provers).unwrap();
+        store
+            .append_new(&[(fp(1), "a".into()), (fp(2), "b".into())])
+            .unwrap();
+        let info = inspect(store.path()).unwrap();
+        assert_eq!(info.schema_version, Some(SCHEMA_VERSION));
+        assert_eq!(info.entries, 2);
+        assert_eq!(info.corrupt_tail_bytes, 0);
+        let scanned = scan_dir(&dir).unwrap();
+        assert_eq!(scanned.len(), 1);
+        assert_eq!(scanned[0], info);
+        assert!(scan_dir(&dir.join("missing")).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -6,7 +6,7 @@
 //! succeeds wins; if all fail the sequent is reported unproved (in the paper
 //! this is the signal for the developer to add proof-language guidance).
 
-use crate::cache::ProofCache;
+use crate::cache::{Fingerprint, ProofCache};
 use crate::ground::{refute, GroundResult};
 use crate::inst::refute_with_instantiation;
 use crate::preprocess::build_problem;
@@ -33,6 +33,11 @@ pub struct ProverAnswer {
     /// `true` when the answer was replayed from the proof cache without
     /// running any prover.
     pub cached: bool,
+    /// Content fingerprint of the query (present when the cache was
+    /// consulted, i.e. [`ProverConfig::use_cache`]).  The verification driver
+    /// uses it to persist freshly proved sequents to the on-disk store and to
+    /// match sequents across incremental re-verification runs.
+    pub fingerprint: Option<Fingerprint>,
 }
 
 /// The ground SMT-lite prover (no quantifier instantiation).
@@ -237,6 +242,7 @@ impl Cascade {
                     duration: start.elapsed(),
                     stage_durations: Vec::new(),
                     cached: true,
+                    fingerprint,
                 };
             }
         }
@@ -260,6 +266,7 @@ impl Cascade {
                     duration: start.elapsed(),
                     stage_durations,
                     cached: false,
+                    fingerprint,
                 };
             }
         }
@@ -269,6 +276,7 @@ impl Cascade {
             duration: start.elapsed(),
             stage_durations,
             cached: false,
+            fingerprint,
         }
     }
 }

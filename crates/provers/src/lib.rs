@@ -28,6 +28,7 @@
 //! bounded provers succeed, exactly as described in the paper.
 
 pub mod cache;
+pub mod cache_store;
 pub mod cascade;
 pub mod cc;
 pub mod exchange;

@@ -337,6 +337,91 @@ pub fn check_baseline(rows: &[Table1Row], total_wall_ms: u128, baseline: &Baseli
     violations
 }
 
+/// The throughput phases the regression gate compares (the cold and warm
+/// single-thread curves; the jN and edit phases are reported but not gated —
+/// their wall-clock depends on the runner's core count).
+pub const GATED_THROUGHPUT_PHASES: [&str; 2] = ["cold-j1", "warm-j1"];
+
+/// The committed `BENCH_throughput.json` baseline, reduced to what the gate
+/// needs: wall-clock per phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThroughputBaseline {
+    /// Total wall-clock of the committed run, milliseconds.
+    pub total_wall_ms: u128,
+    /// Per-phase wall-clock, milliseconds (phase name -> wall_ms).
+    pub phase_wall_ms: BTreeMap<String, u128>,
+}
+
+/// Parses a committed `BENCH_throughput.json` document (the same layout as
+/// `BENCH_table1.json`, with one entry per phase and a `wall_ms` field).
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem.
+pub fn parse_throughput_baseline(input: &str) -> Result<ThroughputBaseline, String> {
+    let doc = parse_json(input)?;
+    let total_wall_ms = doc
+        .get("total_wall_ms")
+        .and_then(Json::as_u128)
+        .ok_or("missing or non-integral total_wall_ms")?;
+    let mut phase_wall_ms = BTreeMap::new();
+    for entry in doc
+        .get("benchmarks")
+        .and_then(Json::as_array)
+        .ok_or("missing benchmarks array")?
+    {
+        let name = entry
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("phase entry without name")?
+            .to_string();
+        let wall_ms = entry
+            .get("wall_ms")
+            .and_then(Json::as_u128)
+            .ok_or_else(|| format!("phase {name} without wall_ms"))?;
+        phase_wall_ms.insert(name, wall_ms);
+    }
+    Ok(ThroughputBaseline {
+        total_wall_ms,
+        phase_wall_ms,
+    })
+}
+
+/// Gates a fresh throughput run against the committed baseline: each phase in
+/// [`GATED_THROUGHPUT_PHASES`] fails when its wall-clock exceeds the same
+/// tolerance the Table 1 gate uses ([`WALL_CLOCK_TOLERANCE`] relative,
+/// [`WALL_CLOCK_SLACK_MS`] absolute — whichever allows more), or when the
+/// phase is missing from the fresh run entirely.  Phases absent from the
+/// baseline (a newly added curve) pass by construction.
+pub fn check_throughput_baseline(
+    phases: &[(String, u128)],
+    baseline: &ThroughputBaseline,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for gated in GATED_THROUGHPUT_PHASES {
+        let Some(expected) = baseline.phase_wall_ms.get(gated) else {
+            continue;
+        };
+        let Some((_, fresh)) = phases.iter().find(|(name, _)| name == gated) else {
+            violations.push(format!(
+                "phase \"{gated}\" is in the baseline but missing from this run"
+            ));
+            continue;
+        };
+        let relative = (*expected as f64 * WALL_CLOCK_TOLERANCE).ceil() as u128;
+        let allowed = relative.max(expected + WALL_CLOCK_SLACK_MS);
+        if *fresh > allowed {
+            violations.push(format!(
+                "phase \"{gated}\" wall-clock {fresh} ms exceeds {allowed} ms \
+                 (max of {:.0}% of the {expected} ms baseline and baseline + {} ms slack)",
+                WALL_CLOCK_TOLERANCE * 100.0,
+                WALL_CLOCK_SLACK_MS
+            ));
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,6 +531,102 @@ mod tests {
         let violations = check_baseline(&rows, 1001 + WALL_CLOCK_SLACK_MS, &baseline());
         assert_eq!(violations.len(), 1);
         assert!(violations[0].contains("wall-clock"), "{violations:?}");
+    }
+
+    fn throughput_baseline() -> ThroughputBaseline {
+        ThroughputBaseline {
+            total_wall_ms: 400,
+            phase_wall_ms: [
+                ("cold-j1".to_string(), 150u128),
+                ("warm-j1".to_string(), 30u128),
+                ("edit-one-method".to_string(), 40u128),
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    #[test]
+    fn throughput_parser_round_trips_the_bench_document() {
+        let phases = vec![
+            crate::throughput::PhaseResult {
+                name: "cold-j1".to_string(),
+                jobs: 1,
+                modules: 8,
+                methods: 46,
+                methods_verified: 46,
+                sequents_total: 700,
+                sequents_proved: 690,
+                sequents_trivial: 80,
+                cache_hits: 0,
+                wall_ms: 150,
+            },
+            crate::throughput::PhaseResult {
+                name: "warm-j1".to_string(),
+                jobs: 1,
+                modules: 8,
+                methods: 46,
+                methods_verified: 46,
+                sequents_total: 700,
+                sequents_proved: 690,
+                sequents_trivial: 80,
+                cache_hits: 610,
+                wall_ms: 30,
+            },
+        ];
+        let json = crate::throughput::to_bench_json(&phases, 400, 4);
+        let parsed = parse_throughput_baseline(&json).unwrap();
+        assert_eq!(parsed.total_wall_ms, 400);
+        assert_eq!(parsed.phase_wall_ms.get("cold-j1"), Some(&150));
+        assert_eq!(parsed.phase_wall_ms.get("warm-j1"), Some(&30));
+        // And the generic table1 parser reads the same document (shared CI
+        // machinery).
+        let generic = parse_baseline(&json).unwrap();
+        assert_eq!(generic.total_wall_ms, 400);
+        assert_eq!(generic.benchmarks[1].name, "warm-j1");
+    }
+
+    #[test]
+    fn throughput_gate_passes_within_tolerance() {
+        let fresh = vec![
+            ("cold-j1".to_string(), 150 + WALL_CLOCK_SLACK_MS),
+            ("warm-j1".to_string(), 30u128),
+            ("cold-j4".to_string(), 999_999u128),
+        ];
+        assert!(check_throughput_baseline(&fresh, &throughput_baseline()).is_empty());
+    }
+
+    #[test]
+    fn throughput_gate_trips_on_cold_or_warm_regression() {
+        let cold_slow = vec![
+            ("cold-j1".to_string(), 151 + WALL_CLOCK_SLACK_MS),
+            ("warm-j1".to_string(), 30u128),
+        ];
+        let violations = check_throughput_baseline(&cold_slow, &throughput_baseline());
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("cold-j1"), "{violations:?}");
+
+        let warm_slow = vec![
+            ("cold-j1".to_string(), 150u128),
+            ("warm-j1".to_string(), 31 + WALL_CLOCK_SLACK_MS),
+        ];
+        let violations = check_throughput_baseline(&warm_slow, &throughput_baseline());
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("warm-j1"), "{violations:?}");
+    }
+
+    #[test]
+    fn throughput_gate_trips_on_missing_phase() {
+        let fresh = vec![("cold-j1".to_string(), 150u128)];
+        let violations = check_throughput_baseline(&fresh, &throughput_baseline());
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("missing"), "{violations:?}");
+        // A baseline without the gated phases (first run ever) gates nothing.
+        let empty = ThroughputBaseline {
+            total_wall_ms: 0,
+            phase_wall_ms: BTreeMap::new(),
+        };
+        assert!(check_throughput_baseline(&fresh, &empty).is_empty());
     }
 
     #[test]

@@ -7,12 +7,16 @@
 //! * [`table1`] — Table 1: per-structure method/statement/specification and
 //!   proof-construct counts together with verification time;
 //! * [`table2`] — Table 2: methods and sequents verified *without* the
-//!   integrated proof language constructs versus *with* them.
+//!   integrated proof language constructs versus *with* them;
+//! * [`throughput`] — cold/warm re-verification curves for the persistent
+//!   proof store, and the `BENCH_throughput.json` document CI gates;
+//! * [`baseline`] — the CI benchmark-regression gates for both documents.
 
 pub mod baseline;
 pub mod benchmarks;
 pub mod table1;
 pub mod table2;
+pub mod throughput;
 
 pub use benchmarks::{all, by_name, Benchmark};
 use ipl_provers::ProverConfig;

@@ -34,7 +34,6 @@ fn main() {
         jobs,
         ..ipl::core::VerifyOptions::default()
     };
-    let hits_before = ipl::provers::cache::ProofCache::global().hit_count();
     let start = Instant::now();
     let rows: Vec<ipl::suite::table2::Table2Row> = if quick {
         ["Linked List", "Cursor List", "Association List"]
@@ -48,7 +47,10 @@ fn main() {
         ipl::suite::table2::generate(&options)
     };
     let total_wall_ms = start.elapsed().as_millis();
-    let cache_hits = (ipl::provers::cache::ProofCache::global().hit_count() - hits_before) as usize;
+    // Summed from the per-row reports: the process-global cache counters are
+    // reset at the start of every `verify_module` call, so a cross-run delta
+    // of `hit_count()` would only see the last module's hits.
+    let cache_hits: usize = rows.iter().map(|r| r.cache_hits).sum();
 
     println!("{}", ipl::suite::table2::render(&rows));
     println!("  total wall-clock: {total_wall_ms} ms");

@@ -1,0 +1,210 @@
+//! `ipl` — the command-line verifier.
+//!
+//! ```text
+//! ipl verify FILE...       verify annotated modules (with optional persistent
+//!                          proof store, incremental re-verification, jobs)
+//! ipl cache DIR            inspect the proof-store files in a cache directory
+//! ```
+//!
+//! `ipl verify` is the serving entry point the ROADMAP's
+//! "verification-as-a-service" item asks for: pointed at a cache directory
+//! (`--cache-dir` or `$IPL_CACHE_DIR`), it preloads every previously proved
+//! fingerprint before dispatch and persists every fresh proof after, so the
+//! second run over an unchanged module costs one hash lookup per sequent —
+//! across processes and, with a shared directory, across machines.
+
+use ipl::core::{
+    verify_module, verify_module_incremental, ModuleReport, SequentReport, VerifyOptions,
+};
+use ipl::provers::cache_store;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: ipl verify [options] FILE...
+       ipl cache DIR
+
+verify options:
+  --cache-dir DIR    persistent proof store directory (default: $IPL_CACHE_DIR)
+  --no-cache         disable the proof cache (and the store) entirely
+  --jobs N           worker threads (0 = available parallelism)
+  --incremental      verify each file twice, replaying unchanged sequents of
+                     the first pass in the second (demonstrates/exercises the
+                     incremental path; the summary reports both passes)
+  --quiet            print only the per-module summary line
+
+`ipl cache DIR` lists every store file in DIR with its schema version,
+entry count and any corrupt tail a load would discard.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("cache") => cmd_cache(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("ipl: unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_verify(args: &[String]) -> ExitCode {
+    let mut options = VerifyOptions::default();
+    let mut cache_dir = std::env::var_os("IPL_CACHE_DIR").map(PathBuf::from);
+    let mut incremental = false;
+    let mut quiet = false;
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--cache-dir" => match iter.next() {
+                Some(dir) => cache_dir = Some(PathBuf::from(dir)),
+                None => return usage_error("--cache-dir needs a directory"),
+            },
+            "--no-cache" => {
+                options.config.use_cache = false;
+                cache_dir = None;
+            }
+            "--jobs" => match iter.next().and_then(|n| n.parse().ok()) {
+                Some(jobs) => options.jobs = jobs,
+                None => return usage_error("--jobs needs a number"),
+            },
+            "--incremental" => incremental = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                return usage_error(&format!("unknown flag `{flag}`"));
+            }
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    if files.is_empty() {
+        return usage_error("no input files");
+    }
+    options.cache_dir = cache_dir;
+
+    let mut all_proved = true;
+    for file in &files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(source) => source,
+            Err(e) => {
+                eprintln!("ipl: cannot read {}: {e}", file.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let module = match ipl::lang::parse_module(&source) {
+            Ok(module) => module,
+            Err(e) => {
+                eprintln!("ipl: {}: {e}", file.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = match verify_module(&module, &options) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("ipl: {}: {e}", file.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        print_report(file, &report, quiet);
+        if incremental {
+            match verify_module_incremental(&module, &report, &options) {
+                Ok(second) => {
+                    println!(
+                        "  incremental: {}/{} sequents replayed or cached",
+                        second.cache_hits(),
+                        second.total_sequents()
+                    );
+                    debug_assert_eq!(report.normalized(), second.normalized());
+                }
+                Err(e) => {
+                    eprintln!("ipl: {}: {e}", file.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        all_proved &= report.fully_proved();
+    }
+    if all_proved {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_report(file: &std::path::Path, report: &ModuleReport, quiet: bool) {
+    if quiet {
+        println!(
+            "{}: {}/{} methods verified, {}/{} sequents proved ({} from cache)",
+            file.display(),
+            report.methods_verified(),
+            report.method_count,
+            report.proved_sequents(),
+            report.total_sequents(),
+            report.cache_hits(),
+        );
+    } else {
+        print!("{}", report.render());
+        let failed: Vec<&SequentReport> = report
+            .methods
+            .iter()
+            .flat_map(|m| m.failed_sequents())
+            .collect();
+        if !failed.is_empty() {
+            println!(
+                "{} unproved sequent(s) — consider adding proof-language guidance",
+                failed.len()
+            );
+        }
+    }
+}
+
+fn cmd_cache(args: &[String]) -> ExitCode {
+    let [dir] = args else {
+        return usage_error("ipl cache takes exactly one directory");
+    };
+    let infos = match cache_store::scan_dir(&PathBuf::from(dir)) {
+        Ok(infos) => infos,
+        Err(e) => {
+            eprintln!("ipl: cannot scan {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if infos.is_empty() {
+        println!("{dir}: no proof-store files");
+        return ExitCode::SUCCESS;
+    }
+    for info in infos {
+        let schema = info
+            .schema_version
+            .map_or("foreign".to_string(), |v| format!("v{v}"));
+        let tail = if info.corrupt_tail_bytes > 0 {
+            format!(
+                ", {} corrupt tail bytes (will be discarded)",
+                info.corrupt_tail_bytes
+            )
+        } else {
+            String::new()
+        };
+        println!(
+            "{}: schema {schema}, {} entries{tail}",
+            info.path.display(),
+            info.entries
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("ipl: {message}\n{USAGE}");
+    ExitCode::from(2)
+}

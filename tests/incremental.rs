@@ -1,0 +1,148 @@
+//! End-to-end lifecycle of the persistent proof store and the incremental
+//! re-verification driver, over the full eight-structure benchmark suite:
+//!
+//! 1. a cold run against an empty store proves everything and persists it;
+//! 2. a warm run in a simulated new process answers ≥ 90% of the previously
+//!    proved non-trivial sequents from the store, with a byte-identical
+//!    normalised report;
+//! 3. disk store on and off produce byte-identical normalised reports;
+//! 4. `verify_module_incremental` replays an unchanged module entirely, and
+//!    re-proves only the edited method after a one-method edit.
+//!
+//! A single `#[test]` on purpose: the in-memory proof cache is process-global
+//! and is reset at several points below, so a sibling test on another thread
+//! would race it.  (The per-prover timeout is raised as in `parallel.rs`:
+//! wall-clock deadlines are the one machine-dependent budget, and this test
+//! compares reports byte-for-byte.)
+
+use ipl::core::{verify_source, verify_source_incremental, ModuleReport, VerifyOptions};
+use ipl::provers::cache::ProofCache;
+use ipl::suite::throughput::{edited_suite_sources, suite_sources};
+use std::path::PathBuf;
+
+fn options(cache_dir: Option<PathBuf>, use_cache: bool) -> VerifyOptions {
+    VerifyOptions {
+        config: ipl::provers::ProverConfig {
+            use_cache,
+            per_prover_timeout_ms: 600_000,
+            ..ipl::suite::suite_config()
+        },
+        record_sequents: true,
+        jobs: 1,
+        cache_dir,
+        ..VerifyOptions::default()
+    }
+}
+
+fn verify_all(
+    sources: &[(&str, String)],
+    options: &VerifyOptions,
+    previous: Option<&[ModuleReport]>,
+) -> Vec<ModuleReport> {
+    sources
+        .iter()
+        .enumerate()
+        .map(|(index, (name, source))| {
+            match previous.map(|p| &p[index]) {
+                Some(prev) => verify_source_incremental(source, prev, options),
+                None => verify_source(source, options),
+            }
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+        })
+        .collect()
+}
+
+fn hits(reports: &[ModuleReport]) -> usize {
+    reports.iter().map(ModuleReport::cache_hits).sum()
+}
+
+fn nontrivial_proved(reports: &[ModuleReport]) -> usize {
+    let proved: usize = reports.iter().map(ModuleReport::proved_sequents).sum();
+    let trivial: usize = reports
+        .iter()
+        .flat_map(|r| &r.methods)
+        .map(|m| m.trivial_sequents)
+        .sum();
+    proved - trivial
+}
+
+fn assert_parity(left: &[ModuleReport], right: &[ModuleReport], what: &str) {
+    for (l, r) in left.iter().zip(right) {
+        assert_eq!(
+            l.normalized(),
+            r.normalized(),
+            "{}: {what} must be byte-identical",
+            l.module_name
+        );
+    }
+}
+
+#[test]
+fn store_lifecycle_cold_warm_incremental_and_edit() {
+    let dir = std::env::temp_dir().join(format!("ipl-incremental-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let sources = suite_sources();
+    let stored = options(Some(dir.clone()), true);
+
+    // Cold: empty store, everything proved fresh and persisted.
+    ProofCache::global().reset();
+    let cold = verify_all(&sources, &stored, None);
+    let methods: usize = cold.iter().map(|r| r.method_count).sum();
+    let verified: usize = cold.iter().map(ModuleReport::methods_verified).sum();
+    assert_eq!(methods, 46, "the suite has 46 methods");
+    assert_eq!(verified, 46, "cold run verifies all 46 methods");
+    let population = nontrivial_proved(&cold);
+    assert!(population > 0);
+
+    // Warm: a "new process" (in-memory cache wiped) with the same store
+    // directory.  The disk store must carry ≥ 90% of the proved non-trivial
+    // sequents, and the normalised report must not change at all.
+    ProofCache::global().reset();
+    let warm = verify_all(&sources, &stored, None);
+    assert_parity(&cold, &warm, "cold and warm reports");
+    assert!(
+        hits(&warm) * 100 >= population * 90,
+        "warm run answered {} of {} non-trivial proved sequents from the store (< 90%)",
+        hits(&warm),
+        population
+    );
+
+    // Store off entirely: byte-identical normalised reports (the disk cache
+    // is an accelerator, never an input to the verdict).
+    ProofCache::global().reset();
+    let uncached = verify_all(&sources, &options(None, false), None);
+    assert_parity(&cold, &uncached, "stored and store-free reports");
+    assert_eq!(hits(&uncached), 0);
+
+    // Incremental replay of an unchanged suite: every previously proved
+    // sequent is answered by fingerprint match against the prior report,
+    // without any prover dispatch.
+    ProofCache::global().reset();
+    let replayed = verify_all(&sources, &stored, Some(&warm));
+    assert_parity(&cold, &replayed, "full and incremental reports");
+    assert_eq!(
+        hits(&replayed),
+        population,
+        "an unchanged suite replays every non-trivial proved sequent"
+    );
+
+    // Edit one method body (LinkedList.sizeOf): only its sequents lose their
+    // fingerprint match; the rest of the suite replays, and the edited module
+    // still fully verifies.
+    ProofCache::global().reset();
+    let edited_sources = edited_suite_sources();
+    let edited = verify_all(&edited_sources, &stored, Some(&warm));
+    let edited_verified: usize = edited.iter().map(ModuleReport::methods_verified).sum();
+    assert_eq!(edited_verified, 46, "the edited suite still verifies 46/46");
+    let replay_hits = hits(&edited);
+    assert!(
+        replay_hits < population,
+        "the edited method must actually be re-proved"
+    );
+    assert!(
+        replay_hits + 10 >= population,
+        "only the edited method re-proves: {replay_hits} of {population} replayed"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
