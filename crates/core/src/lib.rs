@@ -41,13 +41,13 @@ use ipl_lang::Module;
 use ipl_logic::Labeled;
 use ipl_provers::cache::{Fingerprint, ProofCache};
 use ipl_provers::cache_store::CacheStore;
-use ipl_provers::{Cascade, Outcome, ProverAnswer, ProverConfig, Query};
+use ipl_provers::{containment, Cascade, Outcome, ProverAnswer, ProverConfig, Query};
 pub use report::{MethodReport, ModuleReport, SequentReport};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Options controlling a verification run.
 #[derive(Debug, Clone)]
@@ -73,6 +73,13 @@ pub struct VerifyOptions {
     /// an unchanged module in a *new process* costs one fingerprint lookup
     /// per sequent.  `None` (the default) keeps the cache process-local.
     pub cache_dir: Option<PathBuf>,
+    /// Module-level wall-clock budget.  When set, the deadline flows down
+    /// through every prover's cooperative [`ipl_provers::Cancel`] token;
+    /// sequents dispatched after it passes are reported as
+    /// `Skipped(DeadlineExceeded)` and the run returns a *partial* report
+    /// instead of hanging or aborting.  `None` (the default) leaves only the
+    /// per-prover timeouts in force.
+    pub module_deadline: Option<Duration>,
 }
 
 impl Default for VerifyOptions {
@@ -84,6 +91,7 @@ impl Default for VerifyOptions {
             record_sequents: true,
             jobs: 0,
             cache_dir: None,
+            module_deadline: None,
         }
     }
 }
@@ -207,8 +215,21 @@ fn verify_module_inner(
     // The previous run's per-sequent fingerprints, for incremental replay.
     let prior = previous.map(prior_index).unwrap_or_default();
 
-    // Wave 1: the pipeline front-end, one work item per method.
-    let prepared = parallel_map(jobs, &lowered.methods, |method| prepare(method, options));
+    // The module deadline starts counting now: front-end, dispatch and
+    // retries all share one wall-clock budget.
+    let deadline = options
+        .module_deadline
+        .map(|budget| Instant::now() + budget);
+
+    // Wave 1: the pipeline front-end, one work item per method.  A panicking
+    // front-end quarantines that one method (the recovery closure marks it
+    // crashed) and the other methods proceed.
+    let prepared = parallel_map(
+        jobs,
+        &lowered.methods,
+        |method| prepare(method, options),
+        Prepared::crashed,
+    );
 
     // Wave 2: one flat work list of every non-trivial sequent in the module,
     // so a single proof-heavy method cannot serialise the pool.
@@ -220,20 +241,29 @@ fn verify_module_inner(
             }
         }
     }
-    let answers = parallel_map(jobs, &work, |&(method_index, sequent_index)| {
-        let p = &prepared[method_index];
-        let sequent = &p.sequents[sequent_index];
-        let query = sequent_query(sequent, &p.method.env, options);
-        if options.config.use_cache && !prior.is_empty() {
-            let fingerprint = ProofCache::fingerprint(&query, &options.config, &prover_names);
-            if let Some(prev) = prior.get(&(p.method.name.as_str(), sequent.name.as_str())) {
-                if prev.fingerprint == Some(fingerprint.as_u128()) {
-                    return replay_answer(prev, fingerprint);
+    let answers = parallel_map(
+        jobs,
+        &work,
+        |&(method_index, sequent_index)| {
+            let p = &prepared[method_index];
+            let sequent = &p.sequents[sequent_index];
+            let query = sequent_query(sequent, &p.method.env, options);
+            if options.config.use_cache && !prior.is_empty() {
+                let fingerprint = ProofCache::fingerprint(&query, &options.config, &prover_names);
+                if let Some(prev) = prior.get(&(p.method.name.as_str(), sequent.name.as_str())) {
+                    if prev.fingerprint == Some(fingerprint.as_u128()) {
+                        return replay_answer(prev, fingerprint);
+                    }
                 }
             }
-        }
-        cascade.prove(&query)
-    });
+            cascade.prove_under(&query, deadline)
+        },
+        // A panic that escapes even the cascade's own stage containment
+        // (driver bug, query construction) still only quarantines its one
+        // sequent; the worker thread survives and keeps claiming work, so
+        // `--jobs N` never degrades to N-1.
+        |_, message| crashed_answer("driver", message),
+    );
 
     // Persist this run's freshly proved fingerprints before the answers are
     // consumed (`append_new` skips everything already on disk).
@@ -283,16 +313,40 @@ fn open_store(options: &VerifyOptions, prover_names: &[&str]) -> Option<CacheSto
 /// Indexes a previous report's recorded sequents by `(method, sequent)` name
 /// for incremental replay.  Sequents recorded without a fingerprint (cache
 /// disabled, pre-store report) are skipped — they can only be re-proved.
+/// Crashed and deadline-skipped priors are also excluded: those outcomes
+/// describe the previous run's *infrastructure*, not the sequent, so the
+/// sequent gets a fresh dispatch.
 fn prior_index(previous: &ModuleReport) -> HashMap<(&str, &str), &SequentReport> {
     let mut index = HashMap::new();
     for method in &previous.methods {
         for sequent in &method.sequents {
-            if sequent.fingerprint.is_some() {
+            let replayable = !matches!(
+                sequent.outcome,
+                Outcome::Crashed { .. } | Outcome::Skipped(_)
+            );
+            if sequent.fingerprint.is_some() && replayable {
                 index.insert((method.name.as_str(), sequent.name.as_str()), sequent);
             }
         }
     }
     index
+}
+
+/// The answer recorded for a sequent whose dispatch (not any prover stage)
+/// panicked: quarantined, never a verdict.
+fn crashed_answer(stage: &str, message: String) -> ProverAnswer {
+    ProverAnswer {
+        outcome: Outcome::Crashed {
+            stage: stage.to_string(),
+            message,
+        },
+        prover: None,
+        duration: Duration::ZERO,
+        stage_durations: Vec::new(),
+        cached: false,
+        fingerprint: None,
+        retries: 0,
+    }
 }
 
 /// The answer replayed for a sequent whose fingerprint is unchanged since the
@@ -312,6 +366,7 @@ fn replay_answer(previous: &SequentReport, fingerprint: Fingerprint) -> ProverAn
         stage_durations: Vec::new(),
         cached: previous.proved,
         fingerprint: Some(fingerprint),
+        retries: 0,
     }
 }
 
@@ -322,17 +377,28 @@ pub fn verify_method(
     cascade: &Cascade,
     options: &VerifyOptions,
 ) -> MethodReport {
+    let deadline = options
+        .module_deadline
+        .map(|budget| Instant::now() + budget);
     let prepared = prepare(method, options);
     let work: Vec<usize> = (0..prepared.sequents.len())
         .filter(|&i| !prepared.sequents[i].is_trivially_valid())
         .collect();
-    let answers = parallel_map(options.effective_jobs(), &work, |&sequent_index| {
-        cascade.prove(&sequent_query(
-            &prepared.sequents[sequent_index],
-            &prepared.method.env,
-            options,
-        ))
-    });
+    let answers = parallel_map(
+        options.effective_jobs(),
+        &work,
+        |&sequent_index| {
+            cascade.prove_under(
+                &sequent_query(
+                    &prepared.sequents[sequent_index],
+                    &prepared.method.env,
+                    options,
+                ),
+                deadline,
+            )
+        },
+        |_, message| crashed_answer("driver", message),
+    );
     let answers = work.into_iter().zip(answers).collect();
     assemble(prepared, answers, options)
 }
@@ -345,6 +411,21 @@ struct Prepared<'a> {
     sequents: Vec<Sequent>,
     counts: ipl_gcl::cmd::ConstructCounts,
     front_end: std::time::Duration,
+    /// Panic message when the front-end itself crashed; the method is then
+    /// reported as one quarantined sequent instead of poisoning the run.
+    crashed: Option<String>,
+}
+
+impl<'a> Prepared<'a> {
+    fn crashed(method: &'a LoweredMethod, message: String) -> Prepared<'a> {
+        Prepared {
+            method,
+            sequents: Vec::new(),
+            counts: ipl_gcl::cmd::ConstructCounts::default(),
+            front_end: Duration::ZERO,
+            crashed: Some(message),
+        }
+    }
 }
 
 /// Runs translate → wlp → split for one method and interns every sequent
@@ -378,6 +459,7 @@ fn prepare<'a>(method: &'a LoweredMethod, options: &VerifyOptions) -> Prepared<'
         sequents,
         counts,
         front_end: start.elapsed(),
+        crashed: None,
     }
 }
 
@@ -393,6 +475,27 @@ fn assemble(
 
     let mut report = MethodReport::new(&prepared.method.name);
     report.counts = prepared.counts;
+    if let Some(message) = prepared.crashed {
+        // The front-end never produced sequents; report the method as one
+        // quarantined obligation so it can never count as verified.
+        report.total_sequents = 1;
+        report.crashed_sequents = 1;
+        if options.record_sequents {
+            report.sequents.push(SequentReport {
+                name: format!("{}::front-end", prepared.method.name),
+                goal_label: "FrontEnd".to_string(),
+                proved: false,
+                outcome: Outcome::Crashed {
+                    stage: "front-end".to_string(),
+                    message,
+                },
+                prover: None,
+                duration: Duration::ZERO,
+                fingerprint: None,
+            });
+        }
+        return report;
+    }
     let mut duration = prepared.front_end;
     for (sequent_index, sequent) in prepared.sequents.iter().enumerate() {
         if sequent.is_trivially_valid() {
@@ -410,12 +513,18 @@ fn assemble(
             Some((index, answer)) if index == sequent_index => answer,
             _ => unreachable!("every non-trivial sequent has exactly one answer"),
         };
-        if answer.outcome == Outcome::Proved {
-            report.proved_sequents += 1;
-            if let Some(prover) = &answer.prover {
-                *report.prover_counts.entry(prover.clone()).or_insert(0) += 1;
+        match &answer.outcome {
+            Outcome::Proved => {
+                report.proved_sequents += 1;
+                if let Some(prover) = &answer.prover {
+                    *report.prover_counts.entry(prover.clone()).or_insert(0) += 1;
+                }
             }
+            Outcome::Crashed { .. } => report.crashed_sequents += 1,
+            Outcome::Skipped(_) => report.skipped_sequents += 1,
+            Outcome::Unknown => {}
         }
+        report.retries += answer.retries as usize;
         if answer.cached {
             report.cache_hits += 1;
         }
@@ -430,7 +539,8 @@ fn assemble(
             report.sequents.push(SequentReport {
                 name: sequent.name.clone(),
                 goal_label: sequent.goal_label.clone(),
-                proved: answer.outcome == Outcome::Proved,
+                proved: answer.outcome.is_proved(),
+                outcome: answer.outcome.clone(),
                 prover: answer.prover.clone(),
                 duration: answer.duration,
                 fingerprint: answer.fingerprint.map(Fingerprint::as_u128),
@@ -465,13 +575,24 @@ fn sequent_query(sequent: &Sequent, env: &ipl_logic::SortEnv, options: &VerifyOp
 /// into its own slot, so the output order equals the input order no matter
 /// how the items were scheduled.  `jobs <= 1` (or a single item) runs inline
 /// without spawning.
+///
+/// Every `f` call runs inside a panic-containment boundary
+/// ([`ipl_provers::containment`]): a panicking item resolves to
+/// `recover(item, message)` instead of unwinding, so the worker thread
+/// survives and keeps claiming work — a crash degrades one slot's result,
+/// never the pool's parallelism.  (`recover` itself must not panic.)
 fn parallel_map<'a, T: Sync, R: Send>(
     jobs: usize,
     items: &'a [T],
     f: impl Fn(&'a T) -> R + Sync,
+    recover: impl Fn(&'a T, String) -> R + Sync,
 ) -> Vec<R> {
+    let run = |item: &'a T| match containment::contain(|| f(item)) {
+        Ok(result) => result,
+        Err(message) => recover(item, message),
+    };
     if jobs <= 1 || items.len() <= 1 {
-        return items.iter().map(f).collect();
+        return items.iter().map(run).collect();
     }
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
@@ -482,7 +603,7 @@ fn parallel_map<'a, T: Sync, R: Send>(
                 let Some(item) = items.get(index) else {
                     break;
                 };
-                let result = f(item);
+                let result = run(item);
                 *slots[index].lock().expect("worker slot poisoned") = Some(result);
             });
         }
@@ -628,10 +749,99 @@ mod tests {
 
     #[test]
     fn parallel_map_preserves_order() {
+        let no_crash =
+            |_: &usize, message: String| -> usize { unreachable!("unexpected crash: {message}") };
         let items: Vec<usize> = (0..100).collect();
-        let doubled = parallel_map(7, &items, |&x| x * 2);
+        let doubled = parallel_map(7, &items, |&x| x * 2, no_crash);
         assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
-        let inline = parallel_map(1, &items, |&x| x * 2);
+        let inline = parallel_map(1, &items, |&x| x * 2, no_crash);
         assert_eq!(doubled, inline);
+    }
+
+    #[test]
+    fn parallel_map_contains_worker_panics_and_keeps_the_pool_alive() {
+        let items: Vec<usize> = (0..64).collect();
+        let results = parallel_map(
+            4,
+            &items,
+            |&x| {
+                if x % 7 == 0 {
+                    panic!("poison item {x}");
+                }
+                x * 2
+            },
+            |&x, message| {
+                assert_eq!(message, format!("poison item {x}"));
+                usize::MAX
+            },
+        );
+        // Every slot is filled: the crashing items resolved to the recovery
+        // value and every other item was still processed.
+        for (x, result) in items.iter().zip(&results) {
+            if x % 7 == 0 {
+                assert_eq!(*result, usize::MAX);
+            } else {
+                assert_eq!(*result, x * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn expired_module_deadline_returns_a_partial_report() {
+        let options = VerifyOptions {
+            module_deadline: Some(Duration::ZERO),
+            config: ProverConfig {
+                use_cache: false,
+                ..ProverConfig::default()
+            },
+            ..VerifyOptions::default()
+        };
+        let report = verify_source(COUNTER, &options).unwrap();
+        assert!(!report.fully_proved());
+        assert_eq!(
+            report.skipped_sequents(),
+            report.total_sequents()
+                - report
+                    .methods
+                    .iter()
+                    .map(|m| m.trivial_sequents)
+                    .sum::<usize>(),
+            "every dispatched sequent must be deadline-skipped"
+        );
+        assert_eq!(report.crashed_sequents(), 0);
+        for method in &report.methods {
+            for sequent in &method.sequents {
+                assert!(matches!(
+                    sequent.outcome,
+                    Outcome::Skipped(ipl_provers::SkipReason::DeadlineExceeded)
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn generous_module_deadline_changes_nothing() {
+        let config = ProverConfig {
+            use_cache: false,
+            ..ProverConfig::default()
+        };
+        let plain = verify_source(
+            COUNTER,
+            &VerifyOptions {
+                config,
+                ..VerifyOptions::default()
+            },
+        )
+        .unwrap();
+        let budgeted = verify_source(
+            COUNTER,
+            &VerifyOptions {
+                config,
+                module_deadline: Some(Duration::from_secs(3600)),
+                ..VerifyOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.normalized(), budgeted.normalized());
     }
 }

@@ -3,6 +3,7 @@
 
 use ipl_gcl::cmd::ConstructCounts;
 use ipl_lang::Module;
+use ipl_provers::Outcome;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -16,6 +17,10 @@ pub struct SequentReport {
     pub goal_label: String,
     /// Whether some prover discharged it.
     pub proved: bool,
+    /// Full outcome, distinguishing an honest `Unknown` from a quarantined
+    /// crash or a deadline skip (`proved` stays in sync with
+    /// `outcome.is_proved()`).
+    pub outcome: Outcome,
     /// Which prover discharged it.
     pub prover: Option<String>,
     /// Time spent on this sequent across the cascade.
@@ -52,6 +57,14 @@ pub struct MethodReport {
     /// prover run (each still counts toward `proved_sequents`, attributed to
     /// the prover that originally discharged it).
     pub cache_hits: usize,
+    /// Sequents quarantined because a prover stage (or the driver) panicked;
+    /// counted in `total_sequents` but never in `proved_sequents`.
+    pub crashed_sequents: usize,
+    /// Sequents never dispatched because the module deadline had passed.
+    pub skipped_sequents: usize,
+    /// Budget-escalation retries run across the method's sequents (0 unless
+    /// [`ipl_provers::RetryPolicy`] is enabled).
+    pub retries: usize,
     /// Per-sequent details (when recording is enabled).
     pub sequents: Vec<SequentReport>,
 }
@@ -139,6 +152,21 @@ impl ModuleReport {
         self.methods.iter().map(|m| m.cache_hits).sum()
     }
 
+    /// Total sequents quarantined by a contained crash.
+    pub fn crashed_sequents(&self) -> usize {
+        self.methods.iter().map(|m| m.crashed_sequents).sum()
+    }
+
+    /// Total sequents skipped because the module deadline passed.
+    pub fn skipped_sequents(&self) -> usize {
+        self.methods.iter().map(|m| m.skipped_sequents).sum()
+    }
+
+    /// Total budget-escalation retries across all methods.
+    pub fn retries(&self) -> usize {
+        self.methods.iter().map(|m| m.retries).sum()
+    }
+
     /// A canonical rendering of everything *semantic* in the report — module
     /// statistics, per-method sequent outcomes, per-sequent prover
     /// attribution — excluding wall-clock timings and cache-hit counters
@@ -170,11 +198,12 @@ impl ModuleReport {
             }
             for sequent in &method.sequents {
                 out.push_str(&format!(
-                    "  sequent {} [{}] proved={} by={}\n",
+                    "  sequent {} [{}] proved={} by={} outcome={}\n",
                     sequent.name,
                     sequent.goal_label,
                     sequent.proved,
                     sequent.prover.as_deref().unwrap_or("-"),
+                    sequent.outcome.tag(),
                 ));
             }
         }
@@ -234,11 +263,28 @@ impl ModuleReport {
                 method.duration,
             ));
             for failed in method.failed_sequents() {
-                out.push_str(&format!(
-                    "    UNPROVED: {} [{}]\n",
-                    failed.name, failed.goal_label
-                ));
+                match &failed.outcome {
+                    Outcome::Crashed { stage, message } => out.push_str(&format!(
+                        "    CRASHED: {} [{}] in {stage}: {message}\n",
+                        failed.name, failed.goal_label
+                    )),
+                    Outcome::Skipped(reason) => out.push_str(&format!(
+                        "    SKIPPED: {} [{}] ({reason:?})\n",
+                        failed.name, failed.goal_label
+                    )),
+                    _ => out.push_str(&format!(
+                        "    UNPROVED: {} [{}]\n",
+                        failed.name, failed.goal_label
+                    )),
+                }
             }
+        }
+        let crashed = self.crashed_sequents();
+        let skipped = self.skipped_sequents();
+        if crashed + skipped > 0 {
+            out.push_str(&format!(
+                "  faults: {crashed} crashed, {skipped} deadline-skipped (quarantined, not verdicts)\n",
+            ));
         }
         out
     }

@@ -60,7 +60,10 @@ use std::path::{Path, PathBuf};
 /// Version of the on-disk layout *and* of the fingerprint function.  Bump it
 /// whenever either changes — old files are then ignored (their filename no
 /// longer matches), never misinterpreted.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `ProverConfig` grew its retry policy, which participates in both the
+/// configuration key and the query fingerprint.
+pub const SCHEMA_VERSION: u32 = 2;
 
 const MAGIC: [u8; 8] = *b"IPLPROOF";
 const HEADER_LEN: usize = 8 + 4 + 8;
@@ -83,6 +86,10 @@ pub struct CacheStore {
     /// `true` when the existing file had a foreign or damaged header and was
     /// rewritten from scratch.
     poisoned: bool,
+    /// `true` once an advisory lock attempt came back `Unsupported` (some
+    /// network/overlay filesystems) and the store fell back to lock-free
+    /// operation for this handle.
+    lock_degraded: bool,
 }
 
 impl std::fmt::Debug for CacheStore {
@@ -92,6 +99,7 @@ impl std::fmt::Debug for CacheStore {
             .field("entries", &self.index.len())
             .field("recovered_bytes", &self.recovered_bytes)
             .field("poisoned", &self.poisoned)
+            .field("lock_degraded", &self.lock_degraded)
             .finish()
     }
 }
@@ -117,7 +125,11 @@ impl CacheStore {
 
     /// Opens (creating if necessary) the store for `config` in `dir`, loading
     /// every complete entry under an exclusive advisory lock.  A corrupt tail
-    /// is truncated; a file with a foreign header is rewritten fresh.
+    /// is truncated; a file with a foreign header is rewritten fresh.  A
+    /// filesystem that does not support advisory locks degrades to lock-free
+    /// operation (logged once) instead of failing the run — single-process
+    /// use stays fully safe, concurrent processes fall back to the per-entry
+    /// checksums.
     ///
     /// # Errors
     ///
@@ -131,15 +143,23 @@ impl CacheStore {
             .append(true)
             .create(true)
             .open(&path)?;
-        file.lock()?;
-        let result = Self::load_locked(file, path, config_hash);
-        if let Ok(store) = &result {
-            store.file.unlock()?;
+        let mut degraded = false;
+        let locked = lock_or_degrade(&file, &path, config_hash, &mut degraded)?;
+        let result = Self::load_locked(file, path, config_hash, degraded);
+        if locked {
+            if let Ok(store) = &result {
+                store.file.unlock()?;
+            }
         }
         result
     }
 
-    fn load_locked(mut file: File, path: PathBuf, config_hash: u64) -> io::Result<CacheStore> {
+    fn load_locked(
+        mut file: File,
+        path: PathBuf,
+        config_hash: u64,
+        lock_degraded: bool,
+    ) -> io::Result<CacheStore> {
         let mut bytes = Vec::new();
         file.seek(SeekFrom::Start(0))?;
         file.read_to_end(&mut bytes)?;
@@ -152,6 +172,7 @@ impl CacheStore {
             loaded: Vec::new(),
             recovered_bytes: 0,
             poisoned: false,
+            lock_degraded,
         };
 
         if bytes.is_empty() {
@@ -225,6 +246,12 @@ impl CacheStore {
         self.poisoned
     }
 
+    /// `true` when this handle fell back to lock-free operation because the
+    /// filesystem reported advisory locks as unsupported.
+    pub fn lock_degraded(&self) -> bool {
+        self.lock_degraded
+    }
+
     /// Whether a fingerprint is known to be persisted.
     pub fn contains(&self, fingerprint: Fingerprint) -> bool {
         self.index.contains(&fingerprint.as_u128())
@@ -260,12 +287,17 @@ impl CacheStore {
         for (fingerprint, prover) in &fresh {
             encode_entry(&mut buffer, fingerprint.as_u128(), prover, self.config_hash);
         }
-        self.file.lock()?;
-        let written = self
-            .file
-            .write_all(&buffer)
-            .and_then(|()| self.file.flush());
-        self.file.unlock()?;
+        let path = self.path.clone();
+        let locked = lock_or_degrade(
+            &self.file,
+            &path,
+            batch_key(&buffer),
+            &mut self.lock_degraded,
+        )?;
+        let written = self.write_batch(&buffer);
+        if locked {
+            self.file.unlock()?;
+        }
         written?;
         let mut count = 0;
         for (fingerprint, _) in &fresh {
@@ -275,6 +307,85 @@ impl CacheStore {
         }
         Ok(count)
     }
+
+    /// Writes one encoded batch, honouring any injected I/O fault and
+    /// repairing real torn writes.
+    fn write_batch(&mut self, buffer: &[u8]) -> io::Result<()> {
+        if let Some(plan) = crate::fault::active_plan() {
+            match plan.store_append_fault(batch_key(buffer), buffer.len()) {
+                Some(crate::fault::StoreFault::DiskFull) => {
+                    return Err(io::Error::other("injected fault: disk full on append"));
+                }
+                Some(crate::fault::StoreFault::ShortWrite { cut }) => {
+                    // A torn write exactly as a crash leaves it: a prefix of
+                    // the batch on disk, no repair — the per-entry checksums
+                    // recover it at the next open.
+                    self.file
+                        .write_all(&buffer[..cut])
+                        .and_then(|()| self.file.flush())?;
+                    return Err(io::Error::other("injected fault: short write on append"));
+                }
+                None => {}
+            }
+        }
+        let len_before = self.file.metadata().map(|m| m.len());
+        let result = self.file.write_all(buffer).and_then(|()| self.file.flush());
+        if result.is_err() {
+            // Best-effort rollback of a real torn write to the batch
+            // boundary, so the log stays clean without waiting for the next
+            // open's checksum recovery.  If the truncate fails too, that
+            // recovery still applies.
+            if let Ok(len) = len_before {
+                let _ = self.file.set_len(len);
+            }
+        }
+        result
+    }
+}
+
+/// Acquires the advisory lock, degrading to lock-free operation (with one
+/// warning per handle) when the filesystem reports locks as unsupported.
+/// Returns whether the lock is actually held.
+fn lock_or_degrade(
+    file: &File,
+    path: &Path,
+    fault_key: u64,
+    degraded: &mut bool,
+) -> io::Result<bool> {
+    let injected = crate::fault::active_plan().is_some_and(|plan| plan.store_lock_fails(fault_key));
+    let result = if injected {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "injected fault: advisory lock unsupported",
+        ))
+    } else {
+        file.lock()
+    };
+    match result {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == io::ErrorKind::Unsupported => {
+            if !*degraded {
+                eprintln!(
+                    "ipl: warning: advisory file lock unsupported on {} ({e}); \
+                     continuing lock-free (safe single-process; concurrent \
+                     writers fall back to per-entry checksums)",
+                    path.display()
+                );
+                *degraded = true;
+            }
+            Ok(false)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Content key for store fault-injection decisions: a hash of the encoded
+/// batch, so the same plan tears the same appends regardless of scheduling.
+fn batch_key(buffer: &[u8]) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    0x0057_09e5_u64.hash(&mut hasher);
+    buffer.hash(&mut hasher);
+    hasher.finish()
 }
 
 /// Summary of one store file, for `ipl cache` diagnostics.
@@ -423,6 +534,7 @@ mod tests {
 
     #[test]
     fn entries_survive_reopen() {
+        let _serial = crate::fault::serial_guard();
         let dir = temp_dir("reopen");
         let config = ProverConfig::default();
         let provers = ["syntactic", "smt-ground"];
@@ -454,6 +566,7 @@ mod tests {
 
     #[test]
     fn different_configs_use_different_files() {
+        let _serial = crate::fault::serial_guard();
         let dir = temp_dir("configs");
         let provers = ["smt-ground"];
         let mut default_store = CacheStore::open(&dir, &ProverConfig::default(), &provers).unwrap();
@@ -473,6 +586,7 @@ mod tests {
 
     #[test]
     fn truncated_tail_is_dropped_and_store_stays_usable() {
+        let _serial = crate::fault::serial_guard();
         let dir = temp_dir("truncate");
         let config = ProverConfig::default();
         let provers = ["smt-ground"];
@@ -502,6 +616,7 @@ mod tests {
 
     #[test]
     fn poisoned_header_is_ignored_not_replayed() {
+        let _serial = crate::fault::serial_guard();
         let dir = temp_dir("poison");
         let config = ProverConfig::default();
         let provers = ["smt-ground"];
@@ -526,6 +641,7 @@ mod tests {
 
     #[test]
     fn preload_feeds_the_memory_cache() {
+        let _serial = crate::fault::serial_guard();
         let dir = temp_dir("preload");
         let config = ProverConfig::default();
         let provers = ["smt-ground"];
@@ -542,7 +658,88 @@ mod tests {
     }
 
     #[test]
+    fn unsupported_lock_degrades_instead_of_failing() {
+        let _serial = crate::fault::serial_guard();
+        let dir = temp_dir("lockfree");
+        let config = ProverConfig::default();
+        let provers = ["smt-ground"];
+        let plan = crate::fault::FaultPlan {
+            seed: 5,
+            store_lock_fail_bp: 10_000,
+            ..crate::fault::FaultPlan::default()
+        };
+        crate::fault::with_plan(Some(plan), || {
+            let mut store = CacheStore::open(&dir, &config, &provers).unwrap();
+            assert!(store.lock_degraded(), "every lock attempt was Unsupported");
+            assert_eq!(store.append_new(&[(fp(31), "a".into())]).unwrap(), 1);
+        });
+        // Lock-free appends are still complete, checksummed entries.
+        let reopened = CacheStore::open(&dir, &config, &provers).unwrap();
+        assert!(!reopened.lock_degraded());
+        assert!(reopened.contains(fp(31)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_short_write_is_recovered_at_next_open() {
+        let _serial = crate::fault::serial_guard();
+        let dir = temp_dir("shortwrite");
+        let config = ProverConfig::default();
+        let provers = ["smt-ground"];
+        let plan = crate::fault::FaultPlan {
+            seed: 6,
+            store_short_write_bp: 10_000,
+            ..crate::fault::FaultPlan::default()
+        };
+        {
+            let mut store = CacheStore::open(&dir, &config, &provers).unwrap();
+            store.append_new(&[(fp(41), "a".into())]).unwrap();
+            crate::fault::with_plan(Some(plan), || {
+                let err = store.append_new(&[(fp(42), "b".into())]).unwrap_err();
+                assert!(err.to_string().contains("short write"));
+                assert!(
+                    !store.contains(fp(42)),
+                    "a failed append must not be indexed"
+                );
+            });
+        }
+        // The torn tail is dropped; the store stays usable and the entry
+        // written before the fault survives.
+        let mut recovered = CacheStore::open(&dir, &config, &provers).unwrap();
+        assert!(recovered.contains(fp(41)));
+        assert!(!recovered.contains(fp(42)));
+        recovered.append_new(&[(fp(43), "c".into())]).unwrap();
+        let reopened = CacheStore::open(&dir, &config, &provers).unwrap();
+        assert_eq!(reopened.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_disk_full_writes_nothing() {
+        let _serial = crate::fault::serial_guard();
+        let dir = temp_dir("diskfull");
+        let config = ProverConfig::default();
+        let provers = ["smt-ground"];
+        let plan = crate::fault::FaultPlan {
+            seed: 7,
+            store_disk_full_bp: 10_000,
+            ..crate::fault::FaultPlan::default()
+        };
+        let mut store = CacheStore::open(&dir, &config, &provers).unwrap();
+        let len_before = std::fs::metadata(store.path()).unwrap().len();
+        crate::fault::with_plan(Some(plan), || {
+            let err = store.append_new(&[(fp(51), "a".into())]).unwrap_err();
+            assert!(err.to_string().contains("disk full"));
+        });
+        assert_eq!(std::fs::metadata(store.path()).unwrap().len(), len_before);
+        // The handle recovers as soon as the disk does.
+        assert_eq!(store.append_new(&[(fp(51), "a".into())]).unwrap(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn inspect_reports_header_and_entry_counts() {
+        let _serial = crate::fault::serial_guard();
         let dir = temp_dir("inspect");
         let config = ProverConfig::default();
         let provers = ["smt-ground"];

@@ -11,7 +11,9 @@ use crate::ground::{refute, GroundResult};
 use crate::inst::refute_with_instantiation;
 use crate::preprocess::build_problem;
 use crate::syntactic::Syntactic;
-use crate::{Cancel, Outcome, Prover, ProverConfig, Query};
+use crate::{containment, fault};
+use crate::{Cancel, Outcome, Prover, ProverConfig, Query, SkipReason};
+use ipl_logic::hashed::Hashed;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -28,7 +30,8 @@ pub struct ProverAnswer {
     /// Total time spent across the cascade.
     pub duration: Duration,
     /// Wall-clock spent in each attempted cascade stage, in dispatch order
-    /// (the stage that proved the query is last).
+    /// (the stage that proved the query is last).  Stages re-run by the
+    /// escalation ladder carry a `#retryN` suffix.
     pub stage_durations: Vec<(String, Duration)>,
     /// `true` when the answer was replayed from the proof cache without
     /// running any prover.
@@ -38,6 +41,24 @@ pub struct ProverAnswer {
     /// uses it to persist freshly proved sequents to the on-disk store and to
     /// match sequents across incremental re-verification runs.
     pub fingerprint: Option<Fingerprint>,
+    /// Number of budget-escalation retries the cascade ran after the first
+    /// full sweep came back Unknown with its budget exhausted (see
+    /// [`crate::RetryPolicy`]; always `0` when retries are disabled).
+    pub retries: u32,
+}
+
+impl ProverAnswer {
+    fn settled(outcome: Outcome, fingerprint: Option<Fingerprint>, start: Instant) -> ProverAnswer {
+        ProverAnswer {
+            outcome,
+            prover: None,
+            duration: start.elapsed(),
+            stage_durations: Vec::new(),
+            cached: false,
+            fingerprint,
+            retries: 0,
+        }
+    }
 }
 
 /// The ground SMT-lite prover (no quantifier instantiation).
@@ -229,6 +250,19 @@ impl Cascade {
     /// recorded `Proved` outcome (attributed to the prover that originally
     /// found it) without running any stage.
     pub fn prove(&self, query: &Query) -> ProverAnswer {
+        self.prove_under(query, None)
+    }
+
+    /// Runs the cascade under an outer (module-level) wall-clock deadline.
+    ///
+    /// Every stage's cooperative [`Cancel`] deadline is clamped to
+    /// `module_deadline`, so one sequent can never spend past the module
+    /// budget; once the deadline has passed the query is not dispatched at
+    /// all and the answer is `Skipped(DeadlineExceeded)`.  A stage that
+    /// panics is contained ([`crate::containment`]) and quarantines the
+    /// query as `Crashed` — later stages and retries are not attempted for
+    /// a crashed query, so a fault never launders into a verdict.
+    pub fn prove_under(&self, query: &Query, module_deadline: Option<Instant>) -> ProverAnswer {
         let start = Instant::now();
         let fingerprint = self
             .config
@@ -243,42 +277,167 @@ impl Cascade {
                     stage_durations: Vec::new(),
                     cached: true,
                     fingerprint,
+                    retries: 0,
                 };
             }
         }
-        let mut stage_durations = Vec::with_capacity(self.provers.len());
-        for prover in &self.provers {
-            let stage_start = Instant::now();
-            let outcome = run_with_timeout(
-                prover.as_ref(),
-                query,
-                &self.config,
-                Duration::from_millis(self.config.per_prover_timeout_ms),
+        if deadline_passed(module_deadline) {
+            return ProverAnswer::settled(
+                Outcome::Skipped(SkipReason::DeadlineExceeded),
+                fingerprint,
+                start,
             );
-            stage_durations.push((prover.name().to_string(), stage_start.elapsed()));
-            if outcome == Outcome::Proved {
+        }
+        // Fault-injection decisions are keyed on the query's *content* (its
+        // fingerprint when the cache computed one, its structural goal hash
+        // otherwise), never on dispatch order — the same plan faults the same
+        // sequents at `--jobs 1` and `--jobs N`.
+        let fault_key = fingerprint.map_or_else(
+            || Hashed::new(query.goal.clone()).hash_value(),
+            |fp| fp.as_u128() as u64,
+        );
+        // Clear any exhaustion note left by an unrelated earlier query on
+        // this worker thread before the sweep begins.
+        let _ = crate::take_budget_exhausted();
+        let mut stage_durations = Vec::with_capacity(self.provers.len());
+        let mut sweep = self.run_stages(
+            query,
+            &self.config,
+            module_deadline,
+            fault_key,
+            &mut stage_durations,
+            "",
+        );
+        let mut retries = 0u32;
+        if sweep == Sweep::Unknown && self.config.retry.enabled {
+            let total_budget = Duration::from_millis(self.config.retry.max_total_ms);
+            let mut exhausted = crate::take_budget_exhausted();
+            for (index, multiplier) in self.config.retry.rungs().enumerate() {
+                // Only an Unknown that ran out of budget (rather than
+                // saturating its search space) can flip with a bigger budget;
+                // a saturated Unknown would just redo the same search.
+                if !exhausted || start.elapsed() >= total_budget || deadline_passed(module_deadline)
+                {
+                    break;
+                }
+                retries += 1;
+                let escalated = self.config.escalated(multiplier, index);
+                sweep = self.run_stages(
+                    query,
+                    &escalated,
+                    module_deadline,
+                    fault_key,
+                    &mut stage_durations,
+                    &format!("#retry{retries}"),
+                );
+                if sweep != Sweep::Unknown {
+                    break;
+                }
+                exhausted = crate::take_budget_exhausted();
+            }
+        }
+        let outcome = match sweep {
+            Sweep::Proved(name) => {
                 if let Some(fp) = fingerprint {
-                    ProofCache::global().record(fp, prover.name());
+                    ProofCache::global().record(fp, name);
                 }
                 return ProverAnswer {
                     outcome: Outcome::Proved,
-                    prover: Some(prover.name().to_string()),
+                    prover: Some(name.to_string()),
                     duration: start.elapsed(),
                     stage_durations,
                     cached: false,
                     fingerprint,
+                    retries,
                 };
             }
-        }
+            Sweep::Unknown => Outcome::Unknown,
+            Sweep::Crashed { stage, message } => Outcome::Crashed { stage, message },
+            Sweep::DeadlineExceeded => Outcome::Skipped(SkipReason::DeadlineExceeded),
+        };
         ProverAnswer {
-            outcome: Outcome::Unknown,
+            outcome,
             prover: None,
             duration: start.elapsed(),
             stage_durations,
             cached: false,
             fingerprint,
+            retries,
         }
     }
+
+    /// One full pass over the prover list with the given (possibly escalated)
+    /// budgets.  Injected faults fire here: a delay sleeps before dispatch, a
+    /// spurious Unknown skips the stage, and an injected panic is raised
+    /// *inside* the containment boundary — the same boundary that catches
+    /// organic prover panics.
+    fn run_stages(
+        &self,
+        query: &Query,
+        config: &ProverConfig,
+        module_deadline: Option<Instant>,
+        fault_key: u64,
+        stage_durations: &mut Vec<(String, Duration)>,
+        suffix: &str,
+    ) -> Sweep {
+        let plan = fault::active_plan();
+        let timeout = Duration::from_millis(config.per_prover_timeout_ms);
+        for prover in &self.provers {
+            if deadline_passed(module_deadline) {
+                return Sweep::DeadlineExceeded;
+            }
+            let name = prover.name();
+            let stage_start = Instant::now();
+            let label = if suffix.is_empty() {
+                name.to_string()
+            } else {
+                format!("{name}{suffix}")
+            };
+            let mut inject_panic = false;
+            if let Some(plan) = plan {
+                let faults = plan.stage_faults(name, fault_key);
+                if let Some(delay) = faults.delay {
+                    std::thread::sleep(delay);
+                }
+                if faults.spurious_unknown {
+                    stage_durations.push((label, stage_start.elapsed()));
+                    continue;
+                }
+                inject_panic = faults.panic;
+            }
+            let result = containment::contain(|| {
+                if inject_panic {
+                    panic!("injected fault: {name} stage panicked");
+                }
+                run_with_timeout(prover.as_ref(), query, config, timeout, module_deadline)
+            });
+            stage_durations.push((label, stage_start.elapsed()));
+            match result {
+                Ok(Outcome::Proved) => return Sweep::Proved(name),
+                Ok(_) => {}
+                Err(message) => {
+                    return Sweep::Crashed {
+                        stage: name.to_string(),
+                        message,
+                    }
+                }
+            }
+        }
+        Sweep::Unknown
+    }
+}
+
+/// Result of one pass over the prover list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Sweep {
+    Proved(&'static str),
+    Unknown,
+    Crashed { stage: String, message: String },
+    DeadlineExceeded,
+}
+
+fn deadline_passed(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
 }
 
 /// Number of prover invocations currently executing.  With cooperative
@@ -304,12 +463,21 @@ fn run_with_timeout(
     query: &Query,
     config: &ProverConfig,
     timeout: Duration,
+    outer_deadline: Option<Instant>,
 ) -> Outcome {
-    let cancel = Cancel::with_timeout(timeout);
+    // Drop guard rather than a straight-line decrement: a panicking prover
+    // unwinds through here toward the containment boundary, and the counter
+    // must not stay pinned (the live-worker regression test would hang).
+    struct Live;
+    impl Drop for Live {
+        fn drop(&mut self) {
+            LIVE_WORKERS.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    let cancel = Cancel::with_timeout_under(timeout, outer_deadline);
     LIVE_WORKERS.fetch_add(1, Ordering::Relaxed);
-    let outcome = prover.prove(query, config, &cancel);
-    LIVE_WORKERS.fetch_sub(1, Ordering::Relaxed);
-    outcome
+    let _live = Live;
+    prover.prove(query, config, &cancel)
 }
 
 #[cfg(test)]
@@ -525,5 +693,158 @@ mod tests {
             Cascade::default().prover_names(),
             vec!["syntactic", "smt-ground", "bapa", "shape", "smt-inst"]
         );
+    }
+
+    /// A prover that panics on every call: the organic-crash scenario.
+    #[derive(Debug)]
+    struct Exploder;
+
+    impl Prover for Exploder {
+        fn name(&self) -> &'static str {
+            "exploder"
+        }
+
+        fn prove(&self, _query: &Query, _config: &ProverConfig, _cancel: &Cancel) -> Outcome {
+            panic!("index out of bounds: simulated prover bug");
+        }
+    }
+
+    #[test]
+    fn panicking_stage_is_contained_as_crashed() {
+        let cascade = Cascade::with_provers(
+            vec![Arc::new(Exploder), Arc::new(Syntactic)],
+            ProverConfig {
+                use_cache: false,
+                ..ProverConfig::default()
+            },
+        );
+        let answer = cascade.prove(&query(&["p"], "p"));
+        // The crash quarantines the query: the syntactic stage that would
+        // have proved it is never consulted, so a fault can only degrade.
+        assert_eq!(
+            answer.outcome,
+            Outcome::Crashed {
+                stage: "exploder".to_string(),
+                message: "index out of bounds: simulated prover bug".to_string(),
+            }
+        );
+        assert_eq!(answer.prover, None);
+        // The live-worker counter must survive the unwind (drop guard).
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while live_workers() != 0 {
+            assert!(Instant::now() < deadline, "panic leaked a live worker");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn expired_module_deadline_skips_without_dispatch() {
+        let cascade = Cascade::standard(ProverConfig {
+            use_cache: false,
+            ..ProverConfig::default()
+        });
+        let past = Instant::now() - Duration::from_millis(1);
+        let answer = cascade.prove_under(&query(&["p"], "p"), Some(past));
+        assert_eq!(
+            answer.outcome,
+            Outcome::Skipped(crate::SkipReason::DeadlineExceeded)
+        );
+        assert!(
+            answer.stage_durations.is_empty(),
+            "no stage may run past the module deadline"
+        );
+    }
+
+    /// Unknown-with-exhaustion until the configured number of calls, then
+    /// proved: exercises the escalation ladder end to end.
+    #[derive(Debug)]
+    struct EventuallyProves {
+        calls: AtomicUsize,
+        proves_on_call: usize,
+    }
+
+    impl Prover for EventuallyProves {
+        fn name(&self) -> &'static str {
+            "eventually"
+        }
+
+        fn prove(&self, _query: &Query, _config: &ProverConfig, _cancel: &Cancel) -> Outcome {
+            if self.calls.fetch_add(1, Ordering::SeqCst) + 1 >= self.proves_on_call {
+                Outcome::Proved
+            } else {
+                crate::note_budget_exhausted();
+                Outcome::Unknown
+            }
+        }
+    }
+
+    #[test]
+    fn budget_exhausted_unknowns_climb_the_retry_ladder() {
+        let cascade = Cascade::with_provers(
+            vec![Arc::new(EventuallyProves {
+                calls: AtomicUsize::new(0),
+                proves_on_call: 3,
+            })],
+            ProverConfig {
+                use_cache: false,
+                retry: crate::RetryPolicy::enabled(),
+                ..ProverConfig::default()
+            },
+        );
+        let answer = cascade.prove(&query(&["0 <= x"], "x < 0"));
+        assert_eq!(answer.outcome, Outcome::Proved);
+        assert_eq!(answer.retries, 2);
+        let labels: Vec<&str> = answer
+            .stage_durations
+            .iter()
+            .map(|(name, _)| name.as_str())
+            .collect();
+        assert_eq!(
+            labels,
+            vec!["eventually", "eventually#retry1", "eventually#retry2"]
+        );
+    }
+
+    /// A saturated Unknown (no exhaustion note) must not be retried even
+    /// with the ladder enabled — re-running the same search is pure waste.
+    #[derive(Debug)]
+    struct Saturates {
+        calls: Arc<AtomicUsize>,
+    }
+
+    impl Prover for Saturates {
+        fn name(&self) -> &'static str {
+            "saturates"
+        }
+
+        fn prove(&self, _query: &Query, _config: &ProverConfig, _cancel: &Cancel) -> Outcome {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            Outcome::Unknown
+        }
+    }
+
+    #[test]
+    fn saturated_unknowns_are_not_retried() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let cascade = Cascade::with_provers(
+            vec![Arc::new(Saturates {
+                calls: Arc::clone(&calls),
+            })],
+            ProverConfig {
+                use_cache: false,
+                retry: crate::RetryPolicy::enabled(),
+                ..ProverConfig::default()
+            },
+        );
+        let answer = cascade.prove(&query(&["0 <= x"], "x < 0"));
+        assert_eq!(answer.outcome, Outcome::Unknown);
+        assert_eq!(answer.retries, 0);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn retries_are_off_by_default() {
+        assert!(!ProverConfig::default().retry.enabled);
+        assert!(!ProverConfig::quick().retry.enabled);
     }
 }

@@ -1,10 +1,16 @@
 //! Robustness of the persistent proof store (`cache_store`): random
-//! write/truncate/reload interleavings recover every complete entry, two
-//! handles on one directory never lose each other's appends, and a file with
-//! a poisoned header is ignored rather than mis-replayed.
+//! write/truncate/reload interleavings recover every complete entry, random
+//! injected I/O faults (short writes, disk-full) never corrupt what a reload
+//! sees, two handles on one directory never lose each other's appends, and a
+//! file with a poisoned header is ignored rather than mis-replayed.
+//!
+//! Every test holds [`ipl_provers::fault::serial_guard`]: the fault plan is
+//! process-global, so a test that installs one must not overlap a test that
+//! expects clean I/O.
 
 use ipl_provers::cache::Fingerprint;
 use ipl_provers::cache_store::{CacheStore, SCHEMA_VERSION};
+use ipl_provers::fault::{self, FaultPlan};
 use ipl_provers::ProverConfig;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -60,6 +66,7 @@ proptest! {
         batches in entry_batches(),
         cut in 0usize..64,
     ) {
+        let _serial = fault::serial_guard();
         let dir = temp_dir("prop-truncate");
         let config = ProverConfig::default();
 
@@ -101,6 +108,86 @@ proptest! {
         prop_assert!(model.len() - loaded.len() <= 1 + cut / 35);
         let _ = std::fs::remove_dir_all(&dir);
     }
+
+    /// Appending under an aggressive injected-fault plan (short writes that
+    /// tear a batch mid-entry, disk-full errors that write nothing), with a
+    /// crash-restart (drop + reopen) after every failure, must leave the
+    /// store loadable with exactly the complete-entry prefix of each torn
+    /// batch: reported successes are durable, nothing unattempted appears,
+    /// and the file keeps accepting appends once the faults clear.
+    #[test]
+    fn injected_io_faults_leave_the_store_recoverable(
+        batches in entry_batches(),
+        seed in 0u64..1024,
+    ) {
+        let _serial = fault::serial_guard();
+        let dir = temp_dir("prop-io-fault");
+        let config = ProverConfig::default();
+        fault::set_plan(Some(FaultPlan {
+            seed,
+            store_short_write_bp: 2_000, // 20% of batches torn mid-write
+            store_disk_full_bp: 1_000,   // 10% fail before writing a byte
+            ..FaultPlan::default()
+        }));
+
+        let mut attempted: BTreeMap<(u128, &str), ()> = BTreeMap::new();
+        let mut durable: Vec<u128> = Vec::new();
+        let mut store = CacheStore::open(&dir, &config, &PROVERS).unwrap();
+        for batch in &batches {
+            let entries: Vec<(Fingerprint, String)> = batch
+                .iter()
+                .map(|&(raw, prover)| (fp(raw), PROVERS[prover].to_string()))
+                .collect();
+            for &(raw, prover) in batch {
+                attempted.insert((raw, PROVERS[prover]), ());
+            }
+            match store.append_new(&entries) {
+                // `Ok` promises every entry of the batch is on disk (written
+                // now or found already durable in the index).
+                Ok(_) => durable.extend(batch.iter().map(|&(raw, _)| raw)),
+                Err(e) => {
+                    prop_assert!(
+                        e.to_string().contains("injected fault"),
+                        "only injected faults expected, got: {e}"
+                    );
+                    // Crash-restart semantics: the handle dies with the
+                    // process; the next open truncates any torn tail.
+                    store = CacheStore::open(&dir, &config, &PROVERS).unwrap();
+                }
+            }
+        }
+        drop(store);
+        fault::set_plan(None);
+
+        let recovered = CacheStore::open(&dir, &config, &PROVERS).unwrap();
+        prop_assert!(!recovered.was_poisoned());
+        // Nothing fabricated: every survivor was attempted, with the
+        // attribution it was attempted under.
+        for (raw, prover) in recovered.loaded_entries() {
+            prop_assert!(
+                attempted.contains_key(&(*raw, prover.as_str())),
+                "loaded entry {raw:#x}/{prover} was never appended"
+            );
+        }
+        // Nothing lied about: every batch that reported success is durable
+        // in full (torn batches reported an error instead).
+        for raw in &durable {
+            prop_assert!(
+                recovered.contains(fp(*raw)),
+                "entry {raw:#x} from a successful append is missing"
+            );
+        }
+        // The log stayed healthy: a fault-free append still round-trips.
+        let mut recovered = recovered;
+        let sentinel = fp((1u128 << 90) | 0x5e17);
+        recovered
+            .append_new(&[(sentinel, "shape".to_string())])
+            .unwrap();
+        drop(recovered);
+        let last = CacheStore::open(&dir, &config, &PROVERS).unwrap();
+        prop_assert!(last.contains(sentinel));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 #[test]
@@ -108,6 +195,7 @@ fn two_handles_on_one_directory_keep_both_sets_of_entries() {
     // Two open handles (the two-process shape: each holds its own index and
     // appends under the advisory lock) writing interleaved batches; a fresh
     // load must see every entry from both.
+    let _serial = fault::serial_guard();
     let dir = temp_dir("two-handles");
     let config = ProverConfig::default();
     let mut a = CacheStore::open(&dir, &config, &PROVERS).unwrap();
@@ -143,6 +231,7 @@ fn two_handles_on_one_directory_keep_both_sets_of_entries() {
 
 #[test]
 fn poisoned_schema_version_is_ignored_not_misreplayed() {
+    let _serial = fault::serial_guard();
     let dir = temp_dir("poisoned-schema");
     let config = ProverConfig::default();
     let mut store = CacheStore::open(&dir, &config, &PROVERS).unwrap();

@@ -440,6 +440,8 @@ mod tests {
             methods_verified,
             sequents_total: 20,
             sequents_proved: 20,
+            sequents_crashed: 0,
+            sequents_skipped: 0,
             prover_counts: Default::default(),
             stage_ms: Default::default(),
             cache_hits: 0,

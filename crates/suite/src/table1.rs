@@ -33,6 +33,11 @@ pub struct Table1Row {
     pub sequents_total: usize,
     /// Sequents proved.
     pub sequents_proved: usize,
+    /// Sequents quarantined by a contained prover/driver crash (0 in a
+    /// healthy run; nonzero under chaos injection).
+    pub sequents_crashed: usize,
+    /// Sequents never dispatched because the module deadline passed.
+    pub sequents_skipped: usize,
     /// Sequents discharged per cascade stage (prover name -> count;
     /// `"trivial"` counts the sequents eliminated during splitting).
     pub prover_counts: BTreeMap<String, usize>,
@@ -68,6 +73,8 @@ pub fn row(benchmark: &Benchmark, options: &VerifyOptions) -> Table1Row {
         methods_verified: report.methods_verified(),
         sequents_total: report.total_sequents(),
         sequents_proved: report.proved_sequents(),
+        sequents_crashed: report.crashed_sequents(),
+        sequents_skipped: report.skipped_sequents(),
         prover_counts: report.prover_counts(),
         cache_hits: report.cache_hits(),
         stage_ms: report
@@ -147,7 +154,8 @@ pub fn to_bench_json(rows: &[Table1Row], meta: &BenchMeta) -> String {
         );
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"methods\": {}, \"methods_verified\": {}, \
-             \"sequents_total\": {}, \"sequents_proved\": {}, \"wall_ms\": {}, \
+             \"sequents_total\": {}, \"sequents_proved\": {}, \
+             \"sequents_crashed\": {}, \"sequents_skipped\": {}, \"wall_ms\": {}, \
              \"cache_hits\": {}, \"provers\": {}, \"stage_ms\": {}, \
              \"ground_stats\": {}}}{}\n",
             row.name,
@@ -155,6 +163,8 @@ pub fn to_bench_json(rows: &[Table1Row], meta: &BenchMeta) -> String {
             row.methods_verified,
             row.sequents_total,
             row.sequents_proved,
+            row.sequents_crashed,
+            row.sequents_skipped,
             row.time.as_millis(),
             row.cache_hits,
             provers,
@@ -174,10 +184,10 @@ pub fn to_bench_json(rows: &[Table1Row], meta: &BenchMeta) -> String {
 pub fn render_markdown(rows: &[Table1Row], meta: &BenchMeta) -> String {
     let mut out = String::from("## Table 1 benchmark results\n\n");
     out.push_str(
-        "| Benchmark | Methods | Sequents | Wall (ms) | Discharged by | Stage cost (ms) | \
-         Ground dec/prop/conf/learn |\n",
+        "| Benchmark | Methods | Sequents | Crashed/Skipped | Wall (ms) | Discharged by | \
+         Stage cost (ms) | Ground dec/prop/conf/learn |\n",
     );
-    out.push_str("|---|---|---|---|---|---|---|\n");
+    out.push_str("|---|---|---|---|---|---|---|---|\n");
     let fmt_map = |entries: Vec<String>| {
         if entries.is_empty() {
             "—".to_string()
@@ -201,12 +211,14 @@ pub fn render_markdown(rows: &[Table1Row], meta: &BenchMeta) -> String {
         );
         let stat = |key: &str| row.ground_stats.get(key).copied().unwrap_or(0);
         out.push_str(&format!(
-            "| {} | {}/{} | {}/{} | {} | {} | {} | {}/{}/{}/{} |\n",
+            "| {} | {}/{} | {}/{} | {}/{} | {} | {} | {} | {}/{}/{}/{} |\n",
             row.name,
             row.methods_verified,
             row.methods,
             row.sequents_proved,
             row.sequents_total,
+            row.sequents_crashed,
+            row.sequents_skipped,
             row.time.as_millis(),
             provers,
             stages,
@@ -226,6 +238,14 @@ pub fn render_markdown(rows: &[Table1Row], meta: &BenchMeta) -> String {
         out.push_str(&format!(" (pre-E-matching baseline: {baseline} ms)"));
     }
     out.push('\n');
+    let crashed: usize = rows.iter().map(|r| r.sequents_crashed).sum();
+    let skipped: usize = rows.iter().map(|r| r.sequents_skipped).sum();
+    if crashed + skipped > 0 {
+        out.push_str(&format!(
+            "\n**Faults: {crashed} sequent(s) crashed, {skipped} deadline-skipped** \
+             (quarantined, not verdicts)\n"
+        ));
+    }
     let total_stat = |key: &str| -> u64 {
         rows.iter()
             .map(|r| r.ground_stats.get(key).copied().unwrap_or(0))
@@ -346,6 +366,8 @@ mod tests {
                     methods_verified: 0,
                     sequents_total: 0,
                     sequents_proved: 0,
+                    sequents_crashed: 0,
+                    sequents_skipped: 0,
                     prover_counts: Default::default(),
                     stage_ms: Default::default(),
                     cache_hits: 0,
@@ -372,6 +394,8 @@ mod tests {
             methods_verified: 6,
             sequents_total: 40,
             sequents_proved: 40,
+            sequents_crashed: 1,
+            sequents_skipped: 2,
             prover_counts: [("smt-ground".to_string(), 30), ("trivial".to_string(), 10)]
                 .into_iter()
                 .collect(),
@@ -410,6 +434,8 @@ mod tests {
         assert!(json.contains("\"sequential_wall_ms\": 2500"));
         assert!(json.contains("\"name\": \"Linked List\""));
         assert!(json.contains("\"methods_verified\": 6"));
+        assert!(json.contains("\"sequents_crashed\": 1"));
+        assert!(json.contains("\"sequents_skipped\": 2"));
         assert!(json.contains("\"wall_ms\": 12"));
         assert!(json.contains("\"provers\": {\"smt-ground\": 30, \"trivial\": 10}"));
         assert!(json.contains("\"stage_ms\": {\"bapa\": 2, \"smt-ground\": 9}"));
