@@ -7,34 +7,34 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ipl_bench::bench_options;
-use ipl_core::VerifyOptions;
+use ipl_core::{Request, Session};
 use ipl_provers::ProverConfig;
 
 fn ablations(c: &mut Criterion) {
     let benchmark = ipl_suite::by_name("Hash Table").expect("benchmark exists");
+    let verify = |session: &Session| {
+        session
+            .verify(&Request::new(benchmark.source))
+            .expect("verifies")
+            .report
+    };
 
     // Report the outcome of each configuration once.
     for (label, options) in [
         ("from-clauses-honoured", bench_options()),
         (
             "from-clauses-ignored",
-            VerifyOptions {
-                use_from_clauses: false,
-                ..bench_options()
-            },
+            bench_options().with_from_clauses(false),
         ),
         (
             "single-instantiation-round",
-            VerifyOptions {
-                config: ProverConfig {
-                    instantiation_rounds: 1,
-                    ..bench_options().config
-                },
-                ..bench_options()
-            },
+            bench_options().with_config(ProverConfig {
+                instantiation_rounds: 1,
+                ..bench_options().config
+            }),
         ),
     ] {
-        let report = ipl_core::verify_source(benchmark.source, &options).expect("verifies");
+        let report = verify(&Session::new(options));
         println!(
             "ablation {label}: {}/{} sequents proved in {:.2?}",
             report.proved_sequents(),
@@ -46,22 +46,12 @@ fn ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");
     group.sample_size(10);
     group.bench_function("hash-table-with-from", |b| {
-        b.iter(|| {
-            ipl_core::verify_source(benchmark.source, &bench_options())
-                .unwrap()
-                .proved_sequents()
-        });
+        let session = Session::new(bench_options());
+        b.iter(|| verify(&session).proved_sequents());
     });
     group.bench_function("hash-table-ignoring-from", |b| {
-        let options = VerifyOptions {
-            use_from_clauses: false,
-            ..bench_options()
-        };
-        b.iter(|| {
-            ipl_core::verify_source(benchmark.source, &options)
-                .unwrap()
-                .proved_sequents()
-        });
+        let session = Session::new(bench_options().with_from_clauses(false));
+        b.iter(|| verify(&session).proved_sequents());
     });
     group.finish();
 }

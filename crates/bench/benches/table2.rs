@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ipl_bench::bench_options;
-use ipl_core::VerifyOptions;
+use ipl_core::{Request, Session};
 
 fn table2(c: &mut Criterion) {
     let rows = ipl_suite::table2::generate(&bench_options());
@@ -11,25 +11,22 @@ fn table2(c: &mut Criterion) {
     println!("{}", ipl_suite::table2::render(&rows));
 
     let benchmark = ipl_suite::by_name("Priority Queue").expect("benchmark exists");
+    let verify = |session: &Session| {
+        session
+            .verify(&Request::new(benchmark.source))
+            .expect("verifies")
+            .report
+            .proved_sequents()
+    };
     let mut group = c.benchmark_group("table2");
     group.sample_size(10);
     group.bench_function("priority-queue-with-constructs", |b| {
-        b.iter(|| {
-            ipl_core::verify_source(benchmark.source, &bench_options())
-                .unwrap()
-                .proved_sequents()
-        });
+        let session = Session::new(bench_options());
+        b.iter(|| verify(&session));
     });
     group.bench_function("priority-queue-without-constructs", |b| {
-        let options = VerifyOptions {
-            use_proof_constructs: false,
-            ..bench_options()
-        };
-        b.iter(|| {
-            ipl_core::verify_source(benchmark.source, &options)
-                .unwrap()
-                .proved_sequents()
-        });
+        let session = Session::new(bench_options().with_proof_constructs(false));
+        b.iter(|| verify(&session));
     });
     group.finish();
 }

@@ -21,20 +21,21 @@ use ipl_core::VerifyOptions;
 /// cache is disabled: criterion repeats each verification many times, and a
 /// cache hit on iteration two would measure replay instead of prover work.
 pub fn bench_options() -> VerifyOptions {
-    VerifyOptions {
-        config: ipl_provers::ProverConfig {
+    VerifyOptions::default()
+        .with_config(ipl_provers::ProverConfig {
             use_cache: false,
             ..ipl_suite::suite_config()
-        },
-        record_sequents: false,
-        ..VerifyOptions::default()
-    }
+        })
+        .with_record_sequents(false)
 }
 
 /// Verifies one named benchmark and returns (proved, total) sequent counts.
 pub fn verify_counts(name: &str, options: &VerifyOptions) -> (usize, usize) {
     let benchmark = ipl_suite::by_name(name).expect("benchmark exists");
-    let report = ipl_core::verify_source(benchmark.source, options).expect("verifies");
+    let report = ipl_core::Session::new(options.clone())
+        .verify(&ipl_core::Request::new(benchmark.source))
+        .expect("verifies")
+        .report;
     (report.proved_sequents(), report.total_sequents())
 }
 

@@ -12,10 +12,17 @@
 //! 6. collect the per-method and per-module statistics reported in
 //!    Tables 1 and 2 of the paper.
 //!
-//! The two public entry points are [`verify_module`] (on a parsed module) and
-//! [`verify_source`] (on source text).  [`VerifyOptions::without_proof_constructs`]
-//! reproduces the "Without Proof Language Constructs" configuration of
-//! Table 2 by stripping every proof statement before verification.
+//! The public entry point is [`session::Session`]: build one from a
+//! [`VerifyOptions`], then call [`Session::verify`](session::Session::verify)
+//! with a [`session::Request`].  The session owns the long-lived state — the
+//! prover cascade, the persistent store handle (scanned once, not per call),
+//! and previous reports for incremental replay — which is what `ipl serve`
+//! keeps warm across requests.  The historical free functions
+//! ([`verify_source`], [`verify_module`] and their `_incremental` twins)
+//! survive as deprecated shims that build a throwaway session per call.
+//! [`VerifyOptions::without_proof_constructs`] reproduces the "Without Proof
+//! Language Constructs" configuration of Table 2 by stripping every proof
+//! statement before verification.
 //!
 //! ## The parallel scheduler
 //!
@@ -31,8 +38,11 @@
 //! count — `jobs = 1` and `jobs = N` produce identical reports (timings
 //! aside; see [`ModuleReport::normalized`]).
 
+pub mod error;
 pub mod report;
+pub mod session;
 
+pub use error::{Span, VerifyError};
 use ipl_gcl::split::{split_all, Sequent};
 use ipl_gcl::translate::{translate_ext, TranslateCtx};
 use ipl_gcl::wlp::vc_of;
@@ -40,9 +50,9 @@ use ipl_lang::lower::{lower_module, LoweredMethod};
 use ipl_lang::Module;
 use ipl_logic::Labeled;
 use ipl_provers::cache::{Fingerprint, ProofCache};
-use ipl_provers::cache_store::CacheStore;
 use ipl_provers::{containment, Cascade, Outcome, ProverAnswer, ProverConfig, Query};
 pub use report::{MethodReport, ModuleReport, SequentReport};
+pub use session::{Request, Response, Session, SessionStats};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -50,7 +60,13 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Options controlling a verification run.
+///
+/// `#[non_exhaustive]`: construct via [`VerifyOptions::default`] (or the
+/// named presets) and refine with the builder methods — new knobs can then be
+/// added without breaking callers.  The fields stay public for reading and
+/// in-place mutation.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct VerifyOptions {
     /// Prover budgets.
     pub config: ProverConfig,
@@ -124,16 +140,70 @@ impl VerifyOptions {
             self.jobs
         }
     }
+
+    /// Sets the prover budgets.
+    #[must_use]
+    pub fn with_config(mut self, config: ProverConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the worker count (`0` = available parallelism).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Enables the persistent proof store in `dir`.
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the module-level wall-clock budget.
+    #[must_use]
+    pub fn with_module_deadline(mut self, deadline: Duration) -> Self {
+        self.module_deadline = Some(deadline);
+        self
+    }
+
+    /// Controls per-sequent report recording (disable to save memory in
+    /// benchmarks; incremental replay needs it on).
+    #[must_use]
+    pub fn with_record_sequents(mut self, record: bool) -> Self {
+        self.record_sequents = record;
+        self
+    }
+
+    /// Controls whether integrated proof constructs are kept (`false` is the
+    /// Table 2 baseline).
+    #[must_use]
+    pub fn with_proof_constructs(mut self, use_proof_constructs: bool) -> Self {
+        self.use_proof_constructs = use_proof_constructs;
+        self
+    }
+
+    /// Controls `from`-clause assumption selection (`false` is the ablation
+    /// configuration).
+    #[must_use]
+    pub fn with_from_clauses(mut self, use_from_clauses: bool) -> Self {
+        self.use_from_clauses = use_from_clauses;
+        self
+    }
 }
 
 /// Verifies a module from source text.
 ///
 /// # Errors
 ///
-/// Returns an error string when parsing or lowering fails.
-pub fn verify_source(source: &str, options: &VerifyOptions) -> Result<ModuleReport, String> {
-    let module = ipl_lang::parse_module(source).map_err(|e| e.to_string())?;
-    verify_module(&module, options)
+/// Returns a [`VerifyError`] when parsing or lowering fails.  Its `Display`
+/// output is identical to the error strings of earlier releases.
+#[deprecated(note = "build a `Session` and call `Session::verify` instead")]
+pub fn verify_source(source: &str, options: &VerifyOptions) -> Result<ModuleReport, VerifyError> {
+    let module = ipl_lang::parse_module(source)?;
+    Session::new(options.clone()).verify_module(&module, None)
 }
 
 /// Re-verifies a module from source text, replaying the unchanged sequents of
@@ -141,14 +211,17 @@ pub fn verify_source(source: &str, options: &VerifyOptions) -> Result<ModuleRepo
 ///
 /// # Errors
 ///
-/// Returns an error string when parsing or lowering fails.
+/// Returns a [`VerifyError`] when parsing or lowering fails.
+#[deprecated(
+    note = "build a `Session` and call `Session::verify` with `Request::with_incremental`"
+)]
 pub fn verify_source_incremental(
     source: &str,
     previous: &ModuleReport,
     options: &VerifyOptions,
-) -> Result<ModuleReport, String> {
-    let module = ipl_lang::parse_module(source).map_err(|e| e.to_string())?;
-    verify_module_incremental(&module, previous, options)
+) -> Result<ModuleReport, VerifyError> {
+    let module = ipl_lang::parse_module(source)?;
+    Session::new(options.clone()).verify_module(&module, Some(previous))
 }
 
 /// Verifies a parsed module, proving the sequents of all its methods on the
@@ -156,9 +229,13 @@ pub fn verify_source_incremental(
 ///
 /// # Errors
 ///
-/// Returns an error string when lowering fails.
-pub fn verify_module(module: &Module, options: &VerifyOptions) -> Result<ModuleReport, String> {
-    verify_module_inner(module, options, None)
+/// Returns a [`VerifyError`] when lowering fails.
+#[deprecated(note = "build a `Session` and call `Session::verify_module` instead")]
+pub fn verify_module(
+    module: &Module,
+    options: &VerifyOptions,
+) -> Result<ModuleReport, VerifyError> {
+    Session::new(options.clone()).verify_module(module, None)
 }
 
 /// Re-verifies a module given the report of a previous run: a sequent whose
@@ -177,23 +254,30 @@ pub fn verify_module(module: &Module, options: &VerifyOptions) -> Result<ModuleR
 ///
 /// # Errors
 ///
-/// Returns an error string when lowering fails.
+/// Returns a [`VerifyError`] when lowering fails.
+#[deprecated(note = "build a `Session` and call `Session::verify_module` instead")]
 pub fn verify_module_incremental(
     module: &Module,
     previous: &ModuleReport,
     options: &VerifyOptions,
-) -> Result<ModuleReport, String> {
-    verify_module_inner(module, options, Some(previous))
+) -> Result<ModuleReport, VerifyError> {
+    Session::new(options.clone()).verify_module(module, Some(previous))
 }
 
-fn verify_module_inner(
+/// The two prover waves shared by [`Session`] and [`verify_method`]: lower,
+/// prepare every method, dispatch every non-trivial sequent, assemble the
+/// report deterministically.  The store is the caller's business (the
+/// session preloads before and appends after); this function only *collects*
+/// the freshly provable `(fingerprint, prover)` pairs and returns them
+/// alongside the report.
+pub(crate) fn drive(
     module: &Module,
     options: &VerifyOptions,
     previous: Option<&ModuleReport>,
-) -> Result<ModuleReport, String> {
-    let lowered = lower_module(module).map_err(|e| e.to_string())?;
-    let cascade = Cascade::standard(options.config);
-    let prover_names = cascade.prover_names();
+    cascade: &Cascade,
+    prover_names: &[&'static str],
+) -> Result<(ModuleReport, Vec<(Fingerprint, String)>), VerifyError> {
+    let lowered = lower_module(module)?;
     let jobs = options.effective_jobs();
     let mut report = ModuleReport::new(&lowered.name, module);
     report.jobs = jobs;
@@ -204,13 +288,6 @@ fn verify_module_inner(
     // point of the cache.
     let cache = ProofCache::global();
     cache.reset_stats();
-
-    // The persistent store, when configured: preload every proved fingerprint
-    // from disk so this process starts as warm as the last one ended.
-    let mut store = open_store(options, &prover_names);
-    if let Some(store) = &store {
-        store.preload(cache);
-    }
 
     // The previous run's per-sequent fingerprints, for incremental replay.
     let prior = previous.map(prior_index).unwrap_or_default();
@@ -249,7 +326,7 @@ fn verify_module_inner(
             let sequent = &p.sequents[sequent_index];
             let query = sequent_query(sequent, &p.method.env, options);
             if options.config.use_cache && !prior.is_empty() {
-                let fingerprint = ProofCache::fingerprint(&query, &options.config, &prover_names);
+                let fingerprint = ProofCache::fingerprint(&query, &options.config, prover_names);
                 if let Some(prev) = prior.get(&(p.method.name.as_str(), sequent.name.as_str())) {
                     if prev.fingerprint == Some(fingerprint.as_u128()) {
                         return replay_answer(prev, fingerprint);
@@ -265,21 +342,13 @@ fn verify_module_inner(
         |_, message| crashed_answer("driver", message),
     );
 
-    // Persist this run's freshly proved fingerprints before the answers are
-    // consumed (`append_new` skips everything already on disk).
-    if let Some(store) = &mut store {
-        let proved: Vec<(Fingerprint, String)> = answers
-            .iter()
-            .filter(|answer| answer.outcome == Outcome::Proved)
-            .filter_map(|answer| Some((answer.fingerprint?, answer.prover.clone()?)))
-            .collect();
-        if let Err(e) = store.append_new(&proved) {
-            eprintln!(
-                "warning: could not persist proofs to {}: {e}",
-                store.path().display()
-            );
-        }
-    }
+    // This run's freshly proved fingerprints, for the caller to persist
+    // (`StoreHandle::append_new` skips everything already on disk).
+    let proved: Vec<(Fingerprint, String)> = answers
+        .iter()
+        .filter(|answer| answer.outcome == Outcome::Proved)
+        .filter_map(|answer| Some((answer.fingerprint?, answer.prover.clone()?)))
+        .collect();
 
     // Deterministic assembly in input order.
     let mut per_method: Vec<Vec<(usize, ProverAnswer)>> = vec![Vec::new(); prepared.len()];
@@ -289,25 +358,7 @@ fn verify_module_inner(
     for (p, answers) in prepared.into_iter().zip(per_method) {
         report.methods.push(assemble(p, answers, options));
     }
-    Ok(report)
-}
-
-/// Opens the persistent store when `cache_dir` is configured and the
-/// in-memory cache is on.  A store that cannot be opened (permissions, disk)
-/// degrades to cache-only verification with a warning — persistence is an
-/// accelerator, never a correctness dependency.
-fn open_store(options: &VerifyOptions, prover_names: &[&str]) -> Option<CacheStore> {
-    let dir = options.cache_dir.as_ref()?;
-    if !options.config.use_cache {
-        return None;
-    }
-    match CacheStore::open(dir, &options.config, prover_names) {
-        Ok(store) => Some(store),
-        Err(e) => {
-            eprintln!("warning: proof store in {} unavailable: {e}", dir.display());
-            None
-        }
-    }
+    Ok((report, proved))
 }
 
 /// Indexes a previous report's recorded sequents by `(method, sequent)` name
@@ -619,6 +670,8 @@ fn parallel_map<'a, T: Sync, R: Send>(
 }
 
 #[cfg(test)]
+// The free-function shims must keep passing their historical tests.
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,435 @@
+//! Long-lived verification sessions.
+//!
+//! A [`Session`] owns everything worth keeping warm between verification
+//! requests: the prover cascade built for one [`VerifyOptions`]
+//! (crate::VerifyOptions), the persistent proof store handle (opened and
+//! scanned **once**, not per call), and the previous reports keyed by module
+//! path for incremental replay.  `ipl serve` holds one `Session` for its
+//! whole lifetime; the deprecated free functions construct a throwaway one
+//! per call, which is exactly the old cost model.
+//!
+//! Requests are plain values ([`Request`]) and answers carry the report plus
+//! session-level telemetry ([`Response`]), so the same surface serves the
+//! CLI, the daemon protocol, and future LSP/WASM adapters.
+
+use crate::{drive, ModuleReport, VerifyError, VerifyOptions};
+use ipl_lang::Module;
+use ipl_provers::cache::ProofCache;
+use ipl_provers::cache_store::StoreHandle;
+use ipl_provers::Cascade;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One verification request against a [`Session`].
+///
+/// Construct with [`Request::new`] and refine with the builder methods; the
+/// struct is `#[non_exhaustive]` so new knobs can be added without breaking
+/// callers.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct Request {
+    /// The annotated module source text.
+    pub source: String,
+    /// Key for the session's previous-report table (defaults to the parsed
+    /// module name).  A daemon serving many files passes the file path here.
+    pub path: Option<String>,
+    /// Replay fingerprint-unchanged sequents from this session's previous
+    /// report for the same key (see
+    /// [`verify_module_incremental`](crate::verify_module_incremental)).
+    pub incremental: bool,
+    /// Wall-clock budget for this request, overriding
+    /// [`VerifyOptions::module_deadline`] (crate::VerifyOptions).
+    pub deadline: Option<Duration>,
+    /// Worker threads for this request, overriding `VerifyOptions::jobs`.
+    pub jobs: Option<usize>,
+}
+
+impl Request {
+    /// A request to verify `source` under the session's defaults.
+    pub fn new(source: impl Into<String>) -> Request {
+        Request {
+            source: source.into(),
+            path: None,
+            incremental: false,
+            deadline: None,
+            jobs: None,
+        }
+    }
+
+    /// Keys this request's report under `path` instead of the module name.
+    #[must_use]
+    pub fn with_path(mut self, path: impl Into<String>) -> Request {
+        self.path = Some(path.into());
+        self
+    }
+
+    /// Enables (or disables) incremental replay against the session's
+    /// previous report for the same key.
+    #[must_use]
+    pub fn with_incremental(mut self, incremental: bool) -> Request {
+        self.incremental = incremental;
+        self
+    }
+
+    /// Sets a wall-clock budget for this request.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Request {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the worker count for this request.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Request {
+        self.jobs = Some(jobs);
+        self
+    }
+}
+
+/// A successful answer to one [`Request`]: the report plus the session-level
+/// telemetry the daemon protocol exposes.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct Response {
+    /// The verification report (partial when the deadline expired; prover
+    /// crashes are quarantined inside it, never surfaced as errors).
+    pub report: ModuleReport,
+    /// Wall-clock for this request (parse through report assembly).
+    pub wall: Duration,
+    /// Times the on-disk store log has been scanned over the session's whole
+    /// life.  Stays at most 1 — the warm-request guarantee.
+    pub store_preloads: usize,
+    /// Distinct fingerprints the store knows to be on disk.
+    pub store_entries: usize,
+    /// Entries this request appended to the store.
+    pub store_appended: usize,
+}
+
+/// Cumulative session telemetry (the daemon's `stats` frame).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SessionStats {
+    /// Requests verified (successfully) so far.
+    pub requests: usize,
+    /// Distinct fingerprints the store knows to be on disk.
+    pub store_entries: usize,
+    /// Times the on-disk log was scanned into the in-memory cache (0 or 1).
+    pub store_preloads: usize,
+    /// Total entries appended to the store by this session.
+    pub store_appended: usize,
+}
+
+/// Long-lived verification state: one cascade, one store handle, one
+/// previous-report table.  Shared across threads (`&Session` is enough to
+/// verify), so a daemon can serve concurrent connections from one session.
+pub struct Session {
+    options: VerifyOptions,
+    cascade: Cascade,
+    prover_names: Vec<&'static str>,
+    /// The persistent store, opened (and its log scanned) once at session
+    /// construction.  `None` when no cache dir is configured, the in-memory
+    /// cache is off, or the store could not be opened (degraded with a
+    /// warning — persistence is an accelerator, not a dependency).
+    store: Mutex<Option<StoreHandle>>,
+    /// Previous reports keyed by request path (or module name), for
+    /// incremental replay.
+    previous: Mutex<HashMap<String, ModuleReport>>,
+    requests: AtomicUsize,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("options", &self.options)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Session {
+    /// Builds a session for `options`, constructing the cascade and opening
+    /// (but not yet replaying) the persistent store.
+    pub fn new(options: VerifyOptions) -> Session {
+        let cascade = Cascade::standard(options.config);
+        let prover_names = cascade.prover_names();
+        let store = open_store(&options, &prover_names);
+        Session {
+            options,
+            cascade,
+            prover_names,
+            store: Mutex::new(store),
+            previous: Mutex::new(HashMap::new()),
+            requests: AtomicUsize::new(0),
+        }
+    }
+
+    /// The options this session was built with.
+    pub fn options(&self) -> &VerifyOptions {
+        &self.options
+    }
+
+    /// Verifies one request: parse, optionally replay against the previous
+    /// report for the same key, prove, persist, remember.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VerifyError`] when parsing or lowering fails.  Prover
+    /// failures (unproved, crashed, deadline-skipped sequents) are *not*
+    /// errors; they are recorded inside the report.
+    pub fn verify(&self, request: &Request) -> Result<Response, VerifyError> {
+        let start = Instant::now();
+        let module = ipl_lang::parse_module(&request.source)?;
+        let key = request.path.clone().unwrap_or_else(|| module.name.clone());
+        let previous = if request.incremental {
+            self.previous
+                .lock()
+                .expect("previous-report table poisoned")
+                .get(&key)
+                .cloned()
+        } else {
+            None
+        };
+        let mut options = self.options.clone();
+        if let Some(jobs) = request.jobs {
+            options.jobs = jobs;
+        }
+        if let Some(deadline) = request.deadline {
+            options.module_deadline = Some(deadline);
+        }
+        let (report, appended) = self.run(&module, &options, previous.as_ref())?;
+        if options.record_sequents {
+            self.previous
+                .lock()
+                .expect("previous-report table poisoned")
+                .insert(key, report.clone());
+        }
+        let stats = self.stats();
+        Ok(Response {
+            report,
+            wall: start.elapsed(),
+            store_preloads: stats.store_preloads,
+            store_entries: stats.store_entries,
+            store_appended: appended,
+        })
+    }
+
+    /// Verifies a parsed module under the session's options, optionally
+    /// replaying a previous report.  This is the surface the deprecated free
+    /// functions shim onto; [`Session::verify`] adds request parsing, option
+    /// overrides and the previous-report table on top.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VerifyError`] when lowering fails.
+    pub fn verify_module(
+        &self,
+        module: &Module,
+        previous: Option<&ModuleReport>,
+    ) -> Result<ModuleReport, VerifyError> {
+        self.run(module, &self.options.clone(), previous)
+            .map(|(report, _)| report)
+    }
+
+    /// Seeds the previous-report table, so later incremental requests for
+    /// `key` can replay against `report` (used by benchmark harnesses that
+    /// carry reports across sessions).
+    pub fn remember(&self, key: impl Into<String>, report: ModuleReport) {
+        self.previous
+            .lock()
+            .expect("previous-report table poisoned")
+            .insert(key.into(), report);
+    }
+
+    /// The report most recently remembered for `key`.
+    pub fn recall(&self, key: &str) -> Option<ModuleReport> {
+        self.previous
+            .lock()
+            .expect("previous-report table poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Cumulative session telemetry.
+    pub fn stats(&self) -> SessionStats {
+        let store = self.store.lock().expect("store handle poisoned");
+        let mut stats = SessionStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            ..SessionStats::default()
+        };
+        if let Some(handle) = store.as_ref() {
+            stats.store_entries = handle.store().len();
+            stats.store_preloads = handle.preload_count();
+            stats.store_appended = handle.appended();
+        }
+        stats
+    }
+
+    /// The full verify path shared by [`Session::verify`] and the shims:
+    /// warm the in-memory cache from the store (first call only), drive the
+    /// prover waves, persist the freshly proved fingerprints.  Returns the
+    /// report and how many entries were appended.
+    fn run(
+        &self,
+        module: &Module,
+        options: &VerifyOptions,
+        previous: Option<&ModuleReport>,
+    ) -> Result<(ModuleReport, usize), VerifyError> {
+        {
+            let mut store = self.store.lock().expect("store handle poisoned");
+            if let Some(handle) = store.as_mut() {
+                handle.ensure_preloaded(ProofCache::global());
+            }
+        }
+        let (report, proved) = drive(module, options, previous, &self.cascade, &self.prover_names)?;
+        let mut appended = 0;
+        if !proved.is_empty() {
+            let mut store = self.store.lock().expect("store handle poisoned");
+            if let Some(handle) = store.as_mut() {
+                match handle.append_new(&proved) {
+                    Ok(count) => appended = count,
+                    Err(e) => eprintln!(
+                        "warning: could not persist proofs to {}: {e}",
+                        handle.store().path().display()
+                    ),
+                }
+            }
+        }
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        Ok((report, appended))
+    }
+}
+
+/// Opens the persistent store when `cache_dir` is configured and the
+/// in-memory cache is on.  A store that cannot be opened (permissions, disk)
+/// degrades to cache-only verification with a warning.
+fn open_store(options: &VerifyOptions, prover_names: &[&'static str]) -> Option<StoreHandle> {
+    let dir = options.cache_dir.as_ref()?;
+    if !options.config.use_cache {
+        return None;
+    }
+    match StoreHandle::open(dir, &options.config, prover_names) {
+        Ok(handle) => Some(handle),
+        Err(e) => {
+            eprintln!("warning: proof store in {} unavailable: {e}", dir.display());
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VerifyError;
+
+    const COUNTER: &str = r#"
+        module Counter {
+          var value: int;
+          invariant NonNeg: "0 <= value";
+
+          method increment() returns (result: int)
+            modifies value
+            ensures "value = old(value) + 1 & result = value"
+          {
+            value := value + 1;
+            result := value;
+          }
+        }
+    "#;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ipl-session-test-{}-{tag}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn a_session_verifies_requests() {
+        let session = Session::new(VerifyOptions::default());
+        let response = session.verify(&Request::new(COUNTER)).unwrap();
+        assert!(response.report.fully_proved());
+        assert_eq!(response.report.module_name, "Counter");
+        assert_eq!(session.stats().requests, 1);
+        // No cache dir: the store never preloads or appends.
+        assert_eq!(response.store_preloads, 0);
+        assert_eq!(response.store_appended, 0);
+    }
+
+    #[test]
+    fn parse_errors_come_back_typed() {
+        let session = Session::new(VerifyOptions::default());
+        let err = session.verify(&Request::new("module {")).unwrap_err();
+        assert!(matches!(err, VerifyError::Parse { .. }));
+        assert_eq!(err.kind(), "parse");
+    }
+
+    #[test]
+    fn the_store_is_scanned_once_per_session() {
+        let dir = temp_dir("scan-once");
+        let session = Session::new(VerifyOptions::default().with_cache_dir(&dir));
+        let first = session.verify(&Request::new(COUNTER)).unwrap();
+        assert_eq!(first.store_preloads, 1);
+        let second = session.verify(&Request::new(COUNTER)).unwrap();
+        assert_eq!(second.store_preloads, 1, "no second scan of the log");
+        assert_eq!(second.store_appended, 0, "nothing new to persist");
+        assert!(second.store_entries >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn incremental_requests_replay_the_previous_report() {
+        let session = Session::new(VerifyOptions::default());
+        let cold = session.verify(&Request::new(COUNTER)).unwrap();
+        let warm = session
+            .verify(&Request::new(COUNTER).with_incremental(true))
+            .unwrap();
+        assert_eq!(cold.report.normalized(), warm.report.normalized());
+        let nontrivial: usize = warm
+            .report
+            .methods
+            .iter()
+            .map(|m| m.proved_sequents - m.trivial_sequents)
+            .sum();
+        assert_eq!(
+            warm.report.cache_hits(),
+            nontrivial,
+            "every non-trivial proved sequent replays from the previous report"
+        );
+    }
+
+    #[test]
+    fn request_overrides_take_effect() {
+        // Cache off, or previously proved sequents answer from the global
+        // cache even under an expired deadline.
+        let uncached = ipl_provers::ProverConfig {
+            use_cache: false,
+            ..ipl_provers::ProverConfig::default()
+        };
+        let session = Session::new(VerifyOptions::default().with_config(uncached));
+        let response = session
+            .verify(
+                &Request::new(COUNTER)
+                    .with_jobs(1)
+                    .with_deadline(Duration::ZERO),
+            )
+            .unwrap();
+        assert_eq!(response.report.jobs, 1);
+        assert!(!response.report.fully_proved());
+        assert!(response.report.skipped_sequents() > 0);
+    }
+
+    #[test]
+    fn reports_are_remembered_by_path_key() {
+        let session = Session::new(VerifyOptions::default());
+        session
+            .verify(&Request::new(COUNTER).with_path("src/counter.ipl"))
+            .unwrap();
+        assert!(session.recall("src/counter.ipl").is_some());
+        assert!(session.recall("Counter").is_none());
+    }
+}

@@ -17,6 +17,8 @@ pub struct LangError {
     pub message: String,
     /// 1-based line number.
     pub line: usize,
+    /// Byte-offset range `[start, end)` into the source, when known.
+    pub span: Option<(usize, usize)>,
 }
 
 impl fmt::Display for LangError {
@@ -57,6 +59,10 @@ enum Tok {
 struct Sp {
     tok: Tok,
     line: usize,
+    /// Byte offset of the token's first character.
+    start: usize,
+    /// Byte offset one past the token's last character.
+    end: usize,
 }
 
 const PUNCTS: &[&str] = &[
@@ -98,6 +104,7 @@ fn lex(source: &str) -> Result<Vec<Sp>, LangError> {
             continue;
         }
         if c == '"' {
+            let open = i;
             let start = i + 1;
             let mut j = start;
             while j < bytes.len() && bytes[j] as char != '"' {
@@ -110,11 +117,14 @@ fn lex(source: &str) -> Result<Vec<Sp>, LangError> {
                 return Err(LangError {
                     message: "unterminated string".into(),
                     line,
+                    span: Some((open, bytes.len())),
                 });
             }
             out.push(Sp {
                 tok: Tok::Str(source[start..j].to_string()),
                 line,
+                start: open,
+                end: j + 1,
             });
             i = j + 1;
             continue;
@@ -127,10 +137,13 @@ fn lex(source: &str) -> Result<Vec<Sp>, LangError> {
             let value: i64 = source[start..i].parse().map_err(|_| LangError {
                 message: format!("integer out of range: {}", &source[start..i]),
                 line,
+                span: Some((start, i)),
             })?;
             out.push(Sp {
                 tok: Tok::Int(value),
                 line,
+                start,
+                end: i,
             });
             continue;
         }
@@ -147,6 +160,8 @@ fn lex(source: &str) -> Result<Vec<Sp>, LangError> {
             out.push(Sp {
                 tok: Tok::Ident(source[start..i].to_string()),
                 line,
+                start,
+                end: i,
             });
             continue;
         }
@@ -155,6 +170,8 @@ fn lex(source: &str) -> Result<Vec<Sp>, LangError> {
                 out.push(Sp {
                     tok: Tok::Punct(p),
                     line,
+                    start: i,
+                    end: i + p.len(),
                 });
                 i += p.len();
                 continue 'outer;
@@ -163,11 +180,14 @@ fn lex(source: &str) -> Result<Vec<Sp>, LangError> {
         return Err(LangError {
             message: format!("unexpected character {c:?}"),
             line,
+            span: Some((i, i + c.len_utf8())),
         });
     }
     out.push(Sp {
         tok: Tok::Eof,
         line,
+        start: bytes.len(),
+        end: bytes.len(),
     });
     Ok(out)
 }
@@ -198,10 +218,16 @@ impl P {
         t
     }
 
+    fn span(&self) -> (usize, usize) {
+        let sp = &self.tokens[self.pos];
+        (sp.start, sp.end)
+    }
+
     fn err(&self, message: impl Into<String>) -> LangError {
         LangError {
             message: message.into(),
             line: self.line(),
+            span: Some(self.span()),
         }
     }
 
@@ -248,10 +274,12 @@ impl P {
 
     fn formula(&mut self) -> Result<Form, LangError> {
         let line = self.line();
+        let span = self.span();
         match self.bump() {
             Tok::Str(text) => parse_form(&text).map_err(|e| LangError {
                 message: format!("in formula {text:?}: {e}"),
                 line,
+                span: Some(span),
             }),
             other => Err(self.err(format!("expected a quoted formula, found {other:?}"))),
         }
@@ -330,6 +358,8 @@ impl P {
     }
 
     fn ty(&mut self) -> Result<Type, LangError> {
+        let line = self.line();
+        let span = self.span();
         let name = self.ident()?;
         match name.as_str() {
             "int" => Ok(Type::Int),
@@ -337,7 +367,11 @@ impl P {
             "obj" => Ok(Type::Obj),
             "objarray" => Ok(Type::ObjArray),
             "intarray" => Ok(Type::IntArray),
-            other => Err(self.err(format!("unknown type `{other}`"))),
+            other => Err(LangError {
+                message: format!("unknown type `{other}`"),
+                line,
+                span: Some(span),
+            }),
         }
     }
 
@@ -359,6 +393,8 @@ impl P {
             self.expect_punct(")")?;
             return Ok(s);
         }
+        let line = self.line();
+        let span = self.span();
         let name = self.ident()?;
         match name.as_str() {
             "int" => Ok(Sort::Int),
@@ -370,7 +406,11 @@ impl P {
                 self.expect_punct(">")?;
                 Ok(Sort::Set(Box::new(elem)))
             }
-            other => Err(self.err(format!("unknown sort `{other}`"))),
+            other => Err(LangError {
+                message: format!("unknown sort `{other}`"),
+                line,
+                span: Some(span),
+            }),
         }
     }
 
@@ -1160,5 +1200,31 @@ mod tests {
 
         let err = parse_module("module M {\n  invariant I: \"x &\";\n}").unwrap_err();
         assert!(err.message.contains("in formula"));
+    }
+
+    #[test]
+    fn reports_errors_with_byte_spans() {
+        let source = "module M {\n  var x: unknown;\n}";
+        let err = parse_module(source).unwrap_err();
+        let (start, end) = err.span.unwrap();
+        assert_eq!(&source[start..end], "unknown");
+
+        let source = "module M {\n  invariant I: \"x &\";\n}";
+        let err = parse_module(source).unwrap_err();
+        let (start, end) = err.span.unwrap();
+        assert_eq!(&source[start..end], "\"x &\"");
+
+        let source = "module M { var x: int; @ }";
+        let err = parse_module(source).unwrap_err();
+        let (start, end) = err.span.unwrap();
+        assert_eq!(&source[start..end], "@");
+
+        // Display output is unchanged by the span addition.
+        assert_eq!(
+            parse_module("module M {\n  var x: unknown;\n}")
+                .unwrap_err()
+                .to_string(),
+            "line 2: unknown type `unknown`"
+        );
     }
 }

@@ -343,6 +343,80 @@ impl CacheStore {
     }
 }
 
+/// A long-lived wrapper around [`CacheStore`] for callers that verify
+/// repeatedly in one process (a daemon, an incremental loop).
+///
+/// [`CacheStore::open`] scans the whole log; doing that once per verify is
+/// the dominant fixed cost of a warm request.  A `StoreHandle` opens the
+/// store once and replays it into the in-memory cache at most once —
+/// [`StoreHandle::ensure_preloaded`] is idempotent — while still appending
+/// freshly proved fingerprints after every verify.
+#[derive(Debug)]
+pub struct StoreHandle {
+    store: CacheStore,
+    /// How many times the loaded log was actually replayed into a cache.
+    /// Stays at 1 for the life of the handle; the daemon's "no re-scan"
+    /// guarantee is asserted against this counter.
+    preloads: usize,
+    /// Total entries appended through this handle.
+    appended: usize,
+}
+
+impl StoreHandle {
+    /// Opens (creating if necessary) the store for `config` in `dir`.  The
+    /// log is scanned here, once; see [`CacheStore::open`] for recovery and
+    /// locking behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from [`CacheStore::open`].
+    pub fn open(dir: &Path, config: &ProverConfig, provers: &[&str]) -> io::Result<StoreHandle> {
+        Ok(StoreHandle {
+            store: CacheStore::open(dir, config, provers)?,
+            preloads: 0,
+            appended: 0,
+        })
+    }
+
+    /// Replays the loaded log into `cache` the first time it is called;
+    /// every later call is a no-op returning 0.  Returns how many entries
+    /// were replayed.
+    pub fn ensure_preloaded(&mut self, cache: &ProofCache) -> usize {
+        if self.preloads > 0 {
+            return 0;
+        }
+        self.preloads = 1;
+        self.store.preload(cache)
+    }
+
+    /// How many times the on-disk log was replayed into a cache (0 before
+    /// the first [`StoreHandle::ensure_preloaded`], 1 forever after).
+    pub fn preload_count(&self) -> usize {
+        self.preloads
+    }
+
+    /// Total entries appended through this handle.
+    pub fn appended(&self) -> usize {
+        self.appended
+    }
+
+    /// Appends not-yet-persisted entries; see [`CacheStore::append_new`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates locking and write errors from [`CacheStore::append_new`].
+    pub fn append_new(&mut self, entries: &[(Fingerprint, String)]) -> io::Result<usize> {
+        let written = self.store.append_new(entries)?;
+        self.appended += written;
+        Ok(written)
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &CacheStore {
+        &self.store
+    }
+}
+
 /// Acquires the advisory lock, degrading to lock-free operation (with one
 /// warning per handle) when the filesystem reports locks as unsupported.
 /// Returns whether the lock is actually held.
@@ -734,6 +808,29 @@ mod tests {
         assert_eq!(std::fs::metadata(store.path()).unwrap().len(), len_before);
         // The handle recovers as soon as the disk does.
         assert_eq!(store.append_new(&[(fp(51), "a".into())]).unwrap(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_handle_preloads_once_and_keeps_appending() {
+        let _serial = crate::fault::serial_guard();
+        let dir = temp_dir("handle");
+        let config = ProverConfig::default();
+        let provers = ["smt-ground"];
+        {
+            let mut store = CacheStore::open(&dir, &config, &provers).unwrap();
+            store.append_new(&[(fp(61), "smt-ground".into())]).unwrap();
+        }
+        let mut handle = StoreHandle::open(&dir, &config, &provers).unwrap();
+        assert_eq!(handle.preload_count(), 0);
+        let cache = ProofCache::global();
+        assert_eq!(handle.ensure_preloaded(cache), 1);
+        assert_eq!(handle.ensure_preloaded(cache), 0, "second preload is free");
+        assert_eq!(handle.preload_count(), 1);
+        assert_eq!(handle.append_new(&[(fp(62), "bapa".into())]).unwrap(), 1);
+        assert_eq!(handle.append_new(&[(fp(62), "bapa".into())]).unwrap(), 0);
+        assert_eq!(handle.appended(), 1);
+        assert_eq!(handle.store().len(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

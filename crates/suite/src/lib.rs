@@ -37,7 +37,10 @@ pub fn verify_benchmark(
     benchmark: &Benchmark,
     options: &ipl_core::VerifyOptions,
 ) -> Result<ipl_core::ModuleReport, String> {
-    ipl_core::verify_source(benchmark.source, options)
+    ipl_core::Session::new(options.clone())
+        .verify(&ipl_core::Request::new(benchmark.source))
+        .map(|response| response.report)
+        .map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -47,10 +50,7 @@ mod tests {
     #[test]
     fn linked_list_verifies_almost_completely() {
         let benchmark = by_name("Linked List").unwrap();
-        let options = ipl_core::VerifyOptions {
-            config: suite_config(),
-            ..ipl_core::VerifyOptions::default()
-        };
+        let options = ipl_core::VerifyOptions::default().with_config(suite_config());
         let report = verify_benchmark(&benchmark, &options).unwrap();
         // The bounded provers discharge the vast majority of the obligations;
         // the residual unproved sequents are listed in EXPERIMENTS.md.
@@ -84,10 +84,7 @@ mod tests {
         // (`put` among the failures, defeated by the blind sort-pool
         // cross-product).  All five must now prove with the default config.
         let benchmark = by_name("Association List").unwrap();
-        let options = ipl_core::VerifyOptions {
-            config: suite_config(),
-            ..ipl_core::VerifyOptions::default()
-        };
+        let options = ipl_core::VerifyOptions::default().with_config(suite_config());
         let report = verify_benchmark(&benchmark, &options).unwrap();
         assert!(
             report.fully_proved(),
@@ -101,10 +98,7 @@ mod tests {
         // Regression pin: Priority Queue verified 0 of 6 methods before the
         // incremental congruence closure + E-matching rework.
         let benchmark = by_name("Priority Queue").unwrap();
-        let options = ipl_core::VerifyOptions {
-            config: suite_config(),
-            ..ipl_core::VerifyOptions::default()
-        };
+        let options = ipl_core::VerifyOptions::default().with_config(suite_config());
         let report = verify_benchmark(&benchmark, &options).unwrap();
         for method in ["findMax", "sizeOf", "clear"] {
             let m = report.methods.iter().find(|m| m.name == method).unwrap();
@@ -119,10 +113,7 @@ mod tests {
     #[test]
     fn priority_queue_induction_needs_the_induct_construct() {
         let benchmark = by_name("Priority Queue").unwrap();
-        let options = ipl_core::VerifyOptions {
-            config: suite_config(),
-            ..ipl_core::VerifyOptions::default()
-        };
+        let options = ipl_core::VerifyOptions::default().with_config(suite_config());
         let module = ipl_lang::parse_module(benchmark.source).unwrap();
         let lowered = ipl_lang::lower_module(&module).unwrap();
         let check_level = lowered
@@ -146,10 +137,7 @@ mod tests {
         let without = ipl_core::verify_method(
             check_level,
             &cascade,
-            &ipl_core::VerifyOptions {
-                config: suite_config(),
-                ..ipl_core::VerifyOptions::without_proof_constructs()
-            },
+            &ipl_core::VerifyOptions::without_proof_constructs().with_config(suite_config()),
         );
         assert!(
             !proved_post(&without),

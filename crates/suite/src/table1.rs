@@ -51,15 +51,25 @@ pub struct Table1Row {
     pub ground_stats: BTreeMap<String, u64>,
 }
 
-/// Generates Table 1 by verifying every benchmark with its proof constructs.
+/// Generates Table 1 by verifying every benchmark with its proof constructs,
+/// all through one long-lived [`ipl_core::Session`] (so the persistent store,
+/// when configured, is scanned once for the whole table).
 pub fn generate(options: &VerifyOptions) -> Vec<Table1Row> {
-    all().iter().map(|b| row(b, options)).collect()
+    let session = ipl_core::Session::new(options.clone());
+    all().iter().map(|b| row_in(&session, b)).collect()
 }
 
-/// Generates one row.
+/// Generates one row with a throwaway session.
 pub fn row(benchmark: &Benchmark, options: &VerifyOptions) -> Table1Row {
+    row_in(&ipl_core::Session::new(options.clone()), benchmark)
+}
+
+/// Generates one row through an existing session.
+pub fn row_in(session: &ipl_core::Session, benchmark: &Benchmark) -> Table1Row {
     let ground_before = ipl_provers::ground::stats_snapshot();
-    let report = ipl_core::verify_source(benchmark.source, options)
+    let report = session
+        .verify(&ipl_core::Request::new(benchmark.source))
+        .map(|response| response.report)
         .unwrap_or_else(|e| panic!("{}: {e}", benchmark.name));
     let ground = ipl_provers::ground::stats_snapshot().since(&ground_before);
     Table1Row {

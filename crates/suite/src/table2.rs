@@ -32,26 +32,45 @@ pub struct Table2Row {
     pub cache_hits: usize,
 }
 
-/// Generates Table 2 by running each benchmark twice.
+/// Generates Table 2 by running each benchmark twice: one session per
+/// configuration (the session owns the cascade and store handle, so the
+/// eight benchmarks of each pass share them).
 pub fn generate(options: &VerifyOptions) -> Vec<Table2Row> {
-    all().iter().map(|b| row(b, options)).collect()
+    let (without, with) = sessions(options);
+    all().iter().map(|b| row_in(&without, &with, b)).collect()
 }
 
-/// Generates one row.
+/// Generates one row with throwaway sessions.
 pub fn row(benchmark: &Benchmark, options: &VerifyOptions) -> Table2Row {
-    let without_options = VerifyOptions {
-        use_proof_constructs: false,
-        record_sequents: false,
-        ..options.clone()
+    let (without, with) = sessions(options);
+    row_in(&without, &with, benchmark)
+}
+
+/// The two sessions of the double run: without proof constructs, and with.
+fn sessions(options: &VerifyOptions) -> (ipl_core::Session, ipl_core::Session) {
+    let without = ipl_core::Session::new(
+        options
+            .clone()
+            .with_proof_constructs(false)
+            .with_record_sequents(false),
+    );
+    let with = ipl_core::Session::new(options.clone().with_record_sequents(false));
+    (without, with)
+}
+
+fn row_in(
+    without_session: &ipl_core::Session,
+    with_session: &ipl_core::Session,
+    benchmark: &Benchmark,
+) -> Table2Row {
+    let verify = |session: &ipl_core::Session| {
+        session
+            .verify(&ipl_core::Request::new(benchmark.source))
+            .map(|response| response.report)
+            .unwrap_or_else(|e| panic!("{}: {e}", benchmark.name))
     };
-    let with_options = VerifyOptions {
-        record_sequents: false,
-        ..options.clone()
-    };
-    let without = ipl_core::verify_source(benchmark.source, &without_options)
-        .unwrap_or_else(|e| panic!("{}: {e}", benchmark.name));
-    let with = ipl_core::verify_source(benchmark.source, &with_options)
-        .unwrap_or_else(|e| panic!("{}: {e}", benchmark.name));
+    let without = verify(without_session);
+    let with = verify(with_session);
     Table2Row {
         name: benchmark.name.to_string(),
         methods_without: without.methods_verified(),

@@ -9,9 +9,13 @@
 //!   in-memory cache is wiped between phases, so the disk store is the only
 //!   carried warmth);
 //! * `edit-one-method` — the steady-state case: one method body edited, the
-//!   rest of the suite replayed through [`ipl_core::verify_source_incremental`];
+//!   rest of the suite replayed incrementally against the previous reports;
 //! * `shared-store` (optional) — a run against a caller-provided directory,
-//!   the shape of a CI job reusing a store across workflow runs.
+//!   the shape of a CI job reusing a store across workflow runs;
+//! * `serve-cold` / `serve-warm` ([`run_serve_phases`]) — the suite twice
+//!   through **one** long-lived [`ipl_core::Session`], the daemon shape: the
+//!   warm pass answers from the in-memory cache and intern table kept hot
+//!   across requests, with zero additional store scans.
 //!
 //! The `BENCH_throughput.json` document written by `examples/throughput.rs`
 //! reuses the `BENCH_table1.json` layout (`total_wall_ms` + a `benchmarks`
@@ -20,7 +24,7 @@
 //! gates the cold and warm curves in CI.
 
 use crate::benchmarks::all;
-use ipl_core::{verify_source, verify_source_incremental, ModuleReport, VerifyOptions};
+use ipl_core::{ModuleReport, Request, Session, VerifyOptions};
 use ipl_provers::cache::ProofCache;
 use std::path::Path;
 use std::time::Instant;
@@ -109,25 +113,76 @@ pub fn run_phase(
     previous: Option<&[ModuleReport]>,
 ) -> Result<(PhaseResult, Vec<ModuleReport>), String> {
     ProofCache::global().reset();
-    let options = VerifyOptions {
-        config: crate::suite_config(),
-        record_sequents: true,
-        jobs,
-        cache_dir: cache_dir.map(Path::to_path_buf),
-        ..VerifyOptions::default()
-    };
+    let session = Session::new(phase_options(jobs, cache_dir));
+    // Seed the session's previous-report table so the incremental path can
+    // replay across what used to be separate processes.
+    if let Some(previous) = previous {
+        for ((bench, _), report) in sources.iter().zip(previous) {
+            session.remember(*bench, report.clone());
+        }
+    }
     let start = Instant::now();
     let mut reports = Vec::with_capacity(sources.len());
-    for (index, (bench, source)) in sources.iter().enumerate() {
-        let report = match previous.and_then(|p| p.get(index)) {
-            Some(prev) => verify_source_incremental(source, prev, &options),
-            None => verify_source(source, &options),
-        }
-        .map_err(|e| format!("{bench}: {e}"))?;
-        reports.push(report);
+    for (bench, source) in sources {
+        let request = Request::new(source.clone())
+            .with_path(*bench)
+            .with_incremental(previous.is_some());
+        let response = session
+            .verify(&request)
+            .map_err(|e| format!("{bench}: {e}"))?;
+        reports.push(response.report);
     }
     let wall_ms = start.elapsed().as_millis();
-    Ok((aggregate(name, &options, wall_ms, &reports), reports))
+    Ok((
+        aggregate(name, session.options(), wall_ms, &reports),
+        reports,
+    ))
+}
+
+/// Runs the suite twice through **one** long-lived [`Session`] — the `ipl
+/// serve` cost model in-process.  The in-memory cache is wiped first; the
+/// second pass's warmth comes entirely from state the session kept hot
+/// (intern table, in-memory cache, store handle).  Returns the
+/// `serve-cold`/`serve-warm` pair plus the session's total store preloads
+/// (which must be at most 1: the warm pass never re-scans the log).
+///
+/// # Errors
+///
+/// Returns the first verification error (parse/lowering).
+pub fn run_serve_phases(
+    jobs: usize,
+    cache_dir: Option<&Path>,
+    sources: &[(&str, String)],
+) -> Result<(PhaseResult, PhaseResult, usize), String> {
+    ProofCache::global().reset();
+    let session = Session::new(phase_options(jobs, cache_dir));
+    let pass = |name: &str| -> Result<PhaseResult, String> {
+        let start = Instant::now();
+        let mut reports = Vec::with_capacity(sources.len());
+        for (bench, source) in sources {
+            let request = Request::new(source.clone()).with_path(*bench);
+            let response = session
+                .verify(&request)
+                .map_err(|e| format!("{bench}: {e}"))?;
+            reports.push(response.report);
+        }
+        let wall_ms = start.elapsed().as_millis();
+        Ok(aggregate(name, session.options(), wall_ms, &reports))
+    };
+    let cold = pass("serve-cold")?;
+    let warm = pass("serve-warm")?;
+    Ok((cold, warm, session.stats().store_preloads))
+}
+
+fn phase_options(jobs: usize, cache_dir: Option<&Path>) -> VerifyOptions {
+    let options = VerifyOptions::default()
+        .with_config(crate::suite_config())
+        .with_record_sequents(true)
+        .with_jobs(jobs);
+    match cache_dir {
+        Some(dir) => options.with_cache_dir(dir),
+        None => options,
+    }
 }
 
 fn aggregate(

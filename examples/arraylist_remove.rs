@@ -3,27 +3,25 @@
 //!
 //! Run with `cargo run --example arraylist_remove`.
 
-use ipl::core::{verify_source, VerifyOptions};
+use ipl::core::{Request, Session, VerifyOptions};
 use ipl::suite::by_name;
 
 fn main() {
     let benchmark = by_name("Array List").expect("benchmark exists");
-    let options = VerifyOptions {
-        config: ipl::suite::suite_config(),
-        ..VerifyOptions::default()
+    let options = VerifyOptions::default().with_config(ipl::suite::suite_config());
+    let verify = |options: VerifyOptions| {
+        Session::new(options)
+            .verify(&Request::new(benchmark.source))
+            .expect("parses")
+            .report
     };
 
     println!("== Array List with its integrated proof statements ==");
-    let with = verify_source(benchmark.source, &options).expect("parses");
+    let with = verify(options.clone());
     println!("{}", with.render());
 
     println!("== Array List with the proof statements stripped (Table 2 baseline) ==");
-    let without_options = VerifyOptions {
-        use_proof_constructs: false,
-        config: ipl::suite::suite_config(),
-        ..VerifyOptions::default()
-    };
-    let without = verify_source(benchmark.source, &without_options).expect("parses");
+    let without = verify(options.with_proof_constructs(false));
     println!("{}", without.render());
 
     println!(

@@ -24,8 +24,8 @@ use std::collections::BTreeSet;
 use std::io::Write;
 
 fn options(jobs: usize) -> VerifyOptions {
-    VerifyOptions {
-        config: ProverConfig {
+    VerifyOptions::default()
+        .with_config(ProverConfig {
             // No in-memory/persistent cache: a cached Proved would bypass
             // fault injection and weaken the invariant being smoked.
             use_cache: false,
@@ -33,11 +33,9 @@ fn options(jobs: usize) -> VerifyOptions {
             // tip a real timeout and make the comparison machine-dependent.
             per_prover_timeout_ms: 600_000,
             ..ProverConfig::default()
-        },
-        record_sequents: true,
-        jobs,
-        ..VerifyOptions::default()
-    }
+        })
+        .with_record_sequents(true)
+        .with_jobs(jobs)
 }
 
 fn proved_set(report: &ModuleReport) -> BTreeSet<(String, String)> {
@@ -98,16 +96,18 @@ fn main() {
     };
 
     println!("chaos plan: {plan:?}\n");
-    let opts = options(jobs);
+    let session = ipl::core::Session::new(options(jobs));
     let mut rows = Vec::new();
     let mut violations = 0usize;
     for benchmark in &benchmarks {
-        let clean = ipl::core::verify_source(benchmark.source, &opts)
-            .unwrap_or_else(|e| panic!("{} fault-free: {e}", benchmark.name));
-        let chaos = fault::with_plan(Some(plan), || {
-            ipl::core::verify_source(benchmark.source, &opts)
-                .unwrap_or_else(|e| panic!("{} under chaos: {e}", benchmark.name))
-        });
+        let verify = |context: &str| {
+            session
+                .verify(&ipl::core::Request::new(benchmark.source))
+                .unwrap_or_else(|e| panic!("{} {context}: {e}", benchmark.name))
+                .report
+        };
+        let clean = verify("fault-free");
+        let chaos = fault::with_plan(Some(plan), || verify("under chaos"));
 
         let fabricated: Vec<_> = proved_set(&chaos)
             .difference(&proved_set(&clean))

@@ -20,11 +20,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let dump = args.iter().any(|a| a == "--dump");
     let names: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-    let options = ipl::core::VerifyOptions {
-        config: ipl::suite::suite_config(),
-        record_sequents: true,
-        ..ipl::core::VerifyOptions::default()
-    };
+    let options = ipl::core::VerifyOptions::default()
+        .with_config(ipl::suite::suite_config())
+        .with_record_sequents(true);
     for benchmark in ipl::suite::all() {
         if !names.is_empty() && !names.iter().any(|n| benchmark.name.contains(n.as_str())) {
             continue;

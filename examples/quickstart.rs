@@ -34,8 +34,11 @@ module Account {
   }
 }
 "#;
-    let options = ipl::core::VerifyOptions::default();
-    let report = ipl::core::verify_source(source, &options).expect("module parses and lowers");
+    let session = ipl::core::Session::new(ipl::core::VerifyOptions::default());
+    let report = session
+        .verify(&ipl::core::Request::new(source))
+        .expect("module parses and lowers")
+        .report;
     println!("{}", report.render());
     if report.fully_proved() {
         println!("All proof obligations discharged by the integrated prover cascade.");

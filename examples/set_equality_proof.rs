@@ -28,7 +28,10 @@ module SetEquality {
   }
 }
 "#;
-    let report = ipl::core::verify_source(source, &ipl::core::VerifyOptions::default())
-        .expect("module parses and lowers");
+    let session = ipl::core::Session::new(ipl::core::VerifyOptions::default());
+    let report = session
+        .verify(&ipl::core::Request::new(source))
+        .expect("module parses and lowers")
+        .report;
     println!("{}", report.render());
 }

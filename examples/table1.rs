@@ -76,19 +76,20 @@ fn main() {
         })
     });
 
-    let options = ipl::core::VerifyOptions {
-        config: ipl::suite::suite_config(),
-        record_sequents: false,
-        jobs,
-        ..ipl::core::VerifyOptions::default()
-    };
+    let options = ipl::core::VerifyOptions::default()
+        .with_config(ipl::suite::suite_config())
+        .with_record_sequents(false)
+        .with_jobs(jobs);
     let run = |options: &ipl::core::VerifyOptions| {
         if quick {
+            // One session for the whole subset: the cascade and the store
+            // handle stay warm across the three benchmarks.
+            let session = ipl::core::Session::new(options.clone());
             ["Linked List", "Cursor List", "Association List"]
                 .iter()
                 .map(|name| {
                     let benchmark = ipl::suite::by_name(name).expect("benchmark exists");
-                    ipl::suite::table1::row(&benchmark, options)
+                    ipl::suite::table1::row_in(&session, &benchmark)
                 })
                 .collect()
         } else {
@@ -102,15 +103,13 @@ fn main() {
     // The control run: one worker, no proof cache — the pre-parallelism
     // behaviour, so the summary can report the actual speedup.
     let sequential_wall_ms = compare_sequential.then(|| {
-        let control_options = ipl::core::VerifyOptions {
-            config: ipl::provers::ProverConfig {
+        let control_options = ipl::core::VerifyOptions::default()
+            .with_config(ipl::provers::ProverConfig {
                 use_cache: false,
                 ..ipl::suite::suite_config()
-            },
-            record_sequents: false,
-            jobs: 1,
-            ..ipl::core::VerifyOptions::default()
-        };
+            })
+            .with_record_sequents(false)
+            .with_jobs(1);
         let control_start = Instant::now();
         let _ = run(&control_options);
         control_start.elapsed().as_millis()

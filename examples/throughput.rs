@@ -12,13 +12,15 @@
 //!   directories, so a pre-populated shared store never skews them.
 //! * `--assert-warm` — exit non-zero unless the warm run answered sequents
 //!   from the store (`cache_hits > 0`, covering ≥ 90% of the cold run's
-//!   proved sequents) and its wall-clock beat the cold run.
+//!   proved sequents) and its wall-clock beat the cold run; also gates the
+//!   `serve-warm` phase (≥ 90% answered from warm session state, store
+//!   scanned exactly once across both serve passes).
 //! * `--require-shared-hits` — exit non-zero unless the `shared-store` phase
 //!   had cache hits (CI uses this on the second invocation against the same
 //!   directory).
-//! * `--check-baseline <path>` — gate the `cold-j1` and `warm-j1` wall-clocks
-//!   against a committed `BENCH_throughput.json` (>25% + 5 s regression
-//!   fails), like the Table 1 gate.
+//! * `--check-baseline <path>` — gate the `cold-j1`, `warm-j1` and
+//!   `serve-warm` wall-clocks against a committed `BENCH_throughput.json`
+//!   (>25% + 5 s regression fails), like the Table 1 gate.
 //!
 //! Output goes to `BENCH_throughput.json` (override with
 //! `BENCH_THROUGHPUT_OUT`); with `GITHUB_STEP_SUMMARY` set, the cold/warm
@@ -96,11 +98,9 @@ fn main() {
     // The jN curve, against its own store.  Skipped when N would be 1 (a
     // single-core machine): the phases would duplicate the j1 curve under
     // the same names, and phase names key the baseline gate.
-    let jn_label_jobs = ipl::core::VerifyOptions {
-        jobs,
-        ..ipl::core::VerifyOptions::default()
-    }
-    .effective_jobs();
+    let jn_label_jobs = ipl::core::VerifyOptions::default()
+        .with_jobs(jobs)
+        .effective_jobs();
     let jn_curve = (jn_label_jobs > 1).then(|| {
         let (cold_jn, _) = run(
             &format!("cold-j{jn_label_jobs}"),
@@ -129,12 +129,40 @@ fn main() {
         Some(&warm_reports),
     );
 
+    // The daemon shape: one long-lived `Session` serves the whole suite
+    // twice.  The second pass answers from warm in-process state (intern
+    // table, in-memory proof cache, preloaded store index); the store is
+    // scanned exactly once for both passes.
+    let store_serve = scratch.join("store-serve");
+    let (serve_cold, serve_warm, serve_preloads) =
+        ipl::suite::throughput::run_serve_phases(1, Some(store_serve.as_path()), &sources)
+            .unwrap_or_else(|e| {
+                eprintln!("serve phases: {e}");
+                std::process::exit(1);
+            });
+    for phase in [&serve_cold, &serve_warm] {
+        println!(
+            "  {:<16} jobs={} wall={} ms, {}/{} methods, {}/{} sequents, {} store/replay hits",
+            phase.name,
+            phase.jobs,
+            phase.wall_ms,
+            phase.methods_verified,
+            phase.methods,
+            phase.sequents_proved,
+            phase.sequents_total,
+            phase.cache_hits,
+        );
+    }
+    println!("  serve session store preloads: {serve_preloads}");
+
     let mut phases: Vec<PhaseResult> = vec![cold_j1.clone(), warm_j1.clone()];
     if let Some((cold_jn, warm_jn)) = jn_curve {
         phases.push(cold_jn);
         phases.push(warm_jn);
     }
     phases.push(edit_phase);
+    phases.push(serve_cold.clone());
+    phases.push(serve_warm.clone());
 
     // The CI reuse shape: a caller-provided directory that persists across
     // invocations (actions/cache).  Cold on the first run ever, warm after.
@@ -188,6 +216,19 @@ fn main() {
             failures.push(format!(
                 "warm-j1 wall-clock {} ms did not beat cold-j1 {} ms",
                 warm_j1.wall_ms, cold_j1.wall_ms
+            ));
+        }
+        if serve_warm.cache_hits * 100 < serve_cold.sequents_proved_nontrivial() * 90 {
+            failures.push(format!(
+                "serve-warm answered {} of {} previously proved non-trivial sequents \
+                 from warm session state (< 90%)",
+                serve_warm.cache_hits,
+                serve_cold.sequents_proved_nontrivial()
+            ));
+        }
+        if serve_preloads > 1 {
+            failures.push(format!(
+                "the serve session scanned its store {serve_preloads} times (expected once)"
             ));
         }
     }

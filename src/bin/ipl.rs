@@ -13,16 +13,17 @@
 //! second run over an unchanged module costs one hash lookup per sequent —
 //! across processes and, with a shared directory, across machines.
 
-use ipl::core::{
-    verify_module, verify_module_incremental, ModuleReport, SequentReport, VerifyOptions,
-};
+use ipl::core::{ModuleReport, Request, SequentReport, Session, VerifyOptions};
 use ipl::provers::{cache_store, fault};
+use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "\
 usage: ipl verify [options] FILE...
+       ipl serve [options]
        ipl cache DIR
 
 verify options:
@@ -48,6 +49,25 @@ exit codes: 0 all proved; 1 unproved sequents or I/O/parse error; 2 usage;
 one sequent skipped on the module deadline.  Crashed > skipped > unproved
 when several apply.
 
+`ipl serve` runs a long-lived verification daemon: one JSON request per
+line on stdin, one JSON response per line on stdout (see the `ipl::serve`
+module docs for the schema).  The prover cascade, the in-memory proof cache
+and the persistent store index stay warm across requests — the store log is
+scanned once per process, not once per request.  A request that panics is
+quarantined and answered with an error frame; the daemon keeps serving.
+
+serve options:
+  --cache-dir DIR    persistent proof store directory (default: $IPL_CACHE_DIR)
+  --no-cache         disable the proof cache (and the store) entirely
+  --jobs N           default worker threads (requests may override)
+  --module-deadline-ms N
+                     default wall-clock budget per request (requests may
+                     override with `deadline_ms`)
+  --retry            enable the budget-escalation retry ladder
+  --listen PATH      accept connections on a Unix socket at PATH instead of
+                     serving stdin (one protocol stream per connection; a
+                     `shutdown` request stops the whole daemon)
+
 `ipl cache DIR` lists every store file in DIR with its schema version,
 entry count and any corrupt tail a load would discard.
 ";
@@ -56,6 +76,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("verify") => cmd_verify(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
@@ -127,6 +148,10 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         None => false,
     };
 
+    // One session for every file on the command line: the cascade is built
+    // once and the store log is scanned once, no matter how many modules
+    // follow.
+    let session = Session::new(options.clone());
     let mut all_proved = true;
     let mut any_crashed = false;
     let mut any_skipped = false;
@@ -138,15 +163,9 @@ fn cmd_verify(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let module = match ipl::lang::parse_module(&source) {
-            Ok(module) => module,
-            Err(e) => {
-                eprintln!("ipl: {}: {e}", file.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        let report = match verify_module(&module, &options) {
-            Ok(report) => report,
+        let request = Request::new(source).with_path(file.display().to_string());
+        let report = match session.verify(&request) {
+            Ok(response) => response.report,
             Err(e) => {
                 eprintln!("ipl: {}: {e}", file.display());
                 return ExitCode::FAILURE;
@@ -154,8 +173,9 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         };
         print_report(file, &report, quiet);
         if incremental {
-            match verify_module_incremental(&module, &report, &options) {
+            match session.verify(&request.clone().with_incremental(true)) {
                 Ok(second) => {
+                    let second = second.report;
                     println!(
                         "  incremental: {}/{} sequents replayed or cached",
                         second.cache_hits(),
@@ -194,6 +214,138 @@ fn cmd_verify(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut options = VerifyOptions::default();
+    let mut cache_dir = std::env::var_os("IPL_CACHE_DIR").map(PathBuf::from);
+    let mut listen: Option<PathBuf> = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--cache-dir" => match iter.next() {
+                Some(dir) => cache_dir = Some(PathBuf::from(dir)),
+                None => return usage_error("--cache-dir needs a directory"),
+            },
+            "--no-cache" => {
+                options.config.use_cache = false;
+                cache_dir = None;
+            }
+            "--jobs" => match iter.next().and_then(|n| n.parse().ok()) {
+                Some(jobs) => options.jobs = jobs,
+                None => return usage_error("--jobs needs a number"),
+            },
+            "--module-deadline-ms" => match iter.next().and_then(|n| n.parse().ok()) {
+                Some(ms) => options.module_deadline = Some(Duration::from_millis(ms)),
+                None => return usage_error("--module-deadline-ms needs a number"),
+            },
+            "--retry" => options.config.retry = ipl::provers::RetryPolicy::enabled(),
+            "--listen" => match iter.next() {
+                Some(path) => listen = Some(PathBuf::from(path)),
+                None => return usage_error("--listen needs a socket path"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown serve argument `{other}`")),
+        }
+    }
+    options.cache_dir = cache_dir;
+    let session = Arc::new(Session::new(options));
+
+    match listen {
+        None => {
+            eprintln!("ipl serve: ready (stdin)");
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout().lock();
+            for line in stdin.lock().lines() {
+                let line = match line {
+                    Ok(line) => line,
+                    Err(e) => {
+                        eprintln!("ipl serve: stdin error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let reply = ipl::serve::handle_line(&session, &line);
+                if writeln!(stdout, "{}", reply.frame())
+                    .and_then(|()| stdout.flush())
+                    .is_err()
+                {
+                    return ExitCode::FAILURE;
+                }
+                if matches!(reply, ipl::serve::Reply::Shutdown(_)) {
+                    break;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Some(path) => serve_socket(&session, &path),
+    }
+}
+
+/// Serves the protocol on a Unix socket: one thread (and one protocol
+/// stream) per connection, all sharing the one warm session.  A `shutdown`
+/// request answers its frame, then stops the whole daemon.
+#[cfg(unix)]
+fn serve_socket(session: &Arc<Session>, path: &std::path::Path) -> ExitCode {
+    use std::os::unix::net::UnixListener;
+
+    // A previous daemon's socket file would make bind fail with AddrInUse.
+    let _ = std::fs::remove_file(path);
+    let listener = match UnixListener::bind(path) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("ipl serve: cannot bind {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("ipl serve: ready ({})", path.display());
+    for connection in listener.incoming() {
+        let stream = match connection {
+            Ok(stream) => stream,
+            Err(e) => {
+                eprintln!("ipl serve: accept error: {e}");
+                continue;
+            }
+        };
+        let session = Arc::clone(session);
+        let socket_path = path.to_path_buf();
+        std::thread::spawn(move || {
+            let mut writer = match stream.try_clone() {
+                Ok(writer) => writer,
+                Err(_) => return,
+            };
+            for line in std::io::BufReader::new(stream).lines() {
+                let Ok(line) = line else { return };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let reply = ipl::serve::handle_line(&session, &line);
+                if writeln!(writer, "{}", reply.frame())
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+                if matches!(reply, ipl::serve::Reply::Shutdown(_)) {
+                    let _ = std::fs::remove_file(&socket_path);
+                    std::process::exit(0);
+                }
+            }
+        });
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_session: &Arc<Session>, _path: &std::path::Path) -> ExitCode {
+    eprintln!("ipl serve: --listen requires Unix domain sockets; use stdin mode");
+    ExitCode::from(2)
 }
 
 fn print_report(file: &std::path::Path, report: &ModuleReport, quiet: bool) {

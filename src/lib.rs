@@ -11,9 +11,11 @@
 //! * [`bapa`] — the BAPA cardinality decision procedure,
 //! * [`shape`] — the reachability (shape) prover,
 //! * [`lang`] — the annotated imperative surface language,
-//! * [`core`] — the verification driver and reports,
+//! * [`core`] — the verification driver ([`core::Session`]) and reports,
 //! * [`suite`] — the eight benchmark data structures and the Table 1 /
-//!   Table 2 harnesses.
+//!   Table 2 harnesses,
+//! * [`serve`] — the newline-delimited JSON protocol behind the `ipl serve`
+//!   daemon.
 //!
 //! ## Quick start
 //!
@@ -31,9 +33,16 @@
 //!   }
 //! }
 //! "#;
-//! let report = ipl::core::verify_source(source, &ipl::core::VerifyOptions::default()).unwrap();
+//! let session = ipl::core::Session::new(ipl::core::VerifyOptions::default());
+//! let report = session.verify(&ipl::core::Request::new(source)).unwrap().report;
 //! assert!(report.fully_proved());
 //! ```
+//!
+//! The session keeps the prover cascade, the in-memory proof cache and the
+//! persistent store handle warm across [`core::Session::verify`] calls —
+//! hold one for as long as your process lives.
+
+pub mod serve;
 
 pub use ipl_bapa as bapa;
 pub use ipl_core as core;

@@ -1,0 +1,355 @@
+//! The newline-delimited JSON protocol behind `ipl serve`.
+//!
+//! A daemon holds ONE long-lived [`ipl_core::Session`] and answers one JSON
+//! request per line: the hash-cons intern table, the in-memory proof cache
+//! and the preloaded store index all stay warm across requests, so the
+//! second verification of an unchanged module costs a hash lookup per
+//! sequent instead of a prover run — and the on-disk store log is scanned
+//! once per *process*, not once per request.
+//!
+//! ## Requests
+//!
+//! One JSON object per line.  `op` selects the operation (default
+//! `"verify"`); `id` is echoed verbatim in the answer so clients can
+//! pipeline:
+//!
+//! ```json
+//! {"id": 1, "op": "verify", "source": "module M { ... }", "path": "src/m.ipl",
+//!  "incremental": true, "deadline_ms": 500, "jobs": 2}
+//! {"id": 2, "op": "stats"}
+//! {"id": 3, "op": "shutdown"}
+//! ```
+//!
+//! * `source` (required for `verify`) — the annotated module text;
+//! * `path` — key for the session's previous-report table (defaults to the
+//!   module name);
+//! * `incremental` — replay fingerprint-unchanged sequents from the previous
+//!   report for the same key;
+//! * `deadline_ms` — wall-clock budget for this request; sequents dispatched
+//!   after it passes come back `skipped` and the report is partial;
+//! * `jobs` — worker threads for this request;
+//! * `fault_plan` — a deterministic chaos-injection spec (as accepted by
+//!   `ipl verify --fault-plan`), installed for this request only.
+//!
+//! ## Responses
+//!
+//! Exactly one JSON object per request, in request order:
+//!
+//! ```json
+//! {"id": 1, "ok": true, "module": "M", "fully_proved": true,
+//!  "methods_verified": 3, "methods": 3, "sequents_proved": 17,
+//!  "sequents_total": 17, "sequents_proved_nontrivial": 11, "cache_hits": 0,
+//!  "crashed": 0, "skipped": 0, "wall_ms": 12, "store_entries": 11,
+//!  "store_preloads": 1, "store_appended": 11}
+//! {"id": 1, "ok": false, "error": {"kind": "parse", "message": "line 2: ...",
+//!  "line": 2, "span": [14, 21]}}
+//! ```
+//!
+//! Error kinds: `parse` / `lower` / `io` (typed [`ipl_core::VerifyError`]
+//! variants — `parse` carries the 1-based line and, when known, the byte-
+//! offset `span`), `crashed` (the request panicked; it was quarantined and
+//! the session keeps serving), and `protocol` (malformed frame).  A
+//! `shutdown` request answers `{"id": ..., "ok": true, "shutdown": true}`
+//! and closes the stream.
+
+use crate::core::{Request, Session, VerifyError};
+use crate::provers::{containment, fault};
+use crate::suite::baseline::{parse_json, Json};
+
+/// The daemon's reaction to one request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Answer with this frame and keep serving.
+    Frame(String),
+    /// Answer with this frame, then close the stream (a `shutdown` request).
+    Shutdown(String),
+}
+
+impl Reply {
+    /// The response frame, whichever variant carries it.
+    pub fn frame(&self) -> &str {
+        match self {
+            Reply::Frame(frame) | Reply::Shutdown(frame) => frame,
+        }
+    }
+}
+
+/// Serves one request line against `session`.  Never panics and never
+/// returns an unanswerable line: malformed input comes back as a `protocol`
+/// error frame, and a panicking verification is quarantined into a `crashed`
+/// error frame while the session stays up.
+pub fn handle_line(session: &Session, line: &str) -> Reply {
+    let request = match parse_json(line) {
+        Ok(json) => json,
+        Err(e) => {
+            return Reply::Frame(error_frame(
+                None,
+                "protocol",
+                &format!("bad frame: {e}"),
+                None,
+            ));
+        }
+    };
+    let id = request.get("id").cloned();
+    match request.get("op").and_then(Json::as_str).unwrap_or("verify") {
+        "verify" => Reply::Frame(handle_verify(session, &request, id.as_ref())),
+        "stats" => Reply::Frame(stats_frame(session, id.as_ref())),
+        "shutdown" => Reply::Shutdown(format!(
+            "{{{}\"ok\": true, \"shutdown\": true}}",
+            id_field(id.as_ref())
+        )),
+        other => Reply::Frame(error_frame(
+            id.as_ref(),
+            "protocol",
+            &format!("unknown op `{other}`"),
+            None,
+        )),
+    }
+}
+
+fn handle_verify(session: &Session, frame: &Json, id: Option<&Json>) -> String {
+    let Some(source) = frame.get("source").and_then(Json::as_str) else {
+        return error_frame(id, "protocol", "verify needs a string `source`", None);
+    };
+    let mut request = Request::new(source);
+    if let Some(path) = frame.get("path").and_then(Json::as_str) {
+        request = request.with_path(path);
+    }
+    if let Some(Json::Bool(true)) = frame.get("incremental") {
+        request = request.with_incremental(true);
+    }
+    if let Some(ms) = frame.get("deadline_ms").and_then(Json::as_u128) {
+        request = request.with_deadline(std::time::Duration::from_millis(ms as u64));
+    }
+    if let Some(jobs) = frame.get("jobs").and_then(Json::as_u128) {
+        request = request.with_jobs(jobs as usize);
+    }
+    let plan = match frame.get("fault_plan").and_then(Json::as_str) {
+        Some(spec) => match fault::FaultPlan::parse(spec) {
+            Ok(plan) => Some(plan),
+            Err(e) => return error_frame(id, "protocol", &e, None),
+        },
+        None => None,
+    };
+
+    // The whole request runs inside a containment boundary: an injected (or
+    // real) panic anywhere in the driver becomes a `crashed` error frame and
+    // the daemon keeps serving.  A fault plan is process-global state, so a
+    // chaos request additionally serialises against every other chaos run.
+    let outcome = match plan {
+        Some(plan) => {
+            let _guard = fault::serial_guard();
+            fault::with_plan(Some(plan), || {
+                containment::contain(|| session.verify(&request))
+            })
+        }
+        None => containment::contain(|| session.verify(&request)),
+    };
+    match outcome {
+        Err(panic_message) => error_frame(
+            id,
+            "crashed",
+            &format!("request panicked (quarantined): {panic_message}"),
+            None,
+        ),
+        Ok(Err(error)) => error_frame(id, error.kind(), &error.to_string(), Some(&error)),
+        Ok(Ok(response)) => {
+            let report = &response.report;
+            let nontrivial: usize = report
+                .methods
+                .iter()
+                .map(|m| m.proved_sequents - m.trivial_sequents)
+                .sum();
+            format!(
+                "{{{}\"ok\": true, \"module\": {}, \"fully_proved\": {}, \
+                 \"methods_verified\": {}, \"methods\": {}, \
+                 \"sequents_proved\": {}, \"sequents_total\": {}, \
+                 \"sequents_proved_nontrivial\": {nontrivial}, \
+                 \"cache_hits\": {}, \"crashed\": {}, \"skipped\": {}, \
+                 \"wall_ms\": {}, \"store_entries\": {}, \
+                 \"store_preloads\": {}, \"store_appended\": {}}}",
+                id_field(id),
+                json_string(&report.module_name),
+                report.fully_proved(),
+                report.methods_verified(),
+                report.method_count,
+                report.proved_sequents(),
+                report.total_sequents(),
+                report.cache_hits(),
+                report.crashed_sequents(),
+                report.skipped_sequents(),
+                response.wall.as_millis(),
+                response.store_entries,
+                response.store_preloads,
+                response.store_appended,
+            )
+        }
+    }
+}
+
+fn stats_frame(session: &Session, id: Option<&Json>) -> String {
+    let stats = session.stats();
+    format!(
+        "{{{}\"ok\": true, \"requests\": {}, \"store_entries\": {}, \
+         \"store_preloads\": {}, \"store_appended\": {}}}",
+        id_field(id),
+        stats.requests,
+        stats.store_entries,
+        stats.store_preloads,
+        stats.store_appended,
+    )
+}
+
+fn error_frame(
+    id: Option<&Json>,
+    kind: &str,
+    message: &str,
+    error: Option<&VerifyError>,
+) -> String {
+    let mut detail = String::new();
+    if let Some(line) = error.and_then(VerifyError::line) {
+        detail.push_str(&format!(", \"line\": {line}"));
+    }
+    if let Some(span) = error.and_then(VerifyError::span) {
+        detail.push_str(&format!(", \"span\": [{}, {}]", span.start, span.end));
+    }
+    format!(
+        "{{{}\"ok\": false, \"error\": {{\"kind\": {}, \"message\": {}{detail}}}}}",
+        id_field(id),
+        json_string(kind),
+        json_string(message),
+    )
+}
+
+/// Renders the echoed `"id": ...,` prefix (empty when the request had none).
+fn id_field(id: Option<&Json>) -> String {
+    match id {
+        Some(json) => format!("\"id\": {}, ", encode(json)),
+        None => String::new(),
+    }
+}
+
+/// Re-encodes the subset of JSON values a client may use as an `id`.
+fn encode(json: &Json) -> String {
+    match json {
+        Json::Null => "null".to_string(),
+        Json::Bool(b) => b.to_string(),
+        Json::Number(n) if n.fract() == 0.0 => format!("{}", *n as i64),
+        Json::Number(n) => format!("{n}"),
+        Json::String(s) => json_string(s),
+        // Composite ids are legal JSON; answer with something recognisable
+        // rather than rejecting the whole frame.
+        Json::Array(_) | Json::Object(_) => json_string("composite-id"),
+    }
+}
+
+/// Encodes a string with the same escape repertoire `parse_json` accepts
+/// (`\"`, `\\`, `\n`, `\t`); other control characters degrade to spaces.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if c.is_control() => out.push(' '),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::VerifyOptions;
+
+    const COUNTER: &str = r#"
+        module Counter {
+          var value: int;
+          invariant NonNeg: "0 <= value";
+
+          method increment() returns (result: int)
+            modifies value
+            ensures "value = old(value) + 1 & result = value"
+          {
+            value := value + 1;
+            result := value;
+          }
+        }
+    "#;
+
+    fn frame(session: &Session, line: &str) -> Json {
+        let reply = handle_line(session, line);
+        parse_json(reply.frame()).expect("every frame is valid JSON")
+    }
+
+    fn verify_line(id: usize, source: &str) -> String {
+        format!(
+            "{{\"id\": {id}, \"op\": \"verify\", \"source\": {}}}",
+            json_string(source)
+        )
+    }
+
+    #[test]
+    fn verify_frames_round_trip() {
+        let session = Session::new(VerifyOptions::default());
+        let answer = frame(&session, &verify_line(7, COUNTER));
+        assert_eq!(answer.get("id").and_then(Json::as_u128), Some(7));
+        assert_eq!(answer.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(answer.get("module").and_then(Json::as_str), Some("Counter"));
+        assert_eq!(answer.get("fully_proved"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_span() {
+        let session = Session::new(VerifyOptions::default());
+        let answer = frame(&session, &verify_line(1, "module Broken {\n  @\n}"));
+        assert_eq!(answer.get("ok"), Some(&Json::Bool(false)));
+        let error = answer.get("error").expect("error object");
+        assert_eq!(error.get("kind").and_then(Json::as_str), Some("parse"));
+        assert_eq!(error.get("line").and_then(Json::as_u128), Some(2));
+        let span = error.get("span").and_then(Json::as_array).expect("span");
+        assert_eq!(span.len(), 2);
+    }
+
+    #[test]
+    fn malformed_frames_answer_protocol_errors() {
+        let session = Session::new(VerifyOptions::default());
+        for bad in [
+            "not json at all",
+            "{\"op\": \"verify\"}",
+            "{\"op\": \"launch\"}",
+        ] {
+            let answer = frame(&session, bad);
+            assert_eq!(answer.get("ok"), Some(&Json::Bool(false)), "{bad}");
+            assert_eq!(
+                answer
+                    .get("error")
+                    .and_then(|e| e.get("kind"))
+                    .and_then(Json::as_str),
+                Some("protocol"),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn shutdown_closes_the_stream() {
+        let session = Session::new(VerifyOptions::default());
+        let reply = handle_line(&session, "{\"id\": 9, \"op\": \"shutdown\"}");
+        assert!(matches!(reply, Reply::Shutdown(_)));
+        let answer = parse_json(reply.frame()).unwrap();
+        assert_eq!(answer.get("shutdown"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn strings_escape_cleanly() {
+        assert_eq!(json_string("a\"b\\c\nd\te"), "\"a\\\"b\\\\c\\nd\\te\"");
+        let round = parse_json(&json_string("quote \" slash \\ nl \n tab \t"));
+        assert!(round.is_ok());
+    }
+}

@@ -7,6 +7,10 @@
 //! are process-global, so a sibling test running on another thread would
 //! perturb them.
 
+// Deliberately exercises the deprecated free-function shim: each call must
+// keep resetting the process-global counters exactly as before.
+#![allow(deprecated)]
+
 use ipl::core::{verify_source, VerifyOptions};
 use ipl::provers::cache::ProofCache;
 use ipl::provers::ProverConfig;
@@ -28,15 +32,13 @@ module Counter {
 
 #[test]
 fn verify_module_resets_global_cache_stats_between_runs() {
-    let options = VerifyOptions {
-        config: ProverConfig {
+    let options = VerifyOptions::default()
+        .with_config(ProverConfig {
             use_cache: true,
             ..ProverConfig::default()
-        },
-        record_sequents: true,
-        jobs: 1,
-        ..VerifyOptions::default()
-    };
+        })
+        .with_record_sequents(true)
+        .with_jobs(1);
 
     // First run: populates the in-memory cache; a fresh process sees no hits.
     let first = verify_source(SOURCE, &options).expect("first verify");
@@ -59,13 +61,10 @@ fn verify_module_resets_global_cache_stats_between_runs() {
     // Third run with the cache disabled: the reset happens even when no
     // lookups follow, so stale counts from run two cannot leak into reports
     // or tooling that reads `stats()` afterwards.
-    let no_cache_options = VerifyOptions {
-        config: ProverConfig {
-            use_cache: false,
-            ..ProverConfig::default()
-        },
-        ..options.clone()
-    };
+    let no_cache_options = options.clone().with_config(ProverConfig {
+        use_cache: false,
+        ..ProverConfig::default()
+    });
     let third = verify_source(SOURCE, &no_cache_options).expect("third verify");
     let after_third = ProofCache::global().stats();
     assert_eq!(third.cache_hits(), 0);

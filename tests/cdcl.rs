@@ -162,16 +162,17 @@ fn ablation_parity_without_learning_on_a_module() {
     // The no-learning configuration explores like the pre-CDCL tableau; the
     // benchmarks it is used to measure must still fully verify.
     let benchmark = ipl::suite::by_name("Linked List").unwrap();
-    let options = ipl::core::VerifyOptions {
-        config: ProverConfig {
+    let options = ipl::core::VerifyOptions::default()
+        .with_config(ProverConfig {
             use_cache: false,
             ..ProverConfig::without_learning()
-        },
-        record_sequents: false,
-        jobs: 1,
-        ..ipl::core::VerifyOptions::default()
-    };
-    let report = ipl::core::verify_source(benchmark.source, &options).unwrap();
+        })
+        .with_record_sequents(false)
+        .with_jobs(1);
+    let report = ipl::core::Session::new(options)
+        .verify(&ipl::core::Request::new(benchmark.source))
+        .unwrap()
+        .report;
     assert_eq!(
         report.methods_verified(),
         report.method_count,

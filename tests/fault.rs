@@ -13,6 +13,10 @@
 //! `module_fuzz.rs`): injected delays plus a machine-dependent budget would
 //! make outcomes timing-dependent, and these tests argue about determinism.
 
+// The chaos argument is about the public entry points as users call them;
+// the deprecated free-function shim must stay panic-contained too.
+#![allow(deprecated)]
+
 use ipl::core::{verify_source, ModuleReport, VerifyOptions};
 use ipl::provers::fault::{self, FaultPlan};
 use ipl::provers::{Outcome, ProverConfig};
@@ -20,19 +24,17 @@ use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 fn options() -> VerifyOptions {
-    VerifyOptions {
-        config: ProverConfig {
+    VerifyOptions::default()
+        .with_config(ProverConfig {
             // The in-memory proof cache is process-global; disable it so a
             // fault-free baseline can never answer for a faulted run (or
             // vice versa) and every case sees the same world.
             use_cache: false,
             per_prover_timeout_ms: 600_000,
             ..ProverConfig::default()
-        },
-        record_sequents: true,
-        jobs: 2,
-        ..VerifyOptions::default()
-    }
+        })
+        .with_record_sequents(true)
+        .with_jobs(2)
 }
 
 /// The set of `(method, sequent)` names that were proved.

@@ -15,23 +15,26 @@
 //! wall-clock deadlines are the one machine-dependent budget, and this test
 //! compares reports byte-for-byte.)
 
+// Deliberately exercises the deprecated free-function shims: the store
+// lifecycle they promise (one open + preload per call) must keep holding.
+#![allow(deprecated)]
+
 use ipl::core::{verify_source, verify_source_incremental, ModuleReport, VerifyOptions};
 use ipl::provers::cache::ProofCache;
 use ipl::suite::throughput::{edited_suite_sources, suite_sources};
 use std::path::PathBuf;
 
 fn options(cache_dir: Option<PathBuf>, use_cache: bool) -> VerifyOptions {
-    VerifyOptions {
-        config: ipl::provers::ProverConfig {
+    let mut options = VerifyOptions::default()
+        .with_config(ipl::provers::ProverConfig {
             use_cache,
             per_prover_timeout_ms: 600_000,
             ..ipl::suite::suite_config()
-        },
-        record_sequents: true,
-        jobs: 1,
-        cache_dir,
-        ..VerifyOptions::default()
-    }
+        })
+        .with_record_sequents(true)
+        .with_jobs(1);
+    options.cache_dir = cache_dir;
+    options
 }
 
 fn verify_all(

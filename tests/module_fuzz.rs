@@ -8,6 +8,10 @@
 //! A single `#[test]`: the in-memory proof cache is process-global, and the
 //! parity argument relies on every run of a case seeing the same world.
 
+// This fuzz deliberately drives the deprecated free-function entry point:
+// the shim over `Session` must keep the same verdict-parity guarantees.
+#![allow(deprecated)]
+
 use ipl::core::{verify_source, VerifyOptions};
 use ipl::provers::ProverConfig;
 use proptest::prelude::*;
@@ -107,20 +111,19 @@ fn render_module(methods: &[MethodDesc]) -> String {
 }
 
 fn options(jobs: usize, cache_dir: Option<PathBuf>, use_cache: bool) -> VerifyOptions {
-    VerifyOptions {
-        // As in `parallel.rs`: wall-clock deadlines are the one
-        // machine-dependent budget, so they are effectively disabled for a
-        // byte-identity comparison.
-        config: ProverConfig {
+    // As in `parallel.rs`: wall-clock deadlines are the one
+    // machine-dependent budget, so they are effectively disabled for a
+    // byte-identity comparison.
+    let mut options = VerifyOptions::default()
+        .with_config(ProverConfig {
             use_cache,
             per_prover_timeout_ms: 600_000,
             ..ProverConfig::default()
-        },
-        record_sequents: true,
-        jobs,
-        cache_dir,
-        ..VerifyOptions::default()
-    }
+        })
+        .with_record_sequents(true)
+        .with_jobs(jobs);
+    options.cache_dir = cache_dir;
+    options
 }
 
 proptest! {

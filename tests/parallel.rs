@@ -8,25 +8,23 @@ use ipl::provers::cascade::live_workers;
 use std::time::{Duration, Instant};
 
 fn options(jobs: usize) -> VerifyOptions {
-    VerifyOptions {
-        // The proof cache is disabled so the second run actually exercises
-        // the provers concurrently instead of replaying the first run's
-        // answers — otherwise this comparison could not catch a scheduling
-        // bug that corrupts outcomes only under real parallel execution.
-        // The per-prover timeout is raised far beyond any stage's budgeted
-        // search: every other budget (branch nodes, rounds, instances) is a
-        // deterministic count, but a wall-clock deadline fires differently
-        // under debug builds and core contention, which is exactly the
-        // machine-dependent noise this byte-identity comparison must not see.
-        config: ipl::provers::ProverConfig {
+    // The proof cache is disabled so the second run actually exercises
+    // the provers concurrently instead of replaying the first run's
+    // answers — otherwise this comparison could not catch a scheduling
+    // bug that corrupts outcomes only under real parallel execution.
+    // The per-prover timeout is raised far beyond any stage's budgeted
+    // search: every other budget (branch nodes, rounds, instances) is a
+    // deterministic count, but a wall-clock deadline fires differently
+    // under debug builds and core contention, which is exactly the
+    // machine-dependent noise this byte-identity comparison must not see.
+    VerifyOptions::default()
+        .with_config(ipl::provers::ProverConfig {
             use_cache: false,
             per_prover_timeout_ms: 600_000,
             ..ipl::suite::suite_config()
-        },
-        record_sequents: true,
-        jobs,
-        ..VerifyOptions::default()
-    }
+        })
+        .with_record_sequents(true)
+        .with_jobs(jobs)
 }
 
 /// Waits (briefly) for the global live-worker counter to drain: other tests

@@ -1,5 +1,9 @@
 //! Integration tests spanning the whole pipeline: surface language ->
 //! guarded commands -> verification conditions -> prover cascade.
+//!
+//! Deliberately driven through the deprecated free-function shim: its
+//! historical behaviour is part of the compatibility contract.
+#![allow(deprecated)]
 
 use ipl::core::{verify_source, VerifyOptions};
 

@@ -1,0 +1,252 @@
+//! End-to-end protocol tests for the `ipl serve` daemon: each test spawns
+//! the real binary, speaks newline-delimited JSON over its stdin/stdout, and
+//! asserts on the response frames.
+//!
+//! The headline guarantees pinned here:
+//!
+//! 1. a second identical verify request is answered from warm session state
+//!    (≥ 90% of the previously proved non-trivial sequents come from the
+//!    cache) without re-scanning the on-disk store log;
+//! 2. a request with an expired deadline comes back as a *partial* report
+//!    (skipped sequents), not an error, and the daemon keeps serving;
+//! 3. a chaos request whose provers panic is quarantined — the daemon
+//!    answers it and then serves the next request normally.
+
+use ipl::suite::baseline::{parse_json, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, Command, Stdio};
+
+/// One `ipl serve` daemon on stdin/stdout pipes.
+struct Daemon {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Daemon {
+    fn spawn(args: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_ipl"))
+            .arg("serve")
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("ipl serve spawns");
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Daemon {
+            child,
+            stdin,
+            stdout,
+        }
+    }
+
+    /// Sends one request line and reads the one response frame it produces.
+    fn request(&mut self, line: &str) -> Json {
+        writeln!(self.stdin, "{line}").expect("daemon accepts the request");
+        let mut frame = String::new();
+        self.stdout
+            .read_line(&mut frame)
+            .expect("daemon answers the request");
+        assert!(!frame.is_empty(), "daemon closed the stream early");
+        parse_json(&frame).unwrap_or_else(|e| panic!("bad frame {frame:?}: {e}"))
+    }
+
+    /// Sends `shutdown` and waits for a clean exit.
+    fn shutdown(mut self) {
+        let frame = self.request("{\"op\": \"shutdown\"}");
+        assert_eq!(frame.get("shutdown"), Some(&Json::Bool(true)));
+        let status = self.child.wait().expect("daemon exits");
+        assert!(status.success(), "daemon exit status: {status:?}");
+    }
+}
+
+fn u(frame: &Json, key: &str) -> u128 {
+    frame
+        .get(key)
+        .and_then(Json::as_u128)
+        .unwrap_or_else(|| panic!("frame has no numeric `{key}`: {frame:?}"))
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+        .replace('\t', "\\t")
+}
+
+fn verify_frame(extra: &str) -> String {
+    let benchmark = ipl::suite::by_name("Linked List").expect("benchmark exists");
+    format!(
+        "{{\"op\": \"verify\", \"source\": \"{}\"{extra}}}",
+        json_escape(benchmark.source)
+    )
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ipl-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn warm_requests_are_answered_from_session_state() {
+    let dir = temp_dir("warm");
+    let mut daemon = Daemon::spawn(&["--cache-dir", dir.to_str().unwrap(), "--jobs", "1"]);
+
+    let cold = daemon.request(&verify_frame(""));
+    assert_eq!(cold.get("ok"), Some(&Json::Bool(true)), "{cold:?}");
+    assert_eq!(cold.get("fully_proved"), Some(&Json::Bool(true)));
+    let nontrivial = u(&cold, "sequents_proved_nontrivial");
+    assert!(nontrivial > 0, "the benchmark has non-trivial obligations");
+    assert!(u(&cold, "store_preloads") <= 1);
+    assert!(u(&cold, "store_appended") > 0, "cold run persists proofs");
+
+    let warm = daemon.request(&verify_frame(""));
+    assert_eq!(warm.get("fully_proved"), Some(&Json::Bool(true)));
+    assert!(
+        u(&warm, "cache_hits") * 100 >= nontrivial * 90,
+        "warm request answered {} of {nontrivial} non-trivial sequents from warm state",
+        u(&warm, "cache_hits")
+    );
+    assert!(
+        u(&warm, "store_preloads") <= 1,
+        "the store log was re-scanned: {warm:?}"
+    );
+    assert_eq!(
+        u(&warm, "store_appended"),
+        0,
+        "nothing new to persist on the warm request"
+    );
+
+    let stats = daemon.request("{\"id\": \"s\", \"op\": \"stats\"}");
+    assert_eq!(stats.get("id").and_then(Json::as_str), Some("s"));
+    assert_eq!(u(&stats, "requests"), 2);
+    assert!(u(&stats, "store_preloads") <= 1);
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadline_requests_return_partial_reports() {
+    // No cache: previously proved sequents would otherwise be answered from
+    // the in-memory cache even under an expired deadline.
+    let mut daemon = Daemon::spawn(&["--no-cache", "--jobs", "1"]);
+
+    let partial = daemon.request(&verify_frame(", \"deadline_ms\": 0"));
+    assert_eq!(partial.get("ok"), Some(&Json::Bool(true)), "{partial:?}");
+    assert_eq!(partial.get("fully_proved"), Some(&Json::Bool(false)));
+    assert!(
+        u(&partial, "skipped") > 0,
+        "an expired deadline skips dispatch: {partial:?}"
+    );
+
+    // The daemon is still healthy: the same module without a deadline fully
+    // verifies.
+    let full = daemon.request(&verify_frame(""));
+    assert_eq!(full.get("fully_proved"), Some(&Json::Bool(true)));
+    assert_eq!(u(&full, "skipped"), 0);
+
+    daemon.shutdown();
+}
+
+#[test]
+fn crashing_requests_are_quarantined() {
+    let mut daemon = Daemon::spawn(&["--no-cache", "--jobs", "1"]);
+
+    // Every prover stage panics: the request's sequents all crash, but the
+    // frame still arrives and the daemon stays up.
+    let chaos = daemon.request(&verify_frame(", \"fault_plan\": \"seed=1,panic=100\""));
+    assert_eq!(chaos.get("ok"), Some(&Json::Bool(true)), "{chaos:?}");
+    assert_eq!(chaos.get("fully_proved"), Some(&Json::Bool(false)));
+    assert!(
+        u(&chaos, "crashed") > 0,
+        "injected panics are quarantined as crashed sequents: {chaos:?}"
+    );
+
+    // The next request sees no leftover fault plan and fully verifies.
+    let clean = daemon.request(&verify_frame(""));
+    assert_eq!(
+        clean.get("fully_proved"),
+        Some(&Json::Bool(true)),
+        "{clean:?}"
+    );
+    assert_eq!(u(&clean, "crashed"), 0);
+
+    daemon.shutdown();
+}
+
+#[test]
+fn parse_errors_answer_typed_frames_with_spans() {
+    let mut daemon = Daemon::spawn(&["--no-cache"]);
+
+    let frame = daemon
+        .request("{\"id\": 4, \"op\": \"verify\", \"source\": \"module Broken {\\n  @\\n}\"}");
+    assert_eq!(frame.get("id").and_then(Json::as_u128), Some(4));
+    assert_eq!(frame.get("ok"), Some(&Json::Bool(false)));
+    let error = frame.get("error").expect("error object");
+    assert_eq!(error.get("kind").and_then(Json::as_str), Some("parse"));
+    assert_eq!(error.get("line").and_then(Json::as_u128), Some(2));
+    let span = error.get("span").and_then(Json::as_array).expect("span");
+    assert_eq!(span.len(), 2, "byte-offset [start, end]");
+
+    // A malformed frame is a protocol error, not a dead daemon.
+    let bad = daemon.request("this is not json");
+    assert_eq!(
+        bad.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("protocol")
+    );
+
+    daemon.shutdown();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_serves_connections() {
+    let dir = temp_dir("socket");
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("ipl.sock");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ipl"))
+        .args(["serve", "--no-cache", "--listen"])
+        .arg(&socket)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("ipl serve --listen spawns");
+
+    // Wait for the socket to appear.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let stream = loop {
+        match std::os::unix::net::UnixStream::connect(&socket) {
+            Ok(stream) => break stream,
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Err(e) => panic!("daemon socket never came up: {e}"),
+        }
+    };
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    writeln!(writer, "{}", verify_frame("")).unwrap();
+    let mut frame = String::new();
+    reader.read_line(&mut frame).unwrap();
+    let frame = parse_json(&frame).unwrap();
+    assert_eq!(frame.get("fully_proved"), Some(&Json::Bool(true)));
+
+    writeln!(writer, "{{\"op\": \"shutdown\"}}").unwrap();
+    let mut bye = String::new();
+    reader.read_line(&mut bye).unwrap();
+    assert_eq!(
+        parse_json(&bye).unwrap().get("shutdown"),
+        Some(&Json::Bool(true))
+    );
+    let status = child.wait().expect("daemon exits after shutdown");
+    assert!(status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
