@@ -33,6 +33,7 @@ pub mod presburger;
 pub mod venn;
 
 pub use incremental::IncrementalBapa;
+pub use presburger::{id_conjunction_infeasible, IdLinExpr};
 
 use ipl_logic::Form;
 

@@ -373,112 +373,57 @@ fn div_ceil(a: i64, b: i64) -> i64 {
 // Fourier–Motzkin refutation
 // --------------------------------------------------------------------------
 
-/// A conjunction of `expr <= 0` constraints (divisibility literals dropped).
-#[derive(Debug, Clone, Default)]
-struct Conjunct {
-    les: Vec<LinExpr>,
+/// Dense interner from variable names to the integer ids the refutation core
+/// works over.  One instance lives for the duration of a single
+/// [`fm_unsatisfiable`] call — ids never escape it.
+#[derive(Default)]
+struct NameIds(std::collections::HashMap<String, usize>);
+
+impl NameIds {
+    fn id(&mut self, name: &str) -> usize {
+        if let Some(&id) = self.0.get(name) {
+            return id;
+        }
+        let id = self.0.len();
+        self.0.insert(name.to_string(), id);
+        id
+    }
 }
 
-impl Conjunct {
-    /// Normalises constraints (divide by the gcd of the coefficients, round
-    /// the constant towards the tighter integer bound) and removes duplicates.
-    fn normalise(&mut self) {
-        for le in &mut self.les {
-            let mut g = 0i64;
-            for c in le.coeffs.values() {
-                g = gcd(g, *c);
-            }
-            if g > 1 {
-                for c in le.coeffs.values_mut() {
-                    *c /= g;
-                }
-                // sum(c*g*x) + k <= 0  <=>  sum(c*x) <= -k/g  <=> ... + ceil(k/g) <= 0
-                le.constant = div_ceil(le.constant, g);
-            }
-        }
-        self.les.sort();
-        self.les.dedup();
+/// Converts a string-keyed expression into the id-keyed form (canonical by
+/// construction: `BTreeMap` iteration is name-ordered but ids are assigned in
+/// first-seen order, so a final canonicalisation pass re-sorts).
+fn to_id_expr(e: &LinExpr, ids: &mut NameIds) -> IdLinExpr {
+    let mut out = IdLinExpr::constant(e.constant);
+    for (name, &k) in &e.coeffs {
+        out.push_term(ids.id(name), k);
     }
-
-    /// Fourier–Motzkin elimination over the rationals: returns `true` if the
-    /// conjunction is infeasible (which implies integer infeasibility).
-    fn infeasible(mut self, max_constraints: usize) -> bool {
-        loop {
-            self.normalise();
-            // Constant contradictions?
-            for le in &self.les {
-                if le.is_constant() && le.constant > 0 {
-                    return true;
-                }
-            }
-            // Pick the variable whose elimination produces the fewest new
-            // constraints (classic Fourier–Motzkin heuristic).
-            let mut vars: BTreeSet<String> = BTreeSet::new();
-            for le in &self.les {
-                vars.extend(le.coeffs.keys().cloned());
-            }
-            let var = match vars.into_iter().min_by_key(|v| {
-                let lowers = self.les.iter().filter(|e| e.coeff(v) < 0).count();
-                let uppers = self.les.iter().filter(|e| e.coeff(v) > 0).count();
-                lowers * uppers
-            }) {
-                Some(v) => v,
-                None => return false,
-            };
-            let mut lowers: Vec<LinExpr> = Vec::new(); // var >= expr  (coeff < 0)
-            let mut uppers: Vec<LinExpr> = Vec::new(); // var <= expr  (coeff > 0)
-            let mut rest: Vec<LinExpr> = Vec::new();
-            for le in self.les.drain(..) {
-                let c = le.coeff(&var);
-                if c == 0 {
-                    rest.push(le);
-                } else if c > 0 {
-                    uppers.push(le);
-                } else {
-                    lowers.push(le);
-                }
-            }
-            // Combine every lower with every upper:  (c_u > 0): c_u*x + r_u <= 0
-            // and (c_l < 0): c_l*x + r_l <= 0.  Eliminate x by the positive
-            // combination |c_l| * upper + c_u * lower.
-            for upper in &uppers {
-                for lower in &lowers {
-                    let cu = upper.coeff(&var);
-                    let cl = lower.coeff(&var).abs();
-                    let combined = upper.scaled(cl).plus(&lower.scaled(cu));
-                    debug_assert_eq!(combined.coeff(&var), 0);
-                    rest.push(combined);
-                }
-            }
-            if rest.len() > max_constraints {
-                return false; // give up rather than blow up
-            }
-            self.les = rest;
-        }
-    }
+    out.canonicalize();
+    out
 }
 
 /// Converts an NNF, quantifier-free formula into disjunctive normal form as a
-/// list of conjunctions of `<= 0` constraints.  Divisibility literals are
-/// dropped (weakening, hence sound for refutation).  Returns `None` if the
-/// DNF exceeds the cap.
-fn dnf(form: &PForm, cap: usize) -> Option<Vec<Conjunct>> {
+/// list of conjunctions of id-keyed `<= 0` constraints.  Divisibility
+/// literals are dropped (weakening, hence sound for refutation).  Returns
+/// `None` if the DNF exceeds the cap.  Working over [`IdLinExpr`] here keeps
+/// the cross-product clones flat `memcpy`s instead of `BTreeMap` rebuilds —
+/// the Venn sentences this decides have dozens of region variables per
+/// constraint.
+fn dnf_id(form: &PForm, ids: &mut NameIds, cap: usize) -> Option<Vec<Vec<IdLinExpr>>> {
     match form {
-        PForm::True => Some(vec![Conjunct::default()]),
+        PForm::True => Some(vec![Vec::new()]),
         PForm::False => Some(vec![]),
-        PForm::Le(e) => Some(vec![Conjunct {
-            les: vec![e.clone()],
-        }]),
-        PForm::Divides(..) | PForm::Not(_) => Some(vec![Conjunct::default()]), // dropped
+        PForm::Le(e) => Some(vec![vec![to_id_expr(e, ids)]]),
+        PForm::Divides(..) | PForm::Not(_) => Some(vec![Vec::new()]), // dropped
         PForm::And(parts) => {
-            let mut acc = vec![Conjunct::default()];
+            let mut acc = vec![Vec::new()];
             for part in parts {
-                let branches = dnf(part, cap)?;
+                let branches = dnf_id(part, ids, cap)?;
                 let mut next = Vec::new();
                 for a in &acc {
                     for b in &branches {
                         let mut merged = a.clone();
-                        merged.les.extend(b.les.iter().cloned());
+                        merged.extend(b.iter().cloned());
                         next.push(merged);
                         if next.len() > cap {
                             return None;
@@ -492,23 +437,263 @@ fn dnf(form: &PForm, cap: usize) -> Option<Vec<Conjunct>> {
         PForm::Or(parts) => {
             let mut out = Vec::new();
             for part in parts {
-                out.extend(dnf(part, cap)?);
+                out.extend(dnf_id(part, ids, cap)?);
                 if out.len() > cap {
                     return None;
                 }
             }
             Some(out)
         }
-        PForm::Exists(_, body) => dnf(body, cap),
+        PForm::Exists(_, body) => dnf_id(body, ids, cap),
     }
 }
 
-/// Sound unsatisfiability check by rational Fourier–Motzkin on the DNF.
+/// Sound unsatisfiability check by rational Fourier–Motzkin on the DNF.  The
+/// string-keyed input is interned once; the DNF expansion and the elimination
+/// itself run entirely over [`IdLinExpr`].
 pub fn fm_unsatisfiable(body: &PForm) -> bool {
     let nnf = body.nnf();
-    match dnf(&nnf, 4_096) {
-        Some(conjuncts) => conjuncts.into_iter().all(|c| c.infeasible(20_000)),
+    let mut ids = NameIds::default();
+    match dnf_id(&nnf, &mut ids, 4_096) {
+        Some(conjuncts) => conjuncts
+            .into_iter()
+            .all(|c| id_conjunction_infeasible(&c, 20_000)),
         None => false,
+    }
+}
+
+// --------------------------------------------------------------------------
+// Integer-keyed Fourier–Motzkin (the ground solver's hot path)
+// --------------------------------------------------------------------------
+
+/// A linear expression keyed by small integer variable ids instead of
+/// `String` names: `sum(coeff_i * id_i) + constant`.
+///
+/// This is the representation the ground CDCL(T) solver feeds to its
+/// incremental Fourier–Motzkin re-check: re-keying a constraint onto the
+/// current congruence-class representatives becomes an integer lookup plus a
+/// sorted merge, where the string-keyed path used to format and hash a
+/// `t{rep}` name per coefficient per check.  Terms are a `(id, coefficient)`
+/// list sorted by id with no zero coefficients, so combining two expressions
+/// is a linear merge and the buffers can be pooled (see
+/// [`IdLinExpr::clear`]).  The string-keyed [`LinExpr`] remains the API for
+/// the Venn translator and Cooper elimination, which genuinely work over
+/// named set/element variables.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct IdLinExpr {
+    /// `(variable id, coefficient)` pairs, strictly sorted by id once
+    /// canonical; zero coefficients are removed by [`IdLinExpr::canonicalize`].
+    terms: Vec<(usize, i64)>,
+    /// The constant term.
+    pub constant: i64,
+}
+
+impl IdLinExpr {
+    /// The constant expression.
+    pub fn constant(value: i64) -> IdLinExpr {
+        IdLinExpr {
+            terms: Vec::new(),
+            constant: value,
+        }
+    }
+
+    /// Clears the expression in place, retaining the term buffer's capacity —
+    /// the solver pools these slots across backjumps instead of freeing them.
+    pub fn clear(&mut self) {
+        self.terms.clear();
+        self.constant = 0;
+    }
+
+    /// Appends `coeff * id` without normalising.  Call
+    /// [`IdLinExpr::canonicalize`] once the expression is fully accumulated.
+    pub fn push_term(&mut self, id: usize, coeff: i64) {
+        if coeff != 0 {
+            self.terms.push((id, coeff));
+        }
+    }
+
+    /// Sorts the terms by id, merges duplicate ids and drops zero
+    /// coefficients.
+    pub fn canonicalize(&mut self) {
+        self.terms.sort_unstable_by_key(|&(id, _)| id);
+        let mut w = 0usize;
+        for r in 0..self.terms.len() {
+            let (id, k) = self.terms[r];
+            if w > 0 && self.terms[w - 1].0 == id {
+                self.terms[w - 1].1 += k;
+                if self.terms[w - 1].1 == 0 {
+                    w -= 1;
+                }
+            } else if k != 0 {
+                self.terms[w] = (id, k);
+                w += 1;
+            }
+        }
+        self.terms.truncate(w);
+    }
+
+    /// The `(id, coefficient)` terms (sorted by id once canonical).
+    pub fn terms(&self) -> &[(usize, i64)] {
+        &self.terms
+    }
+
+    /// The coefficient of a variable (zero if absent).  Requires canonical
+    /// form.
+    pub fn coeff(&self, id: usize) -> i64 {
+        self.terms
+            .binary_search_by_key(&id, |&(i, _)| i)
+            .map(|i| self.terms[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Returns `true` if the expression has no variables.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Scales the expression in place by a non-zero factor.
+    pub fn scale(&mut self, k: i64) {
+        debug_assert_ne!(k, 0);
+        for t in &mut self.terms {
+            t.1 *= k;
+        }
+        self.constant *= k;
+    }
+
+    /// Adds `k` to the constant term in place.
+    pub fn shift(&mut self, k: i64) {
+        self.constant += k;
+    }
+
+    /// Writes `ka * a + kb * b` into `out` (cleared first, capacity
+    /// retained) by a linear merge of the two sorted term lists.
+    pub fn combine_into(out: &mut IdLinExpr, a: &IdLinExpr, ka: i64, b: &IdLinExpr, kb: i64) {
+        out.terms.clear();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.terms.len() || j < b.terms.len() {
+            let next = match (a.terms.get(i), b.terms.get(j)) {
+                (Some(&(ia, ca)), Some(&(ib, cb))) => {
+                    if ia == ib {
+                        i += 1;
+                        j += 1;
+                        (ia, ka * ca + kb * cb)
+                    } else if ia < ib {
+                        i += 1;
+                        (ia, ka * ca)
+                    } else {
+                        j += 1;
+                        (ib, kb * cb)
+                    }
+                }
+                (Some(&(ia, ca)), None) => {
+                    i += 1;
+                    (ia, ka * ca)
+                }
+                (None, Some(&(ib, cb))) => {
+                    j += 1;
+                    (ib, kb * cb)
+                }
+                (None, None) => unreachable!("loop condition"),
+            };
+            if next.1 != 0 {
+                out.terms.push(next);
+            }
+        }
+        out.constant = ka * a.constant + kb * b.constant;
+    }
+
+    /// Normalises one constraint `self <= 0`: divides by the gcd of the
+    /// coefficients and rounds the constant towards the tighter integer
+    /// bound, exactly like the string-keyed [`Conjunct`] normalisation.
+    fn normalise_le(&mut self) {
+        let mut g = 0i64;
+        for &(_, c) in &self.terms {
+            g = gcd(g, c);
+        }
+        if g > 1 {
+            for t in &mut self.terms {
+                t.1 /= g;
+            }
+            self.constant = div_ceil(self.constant, g);
+        }
+    }
+}
+
+/// Fourier–Motzkin elimination over a conjunction of `expr <= 0` id-keyed
+/// constraints: returns `true` if the conjunction is infeasible over the
+/// rationals (which implies integer infeasibility).  The semantics mirror
+/// [`Conjunct::infeasible`] — gcd normalisation with integer tightening, the
+/// fewest-new-constraints variable pick, positive combinations, and the
+/// give-up cap — but the ground solver hands constraints straight in as a
+/// conjunction, skipping the NNF/DNF detour of [`fm_unsatisfiable`] entirely.
+pub fn id_conjunction_infeasible(constraints: &[IdLinExpr], max_constraints: usize) -> bool {
+    let mut les: Vec<IdLinExpr> = constraints.to_vec();
+    // (variable, lower-bound count, upper-bound count) aggregation scratch.
+    let mut counts: Vec<(usize, usize, usize)> = Vec::new();
+    loop {
+        for le in &mut les {
+            le.normalise_le();
+        }
+        les.sort_unstable();
+        les.dedup();
+        // Constant contradictions?
+        for le in &les {
+            if le.is_constant() && le.constant > 0 {
+                return true;
+            }
+        }
+        // Pick the variable whose elimination produces the fewest new
+        // constraints (classic Fourier–Motzkin heuristic).
+        counts.clear();
+        for le in &les {
+            for &(id, c) in le.terms() {
+                counts.push((id, usize::from(c < 0), usize::from(c > 0)));
+            }
+        }
+        counts.sort_unstable_by_key(|&(id, _, _)| id);
+        counts.dedup_by(|next, prev| {
+            if prev.0 == next.0 {
+                prev.1 += next.1;
+                prev.2 += next.2;
+                true
+            } else {
+                false
+            }
+        });
+        let var = match counts.iter().min_by_key(|&&(_, lo, up)| lo * up) {
+            Some(&(id, _, _)) => id,
+            None => return false,
+        };
+        let mut lowers: Vec<IdLinExpr> = Vec::new(); // var >= expr  (coeff < 0)
+        let mut uppers: Vec<IdLinExpr> = Vec::new(); // var <= expr  (coeff > 0)
+        let mut rest: Vec<IdLinExpr> = Vec::new();
+        for le in les.drain(..) {
+            let c = le.coeff(var);
+            if c == 0 {
+                rest.push(le);
+            } else if c > 0 {
+                uppers.push(le);
+            } else {
+                lowers.push(le);
+            }
+        }
+        // Combine every lower with every upper:  (c_u > 0): c_u*x + r_u <= 0
+        // and (c_l < 0): c_l*x + r_l <= 0.  Eliminate x by the positive
+        // combination |c_l| * upper + c_u * lower.
+        for upper in &uppers {
+            for lower in &lowers {
+                let cu = upper.coeff(var);
+                let cl = lower.coeff(var).abs();
+                let mut combined = IdLinExpr::default();
+                IdLinExpr::combine_into(&mut combined, upper, cl, lower, cu);
+                debug_assert_eq!(combined.coeff(var), 0);
+                rest.push(combined);
+            }
+        }
+        if rest.len() > max_constraints {
+            return false; // give up rather than blow up
+        }
+        les = rest;
     }
 }
 
@@ -691,11 +876,7 @@ pub fn cooper_decide(sentence: &PForm, limits: &BapaLimits) -> Option<bool> {
 /// Returns `true` only if the sentence is definitely unsatisfiable.
 pub fn unsatisfiable(sentence: &PForm, limits: &BapaLimits) -> bool {
     // Fast sound refutation first.
-    if fm_unsatisfiable(sentence) {
-        return true;
-    }
-    // Exact decision for small problems.
-    matches!(cooper_decide(sentence, limits), Some(false))
+    fm_unsatisfiable(sentence) || matches!(cooper_decide(sentence, limits), Some(false))
 }
 
 #[cfg(test)]
@@ -855,5 +1036,90 @@ mod tests {
         // not(x <= 0) became x >= 1 in NNF: so x <= 0 /\ not(x <= 0) is unsat.
         let body = PForm::and(vec![PForm::le(v("x")), PForm::not(PForm::le(v("x")))]);
         assert!(fm_unsatisfiable(&body));
+    }
+
+    #[test]
+    fn id_expression_canonicalization_and_merge() {
+        let mut e = IdLinExpr::constant(3);
+        e.push_term(7, 2);
+        e.push_term(2, -1);
+        e.push_term(7, -2);
+        e.push_term(4, 5);
+        e.canonicalize();
+        assert_eq!(e.terms(), &[(2, -1), (4, 5)]);
+        assert_eq!(e.coeff(7), 0);
+        assert_eq!(e.coeff(4), 5);
+        let mut f = IdLinExpr::constant(-1);
+        f.push_term(4, -5);
+        f.push_term(9, 1);
+        f.canonicalize();
+        let mut out = IdLinExpr::default();
+        IdLinExpr::combine_into(&mut out, &e, 1, &f, 1);
+        assert_eq!(out.terms(), &[(2, -1), (9, 1)]);
+        assert_eq!(out.constant, 2);
+        IdLinExpr::combine_into(&mut out, &e, 2, &f, -3);
+        assert_eq!(out.coeff(4), 25);
+        assert_eq!(out.constant, 9);
+    }
+
+    #[test]
+    fn id_fm_detects_simple_contradiction() {
+        // x <= 0  and  x >= 1.
+        let mut le = IdLinExpr::default();
+        le.push_term(0, 1);
+        le.canonicalize();
+        let mut ge = IdLinExpr::constant(1);
+        ge.push_term(0, -1);
+        ge.canonicalize();
+        assert!(id_conjunction_infeasible(&[le.clone(), ge], 20_000));
+        assert!(!id_conjunction_infeasible(&[le], 20_000));
+    }
+
+    #[test]
+    fn id_fm_tightens_scaled_constraints() {
+        // 2x <= -3 and 2x >= -3: rationally a point, but gcd tightening
+        // rounds 2x <= -3 down to x <= -2 and 2x >= -3 up to x >= -1.
+        let mut upper = IdLinExpr::constant(3);
+        upper.push_term(0, 2);
+        upper.canonicalize();
+        let mut lower = IdLinExpr::constant(-3);
+        lower.push_term(0, -2);
+        lower.canonicalize();
+        assert!(id_conjunction_infeasible(&[upper, lower], 20_000));
+    }
+
+    /// The id-keyed conjunction path and the string-keyed DNF path must agree
+    /// on every pure conjunction: the ground solver switched from the latter
+    /// to the former, so a divergence here is a solver soundness bug.
+    #[test]
+    fn id_fm_agrees_with_string_fm_on_random_conjunctions() {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..500 {
+            let n_constraints = 1 + (next() % 6) as usize;
+            let n_vars = 1 + (next() % 4) as usize;
+            let mut id_les = Vec::new();
+            let mut parts = Vec::new();
+            for _ in 0..n_constraints {
+                let mut id_le = IdLinExpr::constant((next() % 9) as i64 - 4);
+                let mut le = LinExpr::constant(id_le.constant);
+                for var in 0..n_vars {
+                    let coeff = (next() % 7) as i64 - 3;
+                    id_le.push_term(var, coeff);
+                    le.add_var(&format!("t{var}"), coeff);
+                }
+                id_le.canonicalize();
+                id_les.push(id_le);
+                parts.push(PForm::le(le));
+            }
+            let id_verdict = id_conjunction_infeasible(&id_les, 20_000);
+            let string_verdict = fm_unsatisfiable(&PForm::and(parts));
+            assert_eq!(id_verdict, string_verdict, "diverged on {id_les:?}");
+        }
     }
 }

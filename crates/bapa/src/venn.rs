@@ -5,6 +5,13 @@
 //! Venn regions.  Introducing one non-negative integer variable per region
 //! cardinality turns every set-algebra and cardinality atom into linear
 //! arithmetic, after which the sentence is decided by [`crate::presburger`].
+//!
+//! This translator is the remaining client of the *string-keyed* [`LinExpr`]
+//! API: region variables are synthesised names (`venn$r`, `single$e`), not
+//! interned term ids, and the translation is a per-leaf construction rather
+//! than a hot incremental loop.  The ground solver's incremental arithmetic
+//! uses the integer-keyed [`crate::presburger::IdLinExpr`] entry points
+//! instead.
 
 use crate::extract::{BapaForm, IntTerm, SetTerm};
 use crate::presburger::{LinExpr, PForm};
@@ -24,9 +31,17 @@ fn region_var(region: usize) -> String {
 /// Context for the translation: the ordered list of set variables.
 struct VennCtx {
     sets: Vec<String>,
+    // Precomputed `venn$r` names: `card` walks every region per set term,
+    // so formatting these on demand dominated the translation.
+    region_names: Vec<String>,
 }
 
 impl VennCtx {
+    fn new(sets: Vec<String>) -> VennCtx {
+        let region_names = (0..1usize << sets.len()).map(region_var).collect();
+        VennCtx { sets, region_names }
+    }
+
     fn region_count(&self) -> usize {
         1usize << self.sets.len()
     }
@@ -65,7 +80,7 @@ impl VennCtx {
         for region in 1..self.region_count() {
             // Region 0 (outside every set) never contributes to any card.
             if self.region_in(region, term) {
-                expr.add_var(&region_var(region), 1);
+                expr.add_var(&self.region_names[region], 1);
             }
         }
         expr
@@ -252,14 +267,12 @@ pub fn to_presburger(form: &BapaForm, limits: &BapaLimits) -> Option<PForm> {
     if set_names.len() > limits.max_set_vars {
         return None;
     }
-    let ctx = VennCtx {
-        sets: set_names.into_iter().collect(),
-    };
+    let ctx = VennCtx::new(set_names.into_iter().collect());
 
     let mut conjuncts = Vec::new();
     // Region cardinalities are non-negative.
     for region in 1..ctx.region_count() {
-        conjuncts.push(PForm::le(LinExpr::variable(&region_var(region), -1)));
+        conjuncts.push(PForm::le(LinExpr::variable(&ctx.region_names[region], -1)));
     }
     // Every element variable denotes exactly one element: |single$x| = 1.
     for elem in &elem_names {

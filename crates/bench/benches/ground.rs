@@ -102,6 +102,33 @@ fn ground(c: &mut Criterion) {
          (cdcl {cdcl_allocs} vs naive {naive_allocs})"
     );
 
+    // The string-free arithmetic pin: the Fourier–Motzkin re-check used to
+    // key every coefficient by a fresh `format!("t{rep}")` string, so a Hash
+    // Table `put` refutation allocated in proportion to (constraints ×
+    // re-checks).  The id-keyed pooled path re-keys by integer term ids into
+    // reused buffers; the ceiling below sits ~1.5x above the measured
+    // allocation count of the converted engine and far below what the
+    // string-keyed re-check spent, so a regression back to per-check string
+    // keys trips the assertion, not just the wall-clock numbers.
+    let put_problems = hash_table_ground_problems("put");
+    assert!(!put_problems.is_empty(), "put has non-trivial sequents");
+    // Warm-up pass so lazily initialised globals don't count.
+    for (ground_forms, env) in &put_problems {
+        refute(ground_forms, env, &cdcl, &cancel);
+    }
+    let (_, put_allocs) = allocations(|| {
+        for (ground_forms, env) in &put_problems {
+            black_box(refute(ground_forms, env, &cdcl, &cancel));
+        }
+    });
+    const PUT_ALLOCATION_CEILING: u64 = 700_000; // measured: ~465k id-keyed
+    println!("allocations refuting hash table put: {put_allocs}");
+    assert!(
+        put_allocs <= PUT_ALLOCATION_CEILING,
+        "the arithmetic re-check must stay string-free \
+         (put refutation allocated {put_allocs}, ceiling {PUT_ALLOCATION_CEILING})"
+    );
+
     let mut group = c.benchmark_group("ground");
     for method in ["put", "initialize"] {
         let problems = hash_table_ground_problems(method);

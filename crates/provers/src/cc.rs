@@ -206,10 +206,40 @@ pub struct Congruence {
     /// `pop`, so callers can memoise derived results (the arithmetic stack
     /// keys its Fourier–Motzkin re-checks on this).
     generation: u64,
+    /// Counter of disequality assertions, for the theory-propagation stamp:
+    /// a new disequality can entail watched negative literals without any
+    /// union, so `generation` alone would miss it.
+    diseq_stamp: u64,
+    /// Candidate index for theory propagation: equality atoms registered by
+    /// the solver as `(lhs, rhs, literal tag)`.  Registered once per search,
+    /// outside all scopes, and scanned by [`Congruence::implied_literals`].
+    watches: Vec<(TermId, TermId, Tag)>,
     /// Undo trail.
     trail: Vec<Undo>,
     /// Open backtracking scopes.
     scopes: Vec<Scope>,
+}
+
+/// One entailed candidate atom, reported by [`Congruence::implied_literals`]:
+/// the watched pair is now congruent (`equal`) or separated by a disequality
+/// (`!equal`).  Everything needed to *lazily* explain the entailment through
+/// the proof forest is carried along, so the CDCL core can resolve through
+/// the propagation during first-UIP conflict analysis exactly like a clause
+/// reason — without paying for an explanation when no conflict ever needs it.
+#[derive(Debug, Clone, Copy)]
+pub struct Implied {
+    /// The tag the pair was registered with (the solver's literal code).
+    pub tag: Tag,
+    /// `true`: the sides are congruent; `false`: they are disequal.
+    pub equal: bool,
+    /// The registered sides.
+    pub a: TermId,
+    pub b: TermId,
+    /// For a disequality: witnesses `(via_a, via_b, tag)` with `via_a` in
+    /// `a`'s class and `via_b` in `b`'s class, such that `via_a != via_b` was
+    /// asserted under `tag` (`None` tag: the witnesses are distinct integer
+    /// literals, disequal without any assertion).
+    pub via: Option<(TermId, TermId, Option<Tag>)>,
 }
 
 impl Congruence {
@@ -397,6 +427,7 @@ impl Congruence {
         };
         self.diseqs[rb].push(entry);
         self.trail.push(Undo::DiseqPush(rb));
+        self.diseq_stamp += 1;
     }
 
     /// Returns `true` if the two terms are currently known equal.
@@ -683,6 +714,103 @@ impl Congruence {
     /// class structure has not changed.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Monotone counter of disequality assertions.  Together with
+    /// [`Congruence::generation`] it stamps every state change that can make
+    /// a watched pair entailed, so the solver re-scans the candidate index
+    /// only when something theory-visible actually happened.
+    pub fn diseq_stamp(&self) -> u64 {
+        self.diseq_stamp
+    }
+
+    /// Registers an equality atom for theory propagation: once the two sides
+    /// become congruent (or provably disequal), [`Congruence::implied_literals`]
+    /// reports `tag` with the appropriate polarity.  Must be called outside
+    /// all scopes — the interned ids live as long as the engine, where ids
+    /// interned under a scope are truncated by [`Congruence::pop`].
+    pub fn watch_pair(&mut self, a: &Form, b: &Form, tag: Tag) -> (TermId, TermId) {
+        debug_assert!(
+            self.scopes.is_empty(),
+            "watched pairs must be registered outside scopes"
+        );
+        let (ia, ib) = (self.intern(a), self.intern(b));
+        self.watches.push((ia, ib, tag));
+        (ia, ib)
+    }
+
+    /// Appends every watched pair the current classes entail — congruent
+    /// sides or an asserted/constant disequality between their classes — to
+    /// `out`, with the witnesses a lazy proof-forest explanation needs.  The
+    /// caller filters by its own assignment; pairs whose truth is not yet
+    /// determined by the classes are simply absent.
+    pub fn implied_literals(&mut self, out: &mut Vec<Implied>) {
+        self.close();
+        if self.conflict {
+            return; // the conflict path explains itself
+        }
+        for w in 0..self.watches.len() {
+            let (a, b, tag) = self.watches[w];
+            let (ra, rb) = (self.find(a), self.find(b));
+            if ra == rb {
+                out.push(Implied {
+                    tag,
+                    equal: true,
+                    a,
+                    b,
+                    via: None,
+                });
+                continue;
+            }
+            // Distinct known integer constants are disequal without any
+            // asserted disequality.
+            if let (Some((x, tx)), Some((y, ty))) = (self.class_int[ra], self.class_int[rb]) {
+                if x != y {
+                    out.push(Implied {
+                        tag,
+                        equal: false,
+                        a,
+                        b,
+                        via: Some((tx, ty, None)),
+                    });
+                    continue;
+                }
+            }
+            // An asserted disequality between the two classes?  Scanning the
+            // smaller list suffices: every disequality has an entry at each
+            // end root.
+            let (small, large) = if self.diseqs[ra].len() <= self.diseqs[rb].len() {
+                (ra, rb)
+            } else {
+                (rb, ra)
+            };
+            for i in 0..self.diseqs[small].len() {
+                let entry = self.diseqs[small][i];
+                if self.find(entry.other) != large {
+                    continue;
+                }
+                // `entry.other` lives in `large`'s class, its partner in
+                // `small`'s; orient the witnesses onto the watched sides.
+                let partner = if entry.other == entry.b {
+                    entry.a
+                } else {
+                    entry.b
+                };
+                let (via_a, via_b) = if small == ra {
+                    (partner, entry.other)
+                } else {
+                    (entry.other, partner)
+                };
+                out.push(Implied {
+                    tag,
+                    equal: false,
+                    a,
+                    b,
+                    via: Some((via_a, via_b, entry.tag)),
+                });
+                break;
+            }
+        }
     }
 
     /// Opens a backtracking scope.  All interning, merges and disequalities
@@ -1034,5 +1162,100 @@ mod tests {
         assert!(!cc.are_equal(&f("b"), &f("c")));
         cc.pop_to(0);
         assert!(!cc.are_equal(&f("a"), &f("b")));
+    }
+
+    fn implied_of(cc: &mut Congruence) -> Vec<Implied> {
+        let mut out = Vec::new();
+        cc.implied_literals(&mut out);
+        out
+    }
+
+    #[test]
+    fn watched_pair_implied_by_a_merge_chain_with_explanation() {
+        let mut cc = Congruence::new();
+        let (ia, ib) = cc.watch_pair(&f("a"), &f("c"), 40);
+        assert!(implied_of(&mut cc).is_empty());
+        cc.push();
+        cc.assert_eq_tagged(&f("a"), &f("b"), 10);
+        cc.assert_eq_tagged(&f("b"), &f("c"), 12);
+        let implied = implied_of(&mut cc);
+        assert_eq!(implied.len(), 1);
+        assert!(implied[0].equal);
+        assert_eq!(implied[0].tag, 40);
+        assert_eq!(cc.explain_terms(ia, ib), Some(vec![10, 12]));
+        cc.pop();
+        assert!(
+            implied_of(&mut cc).is_empty(),
+            "the implication is undone with the scope"
+        );
+    }
+
+    #[test]
+    fn watched_pair_implied_by_congruence() {
+        let mut cc = Congruence::new();
+        let (ia, ib) = cc.watch_pair(&f("g(a)"), &f("g(b)"), 6);
+        cc.push();
+        cc.assert_eq_tagged(&f("a"), &f("b"), 8);
+        let implied = implied_of(&mut cc);
+        assert_eq!(implied.len(), 1);
+        assert!(implied[0].equal);
+        assert_eq!(cc.explain_terms(ia, ib), Some(vec![8]));
+    }
+
+    #[test]
+    fn watched_pair_implied_disequal_through_an_asserted_diseq() {
+        let mut cc = Congruence::new();
+        let (ia, ib) = cc.watch_pair(&f("a"), &f("b"), 20);
+        cc.push();
+        cc.assert_eq_tagged(&f("a"), &f("c"), 2);
+        cc.assert_eq_tagged(&f("b"), &f("d"), 4);
+        cc.assert_neq_tagged(&f("c"), &f("d"), 6);
+        let implied = implied_of(&mut cc);
+        assert_eq!(implied.len(), 1);
+        assert!(!implied[0].equal);
+        let (via_a, via_b, tag) = implied[0].via.expect("asserted witness");
+        assert_eq!(tag, Some(6));
+        // The witnesses are oriented onto the watched sides, so the lazy
+        // explanation `a ~ via_a`, `b ~ via_b` succeeds.
+        assert_eq!(cc.explain_terms(ia, via_a), Some(vec![2]));
+        assert_eq!(cc.explain_terms(ib, via_b), Some(vec![4]));
+    }
+
+    #[test]
+    fn watched_pair_implied_disequal_through_distinct_constants() {
+        let mut cc = Congruence::new();
+        let (ia, ib) = cc.watch_pair(&f("x"), &f("y"), 30);
+        cc.push();
+        cc.assert_eq_tagged(&f("x"), &f("1"), 3);
+        cc.assert_eq_tagged(&f("y"), &f("2"), 5);
+        let implied = implied_of(&mut cc);
+        assert_eq!(implied.len(), 1);
+        assert!(!implied[0].equal);
+        let (via_a, via_b, tag) = implied[0].via.expect("constant witness");
+        assert_eq!(tag, None);
+        assert_eq!(cc.explain_terms(ia, via_a), Some(vec![3]));
+        assert_eq!(cc.explain_terms(ib, via_b), Some(vec![5]));
+    }
+
+    #[test]
+    fn diseq_stamp_advances_on_disequality_assertions() {
+        let mut cc = Congruence::new();
+        let s0 = cc.diseq_stamp();
+        cc.assert_eq(&f("a"), &f("b"));
+        cc.close();
+        assert_eq!(cc.diseq_stamp(), s0, "unions leave the diseq stamp alone");
+        cc.assert_neq(&f("a"), &f("c"));
+        assert!(cc.diseq_stamp() > s0);
+    }
+
+    #[test]
+    fn implied_literals_reports_nothing_under_a_conflict() {
+        let mut cc = Congruence::new();
+        cc.watch_pair(&f("a"), &f("b"), 14);
+        cc.push();
+        cc.assert_eq_tagged(&f("a"), &f("b"), 2);
+        cc.assert_neq_tagged(&f("a"), &f("b"), 4);
+        assert!(cc.has_conflict());
+        assert!(implied_of(&mut cc).is_empty());
     }
 }

@@ -74,6 +74,14 @@ pub trait TheoryExchange: std::fmt::Debug {
     /// (newly recorded or already present); `false` when the literal lies
     /// outside the theory's fragment — callers may cache that verdict and
     /// skip re-offering the literal on later branches.
+    ///
+    /// The ground core offers decisions, input-clause propagations, and
+    /// congruence-propagated literals (all facts of the branch a recursive
+    /// tableau would also have asserted), but withholds literals propagated
+    /// from *learned* clauses: those are implied, the leaf checks stay sound
+    /// without them, and offering them would grow the theory's atom set —
+    /// for BAPA, the worst-case-exponential Venn translation — beyond the
+    /// branch itself.
     fn assert_literal(&mut self, literal: &Form) -> bool;
 
     /// Cheap activation probe: would [`TheoryExchange::check`] do any work

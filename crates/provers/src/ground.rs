@@ -36,15 +36,23 @@
 //! which is how the paper's observation that large assumption bases defeat
 //! the provers is reproduced.
 
-use crate::cc::{Congruence, TermId};
+use crate::cc::{Congruence, Implied, TermId};
 use crate::exchange::{BapaExchange, ExchangeBudget, TheoryExchange, TheoryResult};
 use crate::{Cancel, GroundConfig, ProverConfig};
-use ipl_bapa::presburger::{fm_unsatisfiable, LinExpr, PForm};
+use ipl_bapa::presburger::{id_conjunction_infeasible, IdLinExpr};
 use ipl_logic::hashed::Hashed;
 use ipl_logic::normal::nnf;
 use ipl_logic::{Form, Sort, SortEnv};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Constraint-count give-up cap of the Fourier–Motzkin refutation, matching
+/// the cap `fm_unsatisfiable` applies per DNF conjunct so the id-keyed path
+/// gives the same verdicts as the string-keyed one it replaced.
+const FM_MAX_CONSTRAINTS: usize = 20_000;
+
+/// Base interval (in conflicts) of the Luby restart sequence.
+const RESTART_BASE: u64 = 64;
 
 /// Result of a refutation attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,7 +68,8 @@ pub enum GroundResult {
 // ---------------------------------------------------------------------------
 
 static DECISIONS: AtomicU64 = AtomicU64::new(0);
-static PROPAGATIONS: AtomicU64 = AtomicU64::new(0);
+static BOOL_PROPAGATIONS: AtomicU64 = AtomicU64::new(0);
+static THEORY_PROPAGATIONS: AtomicU64 = AtomicU64::new(0);
 static CONFLICTS: AtomicU64 = AtomicU64::new(0);
 static LEARNED: AtomicU64 = AtomicU64::new(0);
 /// Cumulative CDCL search counters, process-global (flushed once per
@@ -71,8 +80,11 @@ static LEARNED: AtomicU64 = AtomicU64::new(0);
 pub struct GroundStats {
     /// Branching decisions taken.
     pub decisions: u64,
-    /// Literals propagated (boolean unit propagation).
-    pub propagations: u64,
+    /// Literals propagated by boolean unit propagation.
+    pub bool_propagations: u64,
+    /// Literals propagated eagerly by the congruence closure (cc-implied
+    /// watched equality atoms entering the trail with proof-forest reasons).
+    pub theory_propagations: u64,
     /// Conflicts analysed (propositional, congruence, arithmetic, exchange).
     pub conflicts: u64,
     /// Clauses learned and recorded in the clause database.
@@ -84,10 +96,20 @@ impl GroundStats {
     pub fn since(&self, earlier: &GroundStats) -> GroundStats {
         GroundStats {
             decisions: self.decisions.saturating_sub(earlier.decisions),
-            propagations: self.propagations.saturating_sub(earlier.propagations),
+            bool_propagations: self
+                .bool_propagations
+                .saturating_sub(earlier.bool_propagations),
+            theory_propagations: self
+                .theory_propagations
+                .saturating_sub(earlier.theory_propagations),
             conflicts: self.conflicts.saturating_sub(earlier.conflicts),
             learned_clauses: self.learned_clauses.saturating_sub(earlier.learned_clauses),
         }
+    }
+
+    /// All propagations, boolean and theory.
+    pub fn propagations(&self) -> u64 {
+        self.bool_propagations + self.theory_propagations
     }
 }
 
@@ -95,7 +117,8 @@ impl GroundStats {
 pub fn stats_snapshot() -> GroundStats {
     GroundStats {
         decisions: DECISIONS.load(Ordering::Relaxed),
-        propagations: PROPAGATIONS.load(Ordering::Relaxed),
+        bool_propagations: BOOL_PROPAGATIONS.load(Ordering::Relaxed),
+        theory_propagations: THEORY_PROPAGATIONS.load(Ordering::Relaxed),
         conflicts: CONFLICTS.load(Ordering::Relaxed),
         learned_clauses: LEARNED.load(Ordering::Relaxed),
     }
@@ -118,7 +141,8 @@ pub fn refute(
     }
     let result = solver.solve();
     DECISIONS.fetch_add(solver.n_decisions, Ordering::Relaxed);
-    PROPAGATIONS.fetch_add(solver.n_propagations, Ordering::Relaxed);
+    BOOL_PROPAGATIONS.fetch_add(solver.n_bool_propagations, Ordering::Relaxed);
+    THEORY_PROPAGATIONS.fetch_add(solver.n_theory_propagations, Ordering::Relaxed);
     CONFLICTS.fetch_add(solver.n_conflicts, Ordering::Relaxed);
     LEARNED.fetch_add(solver.n_learned, Ordering::Relaxed);
     result
@@ -160,6 +184,26 @@ enum Reason {
     /// Asserted by a theory (an exchange fact): unexplainable, so conflict
     /// analysis crossing it falls back to the decision clause.
     Theory,
+    /// Theory-propagated: the congruence closure entailed the watched
+    /// equality `a = b`.  Conflict analysis resolves through the lazy
+    /// proof-forest explanation ([`Congruence::explain_terms`]), which is
+    /// stable until the literal itself is popped (the explaining path was in
+    /// place when the literal entered the trail, and the forest never
+    /// re-routes a connected pair).
+    CcEq { a: TermId, b: TermId },
+    /// Theory-propagated: the watched equality `a = b` is refuted because
+    /// `a ~ via_a`, `b ~ via_b` and `via_a ≠ via_b` — either an asserted
+    /// disequality (`tag` is its literal) or distinct integer constants
+    /// (`tag` is `None`).  The witnesses are captured at propagation time so
+    /// a disequality asserted *later* between the same classes can never
+    /// sneak into the explanation.
+    CcNeq {
+        a: TermId,
+        b: TermId,
+        via_a: TermId,
+        via_b: TermId,
+        tag: Option<Lit>,
+    },
 }
 
 /// A conflict to analyse.
@@ -206,25 +250,17 @@ struct Clause {
     /// clause is vacuously satisfiable, exactly like a disjunct the
     /// recursive tableau never expanded.  `None` for top-level clauses.
     relevance: Option<Lit>,
+    /// Tombstone set by the learned-clause reduction sweep.  The literals are
+    /// kept (an in-flight conflict may still reference them) but the clause
+    /// stops watching: `bool_propagate` drops its watch entries lazily.
+    deleted: bool,
 }
 
-/// A linear expression over interned term ids: the assert-time linearisation
-/// of an arithmetic literal.  Ids are re-keyed to their current congruence
-/// representatives only when a Fourier–Motzkin check actually runs.
-#[derive(Debug, Clone, Default)]
-struct IdExpr {
-    coeffs: BTreeMap<TermId, i64>,
-    constant: i64,
-}
-
-/// One entry of the arithmetic constraint stack, unwound with the trail.
-#[derive(Debug)]
-struct ArithEntry {
-    /// Trail position of the literal that contributed the constraints.
-    trail_pos: usize,
-    /// The constraints, each meaning `expr <= 0`.
-    exprs: Vec<IdExpr>,
-}
+/// One entry of the arithmetic constraint stack, unwound with the trail:
+/// `(trail position of the contributing literal, end index of its constraints
+/// in the pooled `arith_exprs` storage)`.  The expressions themselves live in
+/// the pool so a backjump truncates a length instead of freeing buffers.
+type ArithEntry = (usize, usize);
 
 struct Solver<'a> {
     env: &'a SortEnv,
@@ -252,11 +288,16 @@ struct Solver<'a> {
     seen: Vec<bool>,
     /// The clause database (input first, then learned).
     clauses: Vec<Clause>,
+    /// Per-clause activity (bumped when a clause participates in conflict
+    /// analysis, halved with the variable activities); drives the
+    /// lowest-activity-half deletion sweeps.
+    clause_activity: Vec<u64>,
     /// Number of input clauses (the prefix of `clauses`); the branch/leaf
     /// test ranges over these only — learned clauses are implied and never
     /// need satisfying.
     input_clauses: usize,
-    /// Number of learned clauses recorded (bounded by the config cap).
+    /// Number of live (non-tombstoned) learned clauses; kept under the
+    /// config cap by the reduction sweeps.
     learned_count: usize,
     /// Watch lists, indexed by literal code.
     watches: Vec<Vec<u32>>,
@@ -278,10 +319,30 @@ struct Solver<'a> {
     /// the positive (negative) literal as out-of-fragment — the probe is
     /// never repeated on later branches.
     theory_reject: Vec<u64>,
-    /// The incremental arithmetic constraint stack.
+    /// The incremental arithmetic constraint stack (indices into the pool).
     arith: Vec<ArithEntry>,
+    /// Pooled constraint storage: slots past `arith_exprs_len` are retired
+    /// but keep their buffers, so re-use is a `clear()`, not an allocation.
+    arith_exprs: Vec<IdLinExpr>,
+    /// Logical length of `arith_exprs` (the live constraints).
+    arith_exprs_len: usize,
+    /// Pooled scratch for the class-rep re-keyed constraints of an FM check.
+    rekey_buf: Vec<IdLinExpr>,
     /// `(stack length, congruence generation)` of the last clean FM check.
     arith_memo: Option<(usize, u64)>,
+    /// Whether any equality atoms are registered in the congruence watch
+    /// index (theory propagation is a no-op otherwise).
+    tp_active: bool,
+    /// `(generation, diseq stamp)` of the last theory-propagation scan; the
+    /// candidate index is re-scanned only when one of them moved.
+    tp_memo: Option<(u64, u64)>,
+    /// Pooled scratch for [`Congruence::implied_literals`].
+    implied_scratch: Vec<Implied>,
+    /// Conflicts since the last restart, and the Luby-scheduled limit that
+    /// triggers the next one.
+    conflicts_since_restart: u64,
+    restart_count: u64,
+    restart_limit: u64,
     /// Fixpoint iterations of the exchange loop per leaf.
     exchange_rounds: usize,
     /// Remaining exchange budgets for this search.
@@ -289,7 +350,8 @@ struct Solver<'a> {
 
     // ----- statistics -----
     n_decisions: u64,
-    n_propagations: u64,
+    n_bool_propagations: u64,
+    n_theory_propagations: u64,
     n_conflicts: u64,
     n_learned: u64,
 }
@@ -315,6 +377,7 @@ impl<'a> Solver<'a> {
             activity: Vec::new(),
             seen: Vec::new(),
             clauses: Vec::new(),
+            clause_activity: Vec::new(),
             input_clauses: 0,
             learned_count: 0,
             watches: Vec::new(),
@@ -327,14 +390,24 @@ impl<'a> Solver<'a> {
             theories,
             theory_reject: Vec::new(),
             arith: Vec::new(),
+            arith_exprs: Vec::new(),
+            arith_exprs_len: 0,
+            rekey_buf: Vec::new(),
             arith_memo: None,
+            tp_active: false,
+            tp_memo: None,
+            implied_scratch: Vec::new(),
+            conflicts_since_restart: 0,
+            restart_count: 0,
+            restart_limit: RESTART_BASE,
             exchange_rounds: config.exchange.max_rounds,
             exchange_budget: ExchangeBudget {
                 leaf_checks: config.exchange.max_leaf_checks,
                 entailment_queries: config.exchange.max_entailment_queries,
             },
             n_decisions: 0,
-            n_propagations: 0,
+            n_bool_propagations: 0,
+            n_theory_propagations: 0,
             n_conflicts: 0,
             n_learned: 0,
         }
@@ -526,7 +599,12 @@ impl<'a> Solver<'a> {
         let ci = self.clauses.len() as u32;
         self.watches[lits[0] as usize].push(ci);
         self.watches[lits[1] as usize].push(ci);
-        self.clauses.push(Clause { lits, relevance });
+        self.clauses.push(Clause {
+            lits,
+            relevance,
+            deleted: false,
+        });
+        self.clause_activity.push(0);
     }
 
     // ----- assignment and propagation -----
@@ -551,7 +629,10 @@ impl<'a> Solver<'a> {
         }
     }
 
-    /// Boolean and theory propagation to a fixpoint.
+    /// Boolean and theory propagation to a fixpoint: watched-literal unit
+    /// propagation, theory assertion of each new trail literal, and — once
+    /// both are quiescent — the eager congruence scan that enqueues watched
+    /// equality atoms the current classes already decide.
     fn propagate(&mut self) -> Option<Conflict> {
         loop {
             if let Some(conflict) = self.bool_propagate() {
@@ -566,8 +647,55 @@ impl<'a> Solver<'a> {
                 }
                 continue;
             }
+            if self.theory_propagate() {
+                continue;
+            }
             return None;
         }
+    }
+
+    /// Eager theory propagation: asks the congruence closure which watched
+    /// equality atoms its classes now entail and enqueues them with
+    /// proof-forest reasons, so first-UIP learning resolves through them like
+    /// clause propagations instead of rediscovering the equalities at
+    /// conflicts.  Returns `true` when any literal entered the trail.
+    fn theory_propagate(&mut self) -> bool {
+        if !self.tp_active {
+            return false;
+        }
+        let stamp = (self.cc.generation(), self.cc.diseq_stamp());
+        if self.tp_memo == Some(stamp) {
+            return false;
+        }
+        self.tp_memo = Some(stamp);
+        let mut implied = std::mem::take(&mut self.implied_scratch);
+        implied.clear();
+        self.cc.implied_literals(&mut implied);
+        let mut progress = false;
+        for imp in &implied {
+            let lit = if imp.equal { imp.tag } else { imp.tag ^ 1 };
+            if lit_val(&self.value, lit) != 0 {
+                continue; // already assigned (either way: a false one is a
+                          // conflict the theory assertion path will raise)
+            }
+            let reason = if imp.equal {
+                Reason::CcEq { a: imp.a, b: imp.b }
+            } else {
+                let (via_a, via_b, tag) = imp.via.expect("disequal implications carry witnesses");
+                Reason::CcNeq {
+                    a: imp.a,
+                    b: imp.b,
+                    via_a,
+                    via_b,
+                    tag,
+                }
+            };
+            self.enqueue(lit, reason);
+            self.n_theory_propagations += 1;
+            progress = true;
+        }
+        self.implied_scratch = implied;
+        progress
     }
 
     /// Two-watched-literal unit propagation.
@@ -580,6 +708,10 @@ impl<'a> Solver<'a> {
             let mut i = 0;
             'clauses: while i < ws.len() {
                 let ci = ws[i] as usize;
+                if self.clauses[ci].deleted {
+                    ws.swap_remove(i); // lazy watch removal of a tombstone
+                    continue;
+                }
                 // Make sure the false literal sits at index 1.
                 if self.clauses[ci].lits[0] == false_lit {
                     self.clauses[ci].lits.swap(0, 1);
@@ -605,7 +737,7 @@ impl<'a> Solver<'a> {
                     return Some(Conflict::Clause(ci as u32));
                 }
                 self.enqueue(first, Reason::Clause(ci as u32));
-                self.n_propagations += 1;
+                self.n_bool_propagations += 1;
                 i += 1;
             }
             self.watches[false_lit as usize] = ws;
@@ -627,17 +759,26 @@ impl<'a> Solver<'a> {
         let kind = info.kind;
         // Congruence: equalities merge, negated equalities become
         // disequalities, and remaining atoms are equated with the boolean
-        // constants so that congruent occurrences conflict.
-        match (&form, positive) {
-            (Form::Eq(a, b), true) => self.cc.assert_eq_tagged(a, b, lit),
-            (Form::Eq(a, b), false) => self.cc.assert_neq_tagged(a, b, lit),
-            (_, true) => self.cc.assert_eq_tagged(&form, &Form::TRUE, lit),
-            (_, false) => self.cc.assert_eq_tagged(&form, &Form::FALSE, lit),
+        // constants so that congruent occurrences conflict.  A literal the
+        // congruence closure itself propagated is *not* re-asserted: the fact
+        // is already entailed, and re-asserting a propagated disequality
+        // would record a disequality entry tagged with the literal's own id —
+        // a self-explanation a later lazy scan could pick up.
+        let cc_propagated = matches!(self.reason[v], Reason::CcEq { .. } | Reason::CcNeq { .. });
+        if !cc_propagated {
+            match (&form, positive) {
+                (Form::Eq(a, b), true) => self.cc.assert_eq_tagged(a, b, lit),
+                (Form::Eq(a, b), false) => self.cc.assert_neq_tagged(a, b, lit),
+                (_, true) => self.cc.assert_eq_tagged(&form, &Form::TRUE, lit),
+                (_, false) => self.cc.assert_eq_tagged(&form, &Form::FALSE, lit),
+            }
         }
-        // Arithmetic: linearise once, now; the stack unwinds with the trail.
-        let exprs = self.arith_exprs(&form, kind, positive);
-        if !exprs.is_empty() {
-            self.arith.push(ArithEntry { trail_pos, exprs });
+        // Arithmetic: linearise once, now, into the pooled constraint
+        // storage; the stack unwinds with the trail by truncating lengths.
+        let exprs_start = self.arith_exprs_len;
+        self.push_arith_exprs(&form, kind, positive);
+        if self.arith_exprs_len > exprs_start {
+            self.arith.push((trail_pos, self.arith_exprs_len));
         }
         // Exchange theories, with the out-of-fragment verdict cached per
         // polarity so the probe happens once per atom, not once per branch.
@@ -672,35 +813,67 @@ impl<'a> Solver<'a> {
 
     // ----- arithmetic -----
 
-    /// The `expr <= 0` constraints contributed by an atom at a polarity.
-    fn arith_exprs(&mut self, form: &Form, kind: AtomKind, positive: bool) -> Vec<IdExpr> {
+    /// Claims the next pooled constraint slot (cleared, allocation reused)
+    /// and returns its index.
+    fn arith_slot(&mut self) -> usize {
+        let i = self.arith_exprs_len;
+        if i == self.arith_exprs.len() {
+            self.arith_exprs.push(IdLinExpr::default());
+        } else {
+            self.arith_exprs[i].clear();
+        }
+        self.arith_exprs_len = i + 1;
+        i
+    }
+
+    /// Fills a fresh pooled slot with the canonicalised `x - y + shift`.
+    fn arith_diff_into(&mut self, x: &Form, y: &Form, shift: i64) -> usize {
+        let slot = self.arith_slot();
+        let mut out = std::mem::take(&mut self.arith_exprs[slot]);
+        self.lin_into(x, 1, &mut out);
+        self.lin_into(y, -1, &mut out);
+        out.canonicalize();
+        out.shift(shift);
+        self.arith_exprs[slot] = out;
+        slot
+    }
+
+    /// Appends the `expr <= 0` constraints an atom contributes at a polarity
+    /// to the pooled storage.
+    fn push_arith_exprs(&mut self, form: &Form, kind: AtomKind, positive: bool) {
         let (a, b) = match form {
-            Form::Le(a, b) | Form::Lt(a, b) | Form::Eq(a, b) => (a, b),
-            _ => return Vec::new(),
-        };
-        let diff = |solver: &mut Self, x: &Form, y: &Form| -> IdExpr {
-            let mut out = IdExpr::default();
-            solver.lin_into(x, 1, &mut out);
-            solver.lin_into(y, -1, &mut out);
-            out
+            Form::Le(a, b) | Form::Lt(a, b) | Form::Eq(a, b) => (a.clone(), b.clone()),
+            _ => return,
         };
         match (kind, positive) {
-            (AtomKind::Le, true) => vec![diff(self, a, b)],
-            (AtomKind::Le, false) => vec![diff(self, b, a).shifted(1)],
-            (AtomKind::Lt, true) => vec![diff(self, a, b).shifted(1)],
-            (AtomKind::Lt, false) => vec![diff(self, b, a)],
-            (AtomKind::IntEq, true) => {
-                let e = diff(self, a, b);
-                vec![e.scaled(-1), e]
+            (AtomKind::Le, true) => {
+                self.arith_diff_into(&a, &b, 0);
             }
-            _ => Vec::new(),
+            (AtomKind::Le, false) => {
+                self.arith_diff_into(&b, &a, 1);
+            }
+            (AtomKind::Lt, true) => {
+                self.arith_diff_into(&a, &b, 1);
+            }
+            (AtomKind::Lt, false) => {
+                self.arith_diff_into(&b, &a, 0);
+            }
+            (AtomKind::IntEq, true) => {
+                let first = self.arith_diff_into(&a, &b, 0);
+                let second = self.arith_slot(); // always > first
+                let (head, tail) = self.arith_exprs.split_at_mut(second);
+                tail[0].clone_from(&head[first]);
+                tail[0].scale(-1);
+            }
+            _ => {}
         }
     }
 
-    /// Accumulates `k * form` into a linear expression over term ids.  Total:
-    /// every non-arithmetic subterm (including non-linear products) is
-    /// abstracted by its interned id, so linearisation cannot fail.
-    fn lin_into(&mut self, form: &Form, k: i64, out: &mut IdExpr) {
+    /// Accumulates `k * form` into a linear expression over term ids (the
+    /// caller canonicalises once at the end).  Total: every non-arithmetic
+    /// subterm (including non-linear products) is abstracted by its interned
+    /// id, so linearisation cannot fail.
+    fn lin_into(&mut self, form: &Form, k: i64, out: &mut IdLinExpr) {
         match form {
             Form::Int(value) => out.constant += k * value,
             Form::Add(a, b) => {
@@ -715,15 +888,18 @@ impl<'a> Solver<'a> {
             Form::Mul(a, b) => match (a.as_ref(), b.as_ref()) {
                 (Form::Int(c), other) | (other, Form::Int(c)) => self.lin_into(other, k * c, out),
                 // Non-linear multiplication: abstract the whole product.
-                _ => out.add_term(self.cc.intern(form), k),
+                _ => out.push_term(self.cc.intern(form), k),
             },
-            other => out.add_term(self.cc.intern(other), k),
+            other => out.push_term(self.cc.intern(other), k),
         }
     }
 
     /// Checks the asserted arithmetic constraints for a linear-integer
     /// conflict over the current congruence classes.  Re-runs only when the
     /// constraint stack or the class structure changed since the last check.
+    /// Re-keying an assert-time id onto its class representative is a
+    /// `find` + integer push into a pooled buffer — no strings, no hashing,
+    /// no allocation once the pools are warm.
     fn arith_conflict(&mut self) -> bool {
         if self.arith.is_empty() {
             return false;
@@ -733,25 +909,19 @@ impl<'a> Solver<'a> {
         if self.arith_memo == Some(state) {
             return false;
         }
-        let mut constraints: Vec<PForm> = Vec::new();
-        for entry in &self.arith {
-            for expr in &entry.exprs {
-                // Re-key the assert-time ids on their current class
-                // representatives, summing coefficients of merged classes.
-                let mut by_rep: BTreeMap<TermId, i64> = BTreeMap::new();
-                for (&id, &k) in &expr.coeffs {
-                    *by_rep.entry(self.cc.find(id)).or_insert(0) += k;
-                }
-                let mut lin = LinExpr::constant(expr.constant);
-                for (rep, k) in by_rep {
-                    if k != 0 {
-                        lin.add_var(&format!("t{rep}"), k);
-                    }
-                }
-                constraints.push(PForm::le(lin));
-            }
+        let n = self.arith_exprs_len;
+        while self.rekey_buf.len() < n {
+            self.rekey_buf.push(IdLinExpr::default());
         }
-        if fm_unsatisfiable(&PForm::and(constraints)) {
+        for i in 0..n {
+            self.rekey_buf[i].clear();
+            self.rekey_buf[i].constant = self.arith_exprs[i].constant;
+            for &(id, k) in self.arith_exprs[i].terms() {
+                self.rekey_buf[i].push_term(self.cc.find(id), k);
+            }
+            self.rekey_buf[i].canonicalize();
+        }
+        if id_conjunction_infeasible(&self.rekey_buf[..n], FM_MAX_CONSTRAINTS) {
             true
         } else {
             self.arith_memo = Some(state);
@@ -845,13 +1015,12 @@ impl<'a> Solver<'a> {
         self.trail_lim.truncate(target);
         self.bool_qhead = mark;
         self.theory_qhead = mark;
-        while self
-            .arith
-            .last()
-            .is_some_and(|entry| entry.trail_pos >= mark)
-        {
+        while self.arith.last().is_some_and(|&(pos, _)| pos >= mark) {
             self.arith.pop();
         }
+        // Retire the popped entries' constraints: the pool keeps the buffers,
+        // only the logical length rewinds.
+        self.arith_exprs_len = self.arith.last().map_or(0, |&(_, end)| end);
         self.cc.pop_to(target);
         for t in &mut self.theories {
             t.pop_to(target);
@@ -862,6 +1031,7 @@ impl<'a> Solver<'a> {
     /// contradiction holds at the root (the refutation succeeded).
     fn resolve_conflict(&mut self, conflict: Conflict) -> bool {
         self.n_conflicts += 1;
+        self.conflicts_since_restart += 1;
         if self.gconf.activity_decay_interval > 0
             && self
                 .n_conflicts
@@ -870,6 +1040,17 @@ impl<'a> Solver<'a> {
             for a in &mut self.activity {
                 *a >>= 1;
             }
+            for a in &mut self.clause_activity {
+                *a >>= 1;
+            }
+        }
+        if self.gconf.learning
+            && self.gconf.deletion_interval > 0
+            && self
+                .n_conflicts
+                .is_multiple_of(self.gconf.deletion_interval as u64)
+        {
+            self.reduce_learned();
         }
         if self.current_level() == 0 {
             return false;
@@ -906,11 +1087,19 @@ impl<'a> Solver<'a> {
         true
     }
 
-    /// Records a learned clause (subject to the cap) and returns the reason
-    /// to attach to its asserting literal.
+    /// Records a learned clause and returns the reason to attach to its
+    /// asserting literal.  The clause cap is live: reaching it triggers a
+    /// reduction sweep, and only if the sweep frees nothing (everything
+    /// locked) is the clause dropped.
     fn record_learnt(&mut self, learnt: &[Lit]) -> Reason {
-        if learnt.len() < 2 || self.learned_count >= self.gconf.max_learned_clauses {
+        if learnt.len() < 2 {
             return Reason::Theory;
+        }
+        if self.learned_count >= self.gconf.max_learned_clauses {
+            self.reduce_learned();
+            if self.learned_count >= self.gconf.max_learned_clauses {
+                return Reason::Theory;
+            }
         }
         let ci = self.clauses.len() as u32;
         self.watches[learnt[0] as usize].push(ci);
@@ -918,16 +1107,63 @@ impl<'a> Solver<'a> {
         self.clauses.push(Clause {
             lits: learnt.to_vec(),
             relevance: None,
+            deleted: false,
         });
+        // A fresh clause starts at the current maximum so it survives the
+        // next sweep long enough to prove itself.
+        let start = self
+            .clause_activity
+            .iter()
+            .skip(self.input_clauses)
+            .copied()
+            .max()
+            .unwrap_or(0);
+        self.clause_activity.push(start);
         self.learned_count += 1;
         self.n_learned += 1;
         Reason::Clause(ci)
     }
 
-    /// First-UIP conflict analysis.
+    /// Activity-based learned-clause deletion: tombstones the lower-activity
+    /// half of the unlocked learned clauses.  Locked clauses (the reason of a
+    /// trail literal) are untouchable — analysis may still resolve through
+    /// them.  Watch entries of tombstones are dropped lazily by
+    /// `bool_propagate`; the literals stay so an in-flight conflict reference
+    /// remains readable.
+    fn reduce_learned(&mut self) {
+        let mut candidates: Vec<u32> = (self.input_clauses..self.clauses.len())
+            .filter(|&ci| !self.clauses[ci].deleted)
+            .map(|ci| ci as u32)
+            .collect();
+        if candidates.len() < 2 {
+            return;
+        }
+        let locked: std::collections::HashSet<u32> = self
+            .trail
+            .iter()
+            .filter_map(|&lit| match self.reason[(lit >> 1) as usize] {
+                Reason::Clause(ci) if ci as usize >= self.input_clauses => Some(ci),
+                _ => None,
+            })
+            .collect();
+        candidates.retain(|ci| !locked.contains(ci));
+        candidates.sort_by_key(|&ci| self.clause_activity[ci as usize]);
+        for &ci in &candidates[..candidates.len() / 2] {
+            self.clauses[ci as usize].deleted = true;
+            self.learned_count -= 1;
+        }
+    }
+
+    /// First-UIP conflict analysis.  Theory-propagated literals resolve
+    /// through their lazy congruence explanations exactly like clause
+    /// reasons: the explaining literals were all on the trail before the
+    /// propagated one, so the backwards walk stays well-founded.
     fn analyze(&mut self, conflict: Conflict) -> Analyzed {
         let mut src: Vec<Lit> = match conflict {
-            Conflict::Clause(ci) => self.clauses[ci as usize].lits.clone(),
+            Conflict::Clause(ci) => {
+                self.clause_activity[ci as usize] += 1;
+                self.clauses[ci as usize].lits.clone()
+            }
             Conflict::Lits(lits) => lits,
             Conflict::Opaque => return Analyzed::Fallback,
         };
@@ -983,7 +1219,43 @@ impl<'a> Solver<'a> {
             match self.reason[pv] {
                 Reason::Clause(ci) => {
                     // The propagated literal is lits[0]; resolve on the rest.
+                    self.clause_activity[ci as usize] += 1;
                     src = self.clauses[ci as usize].lits[1..].to_vec();
+                }
+                Reason::CcEq { a, b } => match self.cc.explain_terms(a, b) {
+                    // The explanation is the set of asserted literals whose
+                    // merges connected the pair; they are false in the
+                    // implicit clause `tags -> p`, i.e. negated in `src`.
+                    Some(tags) => src = tags.into_iter().map(|t| t ^ 1).collect(),
+                    None => {
+                        aborted = true;
+                        break;
+                    }
+                },
+                Reason::CcNeq {
+                    a,
+                    b,
+                    via_a,
+                    via_b,
+                    tag,
+                } => {
+                    let mut explained = false;
+                    if let Some(mut tags) = self.cc.explain_terms(a, via_a) {
+                        if let Some(more) = self.cc.explain_terms(b, via_b) {
+                            tags.extend(more);
+                            if let Some(t) = tag {
+                                if !tags.contains(&t) {
+                                    tags.push(t);
+                                }
+                            }
+                            src = tags.into_iter().map(|t| t ^ 1).collect();
+                            explained = true;
+                        }
+                    }
+                    if !explained {
+                        aborted = true;
+                        break;
+                    }
                 }
                 _ => {
                     // A theory-asserted fact (or a decision, which cannot
@@ -1083,6 +1355,21 @@ impl<'a> Solver<'a> {
 
     fn solve(&mut self) -> GroundResult {
         self.input_clauses = self.clauses.len();
+        // Register every equality atom in the congruence watch index, at
+        // depth 0 so the interned ids outlive every backjump.  Atoms created
+        // mid-search (exchange facts) are not watched: their terms would be
+        // truncated by `pop`, and the exchange path handles them already.
+        if self.gconf.theory_propagation {
+            for v in 0..self.infos.len() {
+                if let Some(info) = &self.infos[v] {
+                    if let Form::Eq(a, b) = &info.form {
+                        let (a, b) = (a.clone(), b.clone());
+                        self.cc.watch_pair(&a, &b, (v as Lit) << 1);
+                        self.tp_active = true;
+                    }
+                }
+            }
+        }
         loop {
             if self.budget == 0 {
                 // Budget exhaustion, not saturation: this Unknown could flip
@@ -1116,6 +1403,19 @@ impl<'a> Solver<'a> {
                 }
                 continue;
             }
+            // Luby-scheduled restart: back to the root, keeping the learned
+            // clauses and activities (checked only at quiescent points, so a
+            // restart never abandons an in-flight propagation).
+            if self.gconf.restarts
+                && self.conflicts_since_restart >= self.restart_limit
+                && self.current_level() > 0
+            {
+                self.conflicts_since_restart = 0;
+                self.restart_count += 1;
+                self.restart_limit = RESTART_BASE * luby(self.restart_count);
+                self.backtrack(0);
+                continue;
+            }
             match self.pick_branch() {
                 Some(lit) => self.decide(lit),
                 None => {
@@ -1147,28 +1447,21 @@ enum Analyzed {
     Fallback,
 }
 
-impl IdExpr {
-    fn add_term(&mut self, id: TermId, k: i64) {
-        let entry = self.coeffs.entry(id).or_insert(0);
-        *entry += k;
-        if *entry == 0 {
-            self.coeffs.remove(&id);
-        }
+/// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...): the value at
+/// 0-based index `x`, computed the classic MiniSat way.
+fn luby(mut x: u64) -> u64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
     }
-
-    fn scaled(&self, k: i64) -> IdExpr {
-        IdExpr {
-            coeffs: self.coeffs.iter().map(|(&id, &c)| (id, c * k)).collect(),
-            constant: self.constant * k,
-        }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
     }
-
-    fn shifted(self, k: i64) -> IdExpr {
-        IdExpr {
-            constant: self.constant + k,
-            ..self
-        }
-    }
+    1u64 << seq
 }
 
 // ---------------------------------------------------------------------------
@@ -1207,44 +1500,29 @@ fn assert_into_cc(cc: &mut Congruence, literal: &Form) {
     }
 }
 
-/// Extracts the linear-arithmetic constraints of a literal set over the
-/// congruence classes of `cc`.
-fn arith_constraints(literals: &[Form], env: &SortEnv, cc: &mut Congruence) -> Vec<PForm> {
-    let mut constraints: Vec<PForm> = Vec::new();
+/// Extracts the linear-arithmetic constraints (`expr <= 0` each) of a
+/// literal set over the congruence classes of `cc`, keyed by class id.
+fn arith_constraints(literals: &[Form], env: &SortEnv, cc: &mut Congruence) -> Vec<IdLinExpr> {
+    let mut constraints: Vec<IdLinExpr> = Vec::new();
     for literal in literals {
         match literal {
-            Form::Le(a, b) => {
-                if let Some(expr) = linear_diff(a, b, cc) {
-                    constraints.push(PForm::le(expr));
-                }
-            }
-            Form::Lt(a, b) => {
-                if let Some(expr) = linear_diff(a, b, cc) {
-                    constraints.push(PForm::le(expr.shifted(1)));
-                }
-            }
+            Form::Le(a, b) => constraints.push(linear_diff(a, b, 0, cc)),
+            Form::Lt(a, b) => constraints.push(linear_diff(a, b, 1, cc)),
             Form::Eq(a, b)
                 if env.sort_of(a) == Sort::Int
                     || env.sort_of(b) == Sort::Int
                     || is_arith(a)
                     || is_arith(b) =>
             {
-                if let Some(expr) = linear_diff(a, b, cc) {
-                    constraints.push(PForm::le(expr.clone()));
-                    constraints.push(PForm::le(expr.scaled(-1)));
-                }
+                let expr = linear_diff(a, b, 0, cc);
+                let mut neg = expr.clone();
+                neg.scale(-1);
+                constraints.push(expr);
+                constraints.push(neg);
             }
             Form::Not(inner) => match inner.as_ref() {
-                Form::Le(a, b) => {
-                    if let Some(expr) = linear_diff(b, a, cc) {
-                        constraints.push(PForm::le(expr.shifted(1)));
-                    }
-                }
-                Form::Lt(a, b) => {
-                    if let Some(expr) = linear_diff(b, a, cc) {
-                        constraints.push(PForm::le(expr));
-                    }
-                }
+                Form::Le(a, b) => constraints.push(linear_diff(b, a, 1, cc)),
+                Form::Lt(a, b) => constraints.push(linear_diff(b, a, 0, cc)),
                 _ => {}
             },
             _ => {}
@@ -1271,15 +1549,19 @@ pub fn theory_conflict(literals: &[Form], env: &SortEnv) -> bool {
     if constraints.is_empty() {
         return false;
     }
-    fm_unsatisfiable(&PForm::and(constraints))
+    id_conjunction_infeasible(&constraints, FM_MAX_CONSTRAINTS)
 }
 
-/// Linearises `a - b` into a linear expression, mapping non-arithmetic
-/// sub-terms to variables named after their congruence class.
-fn linear_diff(a: &Form, b: &Form, cc: &mut Congruence) -> Option<LinExpr> {
-    let la = linearise(a, cc)?;
-    let lb = linearise(b, cc)?;
-    Some(la.plus(&lb.scaled(-1)))
+/// Linearises `a - b + shift` into a canonical id-keyed expression, mapping
+/// non-arithmetic sub-terms to their congruence class ids (no string names,
+/// no per-coefficient allocation).
+fn linear_diff(a: &Form, b: &Form, shift: i64, cc: &mut Congruence) -> IdLinExpr {
+    let mut out = IdLinExpr::default();
+    linearise(a, 1, cc, &mut out);
+    linearise(b, -1, cc, &mut out);
+    out.canonicalize();
+    out.shift(shift);
+    out
 }
 
 fn is_arith(form: &Form) -> bool {
@@ -1289,24 +1571,27 @@ fn is_arith(form: &Form) -> bool {
     )
 }
 
-fn linearise(form: &Form, cc: &mut Congruence) -> Option<LinExpr> {
+/// Accumulates `k * form` over congruence-class ids.  Total: every
+/// non-arithmetic subterm (including non-linear products) is abstracted by
+/// its class id, so linearisation cannot fail.
+fn linearise(form: &Form, k: i64, cc: &mut Congruence, out: &mut IdLinExpr) {
     match form {
-        Form::Int(value) => Some(LinExpr::constant(*value)),
-        Form::Add(a, b) => Some(linearise(a, cc)?.plus(&linearise(b, cc)?)),
-        Form::Sub(a, b) => Some(linearise(a, cc)?.plus(&linearise(b, cc)?.scaled(-1))),
-        Form::Neg(a) => Some(linearise(a, cc)?.scaled(-1)),
-        Form::Mul(a, b) => match (a.as_ref(), b.as_ref()) {
-            (Form::Int(k), other) | (other, Form::Int(k)) => Some(linearise(other, cc)?.scaled(*k)),
-            _ => {
-                // Non-linear multiplication: abstract the whole product.
-                let class = cc.class_of(form);
-                Some(LinExpr::variable(&format!("t{class}"), 1))
-            }
-        },
-        _ => {
-            let class = cc.class_of(form);
-            Some(LinExpr::variable(&format!("t{class}"), 1))
+        Form::Int(value) => out.constant += k * value,
+        Form::Add(a, b) => {
+            linearise(a, k, cc, out);
+            linearise(b, k, cc, out);
         }
+        Form::Sub(a, b) => {
+            linearise(a, k, cc, out);
+            linearise(b, -k, cc, out);
+        }
+        Form::Neg(a) => linearise(a, -k, cc, out),
+        Form::Mul(a, b) => match (a.as_ref(), b.as_ref()) {
+            (Form::Int(c), other) | (other, Form::Int(c)) => linearise(other, k * c, cc, out),
+            // Non-linear multiplication: abstract the whole product.
+            _ => out.push_term(cc.class_of(form), k),
+        },
+        other => out.push_term(cc.class_of(other), k),
     }
 }
 
@@ -1669,7 +1954,7 @@ mod tests {
         let delta = stats_snapshot().since(&before);
         assert!(delta.decisions > 0, "branching must happen: {delta:?}");
         assert!(
-            delta.propagations > 0,
+            delta.bool_propagations > 0,
             "unit propagation must run: {delta:?}"
         );
         assert!(delta.conflicts > 0, "conflicts must be analysed: {delta:?}");
@@ -1775,6 +2060,112 @@ mod tests {
             refute_literals(&["card(nodes) = 0", "a in nodes"], &config),
             GroundResult::Unknown,
             "no leaf checks allowed: falls back to plain ground reasoning"
+        );
+    }
+
+    /// A probe theory recording every literal the ground core offers it, so
+    /// the exchange-visibility contract can be asserted directly: which
+    /// assignments reach the theories, and which are withheld.
+    #[derive(Debug, Default)]
+    struct RecordingTheory {
+        depth: usize,
+        offered: std::rc::Rc<std::cell::RefCell<Vec<Form>>>,
+    }
+
+    impl TheoryExchange for RecordingTheory {
+        fn name(&self) -> &'static str {
+            "recording"
+        }
+        fn push(&mut self) {
+            self.depth += 1;
+        }
+        fn pop(&mut self) {
+            self.depth -= 1;
+        }
+        fn depth(&self) -> usize {
+            self.depth
+        }
+        fn assert_literal(&mut self, literal: &Form) -> bool {
+            self.offered.borrow_mut().push(literal.clone());
+            true
+        }
+        fn is_active(&self) -> bool {
+            false // never claims leaf-check budget
+        }
+        fn check(&mut self, _cc: &mut Congruence, _budget: &mut ExchangeBudget) -> TheoryResult {
+            TheoryResult::Facts(Vec::new())
+        }
+    }
+
+    /// Runs the given literals through a solver with a [`RecordingTheory`]
+    /// attached and returns the verdict, the offered literals, and the
+    /// solver's (theory propagation, learned clause) counts.
+    fn solve_with_recorder(literals: &[&str]) -> (GroundResult, Vec<Form>, (u64, u64)) {
+        let env = env();
+        let forms: Vec<Form> = literals.iter().map(|s| parse_form(s).unwrap()).collect();
+        let offered = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let cancel = Cancel::never();
+        let mut solver = Solver::new(&env, &ProverConfig::without_exchange(), &cancel);
+        for form in &forms {
+            solver.add_form(form);
+        }
+        solver.theories.push(Box::new(RecordingTheory {
+            depth: 0,
+            offered: offered.clone(),
+        }));
+        let result = solver.solve();
+        let offered = offered.borrow().clone();
+        (
+            result,
+            offered,
+            (solver.n_theory_propagations, solver.n_learned),
+        )
+    }
+
+    #[test]
+    fn theory_propagated_literals_are_visible_to_the_exchange() {
+        // The root units merge a ~ b ~ c, so the congruence closure
+        // propagates the watched atom `a = c` onto the trail with a
+        // `Reason::CcEq`.  Unlike learned-clause propagations, such literals
+        // are branch facts the recursive tableau would also have asserted —
+        // they MUST be offered to the exchange theories.
+        let (result, offered, (theory_propagations, _)) =
+            solve_with_recorder(&["a = b", "b = c", "a = c | p"]);
+        assert_eq!(result, GroundResult::Unknown, "the sequent is satisfiable");
+        assert!(theory_propagations > 0, "a = c must be theory-propagated");
+        let atom = parse_form("a = c").unwrap();
+        assert!(
+            offered.contains(&atom),
+            "the cc-propagated literal must reach the exchange: {offered:?}"
+        );
+    }
+
+    #[test]
+    fn learned_clause_propagations_stay_withheld_from_the_exchange() {
+        // Deciding p then r forces both `c = d` and its negation, so
+        // first-UIP analysis learns the binary clause (~r | ~p), backjumps to
+        // the p level, and re-propagates ~r from the learned clause.
+        // Learned-clause propagations are implied facts the recursive tableau
+        // never asserted — they must NOT be offered to the theories (the leaf
+        // checks stay sound without them, and offering them would grow the
+        // Venn translation's atom set).
+        let (result, offered, (_, learned)) =
+            solve_with_recorder(&["p | q", "r | s", "~p | ~r | c = d", "~p | ~r | ~(c = d)"]);
+        assert_eq!(result, GroundResult::Unknown, "the sequent is satisfiable");
+        assert!(learned > 0, "the conflict must learn a clause");
+        // The final model keeps p (decision) and s (input-clause propagation
+        // after the backjump): both are branch facts and both are offered.
+        // (The decision on r conflicts inside the boolean fixpoint, before
+        // the theory queue ever sees it.)
+        let r = parse_form("r").unwrap();
+        assert!(
+            offered.contains(&parse_form("p").unwrap())
+                && offered.contains(&parse_form("s").unwrap()),
+            "decisions and input-clause propagations are offered: {offered:?}"
+        );
+        assert!(
+            !offered.contains(&Form::not(r)),
+            "~r enters the trail only via the learned clause and must be withheld: {offered:?}"
         );
     }
 

@@ -260,6 +260,21 @@ pub struct GroundConfig {
     /// integer stand-in for VSIDS decay; smaller = more aggressive focus on
     /// recent conflicts).
     pub activity_decay_interval: usize,
+    /// Eager theory propagation: after each boolean propagation fixpoint the
+    /// congruence closure is asked which registered equality atoms it now
+    /// entails, and those literals enter the trail with proof-forest
+    /// explanations instead of being rediscovered at conflicts.  `false`
+    /// restores the conflict-driven-only behaviour for the ablations.
+    pub theory_propagation: bool,
+    /// Luby-sequence restarts: on schedule the search backjumps to the root,
+    /// keeping learned clauses and activities.  `false` disables restarts for
+    /// the ablations.
+    pub restarts: bool,
+    /// Conflicts between two activity-based learned-clause reduction sweeps;
+    /// each sweep deletes the lower-activity half of the unlocked learned
+    /// clauses.  `max_learned_clauses` additionally forces a sweep whenever
+    /// the database reaches the cap.
+    pub deletion_interval: usize,
 }
 
 impl Default for GroundConfig {
@@ -268,6 +283,9 @@ impl Default for GroundConfig {
             learning: true,
             max_learned_clauses: 10_000,
             activity_decay_interval: 128,
+            theory_propagation: true,
+            restarts: true,
+            deletion_interval: 2_000,
         }
     }
 }
@@ -278,6 +296,24 @@ impl GroundConfig {
     pub fn without_learning() -> Self {
         GroundConfig {
             learning: false,
+            ..Self::default()
+        }
+    }
+
+    /// The configuration with eager theory propagation turned off (theory
+    /// facts discovered only at conflicts); used by the ablation benchmarks.
+    pub fn without_theory_propagation() -> Self {
+        GroundConfig {
+            theory_propagation: false,
+            ..Self::default()
+        }
+    }
+
+    /// The configuration with Luby restarts turned off; used by the ablation
+    /// benchmarks.
+    pub fn without_restarts() -> Self {
+        GroundConfig {
+            restarts: false,
             ..Self::default()
         }
     }
@@ -466,6 +502,25 @@ impl ProverConfig {
     pub fn without_exchange() -> Self {
         ProverConfig {
             exchange: ExchangeConfig::disabled(),
+            ..Self::default()
+        }
+    }
+
+    /// The default budgets with eager theory propagation disabled in the
+    /// ground core (theory facts discovered only at conflicts); used by the
+    /// ablation benchmarks.
+    pub fn without_theory_propagation() -> Self {
+        ProverConfig {
+            ground: GroundConfig::without_theory_propagation(),
+            ..Self::default()
+        }
+    }
+
+    /// The default budgets with Luby restarts disabled in the ground core;
+    /// used by the ablation benchmarks.
+    pub fn without_restarts() -> Self {
+        ProverConfig {
+            ground: GroundConfig::without_restarts(),
             ..Self::default()
         }
     }

@@ -47,7 +47,8 @@ pub struct Table1Row {
     /// Sequents answered from the content-addressed proof cache.
     pub cache_hits: usize,
     /// CDCL ground-core search counters accumulated while verifying this
-    /// benchmark (decisions, propagations, conflicts, learned_clauses).
+    /// benchmark (decisions, bool_propagations, theory_propagations,
+    /// conflicts, learned_clauses).
     pub ground_stats: BTreeMap<String, u64>,
 }
 
@@ -94,7 +95,11 @@ pub fn row_in(session: &ipl_core::Session, benchmark: &Benchmark) -> Table1Row {
             .collect(),
         ground_stats: [
             ("decisions".to_string(), ground.decisions),
-            ("propagations".to_string(), ground.propagations),
+            ("bool_propagations".to_string(), ground.bool_propagations),
+            (
+                "theory_propagations".to_string(),
+                ground.theory_propagations,
+            ),
             ("conflicts".to_string(), ground.conflicts),
             ("learned_clauses".to_string(), ground.learned_clauses),
         ]
@@ -195,7 +200,7 @@ pub fn render_markdown(rows: &[Table1Row], meta: &BenchMeta) -> String {
     let mut out = String::from("## Table 1 benchmark results\n\n");
     out.push_str(
         "| Benchmark | Methods | Sequents | Crashed/Skipped | Wall (ms) | Discharged by | \
-         Stage cost (ms) | Ground dec/prop/conf/learn |\n",
+         Stage cost (ms) | Ground dec/bprop/tprop/conf/learn |\n",
     );
     out.push_str("|---|---|---|---|---|---|---|---|\n");
     let fmt_map = |entries: Vec<String>| {
@@ -221,7 +226,7 @@ pub fn render_markdown(rows: &[Table1Row], meta: &BenchMeta) -> String {
         );
         let stat = |key: &str| row.ground_stats.get(key).copied().unwrap_or(0);
         out.push_str(&format!(
-            "| {} | {}/{} | {}/{} | {}/{} | {} | {} | {} | {}/{}/{}/{} |\n",
+            "| {} | {}/{} | {}/{} | {}/{} | {} | {} | {} | {}/{}/{}/{}/{} |\n",
             row.name,
             row.methods_verified,
             row.methods,
@@ -233,7 +238,8 @@ pub fn render_markdown(rows: &[Table1Row], meta: &BenchMeta) -> String {
             provers,
             stages,
             stat("decisions"),
-            stat("propagations"),
+            stat("bool_propagations"),
+            stat("theory_propagations"),
             stat("conflicts"),
             stat("learned_clauses"),
         ));
@@ -262,9 +268,11 @@ pub fn render_markdown(rows: &[Table1Row], meta: &BenchMeta) -> String {
             .sum()
     };
     out.push_str(&format!(
-        "\nGround CDCL core: {} decisions, {} propagations, {} conflicts, {} learned clauses\n",
+        "\nGround CDCL core: {} decisions, {} bool propagations, {} theory propagations, \
+         {} conflicts, {} learned clauses\n",
         total_stat("decisions"),
-        total_stat("propagations"),
+        total_stat("bool_propagations"),
+        total_stat("theory_propagations"),
         total_stat("conflicts"),
         total_stat("learned_clauses"),
     ));
@@ -418,7 +426,8 @@ mod tests {
             cache_hits: 7,
             ground_stats: [
                 ("decisions".to_string(), 63u64),
-                ("propagations".to_string(), 566u64),
+                ("bool_propagations".to_string(), 540u64),
+                ("theory_propagations".to_string(), 26u64),
                 ("conflicts".to_string(), 73u64),
                 ("learned_clauses".to_string(), 18u64),
             ]
@@ -434,8 +443,8 @@ mod tests {
         };
         let json = to_bench_json(&[row], &meta);
         assert!(json.contains(
-            "\"ground_stats\": {\"conflicts\": 73, \"decisions\": 63, \
-             \"learned_clauses\": 18, \"propagations\": 566}"
+            "\"ground_stats\": {\"bool_propagations\": 540, \"conflicts\": 73, \
+             \"decisions\": 63, \"learned_clauses\": 18, \"theory_propagations\": 26}"
         ));
         assert!(json.contains("\"total_wall_ms\": 1234"));
         assert!(json.contains("\"baseline_total_wall_ms\": 3456"));

@@ -141,9 +141,11 @@ fn main() {
             .sum()
     };
     println!(
-        "  ground CDCL: {} decisions, {} propagations, {} conflicts, {} learned clauses",
+        "  ground CDCL: {} decisions, {} bool propagations, {} theory propagations, \
+         {} conflicts, {} learned clauses",
         ground_total("decisions"),
-        ground_total("propagations"),
+        ground_total("bool_propagations"),
+        ground_total("theory_propagations"),
         ground_total("conflicts"),
         ground_total("learned_clauses"),
     );

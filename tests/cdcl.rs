@@ -14,7 +14,7 @@
 use ipl::logic::parser::parse_form;
 use ipl::logic::{Form, Sort, SortEnv};
 use ipl::provers::ground::{reference, refute, stats_snapshot, GroundResult};
-use ipl::provers::{Cancel, ExchangeConfig, ProverConfig};
+use ipl::provers::{Cancel, ExchangeConfig, GroundConfig, ProverConfig};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -36,6 +36,25 @@ fn plain_config() -> ProverConfig {
         exchange: ExchangeConfig::disabled(),
         ..ProverConfig::default()
     }
+}
+
+/// The four feature corners of the ground core: theory propagation on/off ×
+/// Luby restarts on/off, each labelled for assertion messages.
+fn feature_matrix() -> [(&'static str, ProverConfig); 4] {
+    let with = |theory_propagation: bool, restarts: bool| ProverConfig {
+        ground: GroundConfig {
+            theory_propagation,
+            restarts,
+            ..GroundConfig::default()
+        },
+        ..plain_config()
+    };
+    [
+        ("tp+restarts", with(true, true)),
+        ("tp only", with(true, false)),
+        ("restarts only", with(false, true)),
+        ("neither", with(false, false)),
+    ]
 }
 
 // ---------------------------------------------------------------------------
@@ -105,8 +124,14 @@ proptest! {
     fn cdcl_matches_naive_on_propositional_sequents(forms in prop::collection::vec(propositional(), 1..5)) {
         let env = env();
         let naive = reference::refute_naive(&forms, &env, 500_000);
-        let cdcl = refute(&forms, &env, &plain_config(), &Cancel::never());
-        prop_assert_eq!(cdcl, naive);
+        // Both searches are complete on propositional inputs, so every
+        // corner of the feature matrix must agree with the reference
+        // exactly — theory propagation and restarts change the search
+        // order, never the verdict.
+        for (label, config) in feature_matrix() {
+            let cdcl = refute(&forms, &env, &config, &Cancel::never());
+            prop_assert!(cdcl == naive, "{} disagrees with the reference: {:?} vs {:?}", label, cdcl, naive);
+        }
     }
 
     #[test]
@@ -114,10 +139,31 @@ proptest! {
         let env = env();
         // The CDCL engine is the stronger of the two (it also asserts the
         // negations forced by propagation), so agreement is one-way: a naive
-        // refutation must never be lost.
+        // refutation must never be lost — under any feature corner.
         if reference::refute_naive(&forms, &env, 500_000) == GroundResult::Unsat {
-            let cdcl = refute(&forms, &env, &plain_config(), &Cancel::never());
-            prop_assert_eq!(cdcl, GroundResult::Unsat);
+            for (label, config) in feature_matrix() {
+                let cdcl = refute(&forms, &env, &config, &Cancel::never());
+                prop_assert!(cdcl == GroundResult::Unsat, "{} loses a naive refutation", label);
+            }
+        }
+    }
+
+    #[test]
+    fn feature_corners_agree_on_mixed_sequents(forms in prop::collection::vec(mixed_ground(), 1..5)) {
+        let env = env();
+        // The four corners run the same complete search under generous
+        // budgets, so they must return the same verdict as each other on
+        // random EUF/arithmetic sequents (not only when the naive reference
+        // already refutes).
+        let verdicts: Vec<(&str, GroundResult)> = feature_matrix()
+            .into_iter()
+            .map(|(label, config)| (label, refute(&forms, &env, &config, &Cancel::never())))
+            .collect();
+        for (label, verdict) in &verdicts[1..] {
+            prop_assert!(
+                *verdict == verdicts[0].1,
+                "{} disagrees with {}: {:?} vs {:?}", label, verdicts[0].0, verdict, verdicts[0].1
+            );
         }
     }
 }
@@ -178,6 +224,33 @@ fn ablation_parity_without_learning_on_a_module() {
         report.method_count,
         "Linked List fully verifies without learning:\n{}",
         report.render()
+    );
+}
+
+#[test]
+fn theory_propagation_is_deterministic_across_worker_counts() {
+    // Theory propagation must not introduce scheduling-dependent behaviour:
+    // the normalized report (verdicts and attribution, no timings) is
+    // byte-identical between one worker and four with propagation enabled.
+    let benchmark = ipl::suite::by_name("Linked List").unwrap();
+    let report_with_jobs = |jobs: usize| {
+        let options = ipl::core::VerifyOptions::default()
+            .with_config(ProverConfig {
+                use_cache: false,
+                ..ProverConfig::default()
+            })
+            .with_record_sequents(false)
+            .with_jobs(jobs);
+        ipl::core::Session::new(options)
+            .verify(&ipl::core::Request::new(benchmark.source))
+            .unwrap()
+            .report
+            .normalized()
+    };
+    assert_eq!(
+        report_with_jobs(1),
+        report_with_jobs(4),
+        "jobs=1 and jobs=4 must produce byte-identical normalized reports"
     );
 }
 
