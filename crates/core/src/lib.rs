@@ -50,6 +50,7 @@ use ipl_lang::lower::{lower_module, LoweredMethod};
 use ipl_lang::Module;
 use ipl_logic::Labeled;
 use ipl_provers::cache::{Fingerprint, ProofCache};
+pub use ipl_provers::cache_store::CompactStats;
 use ipl_provers::{containment, Cascade, Outcome, ProverAnswer, ProverConfig, Query};
 pub use report::{MethodReport, ModuleReport, SequentReport};
 pub use session::{Request, Response, Session, SessionStats};

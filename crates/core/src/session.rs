@@ -15,7 +15,7 @@
 use crate::{drive, ModuleReport, VerifyError, VerifyOptions};
 use ipl_lang::Module;
 use ipl_provers::cache::ProofCache;
-use ipl_provers::cache_store::StoreHandle;
+use ipl_provers::cache_store::{CompactStats, StoreHandle};
 use ipl_provers::Cascade;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -251,6 +251,26 @@ impl Session {
             .cloned()
     }
 
+    /// Compacts the session's persistent store in place: duplicates and
+    /// corrupt ranges are dropped via write-to-temp + atomic rename and the
+    /// generation stamp is bumped (see
+    /// [`CacheStore::compact`](ipl_provers::cache_store::CacheStore::compact)).
+    /// The warm index swaps over without a rescan — `store_preloads` stays
+    /// at most 1 — and the set of answerable fingerprints is unchanged.
+    /// Returns `None` when the session has no store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates locking and I/O errors; on error the original log is
+    /// untouched.
+    pub fn compact_store(&self) -> std::io::Result<Option<CompactStats>> {
+        let mut store = self.store.lock().expect("store handle poisoned");
+        match store.as_mut() {
+            Some(handle) => handle.compact().map(Some),
+            None => Ok(None),
+        }
+    }
+
     /// Cumulative session telemetry.
     pub fn stats(&self) -> SessionStats {
         let store = self.store.lock().expect("store handle poisoned");
@@ -421,6 +441,32 @@ mod tests {
         assert_eq!(response.report.jobs, 1);
         assert!(!response.report.fully_proved());
         assert!(response.report.skipped_sequents() > 0);
+    }
+
+    #[test]
+    fn compaction_keeps_warm_answers_identical() {
+        let dir = temp_dir("compact");
+        let session = Session::new(VerifyOptions::default().with_cache_dir(&dir));
+        let before = session.verify(&Request::new(COUNTER)).unwrap();
+        let stats = session
+            .compact_store()
+            .unwrap()
+            .expect("session has a store");
+        assert_eq!(stats.generation, 1);
+        assert_eq!(stats.entries_after, before.store_entries);
+        let after = session.verify(&Request::new(COUNTER)).unwrap();
+        assert_eq!(
+            before.report.normalized(),
+            after.report.normalized(),
+            "compaction must not change any answer"
+        );
+        assert_eq!(after.store_preloads, 1, "no rescan after compaction");
+        assert_eq!(after.store_appended, 0);
+        assert_eq!(after.store_entries, before.store_entries);
+        // A store-less session reports None instead of erroring.
+        let bare = Session::new(VerifyOptions::default());
+        assert!(bare.compact_store().unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

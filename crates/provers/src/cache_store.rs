@@ -13,26 +13,39 @@
 //!
 //! One store file per `(schema version, prover configuration)` pair, named
 //! `proofs-v{schema}-{config:016x}.iplstore` inside the cache directory.  The
-//! file is a 20-byte header followed by variable-length entries:
+//! file is a 28-byte header followed by variable-length entries:
 //!
 //! ```text
 //! header:  magic "IPLPROOF" | schema version (u32 LE) | config hash (u64 LE)
+//!          | generation (u64 LE)
 //! entry:   prover len (u16 LE) | fingerprint (u128 LE) | config hash (u64 LE)
 //!          | prover name bytes | checksum (u64 LE)
 //! ```
 //!
 //! The checksum covers every preceding byte of the entry, so a torn write
-//! (crash mid-append, disk full) invalidates exactly the tail entry.
+//! (crash mid-append, disk full) invalidates exactly the torn bytes.  The
+//! generation counts whole-file rewrites ([`CacheStore::compact`]): a warm
+//! handle uses it to tell "same log, more entries" from "log replaced".
 //!
 //! ## Crash safety and concurrency
 //!
-//! *Loading* walks the log from the front and stops at the first entry whose
-//! length or checksum does not add up; the corrupt tail is **truncated**,
-//! never replayed — every complete entry before it survives.  A file whose
-//! header does not match the expected magic, schema version and configuration
-//! hash is treated as poisoned: its contents are ignored wholesale and the
-//! file is rewritten fresh (its *name* claimed our schema, so its bytes are
-//! untrustworthy).
+//! *Loading* walks the log from the front and **resynchronises past corrupt
+//! byte ranges**: an undecodable stretch (torn mid-log write from a crashed
+//! handle) is skipped byte-by-byte until the next checksum-valid entry, so
+//! complete entries appended *after* a torn one — by another process, say —
+//! survive.  A pure torn tail is truncated (only while the advisory lock is
+//! actually held); mid-log garbage is left in place and removed by the next
+//! [`CacheStore::compact`].  A file whose header does not match the expected
+//! magic, schema version and configuration hash is treated as poisoned: it
+//! is moved to a `quarantine/` subdirectory (never silently rewritten in
+//! place) with a logged reason, and a fresh store file takes its path.
+//!
+//! *Compaction* ([`CacheStore::compact`], [`compact_file`]) rewrites the log
+//! dropping duplicate fingerprints and corrupt ranges, by writing a temp
+//! file and atomically renaming it over the store, bumping the generation.
+//! Handles in other processes detect the swapped inode on their next append
+//! and reopen; their indexes stay valid because compaction only drops
+//! duplicates, never live fingerprints.
 //!
 //! *Concurrent processes* sharing one cache directory are safe: every load
 //! and every append happens under an OS advisory file lock
@@ -63,10 +76,16 @@ use std::path::{Path, PathBuf};
 ///
 /// v2: `ProverConfig` grew its retry policy, which participates in both the
 /// configuration key and the query fingerprint.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3: the header grew a generation stamp (u64, bumped by compaction) and
+/// loading resynchronises past corrupt mid-log ranges instead of truncating
+/// everything after them.
+pub const SCHEMA_VERSION: u32 = 3;
 
 const MAGIC: [u8; 8] = *b"IPLPROOF";
-const HEADER_LEN: usize = 8 + 4 + 8;
+/// Header layout: magic, schema version (u32 LE), config hash (u64 LE),
+/// generation (u64 LE).
+pub const HEADER_LEN: usize = 8 + 4 + 8 + 8;
 /// Longest admissible prover name; anything larger marks a corrupt entry.
 const MAX_PROVER_LEN: usize = 256;
 
@@ -81,11 +100,19 @@ pub struct CacheStore {
     index: HashSet<u128>,
     /// Entries read at open time, in log order.
     loaded: Vec<(u128, String)>,
-    /// Bytes of corrupt/truncated tail discarded at open time.
+    /// Corrupt bytes skipped (and, for a pure torn tail, truncated) at open
+    /// time.
     recovered_bytes: u64,
+    /// `true` when complete entries were recovered *after* a corrupt range —
+    /// i.e. the resync scan actually rescued someone's appends.
+    salvaged: bool,
+    /// Generation stamp from the header; bumped on every compaction.
+    generation: u64,
     /// `true` when the existing file had a foreign or damaged header and was
-    /// rewritten from scratch.
+    /// quarantined, starting this handle on a fresh file.
     poisoned: bool,
+    /// Where the poisoned file was moved, when it was.
+    quarantined: Option<PathBuf>,
     /// `true` once an advisory lock attempt came back `Unsupported` (some
     /// network/overlay filesystems) and the store fell back to lock-free
     /// operation for this handle.
@@ -97,6 +124,7 @@ impl std::fmt::Debug for CacheStore {
         f.debug_struct("CacheStore")
             .field("path", &self.path)
             .field("entries", &self.index.len())
+            .field("generation", &self.generation)
             .field("recovered_bytes", &self.recovered_bytes)
             .field("poisoned", &self.poisoned)
             .field("lock_degraded", &self.lock_degraded)
@@ -171,7 +199,10 @@ impl CacheStore {
             index: HashSet::new(),
             loaded: Vec::new(),
             recovered_bytes: 0,
+            salvaged: false,
+            generation: 0,
             poisoned: false,
+            quarantined: None,
             lock_degraded,
         };
 
@@ -181,39 +212,45 @@ impl CacheStore {
         }
         if !header_matches(&bytes, config_hash) {
             // Poisoned: the name promised our schema and configuration but
-            // the header disagrees.  Nothing in the file can be trusted.
+            // the header disagrees.  Nothing in the file can be trusted, so
+            // it is moved aside for post-mortem — never rewritten in place —
+            // and a fresh file takes its path.
             store.poisoned = true;
-            store.file.set_len(0)?;
+            store.quarantined = Some(quarantine_file(&store.path, "foreign or damaged header")?);
+            store.file = OpenOptions::new()
+                .read(true)
+                .append(true)
+                .create(true)
+                .open(&store.path)?;
             store.write_header()?;
             return Ok(store);
         }
+        store.generation = header_generation(&bytes);
 
-        let mut pos = HEADER_LEN;
-        while pos < bytes.len() {
-            match decode_entry(&bytes[pos..], config_hash) {
-                Some((fingerprint, prover, consumed)) => {
-                    if store.index.insert(fingerprint) {
-                        store.loaded.push((fingerprint, prover));
-                    }
-                    pos += consumed;
-                }
-                None => break,
+        let log = decode_log(&bytes[HEADER_LEN..], config_hash);
+        for (fingerprint, prover) in log.entries {
+            if store.index.insert(fingerprint) {
+                store.loaded.push((fingerprint, prover));
             }
         }
-        if pos < bytes.len() {
-            // Torn or corrupt tail: drop it so future appends stay readable.
-            store.recovered_bytes = (bytes.len() - pos) as u64;
-            store.file.set_len(pos as u64)?;
+        store.recovered_bytes = log.skipped_bytes;
+        store.salvaged = log.resynced;
+        if log.skipped_bytes > 0 && !log.resynced && !lock_degraded {
+            // A pure torn tail (crash mid-append, nothing readable after it):
+            // drop it so future appends land on a clean boundary.  Only done
+            // while the advisory lock is actually held — lock-free, another
+            // process may have appended past what we read, and truncating
+            // would destroy its entries.  Mid-log garbage (`resynced`) is
+            // left in place for the next compaction; the resync scan reads
+            // past it on every load.
+            store.file.set_len((HEADER_LEN + log.clean_len) as u64)?;
         }
         Ok(store)
     }
 
     fn write_header(&mut self) -> io::Result<()> {
-        let mut header = Vec::with_capacity(HEADER_LEN);
-        header.extend_from_slice(&MAGIC);
-        header.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
-        header.extend_from_slice(&self.config_hash.to_le_bytes());
-        self.file.write_all(&header)
+        self.file
+            .write_all(&header_bytes(self.config_hash, self.generation))
     }
 
     /// The store file backing this handle.
@@ -236,14 +273,32 @@ impl CacheStore {
         &self.loaded
     }
 
-    /// Bytes of corrupt tail discarded when the store was opened.
+    /// Corrupt bytes skipped over when the store was opened.
     pub fn recovered_bytes(&self) -> u64 {
         self.recovered_bytes
+    }
+
+    /// `true` when complete entries were recovered *after* a corrupt range
+    /// at open time (the resync scan rescued entries a plain
+    /// truncate-at-first-error load would have discarded).
+    pub fn salvaged(&self) -> bool {
+        self.salvaged
+    }
+
+    /// The header's generation stamp: how many times this log has been
+    /// compacted (rewritten wholesale) since it was created.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// `true` when the existing file had a foreign header and was ignored.
     pub fn was_poisoned(&self) -> bool {
         self.poisoned
+    }
+
+    /// Where the poisoned file was quarantined, when one was.
+    pub fn quarantined(&self) -> Option<&Path> {
+        self.quarantined.as_deref()
     }
 
     /// `true` when this handle fell back to lock-free operation because the
@@ -283,6 +338,7 @@ impl CacheStore {
         if fresh.is_empty() {
             return Ok(0);
         }
+        self.reopen_if_stale()?;
         let mut buffer = Vec::new();
         for (fingerprint, prover) in &fresh {
             encode_entry(&mut buffer, fingerprint.as_u128(), prover, self.config_hash);
@@ -294,7 +350,7 @@ impl CacheStore {
             batch_key(&buffer),
             &mut self.lock_degraded,
         )?;
-        let written = self.write_batch(&buffer);
+        let written = self.write_batch(&buffer, locked);
         if locked {
             self.file.unlock()?;
         }
@@ -310,7 +366,7 @@ impl CacheStore {
 
     /// Writes one encoded batch, honouring any injected I/O fault and
     /// repairing real torn writes.
-    fn write_batch(&mut self, buffer: &[u8]) -> io::Result<()> {
+    fn write_batch(&mut self, buffer: &[u8], locked: bool) -> io::Result<()> {
         if let Some(plan) = crate::fault::active_plan() {
             match plan.store_append_fault(batch_key(buffer), buffer.len()) {
                 Some(crate::fault::StoreFault::DiskFull) => {
@@ -330,16 +386,117 @@ impl CacheStore {
         }
         let len_before = self.file.metadata().map(|m| m.len());
         let result = self.file.write_all(buffer).and_then(|()| self.file.flush());
-        if result.is_err() {
+        if result.is_err() && locked {
             // Best-effort rollback of a real torn write to the batch
             // boundary, so the log stays clean without waiting for the next
             // open's checksum recovery.  If the truncate fails too, that
-            // recovery still applies.
+            // recovery still applies.  Only attempted while the advisory
+            // lock is held: lock-free, `len_before` may already be stale —
+            // another handle's complete entries could sit past it, and
+            // truncating would destroy them.  (The torn bytes then stay on
+            // disk, and the next load's resync scan skips them.)
             if let Ok(len) = len_before {
                 let _ = self.file.set_len(len);
             }
         }
         result
+    }
+
+    /// Detects that the file at `path` was atomically replaced (another
+    /// handle compacted it, or the loader quarantined a poisoned log) and
+    /// reopens the live file, so appends land in the current log rather
+    /// than the unlinked old inode.
+    fn reopen_if_stale(&mut self) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::MetadataExt;
+            let stale = match (self.file.metadata(), std::fs::metadata(&self.path)) {
+                (Ok(ours), Ok(live)) => ours.dev() != live.dev() || ours.ino() != live.ino(),
+                // Path gone entirely (quarantined / deleted): recreate.
+                (_, Err(e)) if e.kind() == io::ErrorKind::NotFound => true,
+                _ => false,
+            };
+            if stale {
+                self.file = OpenOptions::new()
+                    .read(true)
+                    .append(true)
+                    .create(true)
+                    .open(&self.path)?;
+                let len = self.file.metadata()?.len();
+                if len == 0 {
+                    self.write_header()?;
+                } else {
+                    let mut header = vec![0u8; HEADER_LEN.min(len as usize)];
+                    self.file.seek(SeekFrom::Start(0))?;
+                    self.file.read_exact(&mut header)?;
+                    if header_matches(&header, self.config_hash) {
+                        self.generation = header_generation(&header);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rewrites the log dropping duplicate fingerprints and corrupt byte
+    /// ranges, via write-to-temp + atomic rename, bumping the generation
+    /// stamp.  The handle's index swaps to the compacted contents without a
+    /// rescan.  Handles in other processes detect the swapped inode on
+    /// their next append ([`Self::reopen_if_stale`]); their indexes stay
+    /// valid because compaction only drops duplicates, never live
+    /// fingerprints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates locking, read, write and rename errors; on error the
+    /// original log is untouched (the temp file may be left behind).
+    pub fn compact(&mut self) -> io::Result<CompactStats> {
+        self.reopen_if_stale()?;
+        let path = self.path.clone();
+        let key = batch_key(path.to_string_lossy().as_bytes());
+        let locked = lock_or_degrade(&self.file, &path, key, &mut self.lock_degraded)?;
+        let result = self.compact_locked();
+        if locked && result.is_err() {
+            let _ = self.file.unlock();
+        }
+        // On success the locked descriptor was dropped by the fd swap in
+        // `compact_locked`, releasing the advisory lock with it.
+        result
+    }
+
+    fn compact_locked(&mut self) -> io::Result<CompactStats> {
+        // Read back from disk under the lock: other handles may have
+        // appended entries this one has never seen, and they must survive.
+        let mut bytes = Vec::new();
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.read_to_end(&mut bytes)?;
+        if !header_matches(&bytes, self.config_hash) {
+            return Err(io::Error::other(format!(
+                "store header changed under compaction: {}",
+                self.path.display()
+            )));
+        }
+        let generation = header_generation(&bytes) + 1;
+        let log = decode_log(&bytes[HEADER_LEN..], self.config_hash);
+        let (stats, kept) = rewrite_compacted(
+            &self.path,
+            self.config_hash,
+            generation,
+            &log,
+            bytes.len() as u64,
+        )?;
+        // Swap to the compacted file; dropping the old descriptor releases
+        // the advisory lock held on the now-unlinked inode.
+        self.file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&self.path)?;
+        self.generation = generation;
+        self.index = kept.iter().map(|(fingerprint, _)| *fingerprint).collect();
+        self.loaded = kept;
+        self.recovered_bytes = 0;
+        self.salvaged = false;
+        Ok(stats)
     }
 }
 
@@ -411,6 +568,17 @@ impl StoreHandle {
         Ok(written)
     }
 
+    /// Compacts the underlying store; see [`CacheStore::compact`].  The
+    /// handle's warm index swaps to the compacted log without a rescan —
+    /// [`StoreHandle::preload_count`] is unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Propagates locking and I/O errors from [`CacheStore::compact`].
+    pub fn compact(&mut self) -> io::Result<CompactStats> {
+        self.store.compact()
+    }
+
     /// The underlying store.
     pub fn store(&self) -> &CacheStore {
         &self.store
@@ -469,9 +637,12 @@ pub struct StoreInfo {
     pub path: PathBuf,
     /// Schema version from the header (`None` when the header is foreign).
     pub schema_version: Option<u32>,
-    /// Complete entries in the log.
+    /// Generation stamp from the header (`None` when the header is foreign).
+    pub generation: Option<u64>,
+    /// Recoverable entries in the log (including any salvaged past corrupt
+    /// ranges; duplicates counted).
     pub entries: usize,
-    /// Bytes of corrupt tail that a load would discard.
+    /// Corrupt bytes that a load would skip over.
     pub corrupt_tail_bytes: u64,
 }
 
@@ -486,28 +657,20 @@ pub fn inspect(path: &Path) -> io::Result<StoreInfo> {
         return Ok(StoreInfo {
             path: path.to_path_buf(),
             schema_version: None,
+            generation: None,
             entries: 0,
             corrupt_tail_bytes: bytes.len() as u64,
         });
     }
     let schema = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-    let config_hash = u64::from_le_bytes(bytes[12..HEADER_LEN].try_into().expect("8 bytes"));
-    let mut pos = HEADER_LEN;
-    let mut entries = 0;
-    while pos < bytes.len() {
-        match decode_entry(&bytes[pos..], config_hash) {
-            Some((_, _, consumed)) => {
-                entries += 1;
-                pos += consumed;
-            }
-            None => break,
-        }
-    }
+    let config_hash = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let log = decode_log(&bytes[HEADER_LEN..], config_hash);
     Ok(StoreInfo {
         path: path.to_path_buf(),
         schema_version: Some(schema),
-        entries,
-        corrupt_tail_bytes: (bytes.len() - pos) as u64,
+        generation: Some(header_generation(&bytes)),
+        entries: log.entries.len(),
+        corrupt_tail_bytes: log.skipped_bytes,
     })
 }
 
@@ -538,7 +701,264 @@ fn header_matches(bytes: &[u8], config_hash: u64) -> bool {
     bytes.len() >= HEADER_LEN
         && bytes[..8] == MAGIC
         && bytes[8..12] == SCHEMA_VERSION.to_le_bytes()
-        && bytes[12..HEADER_LEN] == config_hash.to_le_bytes()
+        && bytes[12..20] == config_hash.to_le_bytes()
+}
+
+fn header_generation(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes[20..HEADER_LEN].try_into().expect("8 bytes"))
+}
+
+fn header_bytes(config_hash: u64, generation: u64) -> [u8; HEADER_LEN] {
+    let mut header = [0u8; HEADER_LEN];
+    header[..8].copy_from_slice(&MAGIC);
+    header[8..12].copy_from_slice(&SCHEMA_VERSION.to_le_bytes());
+    header[12..20].copy_from_slice(&config_hash.to_le_bytes());
+    header[20..].copy_from_slice(&generation.to_le_bytes());
+    header
+}
+
+/// One decoded entry region, with corruption accounting.
+struct DecodedLog {
+    /// Every recoverable entry, in log order, duplicates preserved.
+    entries: Vec<(u128, String)>,
+    /// Bytes that decoded as no entry (torn writes, garbage).
+    skipped_bytes: u64,
+    /// Length of the gap-free prefix of the entry region — the truncation
+    /// point when the corruption is a pure torn tail.
+    clean_len: usize,
+    /// `true` when at least one entry decoded *after* a corrupt gap.
+    resynced: bool,
+}
+
+/// Decodes every recoverable entry from an entry region, resynchronising
+/// past corrupt byte ranges: after an undecodable stretch the scan advances
+/// one byte at a time until the next checksum-valid entry.  A false resync
+/// would need a 64-bit checksum collision *and* a matching config hash at a
+/// misaligned offset, so complete entries after a torn one are recovered
+/// rather than discarded.
+fn decode_log(bytes: &[u8], config_hash: u64) -> DecodedLog {
+    let mut log = DecodedLog {
+        entries: Vec::new(),
+        skipped_bytes: 0,
+        clean_len: 0,
+        resynced: false,
+    };
+    let mut pos = 0;
+    let mut gap_seen = false;
+    while pos < bytes.len() {
+        match decode_entry(&bytes[pos..], config_hash) {
+            Some((fingerprint, prover, consumed)) => {
+                log.entries.push((fingerprint, prover));
+                pos += consumed;
+                if gap_seen {
+                    log.resynced = true;
+                } else {
+                    log.clean_len = pos;
+                }
+            }
+            None => {
+                pos += 1;
+                log.skipped_bytes += 1;
+                gap_seen = true;
+            }
+        }
+    }
+    log
+}
+
+/// Statistics from one compaction ([`CacheStore::compact`] /
+/// [`compact_file`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Recoverable entries in the log before compaction (with duplicates).
+    pub entries_before: usize,
+    /// Distinct entries written to the compacted log.
+    pub entries_after: usize,
+    /// Duplicate entries dropped.
+    pub duplicates_dropped: usize,
+    /// Corrupt bytes dropped.
+    pub corrupt_bytes_dropped: u64,
+    /// File size before compaction.
+    pub bytes_before: u64,
+    /// File size after compaction.
+    pub bytes_after: u64,
+    /// The compacted file's generation stamp (old generation + 1).
+    pub generation: u64,
+}
+
+/// Writes a deduplicated copy of `log` as a temp file next to `path` and
+/// atomically renames it into place.  Returns the stats and the kept
+/// entries in log order.
+fn rewrite_compacted(
+    path: &Path,
+    config_hash: u64,
+    generation: u64,
+    log: &DecodedLog,
+    bytes_before: u64,
+) -> io::Result<(CompactStats, Vec<(u128, String)>)> {
+    let mut seen = HashSet::new();
+    let mut kept = Vec::new();
+    for (fingerprint, prover) in &log.entries {
+        if seen.insert(*fingerprint) {
+            kept.push((*fingerprint, prover.clone()));
+        }
+    }
+    let mut out = Vec::with_capacity(bytes_before as usize);
+    out.extend_from_slice(&header_bytes(config_hash, generation));
+    for (fingerprint, prover) in &kept {
+        encode_entry(&mut out, *fingerprint, prover, config_hash);
+    }
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("store.iplstore");
+    let tmp = path.with_file_name(format!("{file_name}.tmp-{}", std::process::id()));
+    let write = (|| {
+        let mut tmp_file = File::create(&tmp)?;
+        tmp_file.write_all(&out)?;
+        // The rename must never expose a partially written log.
+        tmp_file.sync_all()
+    })();
+    if let Err(e) = write {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    std::fs::rename(&tmp, path)?;
+    // Best-effort directory fsync so the rename itself is durable.
+    if let Some(dir) = path.parent() {
+        if let Ok(dir_file) = File::open(dir) {
+            let _ = dir_file.sync_all();
+        }
+    }
+    let stats = CompactStats {
+        entries_before: log.entries.len(),
+        entries_after: kept.len(),
+        duplicates_dropped: log.entries.len() - kept.len(),
+        corrupt_bytes_dropped: log.skipped_bytes,
+        bytes_before,
+        bytes_after: out.len() as u64,
+        generation,
+    };
+    Ok((stats, kept))
+}
+
+/// Moves an untrustworthy store file into a `quarantine/` subdirectory next
+/// to it — never rewriting or deleting it in place — and logs the reason.
+/// The quarantined copy keeps its name, suffixed if needed to stay unique.
+fn quarantine_file(path: &Path, reason: &str) -> io::Result<PathBuf> {
+    let dir = path
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let quarantine_dir = dir.join("quarantine");
+    std::fs::create_dir_all(&quarantine_dir)?;
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("store.iplstore")
+        .to_string();
+    let mut target = quarantine_dir.join(&name);
+    let mut attempt = 0u32;
+    while target.exists() {
+        attempt += 1;
+        target = quarantine_dir.join(format!("{name}.{attempt}"));
+    }
+    std::fs::rename(path, &target)?;
+    eprintln!(
+        "ipl: warning: quarantined corrupt store {} -> {} ({reason})",
+        path.display(),
+        target.display()
+    );
+    Ok(target)
+}
+
+/// Outcome of [`compact_file`]: either the log was rewritten in place, or
+/// it could not be trusted and was moved to `quarantine/`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileCompaction {
+    /// The log was compacted; the stats describe the rewrite.
+    Compacted(CompactStats),
+    /// The file's header was foreign (wrong magic or schema version) and it
+    /// was quarantined instead of touched.
+    Quarantined {
+        /// Where the file was moved.
+        to: PathBuf,
+        /// Why it could not be compacted.
+        reason: String,
+    },
+}
+
+/// Compacts one store file offline (no open handle needed), under the
+/// advisory lock: duplicates and corrupt ranges are dropped via
+/// write-to-temp + atomic rename and the generation stamp is bumped.  A
+/// file whose header is foreign — wrong magic, wrong schema version — is
+/// moved to `quarantine/` instead of being rewritten in place.  The
+/// config hash is taken from the file's own header (offline compaction
+/// trusts a self-consistent file).
+///
+/// # Errors
+///
+/// Propagates locking and I/O errors.
+pub fn compact_file(path: &Path) -> io::Result<FileCompaction> {
+    let file = OpenOptions::new().read(true).write(true).open(path)?;
+    let mut degraded = false;
+    let key = batch_key(path.to_string_lossy().as_bytes());
+    let locked = lock_or_degrade(&file, path, key, &mut degraded)?;
+    let result = compact_file_locked(path);
+    if locked {
+        let _ = file.unlock();
+    }
+    result
+}
+
+fn compact_file_locked(path: &Path) -> io::Result<FileCompaction> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < HEADER_LEN
+        || bytes[..8] != MAGIC
+        || bytes[8..12] != SCHEMA_VERSION.to_le_bytes()
+    {
+        let reason = "foreign or damaged header";
+        let to = quarantine_file(path, reason)?;
+        return Ok(FileCompaction::Quarantined {
+            to,
+            reason: reason.to_string(),
+        });
+    }
+    let config_hash = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let generation = header_generation(&bytes) + 1;
+    let log = decode_log(&bytes[HEADER_LEN..], config_hash);
+    let (stats, _) = rewrite_compacted(path, config_hash, generation, &log, bytes.len() as u64)?;
+    Ok(FileCompaction::Compacted(stats))
+}
+
+/// Compacts every `.iplstore` file in a cache directory (any
+/// configuration), in path order.  A missing directory yields an empty
+/// list.
+///
+/// # Errors
+///
+/// Propagates directory-read errors and per-file errors from
+/// [`compact_file`].
+pub fn compact_dir(dir: &Path) -> io::Result<Vec<(PathBuf, FileCompaction)>> {
+    let mut results = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(results),
+        Err(e) => return Err(e),
+    };
+    let mut paths = Vec::new();
+    for entry in entries {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("iplstore") {
+            paths.push(path);
+        }
+    }
+    paths.sort();
+    for path in paths {
+        let outcome = compact_file(&path)?;
+        results.push((path, outcome));
+    }
+    Ok(results)
 }
 
 fn encode_entry(out: &mut Vec<u8>, fingerprint: u128, prover: &str, config_hash: u64) {
@@ -707,9 +1127,150 @@ mod tests {
         let fresh = CacheStore::open(&dir, &config, &provers).unwrap();
         assert!(fresh.was_poisoned());
         assert!(fresh.is_empty(), "poisoned entries must not be replayed");
-        // And the rewritten file is sound again.
+        // The poisoned bytes were moved to quarantine/, not rewritten in
+        // place: the evidence survives for post-mortem.
+        let quarantined = fresh.quarantined().expect("quarantine path").to_path_buf();
+        assert!(quarantined.starts_with(dir.join("quarantine")));
+        assert_eq!(std::fs::read(&quarantined).unwrap(), bytes);
+        // And the fresh file at the original path is sound again.
         let reopened = CacheStore::open(&dir, &config, &provers).unwrap();
         assert!(!reopened.was_poisoned());
+        assert!(reopened.quarantined().is_none());
+        // Quarantined files are invisible to the directory scan.
+        assert_eq!(scan_dir(&dir).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_drops_duplicates_and_bumps_the_generation() {
+        let _serial = crate::fault::serial_guard();
+        let dir = temp_dir("compact");
+        let config = ProverConfig::default();
+        let provers = ["smt-ground"];
+        // Two handles opened before either appends: each considers fp(1)
+        // fresh, so the log ends up with a duplicate entry.
+        let mut a = CacheStore::open(&dir, &config, &provers).unwrap();
+        let mut b = CacheStore::open(&dir, &config, &provers).unwrap();
+        a.append_new(&[(fp(1), "a".into()), (fp(2), "a".into())])
+            .unwrap();
+        b.append_new(&[(fp(1), "b".into())]).unwrap();
+        let info = inspect(a.path()).unwrap();
+        assert_eq!(info.entries, 3, "duplicate landed on disk");
+        assert_eq!(info.generation, Some(0));
+
+        let stats = a.compact().unwrap();
+        assert_eq!(stats.entries_before, 3);
+        assert_eq!(stats.entries_after, 2);
+        assert_eq!(stats.duplicates_dropped, 1);
+        assert_eq!(stats.generation, 1);
+        assert!(stats.bytes_after < stats.bytes_before);
+        assert_eq!(a.generation(), 1);
+        assert_eq!(a.len(), 2, "index swapped without losing fingerprints");
+        assert!(a.contains(fp(1)) && a.contains(fp(2)));
+
+        // The compacted file is smaller, self-consistent, and a fresh open
+        // sees every fingerprint.
+        let info = inspect(a.path()).unwrap();
+        assert_eq!(info.entries, 2);
+        assert_eq!(info.generation, Some(1));
+        let reopened = CacheStore::open(&dir, &config, &provers).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.generation(), 1);
+
+        // Handle b's descriptor points at the unlinked pre-compaction inode;
+        // its next append detects the swap and lands in the live log.
+        b.append_new(&[(fp(3), "b".into())]).unwrap();
+        let reopened = CacheStore::open(&dir, &config, &provers).unwrap();
+        assert_eq!(reopened.len(), 3);
+        assert!(reopened.contains(fp(3)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_salvages_complete_entries_past_a_corrupt_range() {
+        let _serial = crate::fault::serial_guard();
+        let dir = temp_dir("salvage");
+        let config = ProverConfig::default();
+        let provers = ["smt-ground"];
+        let mut store = CacheStore::open(&dir, &config, &provers).unwrap();
+        store.append_new(&[(fp(71), "a".into())]).unwrap();
+        let path = store.path().to_path_buf();
+        let good_len = std::fs::metadata(&path).unwrap().len();
+        drop(store);
+        // Simulate a torn append followed by another handle's complete one:
+        // garbage bytes, then a valid entry appended straight after them.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0xfe; 7]);
+        let config_hash = CacheStore::config_key(&config, &provers);
+        encode_entry(&mut bytes, 72, "b", config_hash);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let store = CacheStore::open(&dir, &config, &provers).unwrap();
+        assert!(
+            store.salvaged(),
+            "resync must rescue the entry past the gap"
+        );
+        assert_eq!(store.recovered_bytes(), 7);
+        assert!(store.contains(fp(71)) && store.contains(fp(72)));
+        // Mid-log garbage stays put (compaction's job), so the file length
+        // is unchanged...
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), bytes.len() as u64);
+        drop(store);
+        // ...and compaction scrubs it.
+        let mut store = CacheStore::open(&dir, &config, &provers).unwrap();
+        let stats = store.compact().unwrap();
+        assert_eq!(stats.corrupt_bytes_dropped, 7);
+        assert_eq!(stats.entries_after, 2);
+        let reopened = CacheStore::open(&dir, &config, &provers).unwrap();
+        assert!(!reopened.salvaged());
+        assert_eq!(reopened.recovered_bytes(), 0);
+        assert_eq!(reopened.len(), 2);
+        assert!(std::fs::metadata(&path).unwrap().len() > good_len);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_file_quarantines_foreign_schemas_and_compacts_sound_logs() {
+        let _serial = crate::fault::serial_guard();
+        let dir = temp_dir("compactdir");
+        let config = ProverConfig::default();
+        let provers = ["smt-ground"];
+        let mut store = CacheStore::open(&dir, &config, &provers).unwrap();
+        store
+            .append_new(&[(fp(81), "a".into()), (fp(82), "a".into())])
+            .unwrap();
+        drop(store);
+        // A second file claiming an unknown schema version.
+        let foreign = dir.join("proofs-v999-0000000000000000.iplstore");
+        let mut foreign_bytes = Vec::new();
+        foreign_bytes.extend_from_slice(&MAGIC);
+        foreign_bytes.extend_from_slice(&999u32.to_le_bytes());
+        foreign_bytes.extend_from_slice(&[0u8; 16]);
+        std::fs::write(&foreign, &foreign_bytes).unwrap();
+
+        let results = compact_dir(&dir).unwrap();
+        assert_eq!(results.len(), 2);
+        let mut compacted = 0;
+        let mut quarantined = 0;
+        for (path, outcome) in &results {
+            match outcome {
+                FileCompaction::Compacted(stats) => {
+                    compacted += 1;
+                    assert_eq!(stats.entries_after, 2);
+                    assert_eq!(stats.generation, 1);
+                    assert_ne!(path, &foreign);
+                }
+                FileCompaction::Quarantined { to, .. } => {
+                    quarantined += 1;
+                    assert_eq!(path, &foreign);
+                    assert!(to.starts_with(dir.join("quarantine")));
+                    assert_eq!(std::fs::read(to).unwrap(), foreign_bytes);
+                    assert!(!foreign.exists());
+                }
+            }
+        }
+        assert_eq!((compacted, quarantined), (1, 1));
+        assert!(compact_dir(&dir.join("missing")).unwrap().is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

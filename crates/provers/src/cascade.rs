@@ -437,7 +437,7 @@ enum Sweep {
 }
 
 fn deadline_passed(deadline: Option<Instant>) -> bool {
-    deadline.is_some_and(|d| Instant::now() >= d)
+    deadline.is_some_and(|d| Instant::now() >= d) || crate::drain::deadline_passed()
 }
 
 /// Number of prover invocations currently executing.  With cooperative
@@ -474,7 +474,10 @@ fn run_with_timeout(
             LIVE_WORKERS.fetch_sub(1, Ordering::Relaxed);
         }
     }
-    let cancel = Cancel::with_timeout_under(timeout, outer_deadline);
+    // Clamp to an active drain deadline as well: a SIGTERM arriving
+    // mid-request must wind down running provers, not just gate the next
+    // dispatch.
+    let cancel = Cancel::with_timeout_under(timeout, crate::drain::clamp(outer_deadline));
     LIVE_WORKERS.fetch_add(1, Ordering::Relaxed);
     let _live = Live;
     prover.prove(query, config, &cancel)

@@ -60,6 +60,20 @@ pub struct FaultPlan {
     /// Probability that acquiring the store's advisory file lock reports
     /// `Unsupported` (exercises the lock-free degradation path).
     pub store_lock_fail_bp: u32,
+    /// Probability that the daemon drops a connection mid-response-frame
+    /// (a partial frame reaches the client, then the connection is severed —
+    /// models a flaky network or a client vanishing mid-read).
+    pub serve_conn_drop_bp: u32,
+    /// Probability that handling a serve request stalls for
+    /// [`serve_stall_ms`](Self::serve_stall_ms) while holding its admission
+    /// slot (models a slow client or a request that hogs a worker).
+    pub serve_stall_bp: u32,
+    /// Length of an injected serve stall, milliseconds.
+    pub serve_stall_ms: u64,
+    /// Probability that admission control reports the daemon as overloaded
+    /// even when capacity is free (the request is answered with a typed
+    /// `overloaded` frame and never dispatched).
+    pub serve_overload_bp: u32,
 }
 
 impl Default for FaultPlan {
@@ -73,12 +87,17 @@ impl Default for FaultPlan {
             store_short_write_bp: 0,
             store_disk_full_bp: 0,
             store_lock_fail_bp: 0,
+            serve_conn_drop_bp: 0,
+            serve_stall_bp: 0,
+            serve_stall_ms: 1,
+            serve_overload_bp: 0,
         }
     }
 }
 
 /// The standard chaos plan used by CI's `chaos-smoke` job: 1% stage panics,
-/// 5% injected delays, 0.5% spurious Unknowns, and seeded store faults.
+/// 5% injected delays, 0.5% spurious Unknowns, seeded store faults, and
+/// connection-level serve faults (drops, stalls, spurious overload).
 pub fn default_chaos(seed: u64) -> FaultPlan {
     FaultPlan {
         seed,
@@ -89,6 +108,10 @@ pub fn default_chaos(seed: u64) -> FaultPlan {
         store_short_write_bp: 500,
         store_disk_full_bp: 100,
         store_lock_fail_bp: 100,
+        serve_conn_drop_bp: 100,
+        serve_stall_bp: 100,
+        serve_stall_ms: 1,
+        serve_overload_bp: 100,
     }
 }
 
@@ -135,6 +158,14 @@ impl FaultPlan {
                 "short_write" => plan.store_short_write_bp = percent_bp(value)?,
                 "disk_full" => plan.store_disk_full_bp = percent_bp(value)?,
                 "lock_fail" => plan.store_lock_fail_bp = percent_bp(value)?,
+                "conn_drop" => plan.serve_conn_drop_bp = percent_bp(value)?,
+                "stall" => plan.serve_stall_bp = percent_bp(value)?,
+                "stall_ms" => {
+                    plan.serve_stall_ms = value
+                        .parse()
+                        .map_err(|_| format!("fault plan: `stall_ms={value}` is not an integer"))?;
+                }
+                "overload" => plan.serve_overload_bp = percent_bp(value)?,
                 other => return Err(format!("fault plan: unknown key `{other}`")),
             }
         }
@@ -149,6 +180,9 @@ impl FaultPlan {
             && self.store_short_write_bp == 0
             && self.store_disk_full_bp == 0
             && self.store_lock_fail_bp == 0
+            && self.serve_conn_drop_bp == 0
+            && self.serve_stall_bp == 0
+            && self.serve_overload_bp == 0
     }
 
     /// The deterministic raw roll for one `(kind, site)` pair: a value in
@@ -202,6 +236,36 @@ impl FaultPlan {
     pub fn store_lock_fails(&self, key: u64) -> bool {
         self.hits("lock_fail", key, self.store_lock_fail_bp)
     }
+
+    /// The connection-level faults to inject around one serve request, keyed
+    /// on the request's *content* (so the same plan drops/stalls/rejects the
+    /// same requests regardless of connection scheduling).  Applied in field
+    /// order: an overload rejection pre-empts a stall, which precedes the
+    /// verification; the mid-frame drop fires on the response write.
+    pub fn serve_faults(&self, key: u64) -> ServeFaults {
+        ServeFaults {
+            overload: self.hits("serve_overload", key, self.serve_overload_bp),
+            stall: self
+                .hits("serve_stall", key, self.serve_stall_bp)
+                .then_some(std::time::Duration::from_millis(self.serve_stall_ms)),
+            drop_mid_frame: self.hits("serve_conn_drop", key, self.serve_conn_drop_bp),
+        }
+    }
+}
+
+/// Decisions for one serve request (see [`FaultPlan::serve_faults`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeFaults {
+    /// Answer the request with a typed `overloaded` frame without admitting
+    /// it, even when capacity is free.
+    pub overload: bool,
+    /// Sleep this long while holding the admission slot before dispatching
+    /// (models a request that hogs a worker).
+    pub stall: Option<std::time::Duration>,
+    /// Write only a prefix of the response frame, then sever the connection
+    /// (the client sees a mid-frame disconnect; the daemon must tear down
+    /// only that connection).
+    pub drop_mid_frame: bool,
 }
 
 /// Decisions for one stage dispatch, applied in field order: delay first,
@@ -293,7 +357,8 @@ mod tests {
     #[test]
     fn parse_round_trips_the_default_chaos_plan() {
         let parsed = FaultPlan::parse(
-            "seed=42,panic=1,delay=5,delay_ms=1,spurious=0.5,short_write=5,disk_full=1,lock_fail=1",
+            "seed=42,panic=1,delay=5,delay_ms=1,spurious=0.5,short_write=5,disk_full=1,lock_fail=1,\
+             conn_drop=1,stall=1,stall_ms=1,overload=1",
         )
         .unwrap();
         assert_eq!(parsed, default_chaos(42));
@@ -305,6 +370,7 @@ mod tests {
         assert!(FaultPlan::parse("panic=200").is_err());
         assert!(FaultPlan::parse("bogus=1").is_err());
         assert!(FaultPlan::parse("panic").is_err());
+        assert!(FaultPlan::parse("stall_ms=x").is_err());
     }
 
     #[test]
@@ -350,7 +416,35 @@ mod tests {
             assert!(!faults.panic && !faults.spurious_unknown && faults.delay.is_none());
             assert_eq!(plan.store_append_fault(key, 64), None);
             assert!(!plan.store_lock_fails(key));
+            let serve = plan.serve_faults(key);
+            assert!(!serve.overload && !serve.drop_mid_frame && serve.stall.is_none());
         }
+    }
+
+    #[test]
+    fn serve_fault_decisions_are_deterministic_and_content_keyed() {
+        let plan = FaultPlan {
+            seed: 11,
+            serve_overload_bp: 2_000,
+            serve_conn_drop_bp: 2_000,
+            serve_stall_bp: 2_000,
+            serve_stall_ms: 3,
+            ..FaultPlan::default()
+        };
+        for key in 0..200u64 {
+            assert_eq!(plan.serve_faults(key), plan.serve_faults(key));
+        }
+        // The three kinds roll independently: over a window some keys must
+        // hit exactly one of them.
+        let mixed = (0..2_000u64)
+            .map(|k| plan.serve_faults(k))
+            .filter(|f| f.overload != f.drop_mid_frame)
+            .count();
+        assert!(mixed > 0, "kinds must not be perfectly correlated");
+        let stalled = (0..2_000u64)
+            .filter(|&k| plan.serve_faults(k).stall.is_some())
+            .count();
+        assert!((100..=800).contains(&stalled), "20% nominal hit {stalled}");
     }
 
     #[test]

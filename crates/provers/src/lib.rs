@@ -32,6 +32,7 @@ pub mod cache_store;
 pub mod cascade;
 pub mod cc;
 pub mod containment;
+pub mod drain;
 pub mod exchange;
 pub mod fault;
 pub mod ground;

@@ -9,7 +9,7 @@
 //! expects clean I/O.
 
 use ipl_provers::cache::Fingerprint;
-use ipl_provers::cache_store::{CacheStore, SCHEMA_VERSION};
+use ipl_provers::cache_store::{CacheStore, HEADER_LEN, SCHEMA_VERSION};
 use ipl_provers::fault::{self, FaultPlan};
 use ipl_provers::ProverConfig;
 use proptest::prelude::*;
@@ -91,7 +91,7 @@ proptest! {
         // Truncate up to `cut` bytes off the end (never into the header).
         let path = CacheStore::file_path(&dir, &config, &PROVERS);
         let bytes = std::fs::read(&path).unwrap();
-        let keep = bytes.len().saturating_sub(cut).max(20);
+        let keep = bytes.len().saturating_sub(cut).max(HEADER_LEN);
         std::fs::write(&path, &bytes[..keep]).unwrap();
 
         let store = CacheStore::open(&dir, &config, &PROVERS).unwrap();
@@ -226,6 +226,78 @@ fn two_handles_on_one_directory_keep_both_sets_of_entries() {
     let attributions: BTreeMap<u128, String> = merged.loaded_entries().iter().cloned().collect();
     assert_eq!(attributions[&7], "smt-ground");
     assert_eq!(attributions[&107], "smt-inst");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_write_by_one_handle_never_costs_another_handles_later_appends() {
+    // The disk-full/short-write rollback audit (two-process shape): handle A
+    // tears a batch mid-entry under an injected fault, handle B — a separate
+    // index over the same file — appends complete entries *after* the torn
+    // bytes (O_APPEND puts them past the tear).  Neither a fresh load nor
+    // A's own recovery may truncate B's entries away: the loader must
+    // salvage-resync past the torn range instead of cutting at it.
+    let _serial = fault::serial_guard();
+    let dir = temp_dir("torn-interleave");
+    let config = ProverConfig::default();
+    let mut a = CacheStore::open(&dir, &config, &PROVERS).unwrap();
+    let mut b = CacheStore::open(&dir, &config, &PROVERS).unwrap();
+    a.append_new(&[(fp(1), "smt-ground".to_string())]).unwrap();
+
+    // Tear A's next batch mid-entry.  100% short-write probability so the
+    // injection is deterministic; cleared before B writes.
+    fault::set_plan(Some(FaultPlan {
+        seed: 11,
+        store_short_write_bp: 10_000,
+        ..FaultPlan::default()
+    }));
+    let torn = a.append_new(&[(fp(2), "smt-inst".to_string())]);
+    fault::set_plan(None);
+    assert!(
+        torn.as_ref()
+            .is_err_and(|e| e.to_string().contains("injected fault")),
+        "the tear must be reported, got {torn:?}"
+    );
+    let len_after_tear = std::fs::metadata(a.path()).unwrap().len();
+
+    // B (stale index, own fd) lands complete entries past the torn bytes.
+    b.append_new(&[(fp(3), "bapa".to_string()), (fp(4), "shape".to_string())])
+        .unwrap();
+    assert!(
+        std::fs::metadata(a.path()).unwrap().len() > len_after_tear,
+        "B's entries sit past the torn range"
+    );
+
+    // A fresh load salvages everything complete: the entry before the tear
+    // and both of B's entries after it.  The torn bytes are skipped, not
+    // used as a truncation point.
+    let merged = CacheStore::open(&dir, &config, &PROVERS).unwrap();
+    assert!(merged.contains(fp(1)));
+    assert!(merged.contains(fp(3)), "B's first entry survived the load");
+    assert!(merged.contains(fp(4)), "B's second entry survived the load");
+    assert!(!merged.contains(fp(2)), "the torn entry is not fabricated");
+    assert!(merged.salvaged(), "the load went through the resync scan");
+    assert!(merged.recovered_bytes() > 0);
+    drop(merged);
+
+    // Compaction scrubs the torn range for good; nothing else is lost.
+    let mut compactor = CacheStore::open(&dir, &config, &PROVERS).unwrap();
+    let stats = compactor.compact().unwrap();
+    assert_eq!(stats.entries_after, 3);
+    assert!(stats.corrupt_bytes_dropped > 0);
+    drop(compactor);
+    let clean = CacheStore::open(&dir, &config, &PROVERS).unwrap();
+    assert!(!clean.salvaged());
+    assert_eq!(clean.recovered_bytes(), 0);
+    assert_eq!(clean.len(), 3);
+
+    // And A's original handle keeps working against the compacted file
+    // (stale-inode detection reopens it under the hood).
+    let mut a = a;
+    a.append_new(&[(fp(5), "syntactic".to_string())]).unwrap();
+    let last = CacheStore::open(&dir, &config, &PROVERS).unwrap();
+    assert!(last.contains(fp(5)));
+    assert_eq!(last.len(), 4);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

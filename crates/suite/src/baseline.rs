@@ -356,10 +356,11 @@ pub fn check_baseline(rows: &[Table1Row], total_wall_ms: u128, baseline: &Baseli
 }
 
 /// The throughput phases the regression gate compares (the cold and warm
-/// single-thread curves, plus the daemon's warm pass — all single-threaded;
-/// the jN and edit phases are reported but not gated — their wall-clock
-/// depends on the runner's core count).
-pub const GATED_THROUGHPUT_PHASES: [&str; 3] = ["cold-j1", "warm-j1", "serve-warm"];
+/// single-thread curves, plus the daemon's warm pass and its post-compaction
+/// pass — all single-threaded; the jN and edit phases are reported but not
+/// gated — their wall-clock depends on the runner's core count).
+pub const GATED_THROUGHPUT_PHASES: [&str; 4] =
+    ["cold-j1", "warm-j1", "serve-warm", "serve-compacted"];
 
 /// The committed `BENCH_throughput.json` baseline, reduced to what the gate
 /// needs: wall-clock per phase.

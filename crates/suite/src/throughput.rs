@@ -12,10 +12,12 @@
 //!   rest of the suite replayed incrementally against the previous reports;
 //! * `shared-store` (optional) — a run against a caller-provided directory,
 //!   the shape of a CI job reusing a store across workflow runs;
-//! * `serve-cold` / `serve-warm` ([`run_serve_phases`]) — the suite twice
-//!   through **one** long-lived [`ipl_core::Session`], the daemon shape: the
-//!   warm pass answers from the in-memory cache and intern table kept hot
-//!   across requests, with zero additional store scans.
+//! * `serve-cold` / `serve-warm` / `serve-compacted` ([`run_serve_phases`])
+//!   — the suite three times through **one** long-lived [`ipl_core::Session`],
+//!   the daemon shape: the warm pass answers from the in-memory cache and
+//!   intern table kept hot across requests with zero additional store scans,
+//!   and the third pass re-measures that warmth after an in-session store
+//!   compaction (the daemon's periodic `--compact-every`).
 //!
 //! The `BENCH_throughput.json` document written by `examples/throughput.rs`
 //! reuses the `BENCH_table1.json` layout (`total_wall_ms` + a `benchmarks`
@@ -139,21 +141,42 @@ pub fn run_phase(
     ))
 }
 
-/// Runs the suite twice through **one** long-lived [`Session`] — the `ipl
-/// serve` cost model in-process.  The in-memory cache is wiped first; the
-/// second pass's warmth comes entirely from state the session kept hot
-/// (intern table, in-memory cache, store handle).  Returns the
-/// `serve-cold`/`serve-warm` pair plus the session's total store preloads
-/// (which must be at most 1: the warm pass never re-scans the log).
+/// The serve-shaped phases measured by [`run_serve_phases`]: one long-lived
+/// session, three passes over the suite, a store compaction between the
+/// second and the third.
+#[derive(Debug, Clone)]
+pub struct ServePhases {
+    /// First pass: empty store, everything proved fresh.
+    pub cold: PhaseResult,
+    /// Second pass: answered from warm in-process state.
+    pub warm: PhaseResult,
+    /// Third pass, after an in-session `compact_store()`: the compaction
+    /// swaps the store file and bumps its generation, and the warm index
+    /// must carry over without a rescan or any lost answers.
+    pub compacted: PhaseResult,
+    /// Store log scans across *all three* passes — at most 1.
+    pub store_preloads: usize,
+    /// Stats of the mid-session compaction (`None` without a cache dir).
+    pub compaction: Option<ipl_provers::cache_store::CompactStats>,
+}
+
+/// Runs the suite three times through **one** long-lived [`Session`] — the
+/// `ipl serve` cost model in-process.  The in-memory cache is wiped first;
+/// the second pass's warmth comes entirely from state the session kept hot
+/// (intern table, in-memory cache, store handle).  Between the second and
+/// third passes the store is compacted in-session, the shape of the
+/// daemon's periodic `--compact-every`: the third pass must stay as warm as
+/// the second, with the store log still scanned at most once overall.
 ///
 /// # Errors
 ///
-/// Returns the first verification error (parse/lowering).
+/// Returns the first verification error (parse/lowering) or a compaction
+/// I/O error.
 pub fn run_serve_phases(
     jobs: usize,
     cache_dir: Option<&Path>,
     sources: &[(&str, String)],
-) -> Result<(PhaseResult, PhaseResult, usize), String> {
+) -> Result<ServePhases, String> {
     ProofCache::global().reset();
     let session = Session::new(phase_options(jobs, cache_dir));
     let pass = |name: &str| -> Result<PhaseResult, String> {
@@ -171,7 +194,17 @@ pub fn run_serve_phases(
     };
     let cold = pass("serve-cold")?;
     let warm = pass("serve-warm")?;
-    Ok((cold, warm, session.stats().store_preloads))
+    let compaction = session
+        .compact_store()
+        .map_err(|e| format!("mid-session store compaction: {e}"))?;
+    let compacted = pass("serve-compacted")?;
+    Ok(ServePhases {
+        cold,
+        warm,
+        compacted,
+        store_preloads: session.stats().store_preloads,
+        compaction,
+    })
 }
 
 fn phase_options(jobs: usize, cache_dir: Option<&Path>) -> VerifyOptions {

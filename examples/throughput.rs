@@ -13,14 +13,16 @@
 //! * `--assert-warm` — exit non-zero unless the warm run answered sequents
 //!   from the store (`cache_hits > 0`, covering ≥ 90% of the cold run's
 //!   proved sequents) and its wall-clock beat the cold run; also gates the
-//!   `serve-warm` phase (≥ 90% answered from warm session state, store
-//!   scanned exactly once across both serve passes).
+//!   `serve-warm` and `serve-compacted` phases (≥ 90% answered from warm
+//!   session state, store scanned exactly once across all three serve
+//!   passes, generation bumped by the mid-session compaction).
 //! * `--require-shared-hits` — exit non-zero unless the `shared-store` phase
 //!   had cache hits (CI uses this on the second invocation against the same
 //!   directory).
-//! * `--check-baseline <path>` — gate the `cold-j1`, `warm-j1` and
-//!   `serve-warm` wall-clocks against a committed `BENCH_throughput.json`
-//!   (>25% + 5 s regression fails), like the Table 1 gate.
+//! * `--check-baseline <path>` — gate the `cold-j1`, `warm-j1`, `serve-warm`
+//!   and `serve-compacted` wall-clocks against a committed
+//!   `BENCH_throughput.json` (>25% + 5 s regression fails), like the
+//!   Table 1 gate.
 //!
 //! Output goes to `BENCH_throughput.json` (override with
 //! `BENCH_THROUGHPUT_OUT`); with `GITHUB_STEP_SUMMARY` set, the cold/warm
@@ -130,17 +132,24 @@ fn main() {
     );
 
     // The daemon shape: one long-lived `Session` serves the whole suite
-    // twice.  The second pass answers from warm in-process state (intern
+    // three times, with an in-session store compaction between the second
+    // and third passes (the daemon's periodic `--compact-every`).  The
+    // second and third passes answer from warm in-process state (intern
     // table, in-memory proof cache, preloaded store index); the store is
-    // scanned exactly once for both passes.
+    // scanned exactly once across all three.
     let store_serve = scratch.join("store-serve");
-    let (serve_cold, serve_warm, serve_preloads) =
-        ipl::suite::throughput::run_serve_phases(1, Some(store_serve.as_path()), &sources)
-            .unwrap_or_else(|e| {
-                eprintln!("serve phases: {e}");
-                std::process::exit(1);
-            });
-    for phase in [&serve_cold, &serve_warm] {
+    let serve = ipl::suite::throughput::run_serve_phases(1, Some(store_serve.as_path()), &sources)
+        .unwrap_or_else(|e| {
+            eprintln!("serve phases: {e}");
+            std::process::exit(1);
+        });
+    let (serve_cold, serve_warm, serve_compacted, serve_preloads) = (
+        serve.cold,
+        serve.warm,
+        serve.compacted,
+        serve.store_preloads,
+    );
+    for phase in [&serve_cold, &serve_warm, &serve_compacted] {
         println!(
             "  {:<16} jobs={} wall={} ms, {}/{} methods, {}/{} sequents, {} store/replay hits",
             phase.name,
@@ -154,6 +163,16 @@ fn main() {
         );
     }
     println!("  serve session store preloads: {serve_preloads}");
+    if let Some(stats) = &serve.compaction {
+        println!(
+            "  mid-session compaction: {} -> {} entries, {} -> {} bytes, generation {}",
+            stats.entries_before,
+            stats.entries_after,
+            stats.bytes_before,
+            stats.bytes_after,
+            stats.generation,
+        );
+    }
 
     let mut phases: Vec<PhaseResult> = vec![cold_j1.clone(), warm_j1.clone()];
     if let Some((cold_jn, warm_jn)) = jn_curve {
@@ -163,6 +182,7 @@ fn main() {
     phases.push(edit_phase);
     phases.push(serve_cold.clone());
     phases.push(serve_warm.clone());
+    phases.push(serve_compacted.clone());
 
     // The CI reuse shape: a caller-provided directory that persists across
     // invocations (actions/cache).  Cold on the first run ever, warm after.
@@ -230,6 +250,21 @@ fn main() {
             failures.push(format!(
                 "the serve session scanned its store {serve_preloads} times (expected once)"
             ));
+        }
+        if serve_compacted.cache_hits * 100 < serve_cold.sequents_proved_nontrivial() * 90 {
+            failures.push(format!(
+                "serve-compacted answered {} of {} previously proved non-trivial sequents \
+                 after the mid-session compaction (< 90%)",
+                serve_compacted.cache_hits,
+                serve_cold.sequents_proved_nontrivial()
+            ));
+        }
+        match &serve.compaction {
+            Some(stats) if stats.generation == 0 => failures
+                .push("the mid-session compaction did not bump the store generation".to_string()),
+            Some(_) => {}
+            None => failures
+                .push("the serve session had no store to compact (cache dir lost?)".to_string()),
         }
     }
     if require_shared_hits {

@@ -51,10 +51,43 @@
 //! the session keeps serving), and `protocol` (malformed frame).  A
 //! `shutdown` request answers `{"id": ..., "ok": true, "shutdown": true}`
 //! and closes the stream.
+//!
+//! ## Operations beyond `verify`
+//!
+//! * `stats` — cumulative session telemetry;
+//! * `health` — liveness plus admission state: `{"ok": true, "health": "ok",
+//!   "inflight": 1, "queued": 0, "max_inflight": 4, "draining": false,
+//!   "requests": 17, "store_entries": 120, "store_generation": 2}`;
+//! * `compact` — compacts the persistent store in place (duplicates and
+//!   corrupt ranges dropped, generation bumped) and reports the stats;
+//! * `shutdown` — `{"op": "shutdown"}` stops immediately;
+//!   `{"op": "shutdown", "drain": true}` stops accepting, finishes in-flight
+//!   requests under the drain deadline (late ones answer
+//!   `Skipped(DeadlineExceeded)` partial reports), then exits.
+//!
+//! ## Admission control
+//!
+//! A [`Daemon`] wraps the session with a bounded worker pool
+//! (`--max-inflight`) and a bounded wait queue.  A `verify` that finds both
+//! full is answered *immediately* with a typed overloaded frame instead of
+//! silently queueing:
+//!
+//! ```json
+//! {"id": 4, "ok": false, "overloaded": true, "retry_after_ms": 250,
+//!  "reason": "capacity"}
+//! ```
+//!
+//! `reason` is `capacity` (pool and queue full), `draining` (the daemon is
+//! shutting down), or `injected` (a chaos plan fired).  Cheap control ops
+//! (`stats`, `health`, `shutdown`) bypass admission so operators can always
+//! see in.
 
 use crate::core::{Request, Session, VerifyError};
-use crate::provers::{containment, fault};
+use crate::provers::{containment, drain, fault};
 use crate::suite::baseline::{parse_json, Json};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// The daemon's reaction to one request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -243,6 +276,426 @@ fn encode(json: &Json) -> String {
     }
 }
 
+/// Tuning for a [`Daemon`]: admission bounds, timeouts, maintenance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Verify requests allowed to run concurrently.
+    pub max_inflight: usize,
+    /// Verify requests allowed to *wait* for a slot; one more is answered
+    /// with an overloaded frame instead.
+    pub queue_depth: usize,
+    /// Base back-off hint carried by overloaded frames; scaled by how many
+    /// requests are already waiting.
+    pub retry_after_ms: u64,
+    /// How long a drain lets in-flight requests run before they start
+    /// answering `Skipped(DeadlineExceeded)` partial reports.
+    pub drain_deadline: Duration,
+    /// A connection that sends no byte for this long is shed.
+    pub read_timeout: Duration,
+    /// A connection that accepts no byte for this long is shed.
+    pub write_timeout: Duration,
+    /// Compact the store after every N verified requests (0 = never).
+    pub compact_every: usize,
+    /// Daemon-level chaos plan governing *connection-level* faults
+    /// (overload, stalls, mid-frame drops); a request's own `fault_plan`
+    /// overrides it for that request.
+    pub fault_plan: Option<fault::FaultPlan>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        let cores = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+        ServeConfig {
+            max_inflight: cores,
+            queue_depth: 2 * cores,
+            retry_after_ms: 250,
+            drain_deadline: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            compact_every: 0,
+            fault_plan: None,
+        }
+    }
+}
+
+/// Why a `verify` was turned away at the door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadReason {
+    /// Worker pool and wait queue both full.
+    Capacity,
+    /// The daemon is draining and accepts no new work.
+    Draining,
+    /// A chaos plan injected the overload.
+    Injected,
+}
+
+impl OverloadReason {
+    fn as_str(self) -> &'static str {
+        match self {
+            OverloadReason::Capacity => "capacity",
+            OverloadReason::Draining => "draining",
+            OverloadReason::Injected => "injected",
+        }
+    }
+}
+
+/// Bounded admission: `max_inflight` permits plus a bounded wait queue.
+/// Everything past both bounds is turned away immediately — the caller
+/// answers an overloaded frame rather than holding the connection hostage.
+struct Admission {
+    max_inflight: usize,
+    queue_depth: usize,
+    state: Mutex<AdmissionState>,
+    freed: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct AdmissionState {
+    inflight: usize,
+    waiting: usize,
+    draining: bool,
+}
+
+enum Ticket<'a> {
+    Admitted(Permit<'a>),
+    Refused {
+        reason: OverloadReason,
+        waiting: usize,
+    },
+}
+
+struct Permit<'a> {
+    admission: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut state = self
+            .admission
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        state.inflight -= 1;
+        drop(state);
+        self.admission.freed.notify_all();
+    }
+}
+
+impl Admission {
+    fn new(max_inflight: usize, queue_depth: usize) -> Admission {
+        Admission {
+            max_inflight: max_inflight.max(1),
+            queue_depth,
+            state: Mutex::new(AdmissionState::default()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Takes a permit, waiting in the bounded queue if the pool is full.
+    /// Returns immediately with a refusal when the queue is full too, or
+    /// when the daemon is draining.
+    fn acquire(&self) -> Ticket<'_> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.draining {
+            return Ticket::Refused {
+                reason: OverloadReason::Draining,
+                waiting: state.waiting,
+            };
+        }
+        if state.inflight < self.max_inflight {
+            state.inflight += 1;
+            return Ticket::Admitted(Permit { admission: self });
+        }
+        if state.waiting >= self.queue_depth {
+            return Ticket::Refused {
+                reason: OverloadReason::Capacity,
+                waiting: state.waiting,
+            };
+        }
+        state.waiting += 1;
+        loop {
+            state = self.freed.wait(state).unwrap_or_else(|e| e.into_inner());
+            if state.draining {
+                state.waiting -= 1;
+                return Ticket::Refused {
+                    reason: OverloadReason::Draining,
+                    waiting: state.waiting,
+                };
+            }
+            if state.inflight < self.max_inflight {
+                state.waiting -= 1;
+                state.inflight += 1;
+                return Ticket::Admitted(Permit { admission: self });
+            }
+        }
+    }
+
+    fn begin_drain(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.draining = true;
+        drop(state);
+        // Wake every queued waiter so it answers a draining frame instead
+        // of waiting for a slot that will never be granted.
+        self.freed.notify_all();
+    }
+
+    fn snapshot(&self) -> (usize, usize, bool) {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        (state.inflight, state.waiting, state.draining)
+    }
+}
+
+/// What a connection loop should do with one handled request: write the
+/// frame (possibly after an injected stall, possibly only half of it), then
+/// keep serving, close, or shut the daemon down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Served {
+    /// The response frame (always exactly one well-formed JSON object).
+    pub frame: String,
+    /// Injected fault: sleep this long before writing the frame.
+    pub stall: Option<Duration>,
+    /// Injected fault: write only a prefix of the frame, then sever the
+    /// connection (stream transports only; stdin mode ignores it).
+    pub drop_mid_frame: bool,
+    /// `Some` when this request shuts the daemon down after its frame.
+    pub shutdown: Option<ShutdownKind>,
+}
+
+/// How a `shutdown` op wants the daemon to stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownKind {
+    /// Stop now; in-flight work on other connections is abandoned.
+    Immediate,
+    /// Stop accepting, finish in-flight under the drain deadline, then exit.
+    Drain,
+}
+
+/// A long-lived serving wrapper around one warm [`Session`]: bounded
+/// admission, drain orchestration, connection-level chaos, periodic store
+/// compaction.  Transport loops (stdin, Unix socket) call
+/// [`Daemon::handle`] once per complete request line and act on the
+/// returned [`Served`].
+pub struct Daemon {
+    session: Arc<Session>,
+    config: ServeConfig,
+    admission: Admission,
+    verified: AtomicUsize,
+}
+
+impl Daemon {
+    /// Wraps `session` for serving under `config`.
+    pub fn new(session: Arc<Session>, config: ServeConfig) -> Daemon {
+        let admission = Admission::new(config.max_inflight, config.queue_depth);
+        Daemon {
+            session,
+            config,
+            admission,
+            verified: AtomicUsize::new(0),
+        }
+    }
+
+    /// The session being served.
+    pub fn session(&self) -> &Arc<Session> {
+        &self.session
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Serves one complete request line.  Never panics, never returns an
+    /// unanswerable line; connection-level faults come back as instructions
+    /// in the [`Served`], decided by the governing chaos plan (the
+    /// request's own `fault_plan` if it parses, else the daemon's).
+    pub fn handle(&self, line: &str) -> Served {
+        let key = line_key(line);
+        let parsed = parse_json(line);
+        // Serve faults are evaluated from an explicit plan, never from the
+        // ambient process-global one: another connection's `with_plan`
+        // window must not leak connection-level chaos into this request.
+        let request_plan = parsed
+            .as_ref()
+            .ok()
+            .and_then(|frame| frame.get("fault_plan"))
+            .and_then(Json::as_str)
+            .and_then(|spec| fault::FaultPlan::parse(spec).ok());
+        let plan = request_plan.as_ref().or(self.config.fault_plan.as_ref());
+        let faults = plan
+            .map(|p| p.serve_faults(key))
+            .unwrap_or(fault::ServeFaults {
+                overload: false,
+                stall: None,
+                drop_mid_frame: false,
+            });
+        let mut served = Served {
+            frame: String::new(),
+            stall: faults.stall,
+            drop_mid_frame: faults.drop_mid_frame,
+            shutdown: None,
+        };
+
+        let frame = match parsed {
+            Ok(frame) => frame,
+            Err(e) => {
+                served.frame = error_frame(None, "protocol", &format!("bad frame: {e}"), None);
+                return served;
+            }
+        };
+        let id = frame.get("id").cloned();
+        let id = id.as_ref();
+        match frame.get("op").and_then(Json::as_str).unwrap_or("verify") {
+            "verify" => {
+                if faults.overload {
+                    served.frame = self.overloaded_frame(id, OverloadReason::Injected, 0);
+                    return served;
+                }
+                match self.admission.acquire() {
+                    Ticket::Refused { reason, waiting } => {
+                        served.frame = self.overloaded_frame(id, reason, waiting);
+                    }
+                    Ticket::Admitted(permit) => {
+                        served.frame = handle_verify(&self.session, &frame, id);
+                        drop(permit);
+                        self.maybe_compact();
+                    }
+                }
+            }
+            "stats" => served.frame = stats_frame(&self.session, id),
+            "health" => served.frame = self.health_frame(id),
+            "compact" => served.frame = self.compact_frame(id),
+            "shutdown" => {
+                let drain = matches!(frame.get("drain"), Some(Json::Bool(true)));
+                served.shutdown = Some(if drain {
+                    ShutdownKind::Drain
+                } else {
+                    ShutdownKind::Immediate
+                });
+                served.frame = format!(
+                    "{{{}\"ok\": true, \"shutdown\": true, \"drain\": {drain}}}",
+                    id_field(id)
+                );
+            }
+            other => {
+                served.frame = error_frame(id, "protocol", &format!("unknown op `{other}`"), None);
+            }
+        }
+        served
+    }
+
+    /// Starts (or tightens) a drain: admission refuses new verifies, queued
+    /// waiters are woken with draining frames, and in-flight cascades begin
+    /// answering `Skipped(DeadlineExceeded)` once the deadline passes.
+    /// Returns the drain deadline.  Idempotent — a second call keeps the
+    /// earlier deadline.
+    pub fn begin_drain(&self) -> Instant {
+        let deadline = Instant::now() + self.config.drain_deadline;
+        self.admission.begin_drain();
+        drain::begin(deadline);
+        drain::deadline().unwrap_or(deadline)
+    }
+
+    /// Whether a drain has begun.
+    pub fn draining(&self) -> bool {
+        self.admission.snapshot().2
+    }
+
+    /// Verify requests currently holding a permit.
+    pub fn inflight(&self) -> usize {
+        self.admission.snapshot().0
+    }
+
+    /// Compacts the session's store on the in-daemon trigger, logging (not
+    /// failing) on error — compaction is maintenance, not a request.
+    fn maybe_compact(&self) {
+        let done = self.verified.fetch_add(1, Ordering::Relaxed) + 1;
+        let every = self.config.compact_every;
+        if every == 0 || !done.is_multiple_of(every) {
+            return;
+        }
+        match self.session.compact_store() {
+            Ok(Some(stats)) => eprintln!(
+                "ipl serve: compacted store (generation {}, {} -> {} entries, {} -> {} bytes)",
+                stats.generation,
+                stats.entries_before,
+                stats.entries_after,
+                stats.bytes_before,
+                stats.bytes_after
+            ),
+            Ok(None) => {}
+            Err(e) => eprintln!("ipl serve: store compaction failed: {e}"),
+        }
+    }
+
+    fn overloaded_frame(
+        &self,
+        id: Option<&Json>,
+        reason: OverloadReason,
+        waiting: usize,
+    ) -> String {
+        let retry_after = self.config.retry_after_ms * (waiting as u64 + 1);
+        format!(
+            "{{{}\"ok\": false, \"overloaded\": true, \"retry_after_ms\": {retry_after}, \
+             \"reason\": {}}}",
+            id_field(id),
+            json_string(reason.as_str()),
+        )
+    }
+
+    fn health_frame(&self, id: Option<&Json>) -> String {
+        let (inflight, waiting, draining) = self.admission.snapshot();
+        let stats = self.session.stats();
+        format!(
+            "{{{}\"ok\": true, \"health\": \"ok\", \"inflight\": {inflight}, \
+             \"queued\": {waiting}, \"max_inflight\": {}, \"queue_depth\": {}, \
+             \"draining\": {draining}, \"requests\": {}, \"store_entries\": {}, \
+             \"store_preloads\": {}}}",
+            id_field(id),
+            self.admission.max_inflight,
+            self.admission.queue_depth,
+            stats.requests,
+            stats.store_entries,
+            stats.store_preloads,
+        )
+    }
+
+    fn compact_frame(&self, id: Option<&Json>) -> String {
+        match self.session.compact_store() {
+            Ok(Some(stats)) => format!(
+                "{{{}\"ok\": true, \"compacted\": true, \"generation\": {}, \
+                 \"entries_before\": {}, \"entries_after\": {}, \
+                 \"duplicates_dropped\": {}, \"corrupt_bytes_dropped\": {}, \
+                 \"bytes_before\": {}, \"bytes_after\": {}}}",
+                id_field(id),
+                stats.generation,
+                stats.entries_before,
+                stats.entries_after,
+                stats.duplicates_dropped,
+                stats.corrupt_bytes_dropped,
+                stats.bytes_before,
+                stats.bytes_after,
+            ),
+            Ok(None) => format!(
+                "{{{}\"ok\": true, \"compacted\": false, \
+                 \"message\": \"no persistent store configured\"}}",
+                id_field(id)
+            ),
+            Err(e) => error_frame(id, "io", &format!("store compaction failed: {e}"), None),
+        }
+    }
+}
+
+/// Content key for connection-level fault decisions: a hash of the raw
+/// request line, so the same plan trips the same requests regardless of
+/// arrival order or transport.
+fn line_key(line: &str) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    0x5e7_fa017u64.hash(&mut hasher);
+    line.hash(&mut hasher);
+    hasher.finish()
+}
+
 /// Encodes a string with the same escape repertoire `parse_json` accepts
 /// (`\"`, `\\`, `\n`, `\t`); other control characters degrade to spaces.
 fn json_string(s: &str) -> String {
@@ -351,5 +804,204 @@ mod tests {
         assert_eq!(json_string("a\"b\\c\nd\te"), "\"a\\\"b\\\\c\\nd\\te\"");
         let round = parse_json(&json_string("quote \" slash \\ nl \n tab \t"));
         assert!(round.is_ok());
+    }
+
+    fn daemon(config: ServeConfig) -> Daemon {
+        Daemon::new(Arc::new(Session::new(VerifyOptions::default())), config)
+    }
+
+    #[test]
+    fn injected_overload_answers_a_typed_frame_without_verifying() {
+        let plan = fault::FaultPlan {
+            seed: 3,
+            serve_overload_bp: 10_000,
+            ..fault::FaultPlan::default()
+        };
+        let daemon = daemon(ServeConfig {
+            fault_plan: Some(plan),
+            retry_after_ms: 40,
+            ..ServeConfig::default()
+        });
+        let served = daemon.handle(&verify_line(5, COUNTER));
+        let answer = parse_json(&served.frame).unwrap();
+        assert_eq!(answer.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(answer.get("overloaded"), Some(&Json::Bool(true)));
+        assert_eq!(
+            answer.get("retry_after_ms").and_then(Json::as_u128),
+            Some(40)
+        );
+        assert_eq!(
+            answer.get("reason").and_then(Json::as_str),
+            Some("injected")
+        );
+        assert_eq!(answer.get("id").and_then(Json::as_u128), Some(5));
+        assert_eq!(
+            daemon.session().stats().requests,
+            0,
+            "an overloaded request must never reach the session"
+        );
+        // Deterministic: the same line trips the same decision.
+        assert_eq!(daemon.handle(&verify_line(5, COUNTER)), served);
+        // Control ops bypass the chaos... and the admission gate.
+        let health = daemon.handle("{\"op\": \"health\"}");
+        let answer = parse_json(&health.frame).unwrap();
+        assert_eq!(answer.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn capacity_refusals_scale_the_retry_hint() {
+        // No permits at all once one request holds the pool: simulate by
+        // grabbing the only permit directly.
+        let daemon = daemon(ServeConfig {
+            max_inflight: 1,
+            queue_depth: 0,
+            retry_after_ms: 100,
+            ..ServeConfig::default()
+        });
+        let held = match daemon.admission.acquire() {
+            Ticket::Admitted(permit) => permit,
+            Ticket::Refused { .. } => panic!("first permit must be granted"),
+        };
+        let served = daemon.handle(&verify_line(1, COUNTER));
+        let answer = parse_json(&served.frame).unwrap();
+        assert_eq!(answer.get("overloaded"), Some(&Json::Bool(true)));
+        assert_eq!(
+            answer.get("reason").and_then(Json::as_str),
+            Some("capacity")
+        );
+        assert_eq!(
+            answer.get("retry_after_ms").and_then(Json::as_u128),
+            Some(100)
+        );
+        drop(held);
+        let served = daemon.handle(&verify_line(1, COUNTER));
+        let answer = parse_json(&served.frame).unwrap();
+        assert_eq!(answer.get("ok"), Some(&Json::Bool(true)), "pool freed");
+    }
+
+    #[test]
+    fn draining_daemons_refuse_new_verifies_but_answer_control_ops() {
+        let _serial = fault::serial_guard();
+        let daemon = daemon(ServeConfig {
+            // Long deadline: concurrent tests must never see it pass.
+            drain_deadline: Duration::from_secs(120),
+            ..ServeConfig::default()
+        });
+        let served = daemon.handle("{\"id\": 1, \"op\": \"shutdown\", \"drain\": true}");
+        assert_eq!(served.shutdown, Some(ShutdownKind::Drain));
+        let answer = parse_json(&served.frame).unwrap();
+        assert_eq!(answer.get("drain"), Some(&Json::Bool(true)));
+        daemon.begin_drain();
+        assert!(daemon.draining());
+
+        let served = daemon.handle(&verify_line(2, COUNTER));
+        let answer = parse_json(&served.frame).unwrap();
+        assert_eq!(answer.get("overloaded"), Some(&Json::Bool(true)));
+        assert_eq!(
+            answer.get("reason").and_then(Json::as_str),
+            Some("draining")
+        );
+        let health = parse_json(&daemon.handle("{\"op\": \"health\"}").frame).unwrap();
+        assert_eq!(health.get("draining"), Some(&Json::Bool(true)));
+        drain::clear();
+    }
+
+    #[test]
+    fn immediate_shutdown_is_flagged() {
+        let daemon = daemon(ServeConfig::default());
+        let served = daemon.handle("{\"id\": 1, \"op\": \"shutdown\"}");
+        assert_eq!(served.shutdown, Some(ShutdownKind::Immediate));
+        let answer = parse_json(&served.frame).unwrap();
+        assert_eq!(answer.get("drain"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn stall_and_drop_instructions_come_from_the_governing_plan() {
+        let plan = fault::FaultPlan {
+            seed: 9,
+            serve_stall_bp: 10_000,
+            serve_stall_ms: 7,
+            serve_conn_drop_bp: 10_000,
+            ..fault::FaultPlan::default()
+        };
+        let daemon = daemon(ServeConfig {
+            fault_plan: Some(plan),
+            ..ServeConfig::default()
+        });
+        let served = daemon.handle("{\"op\": \"stats\"}");
+        assert_eq!(served.stall, Some(Duration::from_millis(7)));
+        assert!(served.drop_mid_frame);
+        // A request whose own plan is zero overrides the daemon's chaos.
+        let served = daemon.handle("{\"op\": \"stats\", \"fault_plan\": \"seed=1\"}");
+        assert_eq!(served.stall, None);
+        assert!(!served.drop_mid_frame);
+    }
+
+    #[test]
+    fn compact_op_reports_store_lifecycle() {
+        let dir = std::env::temp_dir().join(format!(
+            "ipl-serve-compact-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = Arc::new(Session::new(VerifyOptions::default().with_cache_dir(&dir)));
+        let daemon = Daemon::new(session, ServeConfig::default());
+        let first = parse_json(&daemon.handle(&verify_line(1, COUNTER)).frame).unwrap();
+        assert_eq!(first.get("ok"), Some(&Json::Bool(true)));
+        let compacted =
+            parse_json(&daemon.handle("{\"id\": 2, \"op\": \"compact\"}").frame).unwrap();
+        assert_eq!(compacted.get("compacted"), Some(&Json::Bool(true)));
+        assert_eq!(compacted.get("generation").and_then(Json::as_u128), Some(1));
+        // Warm answers are identical after compaction, with no rescan.
+        let second = parse_json(&daemon.handle(&verify_line(3, COUNTER)).frame).unwrap();
+        assert_eq!(second.get("fully_proved"), first.get("fully_proved"));
+        assert_eq!(second.get("sequents_proved"), first.get("sequents_proved"));
+        assert_eq!(
+            second.get("store_preloads").and_then(Json::as_u128),
+            Some(1)
+        );
+        assert_eq!(
+            second.get("store_appended").and_then(Json::as_u128),
+            Some(0)
+        );
+        // Store-less daemons answer gracefully.
+        let bare = daemon_default_for_compat();
+        let answer = parse_json(&bare.handle("{\"op\": \"compact\"}").frame).unwrap();
+        assert_eq!(answer.get("compacted"), Some(&Json::Bool(false)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn daemon_default_for_compat() -> Daemon {
+        daemon(ServeConfig::default())
+    }
+
+    #[test]
+    fn in_daemon_compaction_triggers_every_n_verifies() {
+        let dir = std::env::temp_dir().join(format!(
+            "ipl-serve-autocompact-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = Arc::new(Session::new(VerifyOptions::default().with_cache_dir(&dir)));
+        let daemon = Daemon::new(
+            session,
+            ServeConfig {
+                compact_every: 2,
+                ..ServeConfig::default()
+            },
+        );
+        for id in 0..4 {
+            let answer = parse_json(&daemon.handle(&verify_line(id, COUNTER)).frame).unwrap();
+            assert_eq!(answer.get("ok"), Some(&Json::Bool(true)));
+        }
+        let health = parse_json(&daemon.handle("{\"op\": \"health\"}").frame).unwrap();
+        assert_eq!(health.get("requests").and_then(Json::as_u128), Some(4));
+        // 4 verifies at compact_every=2: two compactions, generation 2.
+        let info = crate::provers::cache_store::scan_dir(&dir).unwrap();
+        assert_eq!(info.len(), 1);
+        assert_eq!(info[0].generation, Some(2));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -204,6 +204,363 @@ fn parse_errors_answer_typed_frames_with_spans() {
     daemon.shutdown();
 }
 
+/// Spawns a socket-mode daemon and waits for the socket to accept.
+#[cfg(unix)]
+fn spawn_socket_daemon(
+    socket: &std::path::Path,
+    extra: &[&str],
+) -> (Child, std::os::unix::net::UnixStream) {
+    let child = Command::new(env!("CARGO_BIN_EXE_ipl"))
+        .args(["serve", "--no-cache", "--listen"])
+        .arg(socket)
+        .args(extra)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("ipl serve --listen spawns");
+    let stream = connect(socket);
+    (child, stream)
+}
+
+#[cfg(unix)]
+fn connect(socket: &std::path::Path) -> std::os::unix::net::UnixStream {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        match std::os::unix::net::UnixStream::connect(socket) {
+            Ok(stream) => return stream,
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Err(e) => panic!("daemon socket never came up: {e}"),
+        }
+    }
+}
+
+/// Waits for the daemon to exit on its own and returns the exit code.
+fn wait_with_deadline(child: &mut Child, secs: u64) -> i32 {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(secs);
+    loop {
+        if let Some(status) = child.try_wait().expect("daemon wait") {
+            return status.code().expect("daemon exit code");
+        }
+        if std::time::Instant::now() >= deadline {
+            let _ = child.kill();
+            panic!("daemon still running after {secs}s");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
+/// Regression for the mid-frame disconnect bug: a client that dies after
+/// sending *half* a request line must not have that partial frame processed,
+/// must get no response bytes for it, and must not take the daemon (or any
+/// other connection) down with it.
+#[cfg(unix)]
+#[test]
+fn mid_frame_disconnect_tears_down_only_that_connection() {
+    use std::io::Read;
+
+    let dir = temp_dir("midframe");
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("ipl.sock");
+    let (mut child, dying) = spawn_socket_daemon(&socket, &["--jobs", "1"]);
+
+    // Half a frame, no newline, then EOF on the write half.
+    let mut dying_writer = dying.try_clone().unwrap();
+    dying_writer
+        .write_all(b"{\"id\": 99, \"op\": \"verify\", \"sour")
+        .unwrap();
+    dying_writer.flush().unwrap();
+    dying
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close the dying connection");
+
+    // The daemon must answer the torn frame with silence: EOF, zero bytes.
+    let mut dying_reader = dying;
+    let mut leftovers = Vec::new();
+    dying_reader
+        .read_to_end(&mut leftovers)
+        .expect("daemon closes the torn connection");
+    assert!(
+        leftovers.is_empty(),
+        "a partial frame must never be processed or answered: {leftovers:?}"
+    );
+
+    // A second connection is entirely unaffected.
+    let healthy = connect(&socket);
+    let mut writer = healthy.try_clone().unwrap();
+    let mut reader = BufReader::new(healthy);
+    writeln!(writer, "{{\"id\": 1, \"op\": \"health\"}}").unwrap();
+    let mut frame = String::new();
+    reader.read_line(&mut frame).unwrap();
+    let frame = parse_json(&frame).unwrap();
+    assert_eq!(frame.get("ok"), Some(&Json::Bool(true)), "{frame:?}");
+    assert_eq!(frame.get("draining"), Some(&Json::Bool(false)));
+
+    writeln!(writer, "{{\"op\": \"shutdown\"}}").unwrap();
+    let mut bye = String::new();
+    reader.read_line(&mut bye).unwrap();
+    assert_eq!(wait_with_deadline(&mut child, 10), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Admission control answers load it cannot take with a typed `overloaded`
+/// frame — immediately, without queueing the work — both for injected
+/// overloads (daemon-level chaos plan) and for a genuinely full pool.
+#[cfg(unix)]
+#[test]
+fn overloaded_daemons_answer_typed_refusal_frames() {
+    let dir = temp_dir("overload");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Injected: every verify refused, control ops still served.
+    {
+        let socket = dir.join("injected.sock");
+        let (mut child, stream) =
+            spawn_socket_daemon(&socket, &["--fault-plan", "seed=3,overload=100"]);
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, "{}", verify_frame("")).unwrap();
+        let mut frame = String::new();
+        reader.read_line(&mut frame).unwrap();
+        let frame = parse_json(&frame).unwrap();
+        assert_eq!(frame.get("ok"), Some(&Json::Bool(false)), "{frame:?}");
+        assert_eq!(frame.get("overloaded"), Some(&Json::Bool(true)));
+        assert_eq!(frame.get("reason").and_then(Json::as_str), Some("injected"));
+        assert!(u(&frame, "retry_after_ms") > 0);
+
+        writeln!(writer, "{{\"op\": \"health\"}}").unwrap();
+        let mut health = String::new();
+        reader.read_line(&mut health).unwrap();
+        assert_eq!(
+            parse_json(&health).unwrap().get("ok"),
+            Some(&Json::Bool(true)),
+            "control ops bypass admission"
+        );
+        writeln!(writer, "{{\"op\": \"shutdown\"}}").unwrap();
+        let mut bye = String::new();
+        reader.read_line(&mut bye).unwrap();
+        assert_eq!(wait_with_deadline(&mut child, 10), 0);
+    }
+
+    // Real capacity: a one-slot, zero-queue pool with a slow request in
+    // flight refuses the second request with reason "capacity".
+    {
+        let socket = dir.join("capacity.sock");
+        let (mut child, slow) = spawn_socket_daemon(
+            &socket,
+            &["--jobs", "1", "--max-inflight", "1", "--queue", "0"],
+        );
+        let mut slow_writer = slow.try_clone().unwrap();
+        let mut slow_reader = BufReader::new(slow);
+        // 100% injected stage delays keep this request in flight long
+        // enough for the refusal below to be deterministic in practice.
+        writeln!(
+            slow_writer,
+            "{}",
+            verify_frame(", \"fault_plan\": \"seed=5,delay=100,delay_ms=40\"")
+        )
+        .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(300));
+
+        let second = connect(&socket);
+        let mut writer = second.try_clone().unwrap();
+        let mut reader = BufReader::new(second);
+        writeln!(writer, "{}", verify_frame("")).unwrap();
+        let mut refusal = String::new();
+        reader.read_line(&mut refusal).unwrap();
+        let refusal = parse_json(&refusal).unwrap();
+        assert_eq!(
+            refusal.get("overloaded"),
+            Some(&Json::Bool(true)),
+            "{refusal:?}"
+        );
+        assert_eq!(
+            refusal.get("reason").and_then(Json::as_str),
+            Some("capacity")
+        );
+        assert!(u(&refusal, "retry_after_ms") > 0);
+
+        // The slow request itself still completes with a real report.
+        let mut slow_frame = String::new();
+        slow_reader.read_line(&mut slow_frame).unwrap();
+        let slow_frame = parse_json(&slow_frame).unwrap();
+        assert_eq!(
+            slow_frame.get("ok"),
+            Some(&Json::Bool(true)),
+            "{slow_frame:?}"
+        );
+
+        writeln!(writer, "{{\"op\": \"shutdown\"}}").unwrap();
+        let mut bye = String::new();
+        reader.read_line(&mut bye).unwrap();
+        assert_eq!(wait_with_deadline(&mut child, 10), 0);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// SIGTERM begins a graceful drain: the daemon stops accepting, lets the
+/// idle state wind down, removes its socket and exits 0 — well within the
+/// drain deadline.
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_the_daemon_cleanly() {
+    let dir = temp_dir("sigterm");
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("ipl.sock");
+    let (mut child, stream) =
+        spawn_socket_daemon(&socket, &["--jobs", "1", "--drain-deadline-ms", "10000"]);
+
+    // One completed request so the daemon has warm state to flush.
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{}", verify_frame("")).unwrap();
+    let mut frame = String::new();
+    reader.read_line(&mut frame).unwrap();
+    assert_eq!(
+        parse_json(&frame).unwrap().get("ok"),
+        Some(&Json::Bool(true))
+    );
+
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill -TERM runs");
+    assert!(term.success());
+    // Nothing is in flight, so the drain must finish far inside the 10s
+    // deadline and report a clean exit.
+    assert_eq!(wait_with_deadline(&mut child, 8), 0);
+    assert!(!socket.exists(), "the drained daemon removes its socket");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A drain whose deadline cuts an in-flight request still answers that
+/// request (as a partial report, never a fabricated success) and then exits
+/// with code 4 per the contract.
+#[cfg(unix)]
+#[test]
+fn drain_deadline_cuts_inflight_requests_to_partials_and_exits_4() {
+    let dir = temp_dir("drain-cut");
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("ipl.sock");
+    let (mut child, stream) =
+        spawn_socket_daemon(&socket, &["--jobs", "1", "--drain-deadline-ms", "100"]);
+
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    // Injected 50ms delays on every stage keep this request running well
+    // past the 100ms drain deadline started below.
+    writeln!(
+        writer,
+        "{}",
+        verify_frame(", \"fault_plan\": \"seed=5,delay=100,delay_ms=50\"")
+    )
+    .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(250));
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill -TERM runs");
+    assert!(term.success());
+
+    // The cut request is still answered — one well-formed frame, partial.
+    let mut frame = String::new();
+    reader.read_line(&mut frame).unwrap();
+    let frame = parse_json(&frame).unwrap();
+    assert_eq!(frame.get("ok"), Some(&Json::Bool(true)), "{frame:?}");
+    assert_eq!(
+        frame.get("fully_proved"),
+        Some(&Json::Bool(false)),
+        "a drain-cut report must not claim success: {frame:?}"
+    );
+    assert!(
+        u(&frame, "skipped") > 0,
+        "the deadline cut skips remaining dispatch: {frame:?}"
+    );
+    assert_eq!(wait_with_deadline(&mut child, 15), 4, "drain-cut exit code");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Soak: 200 sequential requests against one daemon under a periodic chaos
+/// plan (stalls, injected overloads, 1% stage panics, store faults cleared).
+/// Every accepted request gets exactly one well-formed frame with its own
+/// id, no frame ever claims full success alongside crashes or skips, and
+/// the store counts stay stable — the log is scanned once, duplicates never
+/// accumulate, and periodic in-daemon compaction keeps warm answers intact.
+#[test]
+fn soak_chaos_requests_each_get_exactly_one_wellformed_frame() {
+    let dir = temp_dir("soak");
+    let mut daemon = Daemon::spawn(&[
+        "--cache-dir",
+        dir.to_str().unwrap(),
+        "--jobs",
+        "1",
+        "--compact-every",
+        "50",
+        "--fault-plan",
+        "seed=9,stall=5,stall_ms=1,overload=2,conn_drop=3,panic=1,delay=1,delay_ms=1",
+    ]);
+
+    let mut overloaded = 0u128;
+    let mut served = 0u128;
+    let mut entries_after_warmup = None;
+    for i in 0..200u128 {
+        let frame = daemon.request(&format!(
+            "{{\"id\": {i}, \"op\": \"verify\", \"source\": \"{}\"}}",
+            json_escape(
+                ipl::suite::by_name("Linked List")
+                    .expect("benchmark exists")
+                    .source
+            )
+        ));
+        // Exactly one frame, and it is *this* request's frame.
+        assert_eq!(
+            frame.get("id").and_then(Json::as_u128),
+            Some(i),
+            "request {i} got someone else's frame: {frame:?}"
+        );
+        if frame.get("overloaded") == Some(&Json::Bool(true)) {
+            assert_eq!(frame.get("ok"), Some(&Json::Bool(false)));
+            assert!(u(&frame, "retry_after_ms") > 0);
+            overloaded += 1;
+            continue;
+        }
+        served += 1;
+        assert_eq!(frame.get("ok"), Some(&Json::Bool(true)), "{frame:?}");
+        // Chaos only ever degrades an answer; it never fabricates success.
+        if frame.get("fully_proved") == Some(&Json::Bool(true)) {
+            assert_eq!(u(&frame, "crashed"), 0, "{frame:?}");
+            assert_eq!(u(&frame, "skipped"), 0, "{frame:?}");
+        }
+        assert!(
+            u(&frame, "store_preloads") <= 1,
+            "the store log was re-scanned mid-soak: {frame:?}"
+        );
+        // Store growth stops once the provable sequents are all persisted:
+        // fault decisions are content-keyed, so run 10 proves exactly what
+        // run 2 proved and appends nothing new.
+        let entries = u(&frame, "store_entries");
+        if i >= 10 {
+            match entries_after_warmup {
+                None => entries_after_warmup = Some(entries),
+                Some(stable) => assert_eq!(
+                    entries, stable,
+                    "store entry count drifted during the soak at request {i}"
+                ),
+            }
+        }
+    }
+    assert_eq!(served + overloaded, 200);
+    assert!(served > 0, "the soak must actually verify");
+
+    let stats = daemon.request("{\"id\": 777, \"op\": \"stats\"}");
+    assert_eq!(u(&stats, "requests"), served);
+    assert!(u(&stats, "store_preloads") <= 1);
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[cfg(unix)]
 #[test]
 fn unix_socket_serves_connections() {
